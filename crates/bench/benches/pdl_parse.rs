@@ -1,0 +1,29 @@
+//! Abl. C (part 1) — PDL parse/validate/decode throughput as the platform
+//! grows: tools must handle descriptors of large many-core systems.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn pdl_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pdl_parse");
+    for pus in [10usize, 100, 1000] {
+        // A cluster with ~pus total processing units.
+        let nodes = (pus / 4).max(1) as u32;
+        let platform = pdl_discover::synthetic::gpgpu_cluster(nodes, 3);
+        let xml = pdl_xml::to_xml(&platform);
+        group.throughput(Throughput::Bytes(xml.len() as u64));
+
+        group.bench_function(BenchmarkId::new("parse_only", pus), |b| {
+            b.iter(|| pdl_xml::parse_document(&xml).unwrap())
+        });
+        group.bench_function(BenchmarkId::new("parse_validate_decode", pus), |b| {
+            b.iter(|| pdl_xml::from_xml(&xml).unwrap())
+        });
+        group.bench_function(BenchmarkId::new("encode", pus), |b| {
+            b.iter(|| pdl_xml::to_xml(&platform))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, pdl_parse);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Abl. D — variant pre-selection: compile-time cost and pruning factor as
+//! the task repository grows (the pre-pruning step of §IV-C step 2).
+
+use cascabel::preselect::preselect;
+use cascabel::repository::{ImplOrigin, TaskImpl, TaskRepository};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetero_rt::data::AccessMode;
+
+/// Repository with `n` interfaces × 3 variants (x86/Cuda/CellSDK).
+fn synthetic_repository(n: usize) -> TaskRepository {
+    let mut repo = TaskRepository::new();
+    let params = vec![("X".to_string(), AccessMode::ReadWrite)];
+    for i in 0..n {
+        for (suffix, plat) in [("cpu", "x86"), ("gpu", "Cuda"), ("spe", "CellSDK")] {
+            repo.register_expert(
+                &format!("I_k{i}"),
+                TaskImpl {
+                    name: format!("k{i}_{suffix}"),
+                    target_platforms: vec![plat.to_string()],
+                    params: params.clone(),
+                    source: String::new(),
+                    origin: ImplOrigin::Repository,
+                    speedup: 1.0,
+                },
+            )
+            .unwrap();
+        }
+    }
+    repo
+}
+
+fn preselect_bench(c: &mut Criterion) {
+    // Report the pruning factors once.
+    let repo = synthetic_repository(100);
+    for platform in [
+        pdl_discover::synthetic::xeon_x5550_host(),
+        pdl_discover::synthetic::xeon_2gpu_testbed(),
+        pdl_discover::synthetic::cell_be(),
+    ] {
+        let sel = preselect(&repo, &platform);
+        let total: usize = sel.iter().map(|s| s.decisions.len()).sum();
+        let kept: usize = sel.iter().map(|s| s.kept().count()).sum();
+        println!(
+            "Abl. D — {:<28} kept {kept}/{total} variants ({:.0}% pruned)",
+            platform.name,
+            100.0 * (total - kept) as f64 / total as f64
+        );
+    }
+    println!();
+
+    let mut group = c.benchmark_group("preselect");
+    let platform = pdl_discover::synthetic::xeon_2gpu_testbed();
+    for n in [10usize, 100, 1000] {
+        let repo = synthetic_repository(n);
+        group.bench_function(BenchmarkId::new("interfaces", n), |b| {
+            b.iter(|| preselect(&repo, &platform))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, preselect_bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Abl. C (part 2) — query-API throughput: selector evaluation, group
+//! resolution and data-path routing over growing platforms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn query_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pdl_query");
+    for nodes in [4u32, 32, 128] {
+        let platform = pdl_discover::synthetic::gpgpu_cluster(nodes, 2);
+        let pus = platform.len();
+
+        group.bench_function(BenchmarkId::new("selector_arch", pus), |b| {
+            b.iter(|| pdl_query::query(&platform, "//Worker[@ARCHITECTURE='gpu']").unwrap())
+        });
+        group.bench_function(BenchmarkId::new("selector_numeric", pus), |b| {
+            b.iter(|| pdl_query::query(&platform, "//Hybrid/Worker[@CORES>=15]").unwrap())
+        });
+        group.bench_function(BenchmarkId::new("group_expr", pus), |b| {
+            b.iter(|| pdl_query::resolve_groups(&platform, "(gpus+nodes)-@masters").unwrap())
+        });
+        let last_gpu = format!("node{}gpu1", nodes - 1);
+        group.bench_function(BenchmarkId::new("route", pus), |b| {
+            b.iter(|| pdl_query::route(&platform, "frontend", &last_gpu, 64e6).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, query_bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Abl. A — scheduler ablation: virtual makespan of the Fig. 5 DGEMM graph
+//! under each scheduling policy on the 2-GPU testbed, and the timing cost of
+//! each policy's decisions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetero_rt::prelude::*;
+use simhw::machine::SimMachine;
+
+fn scheduler_ablation(c: &mut Criterion) {
+    // Report the ablation series itself once.
+    println!("\nAbl. A — DGEMM 8192/2048 makespan by policy:");
+    for (policy, makespan) in bench::ablations::scheduler_ablation(8192, 2048) {
+        println!("  {policy:>12}: {makespan:.4}s");
+    }
+    println!();
+
+    let machine = SimMachine::from_platform(&pdl_discover::synthetic::xeon_2gpu_testbed());
+    let graph = kernels::graphs::dgemm_graph(4096, 1024, None);
+
+    let mut group = c.benchmark_group("scheduler_ablation");
+    group.sample_size(10);
+    for policy_name in ["eager", "heft", "random", "round-robin"] {
+        group.bench_function(BenchmarkId::new("simulate_4096", policy_name), |b| {
+            b.iter(|| {
+                let mut policy = by_name(policy_name).unwrap();
+                simulate(&graph, &machine, policy.as_mut(), &SimOptions::default())
+                    .unwrap()
+                    .makespan
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scheduler_ablation);
+criterion_main!(benches);

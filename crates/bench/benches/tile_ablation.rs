@@ -1,0 +1,25 @@
+//! Abl. F — tile-size ablation for the Fig. 5 DGEMM: granularity vs.
+//! parallelism vs. transfer overhead on the 2-GPU testbed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn tile_ablation(c: &mut Criterion) {
+    println!("\nAbl. F — DGEMM 8192 makespan vs tile size (2-GPU testbed):");
+    for tile in [512usize, 1024, 2048, 4096, 8192] {
+        let m = bench::ablations::makespan_vs_tile(8192, tile);
+        println!("  tile {tile:>5}: {m:>8.3}s");
+    }
+    println!();
+
+    let mut group = c.benchmark_group("tile_ablation");
+    group.sample_size(10);
+    for tile in [512usize, 2048, 8192] {
+        group.bench_function(BenchmarkId::new("dgemm8192", tile), |b| {
+            b.iter(|| bench::ablations::makespan_vs_tile(8192, tile))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, tile_ablation);
+criterion_main!(benches);

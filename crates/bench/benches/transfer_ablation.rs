@@ -1,0 +1,26 @@
+//! Abl. B — transfer-model ablation: GPU-offload speedup as a function of
+//! PCIe bandwidth (the vertical data-movement sensitivity of §III-A).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn transfer_ablation(c: &mut Criterion) {
+    // Report the series once: where does offloading break even?
+    println!("\nAbl. B — DGEMM 4096/1024 GPU speedup vs PCIe bandwidth:");
+    for gbs in [0.05, 0.25, 1.0, 2.0, 6.0, 16.0] {
+        let s = bench::ablations::speedup_vs_pcie(4096, 1024, gbs);
+        println!("  {gbs:>6.2} GB/s: {s:>6.2}x");
+    }
+    println!();
+
+    let mut group = c.benchmark_group("transfer_ablation");
+    group.sample_size(10);
+    for gbs in [0.25f64, 6.0, 16.0] {
+        group.bench_function(BenchmarkId::new("speedup_vs_pcie", format!("{gbs}GBs")), |b| {
+            b.iter(|| bench::ablations::speedup_vs_pcie(2048, 512, gbs))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, transfer_ablation);
+criterion_main!(benches);

@@ -1,0 +1,217 @@
+//! Ablation helpers shared by the Criterion benches and the harness
+//! binaries (DESIGN.md Abl. A/B).
+
+use hetero_rt::prelude::*;
+use pdl_core::prelude::*;
+use pdl_discover::synthetic;
+use simhw::machine::SimMachine;
+
+/// Makespans of the Fig. 5 DGEMM graph under each scheduling policy
+/// (Abl. A). Returns `(policy, makespan_s)` rows.
+pub fn scheduler_ablation(n: usize, tile: usize) -> Vec<(&'static str, f64)> {
+    let platform = synthetic::xeon_2gpu_testbed();
+    let machine = SimMachine::from_platform(&platform);
+    let graph = kernels::graphs::dgemm_graph(n, tile, None);
+    ["eager", "heft", "random", "round-robin"]
+        .into_iter()
+        .map(|name| {
+            let mut policy = by_name(name).expect("known policy");
+            let report = simulate(&graph, &machine, policy.as_mut(), &SimOptions::default())
+                .expect("runnable");
+            (report.policy, report.makespan.seconds())
+        })
+        .collect()
+}
+
+/// Builds the Fig. 5 testbed with PCIe bandwidth overridden to
+/// `pcie_gbs` GB/s — the transfer-model ablation (Abl. B) showing where
+/// offloading stops paying off.
+pub fn testbed_with_pcie(pcie_gbs: f64) -> Platform {
+    let base = synthetic::xeon_2gpu_testbed();
+    // Rebuild with modified interconnect descriptors.
+    let mut b = Platform::builder(format!("testbed-pcie-{pcie_gbs}"));
+    let mut handles = std::collections::BTreeMap::new();
+    for &root in base.roots() {
+        clone_pu(&base, &mut b, root, None, &mut handles);
+    }
+    for ic in base.interconnects() {
+        let mut ic = ic.clone();
+        if ic.ic_type == "PCIe" {
+            ic.descriptor.set(
+                Property::fixed(wellknown::BANDWIDTH, pcie_gbs.to_string())
+                    .with_unit(Unit::GigaBytePerSec),
+            );
+        }
+        b.interconnect(ic);
+    }
+    b.build().expect("clone of a valid platform is valid")
+}
+
+fn clone_pu(
+    src: &Platform,
+    b: &mut PlatformBuilder,
+    idx: PuIdx,
+    parent: Option<PuHandle>,
+    handles: &mut std::collections::BTreeMap<String, PuHandle>,
+) {
+    let pu = src.pu(idx);
+    let h = match parent {
+        None => b.root(pu.id.as_str(), pu.class),
+        Some(p) => b.child(p, pu.id.as_str(), pu.class).expect("valid parent"),
+    };
+    b.descriptor(h, pu.descriptor.clone());
+    b.quantity(h, pu.quantity);
+    for mr in &pu.memory_regions {
+        b.memory(h, mr.clone());
+    }
+    for g in &pu.groups {
+        b.group(h, g.as_str());
+    }
+    handles.insert(pu.id.as_str().to_string(), h);
+    for &c in pu.children() {
+        clone_pu(src, b, c, Some(h), handles);
+    }
+}
+
+/// Makespan of the Fig. 5 DGEMM on the 2-GPU testbed for a given tile size
+/// (Abl. F): small tiles expose parallelism but multiply per-task transfer
+/// latency; huge tiles starve the devices. Classic U-shaped curve.
+pub fn makespan_vs_tile(n: usize, tile: usize) -> f64 {
+    let graph = kernels::graphs::dgemm_graph(n, tile, None);
+    let machine = SimMachine::from_platform(&synthetic::xeon_2gpu_testbed());
+    simulate(&graph, &machine, &mut HeftScheduler, &SimOptions::default())
+        .expect("runnable")
+        .makespan
+        .seconds()
+}
+
+/// List-vs-online engine comparison (Abl. G): same graph, same policy,
+/// both execution engines. Returns `(list_makespan_s, online_makespan_s)`.
+pub fn engine_comparison(n: usize, tile: usize) -> (f64, f64) {
+    let graph = kernels::graphs::dgemm_graph(n, tile, None);
+    let machine = SimMachine::from_platform(&synthetic::xeon_2gpu_testbed());
+    let list = simulate(&graph, &machine, &mut HeftScheduler, &SimOptions::default())
+        .expect("runnable")
+        .makespan
+        .seconds();
+    let online = hetero_rt::dyn_engine::simulate_dynamic(
+        &graph,
+        &machine,
+        &mut HeftScheduler,
+        &SimOptions::default(),
+    )
+    .expect("runnable")
+    .makespan
+    .seconds();
+    (list, online)
+}
+
+/// Host-bus contention cost (Abl. H): Fig. 5 GPU-configuration makespan
+/// with independent PCIe links vs one shared host bus.
+pub fn bus_contention(n: usize, tile: usize) -> (f64, f64) {
+    let graph = kernels::graphs::dgemm_graph(n, tile, None);
+    let machine = SimMachine::from_platform(&synthetic::xeon_2gpu_testbed());
+    let independent = simulate(&graph, &machine, &mut HeftScheduler, &SimOptions::default())
+        .expect("runnable")
+        .makespan
+        .seconds();
+    let shared = simulate(
+        &graph,
+        &machine,
+        &mut HeftScheduler,
+        &SimOptions {
+            shared_host_bus: true,
+            ..Default::default()
+        },
+    )
+    .expect("runnable")
+    .makespan
+    .seconds();
+    (independent, shared)
+}
+
+/// GPU-configuration speedup over CPU-only for the Fig. 5 graph under a
+/// given PCIe bandwidth. Used to locate the offload break-even point.
+pub fn speedup_vs_pcie(n: usize, tile: usize, pcie_gbs: f64) -> f64 {
+    let graph = kernels::graphs::dgemm_graph(n, tile, None);
+    let cpu_machine = SimMachine::from_platform(&synthetic::xeon_x5550_host());
+    let cpu = simulate(&graph, &cpu_machine, &mut HeftScheduler, &SimOptions::default())
+        .expect("runnable")
+        .makespan
+        .seconds();
+    let gpu_machine = SimMachine::from_platform(&testbed_with_pcie(pcie_gbs));
+    let gpu = simulate(&graph, &gpu_machine, &mut HeftScheduler, &SimOptions::default())
+        .expect("runnable")
+        .makespan
+        .seconds();
+    cpu / gpu
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heft_beats_random_on_heterogeneous_machine() {
+        let rows = scheduler_ablation(4096, 1024);
+        let get = |name: &str| rows.iter().find(|(n, _)| *n == name).unwrap().1;
+        assert!(get("heft") <= get("random") * 1.001, "heft {} random {}", get("heft"), get("random"));
+        assert!(get("heft") <= get("round-robin") * 1.001);
+        // All policies produce finite, positive makespans.
+        for (name, m) in &rows {
+            assert!(*m > 0.0 && m.is_finite(), "{name}");
+        }
+    }
+
+    #[test]
+    fn pcie_override_applies() {
+        let p = testbed_with_pcie(0.5);
+        let pcie: Vec<_> = p
+            .interconnects()
+            .iter()
+            .filter(|ic| ic.ic_type == "PCIe")
+            .collect();
+        assert_eq!(pcie.len(), 2);
+        for ic in pcie {
+            assert_eq!(ic.bandwidth_bps(), Some(0.5e9));
+        }
+        // Non-PCIe links untouched.
+        assert!(p
+            .interconnects()
+            .iter()
+            .any(|ic| ic.ic_type == "shared-mem" && ic.bandwidth_bps() == Some(32e9)));
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn tile_size_has_a_sweet_spot() {
+        // Whole-matrix tile (no parallelism) must lose to a mid-size tile.
+        let n = 4096;
+        let whole = makespan_vs_tile(n, n);
+        let mid = makespan_vs_tile(n, n / 4);
+        assert!(mid < whole, "mid {mid} !< whole {whole}");
+    }
+
+    #[test]
+    fn engines_comparable_and_bus_contention_costs() {
+        let (list, online) = engine_comparison(4096, 1024);
+        assert!(list > 0.0 && online > 0.0);
+        let ratio = online / list;
+        assert!((0.5..=2.0).contains(&ratio), "ratio {ratio}");
+
+        let (independent, shared) = bus_contention(4096, 1024);
+        assert!(shared >= independent, "shared {shared} !>= {independent}");
+    }
+
+    #[test]
+    fn faster_pcie_helps_offload() {
+        let slow = speedup_vs_pcie(4096, 1024, 0.05);
+        let fast = speedup_vs_pcie(4096, 1024, 16.0);
+        assert!(
+            fast > slow,
+            "fast-PCIe speedup {fast} should beat slow-PCIe {slow}"
+        );
+        // With healthy PCIe the GPUs win outright.
+        assert!(fast > 1.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! The annotated-program AST.
+//!
+//! Cascabel does not need a full C AST: it needs the annotated function
+//! definitions (task implementations), the annotated call sites (task
+//! executions) and everything else as passthrough text (§IV-C step 3
+//! constructs output files around these anchors).
+
+use crate::pragma::{ExecutePragma, TaskPragma};
+
+/// A C function parameter (`double *A`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CParam {
+    /// Type text, e.g. `double *`.
+    pub ty: String,
+    /// Parameter name.
+    pub name: String,
+}
+
+/// A function definition outlined as a task implementation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskFunction {
+    /// The annotation that outlined it.
+    pub pragma: TaskPragma,
+    /// Return type text.
+    pub return_type: String,
+    /// Function name.
+    pub name: String,
+    /// Parameters in order.
+    pub params: Vec<CParam>,
+    /// Body source text, braces included.
+    pub body: String,
+    /// 1-based line of the definition.
+    pub line: u32,
+}
+
+/// An annotated call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskCall {
+    /// The annotation marking it.
+    pub pragma: ExecutePragma,
+    /// Called function name.
+    pub callee: String,
+    /// Argument expressions, verbatim.
+    pub args: Vec<String>,
+    /// 1-based line of the call.
+    pub line: u32,
+}
+
+/// One top-level item of an annotated program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// An annotated task implementation.
+    TaskFunction(TaskFunction),
+    /// An annotated task invocation.
+    TaskCall(TaskCall),
+    /// Anything else, passed through verbatim (token-reconstructed).
+    Passthrough(String),
+}
+
+/// A parsed annotated program.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Items in source order.
+    pub items: Vec<Item>,
+}
+
+impl Program {
+    /// All task implementations.
+    pub fn task_functions(&self) -> impl Iterator<Item = &TaskFunction> {
+        self.items.iter().filter_map(|i| match i {
+            Item::TaskFunction(f) => Some(f),
+            _ => None,
+        })
+    }
+
+    /// All annotated call sites.
+    pub fn task_calls(&self) -> impl Iterator<Item = &TaskCall> {
+        self.items.iter().filter_map(|i| match i {
+            Item::TaskCall(c) => Some(c),
+            _ => None,
+        })
+    }
+}

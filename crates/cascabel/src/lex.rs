@@ -1,0 +1,326 @@
+//! Lexer for the C subset Cascabel processes.
+//!
+//! The paper's prototype used the ROSE compiler framework; this reproduction
+//! replaces it with a purpose-built frontend (see DESIGN.md). The lexer
+//! recognizes exactly what the pipeline needs: identifiers, literals,
+//! punctuation, comments (skipped) and `#pragma` lines (captured whole, with
+//! line continuations), with line tracking for diagnostics.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (`void`, `double`, `vector_add`).
+    Ident(String),
+    /// Numeric literal (verbatim text).
+    Number(String),
+    /// String literal (verbatim, including quotes).
+    Str(String),
+    /// Char literal (verbatim, including quotes).
+    Char(String),
+    /// Any single punctuation character (`(`, `)`, `{`, `}`, `;`, `,`, `*`,
+    /// `=`, …) or multi-char operator captured char by char.
+    Punct(char),
+    /// A full `#pragma`/`#include`/… preprocessor line (without newline;
+    /// backslash continuations folded in).
+    Hash(String),
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) | Tok::Number(s) | Tok::Str(s) | Tok::Char(s) | Tok::Hash(s) => {
+                f.write_str(s)
+            }
+            Tok::Punct(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A token plus its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line of its first character.
+    pub line: u32,
+}
+
+/// A lexical error (unterminated string/comment).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line of the problem.
+    pub line: u32,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes C-subset source.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line: u32 = 1;
+
+    macro_rules! err {
+        ($msg:expr) => {
+            return Err(LexError {
+                line,
+                message: $msg.to_string(),
+            })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == '/' => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == '*' => {
+                let start_line = line;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        line = start_line;
+                        err!("unterminated block comment");
+                    }
+                    if bytes[i] == '*' && bytes[i + 1] == '/' {
+                        i += 2;
+                        break;
+                    }
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            '#' => {
+                // Preprocessor line; fold backslash continuations.
+                let tok_line = line;
+                let mut text = String::new();
+                while i < bytes.len() {
+                    if bytes[i] == '\\' && i + 1 < bytes.len() && bytes[i + 1] == '\n' {
+                        text.push(' ');
+                        line += 1;
+                        i += 2;
+                        continue;
+                    }
+                    if bytes[i] == '\n' {
+                        break;
+                    }
+                    text.push(bytes[i]);
+                    i += 1;
+                }
+                out.push(Spanned {
+                    tok: Tok::Hash(text.trim_end().to_string()),
+                    line: tok_line,
+                });
+            }
+            '"' => {
+                let tok_line = line;
+                let mut text = String::from('"');
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        line = tok_line;
+                        err!("unterminated string literal");
+                    }
+                    let ch = bytes[i];
+                    text.push(ch);
+                    i += 1;
+                    if ch == '\\' && i < bytes.len() {
+                        text.push(bytes[i]);
+                        i += 1;
+                    } else if ch == '"' {
+                        break;
+                    } else if ch == '\n' {
+                        line += 1;
+                    }
+                }
+                out.push(Spanned {
+                    tok: Tok::Str(text),
+                    line: tok_line,
+                });
+            }
+            '\'' => {
+                let tok_line = line;
+                let mut text = String::from('\'');
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        line = tok_line;
+                        err!("unterminated char literal");
+                    }
+                    let ch = bytes[i];
+                    text.push(ch);
+                    i += 1;
+                    if ch == '\\' && i < bytes.len() {
+                        text.push(bytes[i]);
+                        i += 1;
+                    } else if ch == '\'' {
+                        break;
+                    }
+                }
+                out.push(Spanned {
+                    tok: Tok::Char(text),
+                    line: tok_line,
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let tok_line = line;
+                let mut text = String::new();
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    text.push(bytes[i]);
+                    i += 1;
+                }
+                out.push(Spanned {
+                    tok: Tok::Ident(text),
+                    line: tok_line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let tok_line = line;
+                let mut text = String::new();
+                while i < bytes.len()
+                    && (bytes[i].is_alphanumeric() || bytes[i] == '.' || bytes[i] == '_')
+                {
+                    text.push(bytes[i]);
+                    i += 1;
+                }
+                out.push(Spanned {
+                    tok: Tok::Number(text),
+                    line: tok_line,
+                });
+            }
+            other => {
+                out.push(Spanned {
+                    tok: Tok::Punct(other),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn basic_function() {
+        let t = toks("void f(double *A) { return; }");
+        assert_eq!(t[0], Tok::Ident("void".into()));
+        assert_eq!(t[1], Tok::Ident("f".into()));
+        assert_eq!(t[2], Tok::Punct('('));
+        assert!(t.contains(&Tok::Punct('*')));
+        assert!(t.contains(&Tok::Ident("return".into())));
+    }
+
+    #[test]
+    fn pragma_captured_whole() {
+        let t = toks("#pragma cascabel task : x86 : I_vecadd : v01 : (A: readwrite)\nint x;");
+        assert_eq!(
+            t[0],
+            Tok::Hash("#pragma cascabel task : x86 : I_vecadd : v01 : (A: readwrite)".into())
+        );
+        assert_eq!(t[1], Tok::Ident("int".into()));
+    }
+
+    #[test]
+    fn pragma_line_continuations_folded() {
+        let t = toks("#pragma cascabel task \\\n : x86 \\\n : I_v\nint x;");
+        match &t[0] {
+            Tok::Hash(s) => {
+                assert!(s.contains(": x86"));
+                assert!(s.contains(": I_v"));
+            }
+            other => panic!("expected Hash, got {other:?}"),
+        }
+        // Line numbers after continuation are correct.
+        let spanned = lex("#pragma a \\\n b\nint x;").unwrap();
+        assert_eq!(spanned[1].line, 3);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = toks("// line comment\nint /* block */ x; /* multi\nline */ y;");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("int".into()),
+                Tok::Ident("x".into()),
+                Tok::Punct(';'),
+                Tok::Ident("y".into()),
+                Tok::Punct(';')
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_chars_verbatim() {
+        let t = toks(r#"printf("hi \"there\"", 'x', '\n');"#);
+        assert!(t.contains(&Tok::Str(r#""hi \"there\"""#.into())));
+        assert!(t.contains(&Tok::Char("'x'".into())));
+        assert!(t.contains(&Tok::Char(r"'\n'".into())));
+    }
+
+    #[test]
+    fn numbers() {
+        let t = toks("x = 8192 * 3.14e2;");
+        assert!(t.contains(&Tok::Number("8192".into())));
+        assert!(t.contains(&Tok::Number("3.14e2".into())));
+    }
+
+    #[test]
+    fn line_tracking() {
+        let spanned = lex("int a;\nint b;\n\nint c;").unwrap();
+        let line_of = |name: &str| {
+            spanned
+                .iter()
+                .find(|s| s.tok == Tok::Ident(name.into()))
+                .unwrap()
+                .line
+        };
+        assert_eq!(line_of("a"), 1);
+        assert_eq!(line_of("b"), 2);
+        assert_eq!(line_of("c"), 4);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("/* unterminated").is_err());
+        assert!(lex("'u").is_err());
+        let e = lex("int x;\n\"oops").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(lex("").unwrap().is_empty());
+        assert!(lex("  \n\t ").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,50 @@
+//! # cascabel — PDL-driven source-to-source compiler
+//!
+//! Reproduction of the paper's prototype (§IV, Figure 4): a compiler that
+//! takes **serial C programs with `#pragma cascabel` task annotations** and,
+//! **parameterized by a PDL platform descriptor**, produces programs for a
+//! heterogeneous runtime — without modifying the input source.
+//!
+//! Pipeline (one module per stage):
+//!
+//! | Stage | Paper | Module |
+//! |---|---|---|
+//! | Lex/parse annotated C | ROSE frontend | [`lex`], [`pragma`], [`parse`] |
+//! | Task registration | §IV-C step 1 | [`repository`] |
+//! | Static pre-selection | §IV-C step 2 | [`preselect`] |
+//! | Execution-group mapping | §IV-B | [`mapping`] |
+//! | Output generation | §IV-C step 3 | [`codegen`] |
+//! | Compilation plan | §IV-C step 4 | [`compplan`] |
+//! | End-to-end driver | Figure 4 | [`driver`] |
+//!
+//! ```
+//! use cascabel::driver::Cascabel;
+//! use cascabel::codegen::ProblemSpec;
+//!
+//! let src = r#"
+//! #pragma cascabel task : x86 : I_vecadd : vecadd01 : (A: readwrite, B: read)
+//! void vector_add(double *A, double *B) { }
+//! #pragma cascabel execute I_vecadd : gpus (A:BLOCK:N, B:BLOCK:N)
+//! vector_add(A, B);
+//! "#;
+//!
+//! let mut cc = Cascabel::new(pdl_discover::synthetic::xeon_2gpu_testbed());
+//! let result = cc.compile(src, &ProblemSpec::with_size("N", 1 << 20)).unwrap();
+//! assert_eq!(result.output.mappings[0].target_pus, ["gpu0", "gpu1"]);
+//! ```
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ast;
+pub mod codegen;
+pub mod compplan;
+pub mod driver;
+pub mod lex;
+pub mod mapping;
+pub mod parse;
+pub mod pragma;
+pub mod preselect;
+pub mod repository;
+
+pub use codegen::ProblemSpec;
+pub use driver::{Cascabel, CascabelError, CompileResult};

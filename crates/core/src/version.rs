@@ -1,0 +1,108 @@
+//! Schema versioning.
+//!
+//! Paper §III-B: *"Predefined Descriptor and Property subschemas have unique
+//! identification and versioning support provided by the XSD."* Platforms and
+//! registered subschemas carry a `major.minor` version; compatibility follows
+//! the usual rule that minor revisions are backward compatible.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A `major.minor` schema version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Version {
+    /// Incompatible-change counter.
+    pub major: u32,
+    /// Backward-compatible-change counter.
+    pub minor: u32,
+}
+
+impl Version {
+    /// Creates a version.
+    pub const fn new(major: u32, minor: u32) -> Self {
+        Self { major, minor }
+    }
+
+    /// The base PDL schema version implemented by this crate.
+    pub const CURRENT: Version = Version::new(1, 0);
+
+    /// Whether a document written against `other` can be read by a tool
+    /// implementing `self`: same major, and the tool's minor is at least the
+    /// document's minor.
+    pub fn can_read(self, other: Version) -> bool {
+        self.major == other.major && self.minor >= other.minor
+    }
+}
+
+impl Default for Version {
+    fn default() -> Self {
+        Version::CURRENT
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.major, self.minor)
+    }
+}
+
+/// Error parsing a version string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionParseError(pub String);
+
+impl fmt::Display for VersionParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid version string {:?} (expected MAJOR.MINOR)", self.0)
+    }
+}
+
+impl std::error::Error for VersionParseError {}
+
+impl FromStr for Version {
+    type Err = VersionParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || VersionParseError(s.to_string());
+        let (maj, min) = s.split_once('.').ok_or_else(err)?;
+        Ok(Version {
+            major: maj.trim().parse().map_err(|_| err())?,
+            minor: min.trim().parse().map_err(|_| err())?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let v: Version = "2.7".parse().unwrap();
+        assert_eq!(v, Version::new(2, 7));
+        assert_eq!(v.to_string(), "2.7");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!("".parse::<Version>().is_err());
+        assert!("1".parse::<Version>().is_err());
+        assert!("1.x".parse::<Version>().is_err());
+        assert!("a.1".parse::<Version>().is_err());
+    }
+
+    #[test]
+    fn compatibility_rule() {
+        let tool = Version::new(1, 3);
+        assert!(tool.can_read(Version::new(1, 0)));
+        assert!(tool.can_read(Version::new(1, 3)));
+        assert!(!tool.can_read(Version::new(1, 4)));
+        assert!(!tool.can_read(Version::new(2, 0)));
+        assert!(!tool.can_read(Version::new(0, 3)));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Version::new(1, 9) < Version::new(2, 0));
+        assert!(Version::new(1, 2) < Version::new(1, 10));
+    }
+}

@@ -1,0 +1,385 @@
+//! Data handles and coherence across distinct memory spaces.
+//!
+//! Paper §IV-A: "High-level task parallel work distribution eases handling
+//! of distinct, non-coherent memory spaces often present in heterogeneous
+//! systems." Like StarPU, the runtime tracks data through opaque handles:
+//! each handle has a size and a set of devices currently holding a **valid
+//! copy**. Before a task reads a handle on device `D`, the runtime inserts
+//! the transfers that make `D`'s copy valid; a write invalidates all other
+//! copies (MSI-style, write-invalidate).
+
+use simhw::machine::{DeviceId, SimMachine};
+use simhw::time::Duration;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of a data handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HandleId(pub usize);
+
+impl fmt::Display for HandleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+/// How a task accesses a handle — the paper's parameter access-specifiers
+/// (`read`, `write`, `readwrite`, §IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessMode {
+    /// Input only.
+    Read,
+    /// Output only (no transfer-in required).
+    Write,
+    /// In-out.
+    ReadWrite,
+}
+
+impl AccessMode {
+    /// Whether the access observes the previous value.
+    pub fn reads(self) -> bool {
+        matches!(self, AccessMode::Read | AccessMode::ReadWrite)
+    }
+
+    /// Whether the access produces a new value.
+    pub fn writes(self) -> bool {
+        matches!(self, AccessMode::Write | AccessMode::ReadWrite)
+    }
+
+    /// Parses the annotation spelling (`read`, `write`, `readwrite`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "read" | "r" => Some(AccessMode::Read),
+            "write" | "w" => Some(AccessMode::Write),
+            "readwrite" | "rw" => Some(AccessMode::ReadWrite),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AccessMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessMode::Read => "read",
+            AccessMode::Write => "write",
+            AccessMode::ReadWrite => "readwrite",
+        })
+    }
+}
+
+/// Metadata for one registered datum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataMeta {
+    /// Handle id.
+    pub id: HandleId,
+    /// Label for traces (`A[0][1]`).
+    pub label: String,
+    /// Payload size in bytes.
+    pub size_bytes: f64,
+}
+
+/// The host memory "device id" used by the coherence tracker. Host memory
+/// is where registered data initially lives; it is not a schedulable device,
+/// so it gets a sentinel outside the machine's device range.
+pub const HOST: DeviceId = DeviceId(usize::MAX);
+
+/// Registry of data handles plus their coherence state.
+#[derive(Debug, Clone, Default)]
+pub struct DataRegistry {
+    metas: Vec<DataMeta>,
+    /// Per handle: devices holding a valid copy.
+    valid: Vec<BTreeSet<DeviceId>>,
+    /// Bytes transferred per (from-host/to-host) direction, for statistics.
+    bytes_to_devices: f64,
+    bytes_to_host: f64,
+}
+
+impl DataRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a datum of `size_bytes`, initially valid on the host only.
+    pub fn register(&mut self, label: impl Into<String>, size_bytes: f64) -> HandleId {
+        let id = HandleId(self.metas.len());
+        self.metas.push(DataMeta {
+            id,
+            label: label.into(),
+            size_bytes,
+        });
+        let mut set = BTreeSet::new();
+        set.insert(HOST);
+        self.valid.push(set);
+        id
+    }
+
+    /// Metadata for a handle.
+    pub fn meta(&self, h: HandleId) -> &DataMeta {
+        &self.metas[h.0]
+    }
+
+    /// Number of registered handles.
+    pub fn len(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// Whether no data is registered.
+    pub fn is_empty(&self) -> bool {
+        self.metas.is_empty()
+    }
+
+    /// Devices currently holding a valid copy of `h`.
+    pub fn valid_on(&self, h: HandleId) -> &BTreeSet<DeviceId> {
+        &self.valid[h.0]
+    }
+
+    /// Whether device `d` holds a valid copy of `h`.
+    pub fn is_valid_on(&self, h: HandleId, d: DeviceId) -> bool {
+        self.valid[h.0].contains(&d)
+    }
+
+    /// Plans the transfers needed before accessing `h` on `device` with
+    /// `mode`, updates coherence state, and returns the modeled transfer
+    /// time (possibly zero).
+    ///
+    /// Transfer routing is host-mediated, as on PCIe systems of the paper's
+    /// era: accelerator→accelerator moves staging through host memory
+    /// (src→host, then host→dst).
+    pub fn acquire(
+        &mut self,
+        machine: &SimMachine,
+        h: HandleId,
+        device: DeviceId,
+        mode: AccessMode,
+    ) -> Duration {
+        let size = self.metas[h.0].size_bytes;
+        let mut time = Duration::ZERO;
+
+        if mode.reads() && !self.valid[h.0].contains(&device) {
+            // Need a valid copy on `device`.
+            let dev_link = link_of(machine, device);
+            if !self.valid[h.0].contains(&HOST) {
+                // Stage back to host from some current owner first.
+                let owner = *self.valid[h.0]
+                    .iter()
+                    .next()
+                    .expect("a datum is always valid somewhere");
+                let owner_link = link_of(machine, owner);
+                time = time + transfer(owner_link, size);
+                self.bytes_to_host += size;
+                self.valid[h.0].insert(HOST);
+            }
+            time = time + transfer(dev_link, size);
+            if transfer(dev_link, size) > Duration::ZERO {
+                self.bytes_to_devices += size;
+            }
+            self.valid[h.0].insert(device);
+        }
+
+        if mode.writes() {
+            // Write-invalidate: the writer becomes the only valid copy.
+            self.valid[h.0].clear();
+            self.valid[h.0].insert(device);
+        } else if mode.reads() {
+            self.valid[h.0].insert(device);
+        }
+
+        time
+    }
+
+    /// Estimates the transfer time [`acquire`](Self::acquire) would charge,
+    /// **without** changing coherence state. Schedulers use this to compare
+    /// candidate devices.
+    pub fn probe_acquire(
+        &self,
+        machine: &SimMachine,
+        h: HandleId,
+        device: DeviceId,
+        mode: AccessMode,
+    ) -> Duration {
+        let size = self.metas[h.0].size_bytes;
+        let mut time = Duration::ZERO;
+        if mode.reads() && !self.valid[h.0].contains(&device) {
+            if !self.valid[h.0].contains(&HOST) {
+                let owner = *self.valid[h.0]
+                    .iter()
+                    .next()
+                    .expect("a datum is always valid somewhere");
+                time = time + transfer(link_of(machine, owner), size);
+            }
+            time = time + transfer(link_of(machine, device), size);
+        }
+        time
+    }
+
+    /// Plans the transfer bringing `h` back to host memory (end of run /
+    /// result collection). Returns the modeled time.
+    pub fn flush_to_host(&mut self, machine: &SimMachine, h: HandleId) -> Duration {
+        if self.valid[h.0].contains(&HOST) {
+            return Duration::ZERO;
+        }
+        let owner = *self.valid[h.0]
+            .iter()
+            .next()
+            .expect("a datum is always valid somewhere");
+        let t = transfer(link_of(machine, owner), self.metas[h.0].size_bytes);
+        self.bytes_to_host += self.metas[h.0].size_bytes;
+        self.valid[h.0].insert(HOST);
+        t
+    }
+
+    /// Total bytes moved host→device so far.
+    pub fn bytes_to_devices(&self) -> f64 {
+        self.bytes_to_devices
+    }
+
+    /// Total bytes moved device→host so far.
+    pub fn bytes_to_host(&self) -> f64 {
+        self.bytes_to_host
+    }
+}
+
+/// The link of a device, or `None` for host / shared-address-space devices.
+fn link_of(machine: &SimMachine, device: DeviceId) -> Option<simhw::machine::LinkParams> {
+    if device == HOST {
+        return None;
+    }
+    machine.devices.get(device.0).and_then(|d| d.link)
+}
+
+fn transfer(link: Option<simhw::machine::LinkParams>, size: f64) -> Duration {
+    match link {
+        None => Duration::ZERO, // same address space
+        Some(l) => l.transfer_time(size),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdl_discover::synthetic;
+
+    fn machine() -> SimMachine {
+        SimMachine::from_platform(&synthetic::xeon_2gpu_testbed())
+    }
+
+    fn gpu0(m: &SimMachine) -> DeviceId {
+        m.device_by_pu("gpu0").unwrap().id
+    }
+
+    fn gpu1(m: &SimMachine) -> DeviceId {
+        m.device_by_pu("gpu1").unwrap().id
+    }
+
+    fn cpu0(m: &SimMachine) -> DeviceId {
+        m.device_by_pu("cpu0").unwrap().id
+    }
+
+    #[test]
+    fn access_mode_semantics() {
+        assert!(AccessMode::Read.reads() && !AccessMode::Read.writes());
+        assert!(!AccessMode::Write.reads() && AccessMode::Write.writes());
+        assert!(AccessMode::ReadWrite.reads() && AccessMode::ReadWrite.writes());
+        assert_eq!(AccessMode::parse("readwrite"), Some(AccessMode::ReadWrite));
+        assert_eq!(AccessMode::parse(" READ "), Some(AccessMode::Read));
+        assert_eq!(AccessMode::parse("x"), None);
+    }
+
+    #[test]
+    fn first_gpu_read_pays_pcie_transfer() {
+        let m = machine();
+        let mut reg = DataRegistry::new();
+        let h = reg.register("A", 600e6);
+        let t = reg.acquire(&m, h, gpu0(&m), AccessMode::Read);
+        // 600 MB over 6 GB/s + 15us latency.
+        assert!((t.seconds() - 0.100015).abs() < 1e-6, "{t}");
+        // Second read is free: copy is valid.
+        let t2 = reg.acquire(&m, h, gpu0(&m), AccessMode::Read);
+        assert_eq!(t2, Duration::ZERO);
+        assert_eq!(reg.bytes_to_devices(), 600e6);
+    }
+
+    #[test]
+    fn cpu_reads_are_free() {
+        let m = machine();
+        let mut reg = DataRegistry::new();
+        let h = reg.register("A", 1e9);
+        let t = reg.acquire(&m, h, cpu0(&m), AccessMode::Read);
+        assert_eq!(t, Duration::ZERO); // shared address space, no link
+    }
+
+    #[test]
+    fn write_invalidates_other_copies() {
+        let m = machine();
+        let mut reg = DataRegistry::new();
+        let h = reg.register("A", 1e6);
+        reg.acquire(&m, h, gpu0(&m), AccessMode::Read);
+        assert!(reg.is_valid_on(h, HOST));
+        assert!(reg.is_valid_on(h, gpu0(&m)));
+        // GPU1 writes: everything else invalid.
+        reg.acquire(&m, h, gpu1(&m), AccessMode::Write);
+        assert!(!reg.is_valid_on(h, HOST));
+        assert!(!reg.is_valid_on(h, gpu0(&m)));
+        assert!(reg.is_valid_on(h, gpu1(&m)));
+    }
+
+    #[test]
+    fn pure_write_needs_no_transfer_in() {
+        let m = machine();
+        let mut reg = DataRegistry::new();
+        let h = reg.register("C", 1e9);
+        let t = reg.acquire(&m, h, gpu0(&m), AccessMode::Write);
+        assert_eq!(t, Duration::ZERO);
+        assert_eq!(reg.bytes_to_devices(), 0.0);
+    }
+
+    #[test]
+    fn gpu_to_gpu_stages_through_host() {
+        let m = machine();
+        let mut reg = DataRegistry::new();
+        let h = reg.register("A", 600e6);
+        reg.acquire(&m, h, gpu0(&m), AccessMode::Write); // data lives on gpu0 only
+        let t = reg.acquire(&m, h, gpu1(&m), AccessMode::Read);
+        // Two PCIe hops: gpu0→host, host→gpu1.
+        assert!((t.seconds() - 2.0 * 0.100015).abs() < 1e-5, "{t}");
+        assert!(reg.is_valid_on(h, HOST)); // staged copy remains valid
+        assert!(reg.is_valid_on(h, gpu0(&m))); // read does not invalidate
+        assert!(reg.is_valid_on(h, gpu1(&m)));
+    }
+
+    #[test]
+    fn flush_to_host_once() {
+        let m = machine();
+        let mut reg = DataRegistry::new();
+        let h = reg.register("C", 600e6);
+        reg.acquire(&m, h, gpu0(&m), AccessMode::Write);
+        let t = reg.flush_to_host(&m, h);
+        assert!(t > Duration::ZERO);
+        let t2 = reg.flush_to_host(&m, h);
+        assert_eq!(t2, Duration::ZERO);
+        assert_eq!(reg.bytes_to_host(), 600e6);
+    }
+
+    #[test]
+    fn read_after_write_on_same_device_is_free() {
+        let m = machine();
+        let mut reg = DataRegistry::new();
+        let h = reg.register("C", 1e9);
+        reg.acquire(&m, h, gpu0(&m), AccessMode::Write);
+        let t = reg.acquire(&m, h, gpu0(&m), AccessMode::ReadWrite);
+        assert_eq!(t, Duration::ZERO);
+    }
+
+    #[test]
+    fn registry_bookkeeping() {
+        let mut reg = DataRegistry::new();
+        assert!(reg.is_empty());
+        let a = reg.register("A", 10.0);
+        let b = reg.register("B", 20.0);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.meta(a).label, "A");
+        assert_eq!(reg.meta(b).size_bytes, 20.0);
+        assert!(reg.is_valid_on(a, HOST));
+    }
+}

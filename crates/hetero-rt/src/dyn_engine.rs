@@ -1,0 +1,446 @@
+//! The event-driven execution engine: online scheduling in virtual time.
+//!
+//! The list engine ([`crate::sim_engine`]) places tasks in submission order,
+//! which is how static schedules are constructed. Real runtimes like StarPU
+//! work *online*: a task becomes schedulable the moment its last dependency
+//! completes, and the scheduler chooses among all currently-ready tasks and
+//! idle devices. This engine models that loop with a discrete-event queue
+//! ([`simhw::events::EventQueue`]):
+//!
+//! 1. all dependency-free tasks enter the ready pool at t = 0;
+//! 2. whenever a device is idle and the pool is non-empty, the policy picks
+//!    a placement; transfers and compute are charged as in the list engine;
+//! 3. each task completion is an event; firing it releases dependents into
+//!    the pool and re-triggers step 2.
+//!
+//! Differences from the list engine are pure *scheduling-order* effects —
+//! the same graphs, machines, coherence and cost models are used — which is
+//! exactly what the list-vs-online ablation isolates.
+
+use crate::data::DataRegistry;
+use crate::graph::TaskGraph;
+use crate::scheduler::{ScheduleContext, Scheduler};
+use crate::sim_engine::{RtError, SimOptions, SimReport};
+use crate::task::TaskId;
+use simhw::energy::energy;
+use simhw::events::EventQueue;
+use simhw::machine::{DeviceId, SimMachine};
+use simhw::resource::Timeline;
+use simhw::time::{Duration, SimTime};
+use simhw::trace::{SpanKind, Trace};
+
+/// Simulates the graph with online (event-driven) scheduling.
+///
+/// The [`Scheduler`] policy is consulted once per dispatched task, exactly
+/// as in the list engine, but at the virtual time the dispatch happens and
+/// considering only tasks that are actually ready.
+pub fn simulate_dynamic(
+    graph: &TaskGraph,
+    machine: &SimMachine,
+    scheduler: &mut dyn Scheduler,
+    options: &SimOptions,
+) -> Result<SimReport, RtError> {
+    if machine.is_empty() {
+        return Err(RtError::EmptyMachine);
+    }
+
+    let n = graph.len();
+    let mut timelines: Vec<Timeline> = vec![Timeline::new(); machine.len()];
+    let mut host_bus = Timeline::new();
+    let mut data: DataRegistry = graph.data.clone();
+    let mut trace = Trace::new();
+    let mut assignments: Vec<(TaskId, DeviceId)> = Vec::with_capacity(n);
+
+    // Readiness bookkeeping.
+    let mut pending_deps: Vec<usize> = (0..n)
+        .map(|t| graph.dependencies(TaskId(t)).len())
+        .collect();
+    let mut ready: Vec<TaskId> = graph.sources();
+    let mut completed = 0usize;
+
+    /// Completion events carry the finished task.
+    struct Completion(TaskId);
+    let mut events: EventQueue<Completion> = EventQueue::new();
+
+    // Pre-validate: every task must have at least one eligible device
+    // (otherwise the run can never finish).
+    for t in 0..n {
+        let task = &graph.tasks[t];
+        let codelet = &graph.codelets[task.codelet];
+        let any = machine.devices.iter().any(|d| {
+            let sw: Vec<&str> = d.software_platforms.iter().map(String::as_str).collect();
+            codelet.variant_for(&d.arch, &sw).is_some()
+                && match &task.execution_group {
+                    None => true,
+                    Some(g) => d.groups.iter().any(|dg| dg == g),
+                }
+        });
+        if !any {
+            return Err(RtError::NoEligibleDevice {
+                task: TaskId(t),
+                codelet: codelet.name.clone(),
+                execution_group: task.execution_group.clone(),
+            });
+        }
+    }
+
+    // Dispatch loop: bind ready tasks to *idle* devices at the current
+    // time (late binding — the defining property of online scheduling),
+    // then advance to the next completion event. The ready pool is kept
+    // sorted by (priority desc, submission order) so high-priority tasks
+    // dispatch first, StarPU-style.
+    let prio_order = |ready: &mut Vec<TaskId>| {
+        ready.sort_by_key(|t| (-graph.tasks[t.0].priority, t.0));
+    };
+    loop {
+        let now = events.now();
+        prio_order(&mut ready);
+        let mut i = 0;
+        'scan: while i < ready.len() {
+            let tid = ready[i];
+            let task = &graph.tasks[tid.0];
+            let codelet = &graph.codelets[task.codelet];
+            // Idle, variant-compatible, group-compatible devices only.
+            let candidates: Vec<DeviceId> = machine
+                .devices
+                .iter()
+                .filter(|d| timelines[d.id.0].free_at() <= now)
+                .filter(|d| {
+                    let sw: Vec<&str> =
+                        d.software_platforms.iter().map(String::as_str).collect();
+                    codelet.variant_for(&d.arch, &sw).is_some()
+                })
+                .filter(|d| match &task.execution_group {
+                    None => true,
+                    Some(g) => d.groups.iter().any(|dg| dg == g),
+                })
+                .map(|d| d.id)
+                .collect();
+            if candidates.is_empty() {
+                // No idle compatible device right now; try the next ready
+                // task, revisit this one at the next completion event.
+                i += 1;
+                continue 'scan;
+            }
+
+            let free_at = |d: DeviceId| timelines[d.0].free_at();
+            let est_finish = |d: DeviceId| {
+                let dev = &machine.devices[d.0];
+                let sw: Vec<&str> = dev.software_platforms.iter().map(String::as_str).collect();
+                let variant = codelet
+                    .variant_for(&dev.arch, &sw)
+                    .expect("candidate implies variant");
+                let mut transfer = Duration::ZERO;
+                for a in &task.accesses {
+                    transfer = transfer + data.probe_acquire(machine, a.handle, d, a.mode);
+                }
+                let compute = Duration::new(task.flops / (dev.flops_dp * variant.speedup));
+                let (_, end) = timelines[d.0].probe(now, transfer + compute);
+                end
+            };
+            let ctx = ScheduleContext {
+                machine,
+                task,
+                codelet_name: &codelet.name,
+                ready: now,
+                candidates: &candidates,
+                free_at: &free_at,
+                est_finish: &est_finish,
+            };
+            let chosen = scheduler.pick(&ctx);
+
+            // Charge the placement.
+            let dev = &machine.devices[chosen.0];
+            let sw: Vec<&str> = dev.software_platforms.iter().map(String::as_str).collect();
+            let variant = codelet
+                .variant_for(&dev.arch, &sw)
+                .expect("candidate implies variant");
+            let mut transfer = Duration::ZERO;
+            for a in &task.accesses {
+                transfer = transfer + data.acquire(machine, a.handle, chosen, a.mode);
+            }
+            let compute = Duration::new(task.flops / (dev.flops_dp * variant.speedup));
+            let dispatch_ready = if options.shared_host_bus && transfer > Duration::ZERO {
+                now.max(host_bus.free_at())
+            } else {
+                now
+            };
+            let (start, end) = timelines[chosen.0].reserve(dispatch_ready, transfer + compute);
+            if transfer > Duration::ZERO {
+                if options.shared_host_bus {
+                    host_bus.reserve(start, transfer);
+                }
+                trace.record(
+                    chosen,
+                    format!("{}:in", task.label),
+                    SpanKind::Transfer,
+                    start,
+                    start + transfer,
+                );
+            }
+            trace.record(
+                chosen,
+                task.label.clone(),
+                SpanKind::Compute,
+                start + transfer,
+                end,
+            );
+            assignments.push((tid, chosen));
+            events.schedule(end, Completion(tid));
+            ready.remove(i);
+            // Restart the scan: device availability changed.
+            i = 0;
+        }
+
+        // Advance to the next completion.
+        match events.pop() {
+            None => break,
+            Some((_, Completion(done))) => {
+                completed += 1;
+                for &dep in graph.dependents(done) {
+                    pending_deps[dep.0] -= 1;
+                    if pending_deps[dep.0] == 0 {
+                        ready.push(dep);
+                    }
+                }
+            }
+        }
+    }
+    debug_assert_eq!(completed, n, "all tasks completed");
+
+    // Flush outputs, as in the list engine.
+    if options.flush_outputs {
+        let mut written: Vec<crate::data::HandleId> = graph
+            .tasks
+            .iter()
+            .flat_map(|t| t.accesses.iter())
+            .filter(|a| a.mode.writes())
+            .map(|a| a.handle)
+            .collect();
+        written.sort_unstable();
+        written.dedup();
+        for h in written {
+            if let Some(owner) = data
+                .valid_on(h)
+                .iter()
+                .find(|d| **d != crate::data::HOST)
+                .copied()
+            {
+                let dur = data.flush_to_host(machine, h);
+                if dur > Duration::ZERO {
+                    let (s, e) = timelines[owner.0].reserve(SimTime::ZERO, dur);
+                    trace.record(
+                        owner,
+                        format!("{}:out", data.meta(h).label),
+                        SpanKind::Transfer,
+                        s,
+                        e,
+                    );
+                }
+            }
+        }
+    }
+
+    let makespan = trace.makespan();
+    let energy = energy(machine, &trace);
+    Ok(SimReport {
+        makespan,
+        device_names: machine.devices.iter().map(|d| d.pu_id.clone()).collect(),
+        assignments,
+        energy,
+        bytes_to_devices: data.bytes_to_devices(),
+        bytes_to_host: data.bytes_to_host(),
+        perfmodel: crate::perfmodel::PerfModel::new(),
+        policy: scheduler.name(),
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{AccessMode, HandleId};
+    use crate::scheduler::{EagerScheduler, HeftScheduler};
+    use crate::task::{Codelet, DataAccess, Variant};
+    use pdl_discover::synthetic;
+
+    fn acc(h: HandleId, mode: AccessMode) -> DataAccess {
+        DataAccess { handle: h, mode }
+    }
+
+    fn independent_graph(n: usize, flops: f64) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let c = g.add_codelet(Codelet::new("k").with_variant(Variant::new("x86")));
+        for i in 0..n {
+            let h = g.register_data(format!("d{i}"), 8.0);
+            g.submit(c, format!("t{i}"), flops, vec![acc(h, AccessMode::Write)], None);
+        }
+        g
+    }
+
+    #[test]
+    fn completes_every_task_once() {
+        let machine = SimMachine::from_platform(&synthetic::xeon_x5550_host());
+        let g = independent_graph(33, 1e9);
+        let r = simulate_dynamic(&g, &machine, &mut EagerScheduler, &SimOptions::default())
+            .unwrap();
+        assert_eq!(r.assignments.len(), 33);
+        let mut ids: Vec<usize> = r.assignments.iter().map(|(t, _)| t.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 33);
+    }
+
+    #[test]
+    fn matches_list_engine_on_independent_work() {
+        // With no dependencies and a uniform machine, both engines produce
+        // the same makespan.
+        let machine = SimMachine::from_platform(&synthetic::xeon_x5550_host());
+        let g = independent_graph(64, 9.576e9);
+        let dynamic =
+            simulate_dynamic(&g, &machine, &mut EagerScheduler, &SimOptions::default()).unwrap();
+        let list = crate::sim_engine::simulate(
+            &g,
+            &machine,
+            &mut EagerScheduler,
+            &SimOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            (dynamic.makespan.seconds() - list.makespan.seconds()).abs() < 1e-9,
+            "dynamic {} vs list {}",
+            dynamic.makespan,
+            list.makespan
+        );
+    }
+
+    #[test]
+    fn respects_dependencies() {
+        let machine = SimMachine::from_platform(&synthetic::xeon_x5550_host());
+        let mut g = TaskGraph::new();
+        let c = g.add_codelet(Codelet::new("k").with_variant(Variant::new("x86")));
+        let h = g.register_data("chain", 8.0);
+        for i in 0..5 {
+            g.submit(c, format!("t{i}"), 9.576e9, vec![acc(h, AccessMode::ReadWrite)], None);
+        }
+        let r = simulate_dynamic(&g, &machine, &mut EagerScheduler, &SimOptions::default())
+            .unwrap();
+        // Pure chain: 5 seconds regardless of 8 cores.
+        assert!((r.makespan.seconds() - 5.0).abs() < 1e-9);
+        // Completion order in the trace respects the chain.
+        let spans: Vec<_> = r
+            .trace
+            .spans()
+            .iter()
+            .filter(|s| s.kind == SpanKind::Compute)
+            .collect();
+        for w in spans.windows(2) {
+            assert!(w[1].start >= w[0].end);
+        }
+    }
+
+    #[test]
+    fn online_and_list_engines_are_comparable() {
+        // Online late binding is myopic (it only uses idle devices *now*),
+        // list scheduling has lookahead (it may queue behind a fast busy
+        // device). Neither dominates; both must produce valid schedules in
+        // the same ballpark on a mixed chain + independent workload.
+        let machine = SimMachine::from_platform(&synthetic::xeon_2gpu_testbed());
+        let mut g = TaskGraph::new();
+        let c = g.add_codelet(
+            Codelet::new("k")
+                .with_variant(Variant::new("x86"))
+                .with_variant(Variant::new("gpu").requiring("Cuda")),
+        );
+        let chain = g.register_data("chain", 8.0);
+        for i in 0..4 {
+            g.submit(c, format!("chain{i}"), 50e9, vec![acc(chain, AccessMode::ReadWrite)], None);
+        }
+        for i in 0..16 {
+            let h = g.register_data(format!("free{i}"), 8.0);
+            g.submit(c, format!("free{i}"), 10e9, vec![acc(h, AccessMode::Write)], None);
+        }
+        let dynamic =
+            simulate_dynamic(&g, &machine, &mut HeftScheduler, &SimOptions::default()).unwrap();
+        let list = crate::sim_engine::simulate(
+            &g,
+            &machine,
+            &mut HeftScheduler,
+            &SimOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(dynamic.assignments.len(), list.assignments.len());
+        let ratio = dynamic.makespan.seconds() / list.makespan.seconds();
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "dynamic {} vs list {} (ratio {ratio})",
+            dynamic.makespan,
+            list.makespan
+        );
+    }
+
+    #[test]
+    fn priorities_order_dispatch() {
+        // One device, three ready tasks with distinct priorities: trace
+        // order must follow priority, not submission order.
+        let mut b = pdl_core::platform::Platform::builder("one");
+        let m = b.master("host");
+        let w = b.worker(m, "w0").unwrap();
+        b.prop(w, pdl_core::property::Property::fixed("ARCHITECTURE", "x86"));
+        b.prop(
+            w,
+            pdl_core::property::Property::fixed("PEAK_GFLOPS_DP", "10")
+                .with_unit(pdl_core::units::Unit::GigaFlopPerSec),
+        );
+        let machine = SimMachine::from_platform(&b.build().unwrap());
+
+        let mut g = TaskGraph::new();
+        let c = g.add_codelet(Codelet::new("k").with_variant(Variant::new("x86")));
+        let mk = |g: &mut TaskGraph, name: &str, prio: i32| {
+            let h = g.register_data(name.to_string(), 8.0);
+            g.submit_prioritized(
+                c,
+                name.to_string(),
+                1e9,
+                vec![acc(h, AccessMode::Write)],
+                None,
+                prio,
+            )
+        };
+        mk(&mut g, "low", -1);
+        mk(&mut g, "high", 5);
+        mk(&mut g, "mid", 2);
+        let r = simulate_dynamic(&g, &machine, &mut EagerScheduler, &SimOptions::default())
+            .unwrap();
+        let order: Vec<&str> = r
+            .trace
+            .spans()
+            .iter()
+            .filter(|s| s.kind == SpanKind::Compute)
+            .map(|s| s.label.as_str())
+            .collect();
+        assert_eq!(order, ["high", "mid", "low"]);
+    }
+
+    #[test]
+    fn empty_machine_and_missing_variant_errors() {
+        let machine = SimMachine::from_platform(&synthetic::xeon_x5550_host());
+        let mut g = TaskGraph::new();
+        let c = g.add_codelet(Codelet::new("spe-only").with_variant(Variant::new("spe")));
+        let h = g.register_data("d", 8.0);
+        g.submit(c, "t", 1.0, vec![acc(h, AccessMode::Write)], None);
+        let err = simulate_dynamic(&g, &machine, &mut EagerScheduler, &SimOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, RtError::NoEligibleDevice { .. }));
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let machine = SimMachine::from_platform(&synthetic::xeon_x5550_host());
+        let g = TaskGraph::new();
+        let r = simulate_dynamic(&g, &machine, &mut EagerScheduler, &SimOptions::default())
+            .unwrap();
+        assert_eq!(r.makespan, SimTime::ZERO);
+        assert!(r.assignments.is_empty());
+    }
+}

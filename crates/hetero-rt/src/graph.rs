@@ -1,0 +1,348 @@
+//! Task graphs with implicit data-driven dependencies.
+//!
+//! Tasks are submitted in program order; the graph derives dependencies
+//! from their data accesses exactly like StarPU's sequential-consistency
+//! mode: a task depends on the last writer of everything it reads (RAW) and
+//! on all previous readers/writers of everything it writes (WAR/WAW).
+//! "Explicit task outlining with parameter access-specifiers helps compilers
+//! and runtime-systems to derive inter-task data-dependencies" (§IV-A).
+
+use crate::data::{DataRegistry, HandleId};
+use crate::task::{Codelet, DataAccess, Task, TaskId};
+use std::collections::BTreeMap;
+
+/// A complete submitted program: codelets, data and tasks with edges.
+#[derive(Debug, Clone, Default)]
+pub struct TaskGraph {
+    /// Codelet table.
+    pub codelets: Vec<Codelet>,
+    /// Data registry (sizes + coherence state used at simulation time).
+    pub data: DataRegistry,
+    /// Tasks in submission order.
+    pub tasks: Vec<Task>,
+    /// dependencies\[t\] = tasks that must finish before `t` starts.
+    dependencies: Vec<Vec<TaskId>>,
+    /// dependents\[t\] = tasks waiting on `t`.
+    dependents: Vec<Vec<TaskId>>,
+    /// Last writer per handle (submission-time tracking).
+    last_writer: BTreeMap<HandleId, TaskId>,
+    /// Readers since the last write, per handle.
+    readers_since_write: BTreeMap<HandleId, Vec<TaskId>>,
+}
+
+impl TaskGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a codelet, returning its index for task submission.
+    pub fn add_codelet(&mut self, codelet: Codelet) -> usize {
+        self.codelets.push(codelet);
+        self.codelets.len() - 1
+    }
+
+    /// Registers a datum.
+    pub fn register_data(&mut self, label: impl Into<String>, size_bytes: f64) -> HandleId {
+        self.data.register(label, size_bytes)
+    }
+
+    /// Submits a task; dependencies are derived from `accesses` against all
+    /// previously submitted tasks.
+    pub fn submit(
+        &mut self,
+        codelet: usize,
+        label: impl Into<String>,
+        flops: f64,
+        accesses: Vec<DataAccess>,
+        execution_group: Option<String>,
+    ) -> TaskId {
+        self.submit_prioritized(codelet, label, flops, accesses, execution_group, 0)
+    }
+
+    /// [`submit`](Self::submit) with an explicit scheduling priority
+    /// (higher = dispatched earlier by the online engine).
+    pub fn submit_prioritized(
+        &mut self,
+        codelet: usize,
+        label: impl Into<String>,
+        flops: f64,
+        accesses: Vec<DataAccess>,
+        execution_group: Option<String>,
+        priority: i32,
+    ) -> TaskId {
+        assert!(codelet < self.codelets.len(), "unknown codelet index");
+        let id = TaskId(self.tasks.len());
+        let mut deps: Vec<TaskId> = Vec::new();
+
+        for a in &accesses {
+            if a.mode.reads() {
+                // RAW: depend on the last writer.
+                if let Some(&w) = self.last_writer.get(&a.handle) {
+                    deps.push(w);
+                }
+            }
+            if a.mode.writes() {
+                // WAW: depend on the last writer; WAR: on readers since.
+                if let Some(&w) = self.last_writer.get(&a.handle) {
+                    deps.push(w);
+                }
+                if let Some(readers) = self.readers_since_write.get(&a.handle) {
+                    deps.extend(readers.iter().copied());
+                }
+            }
+        }
+        deps.sort_unstable();
+        deps.dedup();
+        deps.retain(|&d| d != id);
+
+        // Update submission-time tracking.
+        for a in &accesses {
+            if a.mode.writes() {
+                self.last_writer.insert(a.handle, id);
+                self.readers_since_write.insert(a.handle, Vec::new());
+            } else if a.mode.reads() {
+                self.readers_since_write
+                    .entry(a.handle)
+                    .or_default()
+                    .push(id);
+            }
+        }
+
+        self.dependents.push(Vec::new());
+        for &d in &deps {
+            self.dependents[d.0].push(id);
+        }
+        self.dependencies.push(deps);
+        self.tasks.push(Task {
+            id,
+            codelet,
+            label: label.into(),
+            flops,
+            accesses,
+            execution_group,
+            priority,
+        });
+        id
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the graph has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Tasks `t` must wait for.
+    pub fn dependencies(&self, t: TaskId) -> &[TaskId] {
+        &self.dependencies[t.0]
+    }
+
+    /// Tasks waiting on `t`.
+    pub fn dependents(&self, t: TaskId) -> &[TaskId] {
+        &self.dependents[t.0]
+    }
+
+    /// Tasks with no dependencies (sources).
+    pub fn sources(&self) -> Vec<TaskId> {
+        (0..self.tasks.len())
+            .map(TaskId)
+            .filter(|t| self.dependencies[t.0].is_empty())
+            .collect()
+    }
+
+    /// A topological order (submission order is always one, since edges only
+    /// point backwards in submission time).
+    pub fn topological_order(&self) -> Vec<TaskId> {
+        (0..self.tasks.len()).map(TaskId).collect()
+    }
+
+    /// Total FLOPs over all tasks.
+    pub fn total_flops(&self) -> f64 {
+        self.tasks.iter().map(|t| t.flops).sum()
+    }
+
+    /// Critical-path FLOPs: the heaviest dependency chain. A lower bound on
+    /// any schedule's compute span given infinite parallelism.
+    pub fn critical_path_flops(&self) -> f64 {
+        let mut best = vec![0.0f64; self.tasks.len()];
+        for t in 0..self.tasks.len() {
+            let deps_max = self.dependencies[t]
+                .iter()
+                .map(|d| best[d.0])
+                .fold(0.0f64, f64::max);
+            best[t] = deps_max + self.tasks[t].flops;
+        }
+        best.into_iter().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::AccessMode;
+    use crate::task::Variant;
+
+    fn graph_with_codelet() -> (TaskGraph, usize) {
+        let mut g = TaskGraph::new();
+        let c = g.add_codelet(Codelet::new("k").with_variant(Variant::new("x86")));
+        (g, c)
+    }
+
+    fn acc(h: HandleId, mode: AccessMode) -> DataAccess {
+        DataAccess { handle: h, mode }
+    }
+
+    #[test]
+    fn raw_dependency() {
+        let (mut g, c) = graph_with_codelet();
+        let a = g.register_data("a", 8.0);
+        let t0 = g.submit(c, "w", 1.0, vec![acc(a, AccessMode::Write)], None);
+        let t1 = g.submit(c, "r", 1.0, vec![acc(a, AccessMode::Read)], None);
+        assert_eq!(g.dependencies(t1), &[t0]);
+        assert_eq!(g.dependents(t0), &[t1]);
+    }
+
+    #[test]
+    fn war_and_waw_dependencies() {
+        let (mut g, c) = graph_with_codelet();
+        let a = g.register_data("a", 8.0);
+        let w1 = g.submit(c, "w1", 1.0, vec![acc(a, AccessMode::Write)], None);
+        let r1 = g.submit(c, "r1", 1.0, vec![acc(a, AccessMode::Read)], None);
+        let r2 = g.submit(c, "r2", 1.0, vec![acc(a, AccessMode::Read)], None);
+        let w2 = g.submit(c, "w2", 1.0, vec![acc(a, AccessMode::Write)], None);
+        // w2 waits on the last writer (WAW) and all readers since (WAR).
+        assert_eq!(g.dependencies(w2), &[w1, r1, r2]);
+    }
+
+    #[test]
+    fn independent_reads_run_in_parallel() {
+        let (mut g, c) = graph_with_codelet();
+        let a = g.register_data("a", 8.0);
+        let r1 = g.submit(c, "r1", 1.0, vec![acc(a, AccessMode::Read)], None);
+        let r2 = g.submit(c, "r2", 1.0, vec![acc(a, AccessMode::Read)], None);
+        assert!(g.dependencies(r1).is_empty());
+        assert!(g.dependencies(r2).is_empty());
+        assert_eq!(g.sources(), vec![r1, r2]);
+    }
+
+    #[test]
+    fn readwrite_chains_serialize() {
+        let (mut g, c) = graph_with_codelet();
+        let acc_h = g.register_data("acc", 8.0);
+        let t0 = g.submit(c, "t0", 1.0, vec![acc(acc_h, AccessMode::ReadWrite)], None);
+        let t1 = g.submit(c, "t1", 1.0, vec![acc(acc_h, AccessMode::ReadWrite)], None);
+        let t2 = g.submit(c, "t2", 1.0, vec![acc(acc_h, AccessMode::ReadWrite)], None);
+        assert_eq!(g.dependencies(t1), &[t0]);
+        assert_eq!(g.dependencies(t2), &[t1]);
+    }
+
+    #[test]
+    fn duplicate_deps_merged() {
+        let (mut g, c) = graph_with_codelet();
+        let a = g.register_data("a", 8.0);
+        let b = g.register_data("b", 8.0);
+        let w = g.submit(
+            c,
+            "w",
+            1.0,
+            vec![acc(a, AccessMode::Write), acc(b, AccessMode::Write)],
+            None,
+        );
+        let r = g.submit(
+            c,
+            "r",
+            1.0,
+            vec![acc(a, AccessMode::Read), acc(b, AccessMode::Read)],
+            None,
+        );
+        assert_eq!(g.dependencies(r), &[w]); // one edge, not two
+    }
+
+    #[test]
+    fn dgemm_tile_pattern() {
+        // C[i][j] accumulated over k: tasks on the same C tile serialize,
+        // different C tiles are independent.
+        let (mut g, c) = graph_with_codelet();
+        let c00 = g.register_data("C00", 8.0);
+        let c01 = g.register_data("C01", 8.0);
+        let a0 = g.register_data("A0", 8.0);
+        let b0 = g.register_data("B0", 8.0);
+        let reads = |h| acc(h, AccessMode::Read);
+        let t_00_k0 = g.submit(
+            c,
+            "c00k0",
+            1.0,
+            vec![reads(a0), reads(b0), acc(c00, AccessMode::ReadWrite)],
+            None,
+        );
+        let t_00_k1 = g.submit(
+            c,
+            "c00k1",
+            1.0,
+            vec![reads(a0), reads(b0), acc(c00, AccessMode::ReadWrite)],
+            None,
+        );
+        let t_01_k0 = g.submit(
+            c,
+            "c01k0",
+            1.0,
+            vec![reads(a0), reads(b0), acc(c01, AccessMode::ReadWrite)],
+            None,
+        );
+        assert_eq!(g.dependencies(t_00_k1), &[t_00_k0]);
+        assert!(g.dependencies(t_01_k0).is_empty());
+    }
+
+    #[test]
+    fn critical_path_and_totals() {
+        let (mut g, c) = graph_with_codelet();
+        let a = g.register_data("a", 8.0);
+        let b = g.register_data("b", 8.0);
+        // Chain on `a` of 3 × 10 flops; independent task on `b` of 5.
+        for i in 0..3 {
+            g.submit(
+                c,
+                format!("chain{i}"),
+                10.0,
+                vec![acc(a, AccessMode::ReadWrite)],
+                None,
+            );
+        }
+        g.submit(c, "solo", 5.0, vec![acc(b, AccessMode::Write)], None);
+        assert_eq!(g.total_flops(), 35.0);
+        assert_eq!(g.critical_path_flops(), 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown codelet")]
+    fn bad_codelet_index_panics() {
+        let mut g = TaskGraph::new();
+        g.submit(0, "x", 1.0, vec![], None);
+    }
+
+    #[test]
+    fn topological_order_is_submission_order() {
+        let (mut g, c) = graph_with_codelet();
+        let a = g.register_data("a", 8.0);
+        for i in 0..5 {
+            g.submit(
+                c,
+                format!("t{i}"),
+                1.0,
+                vec![acc(a, AccessMode::ReadWrite)],
+                None,
+            );
+        }
+        let order = g.topological_order();
+        for (pos, t) in order.iter().enumerate() {
+            for d in g.dependencies(*t) {
+                let dpos = order.iter().position(|x| x == d).unwrap();
+                assert!(dpos < pos);
+            }
+        }
+    }
+}

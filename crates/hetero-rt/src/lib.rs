@@ -1,0 +1,61 @@
+//! # hetero-rt — a StarPU-style heterogeneous task runtime
+//!
+//! The paper's Cascabel compiler generates programs for the StarPU
+//! runtime-system (§IV-D). This crate is the reproduction's substitute: the
+//! same concepts — codelets with per-architecture implementation variants,
+//! data handles managed across distinct memory spaces, pluggable scheduling
+//! policies — with two execution engines:
+//!
+//! * [`sim_engine`] — list-scheduling in **virtual time** over a
+//!   PDL-derived [`simhw::machine::SimMachine`]; regenerates the paper's
+//!   Figure 5 without its hardware.
+//! * [`thread_engine`] — **real** execution of task closures on a thread
+//!   pool with identical dependency semantics, for functional testing.
+//!
+//! ```
+//! use hetero_rt::prelude::*;
+//!
+//! let platform = pdl_discover::synthetic::xeon_2gpu_testbed();
+//! let machine = simhw::machine::SimMachine::from_platform(&platform);
+//!
+//! let mut graph = TaskGraph::new();
+//! let dgemm = graph.add_codelet(
+//!     Codelet::new("dgemm")
+//!         .with_variant(Variant::new("x86"))
+//!         .with_variant(Variant::new("gpu").requiring("Cuda")),
+//! );
+//! let c = graph.register_data("C", 512e6);
+//! graph.submit(dgemm, "tile", 1e12, vec![DataAccess {
+//!     handle: c,
+//!     mode: AccessMode::ReadWrite,
+//! }], None);
+//!
+//! let report = simulate(&graph, &machine, &mut HeftScheduler, &SimOptions::default()).unwrap();
+//! assert!(report.makespan.seconds() > 0.0);
+//! ```
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod data;
+pub mod dyn_engine;
+pub mod graph;
+pub mod perfmodel;
+pub mod scheduler;
+pub mod sim_engine;
+pub mod task;
+pub mod thread_engine;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::data::{AccessMode, DataRegistry, HandleId};
+    pub use crate::graph::TaskGraph;
+    pub use crate::perfmodel::PerfModel;
+    pub use crate::scheduler::{
+        by_name, EagerScheduler, EnergyAwareScheduler, HeftScheduler, RandomScheduler,
+        RoundRobinScheduler, ScheduleContext, Scheduler,
+    };
+    pub use crate::dyn_engine::simulate_dynamic;
+    pub use crate::sim_engine::{simulate, RtError, SimOptions, SimReport};
+    pub use crate::task::{Codelet, DataAccess, Task, TaskId, Variant};
+    pub use crate::thread_engine::{ExecReport, ThreadTask, ThreadedExecutor};
+}

@@ -1,0 +1,164 @@
+//! History-based performance models.
+//!
+//! StarPU (which the paper's generated code targets) estimates task
+//! execution times from per-(codelet, architecture, size) execution
+//! histories. This module implements that mechanism: observations are
+//! bucketed by size (powers of two), and the model answers with the running
+//! mean. Schedulers consult it when a task carries no analytic cost
+//! ([`crate::task::Task::flops`] of zero).
+
+use simhw::time::Duration;
+use std::collections::BTreeMap;
+
+/// Key of one history bucket.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct BucketKey {
+    codelet: String,
+    arch: String,
+    size_bucket: u32,
+}
+
+/// Running statistics of a bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BucketStats {
+    /// Number of observations.
+    pub count: u64,
+    /// Mean observed duration in seconds.
+    pub mean_s: f64,
+    /// Sum of squared deviations (for variance).
+    m2: f64,
+}
+
+impl BucketStats {
+    fn record(&mut self, seconds: f64) {
+        // Welford's online mean/variance.
+        self.count += 1;
+        let delta = seconds - self.mean_s;
+        self.mean_s += delta / self.count as f64;
+        self.m2 += delta * (seconds - self.mean_s);
+    }
+
+    /// Sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+}
+
+/// A history-based performance model.
+#[derive(Debug, Clone, Default)]
+pub struct PerfModel {
+    buckets: BTreeMap<BucketKey, BucketStats>,
+}
+
+/// Buckets sizes by floor(log2): tasks within 2× of each other share a
+/// bucket, as StarPU's history models do.
+fn size_bucket(size: f64) -> u32 {
+    if size <= 1.0 {
+        0
+    } else {
+        size.log2().floor() as u32
+    }
+}
+
+impl PerfModel {
+    /// An empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an observed execution.
+    pub fn record(&mut self, codelet: &str, arch: &str, size: f64, duration: Duration) {
+        let key = BucketKey {
+            codelet: codelet.to_string(),
+            arch: arch.to_string(),
+            size_bucket: size_bucket(size),
+        };
+        self.buckets.entry(key).or_default().record(duration.seconds());
+    }
+
+    /// Estimated duration, if the model has seen this (codelet, arch, size
+    /// bucket) before.
+    pub fn estimate(&self, codelet: &str, arch: &str, size: f64) -> Option<Duration> {
+        let key = BucketKey {
+            codelet: codelet.to_string(),
+            arch: arch.to_string(),
+            size_bucket: size_bucket(size),
+        };
+        self.buckets
+            .get(&key)
+            .filter(|s| s.count > 0)
+            .map(|s| Duration::new(s.mean_s))
+    }
+
+    /// Statistics of a bucket, if present.
+    pub fn stats(&self, codelet: &str, arch: &str, size: f64) -> Option<BucketStats> {
+        let key = BucketKey {
+            codelet: codelet.to_string(),
+            arch: arch.to_string(),
+            size_bucket: size_bucket(size),
+        };
+        self.buckets.get(&key).copied()
+    }
+
+    /// Number of populated buckets.
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Whether the model is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_running_mean() {
+        let mut m = PerfModel::new();
+        assert!(m.estimate("dgemm", "gpu", 1024.0).is_none());
+        m.record("dgemm", "gpu", 1024.0, Duration::new(1.0));
+        m.record("dgemm", "gpu", 1100.0, Duration::new(3.0)); // same bucket
+        let est = m.estimate("dgemm", "gpu", 1500.0).unwrap(); // 2^10 bucket
+        assert!((est.seconds() - 2.0).abs() < 1e-12);
+        let stats = m.stats("dgemm", "gpu", 1024.0).unwrap();
+        assert_eq!(stats.count, 2);
+        assert!((stats.variance() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn buckets_partition_by_size_codelet_arch() {
+        let mut m = PerfModel::new();
+        m.record("dgemm", "gpu", 1024.0, Duration::new(1.0));
+        // Different size bucket.
+        assert!(m.estimate("dgemm", "gpu", 4096.0).is_none());
+        // Different arch.
+        assert!(m.estimate("dgemm", "x86", 1024.0).is_none());
+        // Different codelet.
+        assert!(m.estimate("vecadd", "gpu", 1024.0).is_none());
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn size_bucketing() {
+        assert_eq!(size_bucket(0.0), 0);
+        assert_eq!(size_bucket(1.0), 0);
+        assert_eq!(size_bucket(2.0), 1);
+        assert_eq!(size_bucket(1023.0), 9);
+        assert_eq!(size_bucket(1024.0), 10);
+        assert_eq!(size_bucket(2047.0), 10);
+    }
+
+    #[test]
+    fn variance_zero_with_one_sample() {
+        let mut m = PerfModel::new();
+        m.record("k", "x86", 10.0, Duration::new(5.0));
+        assert_eq!(m.stats("k", "x86", 10.0).unwrap().variance(), 0.0);
+    }
+}

@@ -1,0 +1,342 @@
+//! Scheduling policies.
+//!
+//! The runtime separates *mechanism* (the simulation engine in
+//! [`crate::sim_engine`]) from *policy*: a [`Scheduler`] picks the device a
+//! ready task runs on, given candidate devices and a cost oracle. Policies
+//! mirror StarPU's families:
+//!
+//! * [`EagerScheduler`] — first-come-first-served onto the earliest-free
+//!   device, ignoring transfer costs (StarPU `eager`);
+//! * [`HeftScheduler`] — minimizes estimated finish time including data
+//!   transfers (StarPU `dmda`, HEFT-style);
+//! * [`RandomScheduler`] — seeded uniform choice (StarPU `random`), a lower
+//!   bound for ablations;
+//! * [`RoundRobinScheduler`] — cycles through candidates;
+//! * [`EnergyAwareScheduler`] — greedy energy-delay policy driven by the
+//!   PDL's `TDP` power properties.
+
+use crate::task::Task;
+use simhw::machine::{DeviceId, SimMachine};
+use simhw::time::SimTime;
+
+/// Information a scheduler sees when placing one task.
+pub struct ScheduleContext<'a> {
+    /// The machine being scheduled onto (device rates, power, groups).
+    pub machine: &'a SimMachine,
+    /// The task being placed.
+    pub task: &'a Task,
+    /// Name of the task's codelet.
+    pub codelet_name: &'a str,
+    /// Time all dependencies have finished.
+    pub ready: SimTime,
+    /// Devices able to run the task (variant + execution-group filtered),
+    /// in device order. Never empty.
+    pub candidates: &'a [DeviceId],
+    /// Earliest time each candidate becomes free.
+    pub free_at: &'a dyn Fn(DeviceId) -> SimTime,
+    /// Estimated finish time on each candidate: max(ready, free) +
+    /// transfers + compute.
+    pub est_finish: &'a dyn Fn(DeviceId) -> SimTime,
+}
+
+/// A task-placement policy.
+pub trait Scheduler {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Picks one of `ctx.candidates`.
+    fn pick(&mut self, ctx: &ScheduleContext<'_>) -> DeviceId;
+}
+
+/// First-come-first-served onto the earliest-free device.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EagerScheduler;
+
+impl Scheduler for EagerScheduler {
+    fn name(&self) -> &'static str {
+        "eager"
+    }
+
+    fn pick(&mut self, ctx: &ScheduleContext<'_>) -> DeviceId {
+        *ctx.candidates
+            .iter()
+            .min_by_key(|&&d| ((ctx.free_at)(d), d))
+            .expect("candidates never empty")
+    }
+}
+
+/// Minimizes estimated finish time, transfer costs included
+/// (HEFT-style; StarPU's `dmda`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HeftScheduler;
+
+impl Scheduler for HeftScheduler {
+    fn name(&self) -> &'static str {
+        "heft"
+    }
+
+    fn pick(&mut self, ctx: &ScheduleContext<'_>) -> DeviceId {
+        *ctx.candidates
+            .iter()
+            .min_by_key(|&&d| ((ctx.est_finish)(d), d))
+            .expect("candidates never empty")
+    }
+}
+
+/// Seeded uniform-random placement. Deterministic for a given seed.
+#[derive(Debug, Clone)]
+pub struct RandomScheduler {
+    state: u64,
+}
+
+impl RandomScheduler {
+    /// Creates a scheduler from a seed.
+    pub fn new(seed: u64) -> Self {
+        RandomScheduler {
+            state: seed.wrapping_mul(0x9E3779B97F4A7C15).max(1),
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        // xorshift64*.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn pick(&mut self, ctx: &ScheduleContext<'_>) -> DeviceId {
+        let i = (self.next() % ctx.candidates.len() as u64) as usize;
+        ctx.candidates[i]
+    }
+}
+
+/// Cycles through candidates in order.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobinScheduler {
+    counter: usize,
+}
+
+impl Scheduler for RoundRobinScheduler {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn pick(&mut self, ctx: &ScheduleContext<'_>) -> DeviceId {
+        let d = ctx.candidates[self.counter % ctx.candidates.len()];
+        self.counter += 1;
+        d
+    }
+}
+
+/// Minimizes *active energy* (compute time × device TDP), breaking ties by
+/// estimated finish time — a greedy energy-delay policy enabled by the
+/// power figures the PDL carries (`TDP` property). Devices without power
+/// information (TDP 0) count as free and therefore attract work.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EnergyAwareScheduler;
+
+impl Scheduler for EnergyAwareScheduler {
+    fn name(&self) -> &'static str {
+        "energy"
+    }
+
+    fn pick(&mut self, ctx: &ScheduleContext<'_>) -> DeviceId {
+        let joules = |d: DeviceId| {
+            let dev = &ctx.machine.devices[d.0];
+            let compute_s = ctx.task.flops / dev.flops_dp;
+            compute_s * dev.active_power_w
+        };
+        *ctx.candidates
+            .iter()
+            .min_by(|&&a, &&b| {
+                joules(a)
+                    .partial_cmp(&joules(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| (ctx.est_finish)(a).cmp(&(ctx.est_finish)(b)))
+                    .then_with(|| a.cmp(&b))
+            })
+            .expect("candidates never empty")
+    }
+}
+
+/// Constructs a scheduler by StarPU-style policy name
+/// (`eager`, `heft`/`dmda`, `random`, `round-robin`, `energy`).
+pub fn by_name(name: &str) -> Option<Box<dyn Scheduler>> {
+    match name {
+        "eager" => Some(Box::new(EagerScheduler)),
+        "heft" | "dmda" => Some(Box::new(HeftScheduler)),
+        "random" => Some(Box::new(RandomScheduler::new(42))),
+        "energy" => Some(Box::new(EnergyAwareScheduler)),
+        "round-robin" | "rr" => Some(Box::new(RoundRobinScheduler::default())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskId;
+
+    fn dummy_task() -> Task {
+        Task {
+            id: TaskId(0),
+            codelet: 0,
+            label: "t".into(),
+            flops: 1.0,
+            accesses: vec![],
+            execution_group: None,
+            priority: 0,
+        }
+    }
+
+    fn test_machine() -> SimMachine {
+        SimMachine::from_platform(&pdl_core::patterns::master_worker_pool(4))
+    }
+
+    fn ctx<'a>(
+        machine: &'a SimMachine,
+        task: &'a Task,
+        candidates: &'a [DeviceId],
+        free_at: &'a dyn Fn(DeviceId) -> SimTime,
+        est_finish: &'a dyn Fn(DeviceId) -> SimTime,
+    ) -> ScheduleContext<'a> {
+        ScheduleContext {
+            machine,
+            task,
+            codelet_name: "k",
+            ready: SimTime::ZERO,
+            candidates,
+            free_at,
+            est_finish,
+        }
+    }
+
+    #[test]
+    fn eager_picks_earliest_free() {
+        let machine = test_machine();
+        let task = dummy_task();
+        let candidates = [DeviceId(0), DeviceId(1), DeviceId(2)];
+        let free = |d: DeviceId| SimTime::new([5.0, 1.0, 3.0][d.0]);
+        let est = |_d: DeviceId| SimTime::ZERO;
+        let mut s = EagerScheduler;
+        assert_eq!(s.pick(&ctx(&machine, &task, &candidates, &free, &est)), DeviceId(1));
+        assert_eq!(s.name(), "eager");
+    }
+
+    #[test]
+    fn heft_picks_min_finish() {
+        let machine = test_machine();
+        let task = dummy_task();
+        let candidates = [DeviceId(0), DeviceId(1)];
+        // Device 0 free earlier but finishes later (slow / far data).
+        let free = |d: DeviceId| SimTime::new([0.0, 2.0][d.0]);
+        let est = |d: DeviceId| SimTime::new([10.0, 4.0][d.0]);
+        let mut s = HeftScheduler;
+        assert_eq!(s.pick(&ctx(&machine, &task, &candidates, &free, &est)), DeviceId(1));
+    }
+
+    #[test]
+    fn deterministic_tie_break_by_device_id() {
+        let machine = test_machine();
+        let task = dummy_task();
+        let candidates = [DeviceId(2), DeviceId(0), DeviceId(1)];
+        let free = |_d: DeviceId| SimTime::ZERO;
+        let est = |_d: DeviceId| SimTime::new(1.0);
+        assert_eq!(
+            EagerScheduler.pick(&ctx(&machine, &task, &candidates, &free, &est)),
+            DeviceId(0)
+        );
+        assert_eq!(
+            HeftScheduler.pick(&ctx(&machine, &task, &candidates, &free, &est)),
+            DeviceId(0)
+        );
+    }
+
+    #[test]
+    fn random_is_seeded_and_in_range() {
+        let machine = test_machine();
+        let task = dummy_task();
+        let candidates = [DeviceId(0), DeviceId(1), DeviceId(2)];
+        let free = |_d: DeviceId| SimTime::ZERO;
+        let est = |_d: DeviceId| SimTime::ZERO;
+        let picks = |seed| {
+            let mut s = RandomScheduler::new(seed);
+            (0..20)
+                .map(|_| s.pick(&ctx(&machine, &task, &candidates, &free, &est)).0)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(picks(7), picks(7)); // deterministic
+        assert_ne!(picks(7), picks(8)); // seed-sensitive
+        assert!(picks(7).iter().all(|&d| d < 3));
+        // Not constant (all three devices eventually chosen).
+        let p = picks(7);
+        assert!(p.contains(&0) && p.contains(&1) && p.contains(&2));
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let machine = test_machine();
+        let task = dummy_task();
+        let candidates = [DeviceId(0), DeviceId(1)];
+        let free = |_d: DeviceId| SimTime::ZERO;
+        let est = |_d: DeviceId| SimTime::ZERO;
+        let mut s = RoundRobinScheduler::default();
+        let seq: Vec<usize> = (0..4)
+            .map(|_| s.pick(&ctx(&machine, &task, &candidates, &free, &est)).0)
+            .collect();
+        assert_eq!(seq, [0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn energy_prefers_low_power_device() {
+        // Two candidates, identical est-finish; device 1 draws less power
+        // per FLOP in the testbed-like machine below.
+        let machine = SimMachine::from_platform(&pdl_discover_stub());
+        let mut task = dummy_task();
+        task.flops = 1e9;
+        let candidates = [DeviceId(0), DeviceId(1)];
+        let free = |_d: DeviceId| SimTime::ZERO;
+        let est = |_d: DeviceId| SimTime::new(1.0);
+        let mut s = EnergyAwareScheduler;
+        let picked = s.pick(&ctx(&machine, &task, &candidates, &free, &est));
+        // dev0: 10 GF/s @ 200 W -> 20 J/GFLOP; dev1: 10 GF/s @ 50 W -> 5 J.
+        assert_eq!(picked, DeviceId(1));
+        assert_eq!(s.name(), "energy");
+    }
+
+    fn pdl_discover_stub() -> pdl_core::platform::Platform {
+        use pdl_core::prelude::*;
+        let mut b = Platform::builder("power");
+        let m = b.master("host");
+        for (i, tdp) in [(0, "200"), (1, "50")] {
+            let w = b.worker(m, format!("w{i}")).unwrap();
+            b.prop(w, Property::fixed(wellknown::ARCHITECTURE, "x86"));
+            b.prop(
+                w,
+                Property::fixed(wellknown::PEAK_GFLOPS_DP, "10").with_unit(Unit::GigaFlopPerSec),
+            );
+            b.prop(w, Property::fixed(wellknown::TDP, tdp).with_unit(Unit::Watt));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert_eq!(by_name("eager").unwrap().name(), "eager");
+        assert_eq!(by_name("dmda").unwrap().name(), "heft");
+        assert_eq!(by_name("heft").unwrap().name(), "heft");
+        assert_eq!(by_name("random").unwrap().name(), "random");
+        assert_eq!(by_name("rr").unwrap().name(), "round-robin");
+        assert_eq!(by_name("energy").unwrap().name(), "energy");
+        assert!(by_name("quantum").is_none());
+    }
+}

@@ -1,0 +1,587 @@
+//! The simulated execution engine: list-scheduling a task graph onto a
+//! [`SimMachine`] in virtual time.
+//!
+//! Combines everything the paper's generated programs rely on StarPU for:
+//! variant selection per device, data management across memory spaces and
+//! scheduling — but in virtual time over the PDL-derived machine, which is
+//! how this reproduction regenerates Figure 5 without the authors' hardware
+//! (see DESIGN.md).
+//!
+//! Algorithm: tasks are visited in submission order (a topological order by
+//! construction). For each task the engine filters devices by variant
+//! compatibility and execution group, asks the [`Scheduler`] policy to pick
+//! one, charges the coherence transfers ([`DataRegistry::acquire`]) and the
+//! compute time onto the device's timeline, and records trace spans. After
+//! the last task, written data is flushed back to host memory (the paper's
+//! vertical data-movement requirement).
+
+use crate::data::DataRegistry;
+use crate::graph::TaskGraph;
+use crate::perfmodel::PerfModel;
+use crate::scheduler::{ScheduleContext, Scheduler};
+use crate::task::TaskId;
+use simhw::energy::{energy, EnergyReport};
+use simhw::machine::{DeviceId, SimMachine};
+use simhw::resource::Timeline;
+use simhw::time::{Duration, SimTime};
+use simhw::trace::{SpanKind, Trace};
+use std::fmt;
+
+/// Options for one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    /// Flush all written data back to host at the end (counted in the
+    /// makespan, as the paper's DGEMM must deliver its result matrix).
+    pub flush_outputs: bool,
+    /// Feed observed durations into a history perf model.
+    pub learn_perfmodel: bool,
+    /// Model host-memory bus contention: all host↔device transfers
+    /// serialize on one shared bus resource (in addition to occupying the
+    /// destination device). Default off — each device's link is independent,
+    /// as on point-to-point PCIe.
+    pub shared_host_bus: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            flush_outputs: true,
+            learn_perfmodel: false,
+            shared_host_bus: false,
+        }
+    }
+}
+
+/// Why a simulation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RtError {
+    /// No device can run some task: no compatible variant, or the
+    /// execution group excludes every compatible device.
+    NoEligibleDevice {
+        /// The task that could not be placed.
+        task: TaskId,
+        /// Its codelet name.
+        codelet: String,
+        /// The execution-group restriction, if any.
+        execution_group: Option<String>,
+    },
+    /// The machine has no devices at all.
+    EmptyMachine,
+}
+
+impl fmt::Display for RtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtError::NoEligibleDevice {
+                task,
+                codelet,
+                execution_group,
+            } => {
+                write!(f, "no eligible device for task {task} (codelet {codelet:?}")?;
+                if let Some(g) = execution_group {
+                    write!(f, ", execution group {g:?}")?;
+                }
+                write!(f, ") — provide a fall-back variant or widen the group")
+            }
+            RtError::EmptyMachine => write!(f, "the simulated machine has no devices"),
+        }
+    }
+}
+
+impl std::error::Error for RtError {}
+
+/// Result of one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Virtual end-to-end time.
+    pub makespan: SimTime,
+    /// Full execution trace.
+    pub trace: Trace,
+    /// PU ids, indexed by device id (for rendering).
+    pub device_names: Vec<String>,
+    /// Chosen device per task.
+    pub assignments: Vec<(TaskId, DeviceId)>,
+    /// Energy consumed (from PDL power properties).
+    pub energy: EnergyReport,
+    /// Bytes moved host→device.
+    pub bytes_to_devices: f64,
+    /// Bytes moved device→host.
+    pub bytes_to_host: f64,
+    /// History model learned during the run (empty unless enabled).
+    pub perfmodel: PerfModel,
+    /// Scheduling policy used.
+    pub policy: &'static str,
+}
+
+impl SimReport {
+    /// Busy fraction of each device over the makespan, keyed by PU id.
+    pub fn utilization(&self) -> Vec<(String, f64)> {
+        let busy = self.trace.busy_by_device();
+        self.device_names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let b = busy
+                    .get(&DeviceId(i))
+                    .map(|d| d.seconds())
+                    .unwrap_or(0.0);
+                let m = self.makespan.seconds();
+                (name.clone(), if m > 0.0 { (b / m).min(1.0) } else { 0.0 })
+            })
+            .collect()
+    }
+
+    /// Text Gantt chart of the run.
+    pub fn gantt(&self, width: usize) -> String {
+        self.trace.gantt(&self.device_names, width)
+    }
+}
+
+/// Simulates the graph on the machine under the given policy.
+pub fn simulate(
+    graph: &TaskGraph,
+    machine: &SimMachine,
+    scheduler: &mut dyn Scheduler,
+    options: &SimOptions,
+) -> Result<SimReport, RtError> {
+    if machine.is_empty() {
+        return Err(RtError::EmptyMachine);
+    }
+
+    let mut timelines: Vec<Timeline> = vec![Timeline::new(); machine.len()];
+    let mut host_bus = Timeline::new();
+    let mut data: DataRegistry = graph.data.clone();
+    let mut trace = Trace::new();
+    let mut finish: Vec<SimTime> = vec![SimTime::ZERO; graph.len()];
+    let mut assignments = Vec::with_capacity(graph.len());
+    let mut perfmodel = PerfModel::new();
+
+    for &tid in &graph.topological_order() {
+        let task = &graph.tasks[tid.0];
+        let codelet = &graph.codelets[task.codelet];
+
+        // Candidate devices: variant-compatible ∩ execution group.
+        let candidates: Vec<DeviceId> = machine
+            .devices
+            .iter()
+            .filter(|d| {
+                let sw: Vec<&str> = d.software_platforms.iter().map(String::as_str).collect();
+                codelet.variant_for(&d.arch, &sw).is_some()
+            })
+            .filter(|d| match &task.execution_group {
+                None => true,
+                Some(g) => d.groups.iter().any(|dg| dg == g),
+            })
+            .map(|d| d.id)
+            .collect();
+
+        if candidates.is_empty() {
+            return Err(RtError::NoEligibleDevice {
+                task: tid,
+                codelet: codelet.name.clone(),
+                execution_group: task.execution_group.clone(),
+            });
+        }
+
+        let ready = graph
+            .dependencies(tid)
+            .iter()
+            .map(|d| finish[d.0])
+            .max()
+            .unwrap_or(SimTime::ZERO);
+
+        // Cost oracles for the policy.
+        let free_at = |d: DeviceId| timelines[d.0].free_at();
+        let est_finish = |d: DeviceId| {
+            let dev = &machine.devices[d.0];
+            let sw: Vec<&str> = dev.software_platforms.iter().map(String::as_str).collect();
+            let variant = codelet
+                .variant_for(&dev.arch, &sw)
+                .expect("candidate implies variant");
+            let mut transfer = Duration::ZERO;
+            for a in &task.accesses {
+                transfer = transfer + data.probe_acquire(machine, a.handle, d, a.mode);
+            }
+            let compute = Duration::new(task.flops / (dev.flops_dp * variant.speedup));
+            let (_, end) = timelines[d.0].probe(ready, transfer + compute);
+            end
+        };
+
+        let ctx = ScheduleContext {
+            machine,
+            task,
+            codelet_name: &codelet.name,
+            ready,
+            candidates: &candidates,
+            free_at: &free_at,
+            est_finish: &est_finish,
+        };
+        let chosen = scheduler.pick(&ctx);
+        debug_assert!(candidates.contains(&chosen), "policy must pick a candidate");
+
+        // Charge transfers (mutating coherence) and compute.
+        let dev = &machine.devices[chosen.0];
+        let sw: Vec<&str> = dev.software_platforms.iter().map(String::as_str).collect();
+        let variant = codelet
+            .variant_for(&dev.arch, &sw)
+            .expect("candidate implies variant");
+        let mut transfer = Duration::ZERO;
+        for a in &task.accesses {
+            transfer = transfer + data.acquire(machine, a.handle, chosen, a.mode);
+        }
+        let compute = Duration::new(task.flops / (dev.flops_dp * variant.speedup));
+
+        // With bus contention on, the transfer additionally occupies the
+        // shared host bus; the task cannot start before the bus is free.
+        let ready = if options.shared_host_bus && transfer > Duration::ZERO {
+            ready.max(host_bus.free_at())
+        } else {
+            ready
+        };
+        let (start, end) = timelines[chosen.0].reserve(ready, transfer + compute);
+        if transfer > Duration::ZERO {
+            if options.shared_host_bus {
+                host_bus.reserve(start, transfer);
+            }
+            trace.record(
+                chosen,
+                format!("{}:in", task.label),
+                SpanKind::Transfer,
+                start,
+                start + transfer,
+            );
+        }
+        trace.record(
+            chosen,
+            task.label.clone(),
+            SpanKind::Compute,
+            start + transfer,
+            end,
+        );
+        finish[tid.0] = end;
+        assignments.push((tid, chosen));
+
+        if options.learn_perfmodel {
+            let size: f64 = task
+                .accesses
+                .iter()
+                .map(|a| data.meta(a.handle).size_bytes)
+                .sum();
+            perfmodel.record(&codelet.name, &dev.arch, size, compute);
+        }
+    }
+
+    // Flush outputs home: every handle written by some task returns to host.
+    if options.flush_outputs {
+        let mut written: Vec<crate::data::HandleId> = graph
+            .tasks
+            .iter()
+            .flat_map(|t| t.accesses.iter())
+            .filter(|a| a.mode.writes())
+            .map(|a| a.handle)
+            .collect();
+        written.sort_unstable();
+        written.dedup();
+        for h in written {
+            if let Some(owner) = data
+                .valid_on(h)
+                .iter()
+                .find(|d| **d != crate::data::HOST)
+                .copied()
+            {
+                let dur = data.flush_to_host(machine, h);
+                if dur > Duration::ZERO {
+                    let (s, e) = timelines[owner.0].reserve(SimTime::ZERO, dur);
+                    trace.record(
+                        owner,
+                        format!("{}:out", data.meta(h).label),
+                        SpanKind::Transfer,
+                        s,
+                        e,
+                    );
+                }
+            }
+        }
+    }
+
+    let makespan = trace.makespan();
+    let energy = energy(machine, &trace);
+    Ok(SimReport {
+        makespan,
+        device_names: machine.devices.iter().map(|d| d.pu_id.clone()).collect(),
+        assignments,
+        energy,
+        bytes_to_devices: data.bytes_to_devices(),
+        bytes_to_host: data.bytes_to_host(),
+        perfmodel,
+        policy: scheduler.name(),
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{AccessMode, HandleId};
+    use crate::scheduler::{EagerScheduler, HeftScheduler, RandomScheduler};
+    use crate::task::{Codelet, DataAccess, Variant};
+    use pdl_discover::synthetic;
+
+    fn acc(h: HandleId, mode: AccessMode) -> DataAccess {
+        DataAccess { handle: h, mode }
+    }
+
+    /// Independent tasks, CPU-only codelet, on the 8-core testbed.
+    fn independent_graph(n: usize, flops: f64) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let c = g.add_codelet(Codelet::new("k").with_variant(Variant::new("x86")));
+        for i in 0..n {
+            let h = g.register_data(format!("d{i}"), 8.0);
+            g.submit(c, format!("t{i}"), flops, vec![acc(h, AccessMode::Write)], None);
+        }
+        g
+    }
+
+    #[test]
+    fn parallel_speedup_on_eight_cores() {
+        let machine = SimMachine::from_platform(&synthetic::xeon_x5550_host());
+        let g = independent_graph(64, 9.576e9); // each task = 1s on a core
+        let r = simulate(&g, &machine, &mut EagerScheduler, &SimOptions::default()).unwrap();
+        // 64 × 1s of work over 8 cores ≈ 8 s.
+        assert!((r.makespan.seconds() - 8.0).abs() < 1e-6, "{}", r.makespan);
+        // All cores equally utilized.
+        for (name, u) in r.utilization() {
+            assert!(u > 0.99, "{name} underutilized: {u}");
+        }
+        assert_eq!(r.assignments.len(), 64);
+    }
+
+    #[test]
+    fn chain_serializes() {
+        let machine = SimMachine::from_platform(&synthetic::xeon_x5550_host());
+        let mut g = TaskGraph::new();
+        let c = g.add_codelet(Codelet::new("k").with_variant(Variant::new("x86")));
+        let h = g.register_data("acc", 8.0);
+        for i in 0..4 {
+            g.submit(
+                c,
+                format!("t{i}"),
+                9.576e9,
+                vec![acc(h, AccessMode::ReadWrite)],
+                None,
+            );
+        }
+        let r = simulate(&g, &machine, &mut EagerScheduler, &SimOptions::default()).unwrap();
+        // Pure chain: 4 s no matter how many cores.
+        assert!((r.makespan.seconds() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn heft_prefers_gpu_for_big_compute() {
+        let machine = SimMachine::from_platform(&synthetic::xeon_2gpu_testbed());
+        let mut g = TaskGraph::new();
+        let c = g.add_codelet(
+            Codelet::new("dgemm")
+                .with_variant(Variant::new("x86"))
+                .with_variant(Variant::new("gpu").requiring("Cuda")),
+        );
+        let a = g.register_data("A", 512e6);
+        // Heavy compute: GPU wins even after paying PCIe transfer.
+        g.submit(
+            c,
+            "big",
+            100e9,
+            vec![acc(a, AccessMode::ReadWrite)],
+            None,
+        );
+        let r = simulate(&g, &machine, &mut HeftScheduler, &SimOptions::default()).unwrap();
+        let (_, dev) = r.assignments[0];
+        assert_eq!(machine.devices[dev.0].arch, "gpu");
+        // Trace has the input transfer, the compute, and the flush-out.
+        assert_eq!(r.trace.count(SpanKind::Transfer), 2);
+        assert_eq!(r.trace.count(SpanKind::Compute), 1);
+        assert!(r.bytes_to_devices > 0.0 && r.bytes_to_host > 0.0);
+    }
+
+    #[test]
+    fn heft_keeps_tiny_tasks_on_cpu() {
+        let machine = SimMachine::from_platform(&synthetic::xeon_2gpu_testbed());
+        let mut g = TaskGraph::new();
+        let c = g.add_codelet(
+            Codelet::new("k")
+                .with_variant(Variant::new("x86"))
+                .with_variant(Variant::new("gpu").requiring("Cuda")),
+        );
+        let a = g.register_data("A", 512e6); // large data
+        g.submit(c, "tiny", 1e6, vec![acc(a, AccessMode::ReadWrite)], None); // trivial compute
+        let r = simulate(&g, &machine, &mut HeftScheduler, &SimOptions::default()).unwrap();
+        let (_, dev) = r.assignments[0];
+        assert_eq!(machine.devices[dev.0].arch, "x86"); // transfer not worth it
+    }
+
+    #[test]
+    fn execution_group_restricts_placement() {
+        let machine = SimMachine::from_platform(&synthetic::xeon_2gpu_testbed());
+        let mut g = TaskGraph::new();
+        let c = g.add_codelet(
+            Codelet::new("k")
+                .with_variant(Variant::new("x86"))
+                .with_variant(Variant::new("gpu").requiring("Cuda")),
+        );
+        let h = g.register_data("d", 8.0);
+        g.submit(
+            c,
+            "gpu-only",
+            1.0,
+            vec![acc(h, AccessMode::Write)],
+            Some("gpus".into()),
+        );
+        let r = simulate(&g, &machine, &mut EagerScheduler, &SimOptions::default()).unwrap();
+        let (_, dev) = r.assignments[0];
+        assert!(machine.devices[dev.0].groups.contains(&"gpus".to_string()));
+    }
+
+    #[test]
+    fn missing_variant_is_error() {
+        let machine = SimMachine::from_platform(&synthetic::xeon_x5550_host());
+        let mut g = TaskGraph::new();
+        let c = g.add_codelet(Codelet::new("spe-only").with_variant(Variant::new("spe")));
+        let h = g.register_data("d", 8.0);
+        g.submit(c, "t", 1.0, vec![acc(h, AccessMode::Write)], None);
+        let err = simulate(&g, &machine, &mut EagerScheduler, &SimOptions::default()).unwrap_err();
+        assert!(matches!(err, RtError::NoEligibleDevice { .. }));
+        assert!(err.to_string().contains("spe-only"));
+    }
+
+    #[test]
+    fn impossible_execution_group_is_error() {
+        let machine = SimMachine::from_platform(&synthetic::xeon_x5550_host());
+        let mut g = TaskGraph::new();
+        let c = g.add_codelet(Codelet::new("k").with_variant(Variant::new("x86")));
+        let h = g.register_data("d", 8.0);
+        g.submit(
+            c,
+            "t",
+            1.0,
+            vec![acc(h, AccessMode::Write)],
+            Some("gpus".into()), // CPU-only machine has no gpus group
+        );
+        let err = simulate(&g, &machine, &mut EagerScheduler, &SimOptions::default()).unwrap_err();
+        assert!(matches!(err, RtError::NoEligibleDevice { .. }));
+    }
+
+    #[test]
+    fn makespan_at_least_critical_path() {
+        let machine = SimMachine::from_platform(&synthetic::xeon_x5550_host());
+        let mut g = TaskGraph::new();
+        let c = g.add_codelet(Codelet::new("k").with_variant(Variant::new("x86")));
+        let h = g.register_data("chain", 8.0);
+        let h2 = g.register_data("free", 8.0);
+        for i in 0..3 {
+            g.submit(c, format!("c{i}"), 1e9, vec![acc(h, AccessMode::ReadWrite)], None);
+            g.submit(c, format!("f{i}"), 1e9, vec![acc(h2, AccessMode::Read)], None);
+        }
+        let r = simulate(&g, &machine, &mut EagerScheduler, &SimOptions::default()).unwrap();
+        let fastest = machine.devices.iter().map(|d| d.flops_dp).fold(0.0, f64::max);
+        let cp_seconds = g.critical_path_flops() / fastest;
+        assert!(r.makespan.seconds() >= cp_seconds - 1e-9);
+    }
+
+    #[test]
+    fn every_task_scheduled_exactly_once() {
+        let machine = SimMachine::from_platform(&synthetic::xeon_2gpu_testbed());
+        let g = independent_graph(37, 1e9);
+        let mut sched = RandomScheduler::new(123);
+        let r = simulate(&g, &machine, &mut sched, &SimOptions::default()).unwrap();
+        assert_eq!(r.assignments.len(), 37);
+        let mut tasks: Vec<usize> = r.assignments.iter().map(|(t, _)| t.0).collect();
+        tasks.sort_unstable();
+        tasks.dedup();
+        assert_eq!(tasks.len(), 37);
+        assert_eq!(r.trace.count(SpanKind::Compute), 37);
+    }
+
+    #[test]
+    fn perfmodel_learning() {
+        let machine = SimMachine::from_platform(&synthetic::xeon_x5550_host());
+        let g = independent_graph(10, 9.576e9);
+        let r = simulate(
+            &g,
+            &machine,
+            &mut EagerScheduler,
+            &SimOptions {
+                learn_perfmodel: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!r.perfmodel.is_empty());
+        let est = r.perfmodel.estimate("k", "x86", 8.0).unwrap();
+        assert!((est.seconds() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flush_can_be_disabled() {
+        let machine = SimMachine::from_platform(&synthetic::xeon_2gpu_testbed());
+        let mut g = TaskGraph::new();
+        let c = g.add_codelet(Codelet::new("k").with_variant(Variant::new("gpu").requiring("Cuda")));
+        let h = g.register_data("d", 600e6);
+        g.submit(c, "t", 1e9, vec![acc(h, AccessMode::Write)], None);
+        let with_flush =
+            simulate(&g, &machine, &mut EagerScheduler, &SimOptions::default()).unwrap();
+        let without = simulate(
+            &g,
+            &machine,
+            &mut EagerScheduler,
+            &SimOptions {
+                flush_outputs: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(with_flush.makespan > without.makespan);
+        assert_eq!(without.bytes_to_host, 0.0);
+    }
+
+    #[test]
+    fn shared_host_bus_serializes_transfers() {
+        // Two GPU tasks with large independent inputs: with independent
+        // PCIe links they load concurrently; on a shared bus the loads
+        // serialize and the makespan grows.
+        let machine = SimMachine::from_platform(&synthetic::xeon_2gpu_testbed());
+        let mut g = TaskGraph::new();
+        let c = g.add_codelet(Codelet::new("k").with_variant(Variant::new("gpu").requiring("Cuda")));
+        for i in 0..2 {
+            let h = g.register_data(format!("blob{i}"), 1.2e9); // 0.2s on PCIe
+            g.submit(c, format!("t{i}"), 1e9, vec![acc(h, AccessMode::ReadWrite)], None);
+        }
+        let independent =
+            simulate(&g, &machine, &mut EagerScheduler, &SimOptions::default()).unwrap();
+        let shared = simulate(
+            &g,
+            &machine,
+            &mut EagerScheduler,
+            &SimOptions {
+                shared_host_bus: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            shared.makespan > independent.makespan,
+            "shared {} !> independent {}",
+            shared.makespan,
+            independent.makespan
+        );
+    }
+
+    #[test]
+    fn gantt_renders() {
+        let machine = SimMachine::from_platform(&synthetic::xeon_x5550_host());
+        let g = independent_graph(8, 1e9);
+        let r = simulate(&g, &machine, &mut EagerScheduler, &SimOptions::default()).unwrap();
+        let gantt = r.gantt(40);
+        assert!(gantt.contains("cpu0"));
+        assert!(gantt.contains('#'));
+    }
+}

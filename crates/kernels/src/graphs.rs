@@ -1,0 +1,362 @@
+//! Task-graph builders for the paper's workloads.
+//!
+//! These produce [`hetero_rt::graph::TaskGraph`]s shaped exactly like the
+//! programs Cascabel generates: tiled DGEMM (the §IV-D experiment),
+//! BLOCK-distributed vecadd (the §IV-A example), strip-decomposed Jacobi and
+//! two-phase reduction. Each task carries its analytic FLOP cost and data
+//! accesses, so the same graph runs on any PDL-described machine.
+
+use crate::dgemm::{dgemm_flops, matrix_bytes};
+use crate::reduce::reduce_flops;
+use crate::stencil::{grid_bytes, stencil_flops};
+use crate::vecadd::{block_ranges, vecadd_flops, vector_bytes};
+use hetero_rt::data::{AccessMode, HandleId};
+use hetero_rt::graph::TaskGraph;
+use hetero_rt::task::{Codelet, DataAccess, Variant};
+
+fn read(handle: HandleId) -> DataAccess {
+    DataAccess {
+        handle,
+        mode: AccessMode::Read,
+    }
+}
+
+fn rw(handle: HandleId) -> DataAccess {
+    DataAccess {
+        handle,
+        mode: AccessMode::ReadWrite,
+    }
+}
+
+/// The DGEMM codelet with the paper's three implementations:
+/// the serial input task (GotoBLAS, `x86`), the CuBLAS GPU variant and an
+/// OpenCL variant.
+pub fn dgemm_codelet() -> Codelet {
+    Codelet::new("I_dgemm")
+        .with_variant(Variant::new("x86"))
+        .with_variant(Variant::new("gpu").requiring("Cuda"))
+        .with_variant(Variant::new("gpu").requiring("OpenCL").with_speedup(0.85))
+}
+
+/// Builds the tiled DGEMM task graph: `(n/tile)³` tasks, each multiplying a
+/// `tile×tile` block triple `C[i][j] += A[i][k] × B[k][j]`. Tiles of A, B
+/// and C are separate data handles, so the runtime moves only what a task
+/// touches — the vertical data-movement pattern of §III-A.
+///
+/// `execution_group` optionally pins all tasks to a logic group.
+pub fn dgemm_graph(n: usize, tile: usize, execution_group: Option<String>) -> TaskGraph {
+    assert!(tile > 0 && tile <= n, "tile must be in 1..=n");
+    let mut g = TaskGraph::new();
+    let codelet = g.add_codelet(dgemm_codelet());
+    let tiles = n.div_ceil(tile);
+    let tile_bytes = matrix_bytes(tile.min(n));
+
+    let mut a = Vec::with_capacity(tiles * tiles);
+    let mut b = Vec::with_capacity(tiles * tiles);
+    let mut c = Vec::with_capacity(tiles * tiles);
+    for i in 0..tiles {
+        for j in 0..tiles {
+            a.push(g.register_data(format!("A[{i}][{j}]"), tile_bytes));
+        }
+    }
+    for i in 0..tiles {
+        for j in 0..tiles {
+            b.push(g.register_data(format!("B[{i}][{j}]"), tile_bytes));
+        }
+    }
+    for i in 0..tiles {
+        for j in 0..tiles {
+            c.push(g.register_data(format!("C[{i}][{j}]"), tile_bytes));
+        }
+    }
+
+    let tile_flops = dgemm_flops(tile);
+    for i in 0..tiles {
+        for j in 0..tiles {
+            for k in 0..tiles {
+                g.submit(
+                    codelet,
+                    format!("dgemm[{i},{j},{k}]"),
+                    tile_flops,
+                    vec![read(a[i * tiles + k]), read(b[k * tiles + j]), rw(c[i * tiles + j])],
+                    execution_group.clone(),
+                );
+            }
+        }
+    }
+    g
+}
+
+/// Builds the single-task DGEMM graph: the *serial input program* of the
+/// paper's experiment — one 8192×8192 GotoBLAS call, CPU-only.
+pub fn dgemm_serial_graph(n: usize) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    // The serial input program has only the CPU implementation.
+    let codelet = g.add_codelet(Codelet::new("I_dgemm").with_variant(Variant::new("x86")));
+    let a = g.register_data("A", matrix_bytes(n));
+    let b = g.register_data("B", matrix_bytes(n));
+    let c = g.register_data("C", matrix_bytes(n));
+    g.submit(
+        codelet,
+        "dgemm",
+        dgemm_flops(n),
+        vec![read(a), read(b), rw(c)],
+        None,
+    );
+    g
+}
+
+/// The vecadd codelet (paper §IV-A): x86 fall-back plus GPU offload.
+pub fn vecadd_codelet() -> Codelet {
+    Codelet::new("I_vecadd")
+        .with_variant(Variant::new("x86"))
+        .with_variant(Variant::new("gpu").requiring("OpenCL"))
+}
+
+/// Builds the BLOCK-distributed vecadd graph of the paper's execute
+/// annotation `(A:BLOCK:N, B:BLOCK:N)`: `chunks` independent tasks, each
+/// adding one block of B into the matching block of A.
+pub fn vecadd_graph(n: usize, chunks: usize, execution_group: Option<String>) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    let codelet = g.add_codelet(vecadd_codelet());
+    for (idx, (lo, hi)) in block_ranges(n, chunks).into_iter().enumerate() {
+        let len = hi - lo;
+        let a = g.register_data(format!("A[{idx}]"), vector_bytes(len));
+        let b = g.register_data(format!("B[{idx}]"), vector_bytes(len));
+        g.submit(
+            codelet,
+            format!("vecadd[{idx}]"),
+            vecadd_flops(len),
+            vec![rw(a), read(b)],
+            execution_group.clone(),
+        );
+    }
+    g
+}
+
+/// Builds a strip-decomposed Jacobi graph: `sweeps` iterations over
+/// `strips` horizontal strips with double buffering (each sweep reads the
+/// previous buffer — its own strip plus halo neighbours — and writes the
+/// next buffer). Within one sweep all strips are independent; across sweeps
+/// the halo reads create the classic neighbour dependencies.
+pub fn stencil_graph(n: usize, strips: usize, sweeps: usize) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    let codelet = g.add_codelet(
+        Codelet::new("I_jacobi")
+            .with_variant(Variant::new("x86"))
+            .with_variant(Variant::new("gpu").requiring("OpenCL")),
+    );
+    let strips = strips.max(1);
+    let strip_bytes = grid_bytes(n) / strips as f64;
+    let buf = |g: &mut TaskGraph, name: &str| -> Vec<HandleId> {
+        (0..strips)
+            .map(|s| g.register_data(format!("{name}[{s}]"), strip_bytes))
+            .collect()
+    };
+    let buffers = [buf(&mut g, "even"), buf(&mut g, "odd")];
+    let strip_flops = stencil_flops(n) / strips as f64;
+
+    for sweep in 0..sweeps {
+        let src = &buffers[sweep % 2];
+        let dst = &buffers[(sweep + 1) % 2];
+        for s in 0..strips {
+            let mut accesses = vec![
+                read(src[s]),
+                DataAccess {
+                    handle: dst[s],
+                    mode: AccessMode::Write,
+                },
+            ];
+            if s > 0 {
+                accesses.push(read(src[s - 1]));
+            }
+            if s + 1 < strips {
+                accesses.push(read(src[s + 1]));
+            }
+            g.submit(
+                codelet,
+                format!("jacobi[{sweep},{s}]"),
+                strip_flops,
+                accesses,
+                None,
+            );
+        }
+    }
+    g
+}
+
+/// Builds a row-strip SpMV graph over a 1D Poisson matrix: `strips`
+/// independent tasks with *non-uniform* costs (boundary strips have fewer
+/// non-zeros), exercising load balancing in the scheduler ablations.
+pub fn spmv_graph(n: usize, strips: usize) -> TaskGraph {
+    let matrix = crate::spmv::CsrMatrix::poisson_1d(n);
+    let mut g = TaskGraph::new();
+    let codelet = g.add_codelet(
+        Codelet::new("I_spmv")
+            .with_variant(Variant::new("x86"))
+            .with_variant(Variant::new("gpu").requiring("OpenCL")),
+    );
+    let x = g.register_data("x", vector_bytes(n));
+    for (idx, (lo, hi)) in block_ranges(n, strips.max(1)).into_iter().enumerate() {
+        let y_strip = g.register_data(format!("y[{idx}]"), vector_bytes(hi - lo));
+        g.submit(
+            codelet,
+            format!("spmv[{idx}]"),
+            matrix.strip_flops(lo, hi),
+            vec![
+                read(x),
+                DataAccess {
+                    handle: y_strip,
+                    mode: AccessMode::Write,
+                },
+            ],
+            None,
+        );
+    }
+    g
+}
+
+/// Builds a two-phase reduction graph: `chunks` partial sums feeding one
+/// combine task.
+pub fn reduce_graph(n: usize, chunks: usize) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    let codelet = g.add_codelet(
+        Codelet::new("I_reduce")
+            .with_variant(Variant::new("x86"))
+            .with_variant(Variant::new("gpu").requiring("OpenCL")),
+    );
+    let chunks = chunks.max(1);
+    let result = g.register_data("result", 8.0);
+    let mut partials = Vec::with_capacity(chunks);
+    for (idx, (lo, hi)) in block_ranges(n, chunks).into_iter().enumerate() {
+        let len = hi - lo;
+        let input = g.register_data(format!("in[{idx}]"), vector_bytes(len));
+        let partial = g.register_data(format!("part[{idx}]"), 8.0);
+        g.submit(
+            codelet,
+            format!("partial[{idx}]"),
+            reduce_flops(len),
+            vec![
+                read(input),
+                DataAccess {
+                    handle: partial,
+                    mode: AccessMode::Write,
+                },
+            ],
+            None,
+        );
+        partials.push(partial);
+    }
+    let mut accesses: Vec<DataAccess> = partials.into_iter().map(read).collect();
+    accesses.push(DataAccess {
+        handle: result,
+        mode: AccessMode::Write,
+    });
+    g.submit(codelet, "combine", reduce_flops(chunks), accesses, None);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dgemm_graph_shape() {
+        let g = dgemm_graph(8192, 2048, None);
+        let tiles = 8192 / 2048; // 4
+        assert_eq!(g.len(), tiles * tiles * tiles);
+        assert_eq!(g.data.len(), 3 * tiles * tiles);
+        // Total flops preserved by the decomposition.
+        assert!((g.total_flops() - dgemm_flops(8192)).abs() < 1.0);
+        // k-chain on each C tile: critical path = tiles × tile_flops.
+        assert!(
+            (g.critical_path_flops() - (tiles as f64) * dgemm_flops(2048)).abs() < 1.0
+        );
+    }
+
+    #[test]
+    fn dgemm_ragged_tiles() {
+        let g = dgemm_graph(100, 30, None); // 4 tiles per dim, last ragged
+        assert_eq!(g.len(), 4 * 4 * 4);
+    }
+
+    #[test]
+    fn dgemm_serial_is_one_task() {
+        let g = dgemm_serial_graph(8192);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.total_flops(), dgemm_flops(8192));
+        assert!(!g.codelets[0]
+            .variants
+            .iter()
+            .any(|v| v.arch == "gpu"));
+    }
+
+    #[test]
+    fn vecadd_graph_is_embarrassingly_parallel() {
+        let g = vecadd_graph(1_000_000, 8, Some("gpus".into()));
+        assert_eq!(g.len(), 8);
+        assert_eq!(g.sources().len(), 8);
+        assert!((g.total_flops() - 1_000_000.0).abs() < 1e-9);
+        assert!(g.tasks.iter().all(|t| t.execution_group.as_deref() == Some("gpus")));
+    }
+
+    #[test]
+    fn stencil_graph_has_wavefront_deps() {
+        let g = stencil_graph(1024, 4, 3);
+        assert_eq!(g.len(), 12);
+        // First sweep: all strips independent (double buffering).
+        assert_eq!(g.sources().len(), 4);
+        // Sweep 1 strip 1 depends on sweep 0 strips 0,1,2: it reads their
+        // freshly written buffer entries (own strip + both halos).
+        let t = hetero_rt::task::TaskId(4 + 1);
+        let deps = g.dependencies(t);
+        assert_eq!(deps.len(), 3, "{deps:?}");
+        // Edge strip of sweep 1 has only 2 upstream writers.
+        let edge = hetero_rt::task::TaskId(4);
+        assert_eq!(g.dependencies(edge).len(), 2);
+    }
+
+    #[test]
+    fn reduce_graph_fans_in() {
+        let g = reduce_graph(1_000_000, 16);
+        assert_eq!(g.len(), 17);
+        let combine = hetero_rt::task::TaskId(16);
+        assert_eq!(g.dependencies(combine).len(), 16);
+        assert_eq!(g.dependents(combine).len(), 0);
+    }
+
+    #[test]
+    fn spmv_graph_costs_are_nonuniform_but_total() {
+        let g = spmv_graph(1000, 8);
+        assert_eq!(g.len(), 8);
+        assert_eq!(g.sources().len(), 8); // strips independent
+        let m = crate::spmv::CsrMatrix::poisson_1d(1000);
+        assert_eq!(g.total_flops(), m.spmv_flops());
+        // Boundary strips are lighter than interior strips.
+        let costs: Vec<f64> = g.tasks.iter().map(|t| t.flops).collect();
+        assert!(costs[0] < costs[3]);
+    }
+
+    #[test]
+    fn all_workload_codelets_have_cpu_fallback() {
+        // Paper §IV-C: "At least one sequential fall-back variant must be
+        // provided by the application developer."
+        for g in [
+            dgemm_graph(64, 32, None),
+            vecadd_graph(100, 4, None),
+            stencil_graph(64, 2, 2),
+            reduce_graph(100, 4),
+            spmv_graph(100, 4),
+        ] {
+            for c in &g.codelets {
+                assert!(c.has_cpu_fallback(), "{}", c.name);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tile must be")]
+    fn zero_tile_panics() {
+        dgemm_graph(64, 0, None);
+    }
+}

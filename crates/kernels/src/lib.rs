@@ -1,0 +1,18 @@
+//! # kernels — computational kernels with implementation variants
+//!
+//! The functional workloads of the reproduction: DGEMM (the paper's §IV-D
+//! evaluation kernel), vecadd (the §IV-A annotation example), a Jacobi
+//! stencil and a reduction. Each module provides real implementations
+//! (verified against references), analytic FLOP/byte cost functions for the
+//! simulator, and [`graphs`] builds the corresponding
+//! [`hetero_rt::graph::TaskGraph`]s shaped like Cascabel's generated
+//! programs.
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dgemm;
+pub mod graphs;
+pub mod reduce;
+pub mod spmv;
+pub mod stencil;
+pub mod vecadd;

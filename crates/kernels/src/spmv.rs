@@ -1,0 +1,172 @@
+//! Sparse matrix–vector multiplication (CSR) — a memory-bound, irregular
+//! workload complementing the dense kernels; used by the scheduler
+//! ablations to exercise non-uniform task costs.
+
+/// A sparse matrix in compressed-sparse-row format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row pointers, `rows + 1` long.
+    pub row_ptr: Vec<usize>,
+    /// Column indices, one per non-zero.
+    pub col_idx: Vec<usize>,
+    /// Non-zero values.
+    pub values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from `(row, col, value)` triplets. Duplicate
+    /// coordinates are summed; triplets may arrive in any order.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: impl IntoIterator<Item = (usize, usize, f64)>,
+    ) -> Self {
+        let mut per_row: Vec<std::collections::BTreeMap<usize, f64>> = vec![Default::default(); rows];
+        for (r, c, v) in triplets {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds");
+            *per_row[r].entry(c).or_insert(0.0) += v;
+        }
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for row in per_row {
+            for (c, v) in row {
+                col_idx.push(c);
+                values.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// A tridiagonal test matrix (2 on the diagonal, -1 off-diagonal) — the
+    /// 1D Poisson operator.
+    pub fn poisson_1d(n: usize) -> Self {
+        let mut t = Vec::with_capacity(3 * n);
+        for i in 0..n {
+            t.push((i, i, 2.0));
+            if i > 0 {
+                t.push((i, i - 1, -1.0));
+            }
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+            }
+        }
+        Self::from_triplets(n, n, t)
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `y = A x`.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "x length");
+        assert_eq!(y.len(), self.rows, "y length");
+        for r in 0..self.rows {
+            let mut acc = 0.0;
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// `y[lo..hi] = (A x)[lo..hi]` — row-strip task body.
+    pub fn spmv_rows(&self, x: &[f64], y: &mut [f64], lo: usize, hi: usize) {
+        assert!(lo <= hi && hi <= self.rows);
+        for r in lo..hi {
+            let mut acc = 0.0;
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// FLOPs of one SpMV (2 per stored non-zero).
+    pub fn spmv_flops(&self) -> f64 {
+        2.0 * self.nnz() as f64
+    }
+
+    /// FLOPs of the row strip `[lo, hi)`.
+    pub fn strip_flops(&self, lo: usize, hi: usize) -> f64 {
+        2.0 * (self.row_ptr[hi] - self.row_ptr[lo]) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplet_construction() {
+        let m = CsrMatrix::from_triplets(2, 3, [(0, 1, 5.0), (1, 0, 3.0), (0, 1, 2.0)]);
+        assert_eq!(m.nnz(), 2); // duplicate (0,1) summed
+        assert_eq!(m.row_ptr, vec![0, 1, 2]);
+        assert_eq!(m.col_idx, vec![1, 0]);
+        assert_eq!(m.values, vec![7.0, 3.0]);
+    }
+
+    #[test]
+    fn poisson_spmv() {
+        let m = CsrMatrix::poisson_1d(5);
+        assert_eq!(m.nnz(), 13); // 5 diag + 2*4 off-diag
+        let x = vec![1.0; 5];
+        let mut y = vec![0.0; 5];
+        m.spmv(&x, &mut y);
+        // Interior rows: 2 - 1 - 1 = 0; boundary rows: 2 - 1 = 1.
+        assert_eq!(y, vec![1.0, 0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn strips_compose() {
+        let m = CsrMatrix::poisson_1d(100);
+        let x: Vec<f64> = (0..100).map(|i| (i as f64).sin()).collect();
+        let mut full = vec![0.0; 100];
+        m.spmv(&x, &mut full);
+        let mut strips = vec![0.0; 100];
+        for (lo, hi) in crate::vecadd::block_ranges(100, 7) {
+            m.spmv_rows(&x, &mut strips, lo, hi);
+        }
+        assert_eq!(full, strips);
+    }
+
+    #[test]
+    fn flop_accounting() {
+        let m = CsrMatrix::poisson_1d(10);
+        assert_eq!(m.spmv_flops(), 2.0 * m.nnz() as f64);
+        let total: f64 = crate::vecadd::block_ranges(10, 3)
+            .into_iter()
+            .map(|(lo, hi)| m.strip_flops(lo, hi))
+            .sum();
+        assert_eq!(total, m.spmv_flops());
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let m = CsrMatrix::from_triplets(3, 3, [(0, 0, 1.0), (2, 2, 1.0)]);
+        let x = vec![1.0, 1.0, 1.0];
+        let mut y = vec![9.0; 3];
+        m.spmv(&x, &mut y);
+        assert_eq!(y, vec![1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_triplet_panics() {
+        CsrMatrix::from_triplets(2, 2, [(2, 0, 1.0)]);
+    }
+}

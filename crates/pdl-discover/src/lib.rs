@@ -1,0 +1,31 @@
+//! # pdl-discover — automatic generation of PDL descriptors
+//!
+//! The paper anticipates "manual as well as automatic generation of PDL
+//! descriptors" (§II) and names hwloc and OpenCL platform queries as
+//! complementary discovery mechanisms (§V). This crate implements those
+//! generators:
+//!
+//! * [`linux`] — hwloc-analogue discovery of the host from `/proc`;
+//! * [`opencl_sim`] — a simulated OpenCL device query producing the
+//!   Listing-2 style `ocl:`-typed properties (the machine this reproduction
+//!   runs on has no GPU — see DESIGN.md for the substitution note);
+//! * [`synthetic`] — fully-annotated descriptors for the paper's evaluation
+//!   testbed (dual Xeon X5550 + GTX 480 + GTX 285), a Cell B.E., a GPGPU
+//!   cluster and a NUMA host.
+//!
+//! ```
+//! let testbed = pdl_discover::synthetic::xeon_2gpu_testbed();
+//! assert_eq!(testbed.group_members("gpus").len(), 2);
+//! ```
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod catalog;
+pub mod linux;
+pub mod opencl_sim;
+pub mod synthetic;
+
+pub use catalog::Catalog;
+pub use linux::discover_host;
+pub use opencl_sim::{device_database, query_device};
+pub use synthetic::{cell_be, gpgpu_cluster, numa_host, xeon_2gpu_testbed, xeon_x5550_host};

@@ -1,0 +1,326 @@
+//! Structural diffing of platform descriptions.
+//!
+//! The paper's future work observes that "tracking dynamically changing
+//! system resources via platform descriptors can be difficult". A structural
+//! diff is the primitive such tracking needs: given two snapshots, report
+//! added/removed PUs and property changes so runtimes can react
+//! incrementally.
+
+use pdl_core::platform::Platform;
+use pdl_core::pu::ProcessingUnit;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One difference between two platform snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Change {
+    /// PU present in `new` but not in `old`.
+    PuAdded(String),
+    /// PU present in `old` but not in `new`.
+    PuRemoved(String),
+    /// Same id, different class.
+    ClassChanged {
+        /// PU id.
+        id: String,
+        /// Class in `old`.
+        old: pdl_core::pu::PuClass,
+        /// Class in `new`.
+        new: pdl_core::pu::PuClass,
+    },
+    /// Same id, different quantity.
+    QuantityChanged {
+        /// PU id.
+        id: String,
+        /// Quantity in `old`.
+        old: u32,
+        /// Quantity in `new`.
+        new: u32,
+    },
+    /// Property value changed (or appeared/disappeared).
+    PropertyChanged {
+        /// PU id.
+        id: String,
+        /// Property name.
+        property: String,
+        /// Old textual value, `None` if the property was absent.
+        old: Option<String>,
+        /// New textual value, `None` if the property is gone.
+        new: Option<String>,
+    },
+    /// PU moved to a different controller.
+    ParentChanged {
+        /// PU id.
+        id: String,
+        /// Old parent id (`None` = top level).
+        old: Option<String>,
+        /// New parent id (`None` = top level).
+        new: Option<String>,
+    },
+    /// Interconnect count between the same endpoints changed.
+    InterconnectChanged {
+        /// `from` endpoint.
+        from: String,
+        /// `to` endpoint.
+        to: String,
+        /// Edge count in `old`.
+        old: usize,
+        /// Edge count in `new`.
+        new: usize,
+    },
+}
+
+impl fmt::Display for Change {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Change::PuAdded(id) => write!(f, "+ PU {id}"),
+            Change::PuRemoved(id) => write!(f, "- PU {id}"),
+            Change::ClassChanged { id, old, new } => {
+                write!(f, "~ PU {id}: class {old} -> {new}")
+            }
+            Change::QuantityChanged { id, old, new } => {
+                write!(f, "~ PU {id}: quantity {old} -> {new}")
+            }
+            Change::PropertyChanged {
+                id,
+                property,
+                old,
+                new,
+            } => write!(
+                f,
+                "~ PU {id}: {property} {} -> {}",
+                old.as_deref().unwrap_or("<absent>"),
+                new.as_deref().unwrap_or("<absent>")
+            ),
+            Change::ParentChanged { id, old, new } => write!(
+                f,
+                "~ PU {id}: parent {} -> {}",
+                old.as_deref().unwrap_or("<root>"),
+                new.as_deref().unwrap_or("<root>")
+            ),
+            Change::InterconnectChanged { from, to, old, new } => {
+                write!(f, "~ IC {from}<->{to}: {old} -> {new} edges")
+            }
+        }
+    }
+}
+
+/// Computes the changes turning `old` into `new`. PUs are matched by id.
+pub fn diff(old: &Platform, new: &Platform) -> Vec<Change> {
+    let mut changes = Vec::new();
+
+    let old_ids: BTreeMap<&str, &ProcessingUnit> =
+        old.iter().map(|(_, pu)| (pu.id.as_str(), pu)).collect();
+    let new_ids: BTreeMap<&str, &ProcessingUnit> =
+        new.iter().map(|(_, pu)| (pu.id.as_str(), pu)).collect();
+
+    for (&id, _) in &old_ids {
+        if !new_ids.contains_key(id) {
+            changes.push(Change::PuRemoved(id.to_string()));
+        }
+    }
+    for (&id, _) in &new_ids {
+        if !old_ids.contains_key(id) {
+            changes.push(Change::PuAdded(id.to_string()));
+        }
+    }
+
+    for (&id, &old_pu) in &old_ids {
+        let Some(&new_pu) = new_ids.get(id) else {
+            continue;
+        };
+        if old_pu.class != new_pu.class {
+            changes.push(Change::ClassChanged {
+                id: id.to_string(),
+                old: old_pu.class,
+                new: new_pu.class,
+            });
+        }
+        if old_pu.quantity != new_pu.quantity {
+            changes.push(Change::QuantityChanged {
+                id: id.to_string(),
+                old: old_pu.quantity,
+                new: new_pu.quantity,
+            });
+        }
+        let old_parent = parent_id(old, old_pu);
+        let new_parent = parent_id(new, new_pu);
+        if old_parent != new_parent {
+            changes.push(Change::ParentChanged {
+                id: id.to_string(),
+                old: old_parent,
+                new: new_parent,
+            });
+        }
+        // Property-level diff (first occurrence per name).
+        let mut names: Vec<&str> = old_pu
+            .descriptor
+            .iter()
+            .chain(new_pu.descriptor.iter())
+            .map(|p| p.name.as_str())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        for name in names {
+            let ov = old_pu.descriptor.value(name);
+            let nv = new_pu.descriptor.value(name);
+            if ov != nv {
+                changes.push(Change::PropertyChanged {
+                    id: id.to_string(),
+                    property: name.to_string(),
+                    old: ov.map(str::to_string),
+                    new: nv.map(str::to_string),
+                });
+            }
+        }
+    }
+
+    // Interconnect multiset diff by unordered endpoint pair.
+    let count_edges = |p: &Platform| {
+        let mut m: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for ic in p.interconnects() {
+            let mut pair = [ic.from.as_str().to_string(), ic.to.as_str().to_string()];
+            pair.sort();
+            let [a, b] = pair;
+            *m.entry((a, b)).or_default() += 1;
+        }
+        m
+    };
+    let old_edges = count_edges(old);
+    let new_edges = count_edges(new);
+    let mut keys: Vec<_> = old_edges.keys().chain(new_edges.keys()).cloned().collect();
+    keys.sort();
+    keys.dedup();
+    for key in keys {
+        let o = old_edges.get(&key).copied().unwrap_or(0);
+        let n = new_edges.get(&key).copied().unwrap_or(0);
+        if o != n {
+            changes.push(Change::InterconnectChanged {
+                from: key.0,
+                to: key.1,
+                old: o,
+                new: n,
+            });
+        }
+    }
+
+    changes
+}
+
+fn parent_id(p: &Platform, pu: &ProcessingUnit) -> Option<String> {
+    pu.parent().map(|i| p.pu(i).id.as_str().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdl_core::prelude::*;
+
+    fn base() -> Platform {
+        let mut b = Platform::builder("v1");
+        let m = b.master("cpu");
+        b.prop(m, Property::fixed("ARCHITECTURE", "x86"));
+        let g = b.worker(m, "gpu0").unwrap();
+        b.prop(g, Property::fixed("ARCHITECTURE", "gpu"));
+        b.interconnect(Interconnect::new("PCIe", "cpu", "gpu0"));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn identical_platforms_have_no_diff() {
+        assert!(diff(&base(), &base()).is_empty());
+    }
+
+    #[test]
+    fn added_and_removed_pus() {
+        let old = base();
+        let mut b = Platform::builder("v2");
+        let m = b.master("cpu");
+        b.prop(m, Property::fixed("ARCHITECTURE", "x86"));
+        b.worker(m, "gpu1").unwrap();
+        let new = b.build().unwrap();
+        let d = diff(&old, &new);
+        assert!(d.contains(&Change::PuRemoved("gpu0".into())));
+        assert!(d.contains(&Change::PuAdded("gpu1".into())));
+        // old edge disappears with the PU
+        assert!(d
+            .iter()
+            .any(|c| matches!(c, Change::InterconnectChanged { new: 0, .. })));
+    }
+
+    #[test]
+    fn property_changes_tracked() {
+        let old = base();
+        let mut b = Platform::builder("v2");
+        let m = b.master("cpu");
+        b.prop(m, Property::fixed("ARCHITECTURE", "arm")); // changed
+        b.prop(m, Property::fixed("CORES", "8")); // added
+        let g = b.worker(m, "gpu0").unwrap();
+        b.prop(g, Property::fixed("ARCHITECTURE", "gpu"));
+        b.interconnect(Interconnect::new("PCIe", "cpu", "gpu0"));
+        let new = b.build().unwrap();
+        let d = diff(&old, &new);
+        assert!(d.contains(&Change::PropertyChanged {
+            id: "cpu".into(),
+            property: "ARCHITECTURE".into(),
+            old: Some("x86".into()),
+            new: Some("arm".into()),
+        }));
+        assert!(d.contains(&Change::PropertyChanged {
+            id: "cpu".into(),
+            property: "CORES".into(),
+            old: None,
+            new: Some("8".into()),
+        }));
+    }
+
+    #[test]
+    fn quantity_and_parent_changes() {
+        let mut b = Platform::builder("v1");
+        let m = b.master("m");
+        let h = b.hybrid(m, "h").unwrap();
+        let w = b.worker(h, "w").unwrap();
+        b.quantity(w, 2);
+        let old = b.build().unwrap();
+
+        let mut b = Platform::builder("v2");
+        let m = b.master("m");
+        b.hybrid(m, "h").unwrap();
+        let w = b.worker(m, "w").unwrap(); // re-parented to master
+        b.quantity(w, 4);
+        let new = b.build().unwrap();
+
+        let d = diff(&old, &new);
+        assert!(d.contains(&Change::QuantityChanged {
+            id: "w".into(),
+            old: 2,
+            new: 4
+        }));
+        assert!(d.contains(&Change::ParentChanged {
+            id: "w".into(),
+            old: Some("h".into()),
+            new: Some("m".into()),
+        }));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let c = Change::PropertyChanged {
+            id: "gpu0".into(),
+            property: "DEVICE_NAME".into(),
+            old: None,
+            new: Some("GTX 480".into()),
+        };
+        assert_eq!(c.to_string(), "~ PU gpu0: DEVICE_NAME <absent> -> GTX 480");
+    }
+
+    #[test]
+    fn hotplug_scenario() {
+        // A GPU goes away at runtime — exactly the dynamic-tracking case
+        // from the paper's future work.
+        let old = pdl_core::patterns::host_device(2);
+        let new = pdl_core::patterns::host_device(1);
+        let d = diff(&old, &new);
+        assert!(d.contains(&Change::PuRemoved("w1".into())));
+        assert!(!d.iter().any(|c| matches!(c, Change::PuAdded(_))));
+    }
+}

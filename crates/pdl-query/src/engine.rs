@@ -1,0 +1,265 @@
+//! Selector evaluation over a [`Platform`].
+
+use crate::selector::{Axis, CmpOp, NodeTest, Predicate, Selector, Step};
+use pdl_core::id::PuIdx;
+use pdl_core::platform::Platform;
+use pdl_core::pu::ProcessingUnit;
+use std::cmp::Ordering;
+
+/// Evaluates a selector, returning matching PU indices in document
+/// (pre-order DFS) order, without duplicates.
+pub fn select(platform: &Platform, selector: &Selector) -> Vec<PuIdx> {
+    // Context starts as the virtual document root: its "children" are the
+    // platform roots; its "descendants" are all PUs.
+    let mut context: Vec<PuIdx> = Vec::new();
+    let mut first = true;
+
+    for step in &selector.steps {
+        let candidates: Vec<PuIdx> = if first {
+            match step.axis {
+                Axis::Child => platform.roots().to_vec(),
+                Axis::Descendant => platform.dfs().map(|(i, _)| i).collect(),
+            }
+        } else {
+            let mut out = Vec::new();
+            for &c in &context {
+                match step.axis {
+                    Axis::Child => out.extend(platform.pu(c).children().iter().copied()),
+                    Axis::Descendant => {
+                        // descendants, excluding the context node itself
+                        out.extend(platform.dfs_from(c).skip(1).map(|(i, _)| i))
+                    }
+                }
+            }
+            out
+        };
+        first = false;
+
+        context = candidates
+            .into_iter()
+            .filter(|&idx| matches_step(platform, idx, step))
+            .collect();
+        dedup_in_document_order(platform, &mut context);
+        if context.is_empty() {
+            break;
+        }
+    }
+    context
+}
+
+/// Convenience: parse and evaluate in one call.
+pub fn query(platform: &Platform, selector: &str) -> Result<Vec<PuIdx>, crate::selector::SelectorParseError> {
+    let sel: Selector = selector.parse()?;
+    Ok(select(platform, &sel))
+}
+
+fn dedup_in_document_order(platform: &Platform, idxs: &mut Vec<PuIdx>) {
+    let order: std::collections::HashMap<PuIdx, usize> = platform
+        .dfs()
+        .enumerate()
+        .map(|(pos, (i, _))| (i, pos))
+        .collect();
+    idxs.sort_by_key(|i| order.get(i).copied().unwrap_or(usize::MAX));
+    idxs.dedup();
+}
+
+fn matches_step(platform: &Platform, idx: PuIdx, step: &Step) -> bool {
+    let pu = platform.pu(idx);
+    let class_ok = match step.test {
+        NodeTest::Any => true,
+        NodeTest::Class(c) => pu.class == c,
+    };
+    class_ok && step.predicates.iter().all(|p| matches_predicate(pu, p))
+}
+
+fn matches_predicate(pu: &ProcessingUnit, pred: &Predicate) -> bool {
+    match pred {
+        Predicate::Has(name) => attr_value(pu, name).map_or(false, |v| !v.is_empty()),
+        Predicate::Cmp { name, op, value } => {
+            if name == "group" {
+                // Group membership is set-valued: equality means "member of",
+                // inequality means "not a member of".
+                return match op {
+                    CmpOp::Eq => pu.in_group(value),
+                    CmpOp::Ne => !pu.in_group(value),
+                    _ => false,
+                };
+            }
+            match attr_value(pu, name) {
+                None => false,
+                Some(actual) => {
+                    let ord = compare(&actual, value);
+                    op.eval(ord)
+                }
+            }
+        }
+    }
+}
+
+/// Resolves a predicate name against the PU: pseudo-attributes first, then
+/// the descriptor.
+fn attr_value(pu: &ProcessingUnit, name: &str) -> Option<String> {
+    match name {
+        "id" => Some(pu.id.as_str().to_string()),
+        "class" => Some(pu.class.element_name().to_string()),
+        "quantity" => Some(pu.quantity.to_string()),
+        "group" => (!pu.groups.is_empty())
+            .then(|| pu.groups.iter().map(|g| g.as_str()).collect::<Vec<_>>().join(",")),
+        _ => pu.descriptor.value(name).map(str::to_string),
+    }
+}
+
+/// Numeric comparison when both sides parse as f64, textual otherwise.
+fn compare(left: &str, right: &str) -> Ordering {
+    match (left.trim().parse::<f64>(), right.trim().parse::<f64>()) {
+        (Ok(l), Ok(r)) => l.partial_cmp(&r).unwrap_or(Ordering::Equal),
+        _ => left.cmp(right),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdl_core::prelude::*;
+
+    /// Xeon + 2 GPUs + a hybrid sub-node, richly annotated.
+    fn testbed() -> Platform {
+        let mut b = Platform::builder("testbed");
+        let m = b.master("cpu");
+        b.prop(m, Property::fixed("ARCHITECTURE", "x86"));
+        b.prop(m, Property::fixed("CORES", "8"));
+        let g0 = b.worker(m, "gpu0").unwrap();
+        b.prop(g0, Property::fixed("ARCHITECTURE", "gpu"));
+        b.prop(g0, Property::fixed("CORES", "15"));
+        b.group(g0, "gpus");
+        let g1 = b.worker(m, "gpu1").unwrap();
+        b.prop(g1, Property::fixed("ARCHITECTURE", "gpu"));
+        b.prop(g1, Property::fixed("CORES", "30"));
+        b.group(g1, "gpus");
+        b.group(g1, "fast");
+        let h = b.hybrid(m, "node").unwrap();
+        b.prop(h, Property::fixed("ARCHITECTURE", "x86"));
+        let hw = b.worker(h, "fpga").unwrap();
+        b.prop(hw, Property::fixed("ARCHITECTURE", "fpga"));
+        b.build().unwrap()
+    }
+
+    fn ids(p: &Platform, idxs: &[PuIdx]) -> Vec<String> {
+        idxs.iter().map(|&i| p.pu(i).id.to_string()).collect()
+    }
+
+    #[test]
+    fn descendant_worker_query() {
+        let p = testbed();
+        let r = query(&p, "//Worker").unwrap();
+        assert_eq!(ids(&p, &r), ["gpu0", "gpu1", "fpga"]);
+    }
+
+    #[test]
+    fn child_axis_restricts_depth() {
+        let p = testbed();
+        let r = query(&p, "/Master/Worker").unwrap();
+        assert_eq!(ids(&p, &r), ["gpu0", "gpu1"]); // fpga is under the hybrid
+        let r = query(&p, "/Master/Hybrid/Worker").unwrap();
+        assert_eq!(ids(&p, &r), ["fpga"]);
+    }
+
+    #[test]
+    fn property_equality() {
+        let p = testbed();
+        let r = query(&p, "//Worker[@ARCHITECTURE='gpu']").unwrap();
+        assert_eq!(ids(&p, &r), ["gpu0", "gpu1"]);
+        let r = query(&p, "//*[@ARCHITECTURE='x86']").unwrap();
+        assert_eq!(ids(&p, &r), ["cpu", "node"]);
+    }
+
+    #[test]
+    fn numeric_comparisons() {
+        let p = testbed();
+        let r = query(&p, "//Worker[@CORES>15]").unwrap();
+        assert_eq!(ids(&p, &r), ["gpu1"]);
+        let r = query(&p, "//Worker[@CORES>=15]").unwrap();
+        assert_eq!(ids(&p, &r), ["gpu0", "gpu1"]);
+        let r = query(&p, "//*[@CORES<10]").unwrap();
+        assert_eq!(ids(&p, &r), ["cpu"]);
+    }
+
+    #[test]
+    fn numeric_not_lexicographic() {
+        // "30" > "15" numerically; lexicographically "15" < "30" too, so use
+        // a case where they differ: 9 vs 15.
+        let mut b = Platform::builder("n");
+        let m = b.master("m");
+        let w = b.worker(m, "w").unwrap();
+        b.prop(w, Property::fixed("CORES", "9"));
+        let p = b.build().unwrap();
+        // 9 < 15 numerically, but "9" > "15" lexicographically.
+        let r = query(&p, "//Worker[@CORES<15]").unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn group_membership() {
+        let p = testbed();
+        let r = query(&p, "//*[@group='gpus']").unwrap();
+        assert_eq!(ids(&p, &r), ["gpu0", "gpu1"]);
+        let r = query(&p, "//*[@group='fast']").unwrap();
+        assert_eq!(ids(&p, &r), ["gpu1"]);
+        let r = query(&p, "//Worker[@group!='gpus']").unwrap();
+        assert_eq!(ids(&p, &r), ["fpga"]);
+    }
+
+    #[test]
+    fn pseudo_attributes() {
+        let p = testbed();
+        let r = query(&p, "//*[@id='gpu1']").unwrap();
+        assert_eq!(ids(&p, &r), ["gpu1"]);
+        let r = query(&p, "//*[@class='Hybrid']").unwrap();
+        assert_eq!(ids(&p, &r), ["node"]);
+        let r = query(&p, "//*[@quantity='1']").unwrap();
+        assert_eq!(r.len(), p.len());
+    }
+
+    #[test]
+    fn existence_predicate() {
+        let p = testbed();
+        let r = query(&p, "//Worker[@CORES]").unwrap();
+        assert_eq!(ids(&p, &r), ["gpu0", "gpu1"]);
+    }
+
+    #[test]
+    fn multiple_predicates_conjoin() {
+        let p = testbed();
+        let r = query(&p, "//Worker[@ARCHITECTURE='gpu'][@CORES>20]").unwrap();
+        assert_eq!(ids(&p, &r), ["gpu1"]);
+    }
+
+    #[test]
+    fn no_matches_is_empty() {
+        let p = testbed();
+        assert!(query(&p, "//Worker[@ARCHITECTURE='spe']").unwrap().is_empty());
+        assert!(query(&p, "/Worker").unwrap().is_empty()); // no top-level workers
+    }
+
+    #[test]
+    fn duplicates_eliminated_across_contexts() {
+        // //*//Worker visits workers through multiple ancestor contexts.
+        let p = testbed();
+        let r = query(&p, "//*//Worker").unwrap();
+        assert_eq!(ids(&p, &r), ["gpu0", "gpu1", "fpga"]);
+    }
+
+    #[test]
+    fn results_in_document_order() {
+        let p = testbed();
+        let r = query(&p, "//*").unwrap();
+        let expected: Vec<String> = p.dfs().map(|(_, pu)| pu.id.to_string()).collect();
+        assert_eq!(ids(&p, &r), expected);
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        let p = testbed();
+        assert!(query(&p, "Worker").is_err());
+    }
+}

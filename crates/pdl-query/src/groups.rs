@@ -1,0 +1,251 @@
+//! Logic-group resolution and group set-expressions.
+//!
+//! The paper's `LogicGroupAttribute` "allows to define group identifiers for
+//! sub-sets of PUs" (§III-B); task `execute` annotations reference such
+//! groups as *execution groups* (§IV-A). Tools frequently need to combine
+//! groups, so this module adds a tiny set-expression language:
+//!
+//! ```text
+//! gpus                      members of group "gpus"
+//! gpus+cpus                 union
+//! gpus&fast                 intersection
+//! gpus-slow                 difference
+//! (gpus+cpus)-slow          grouping
+//! @workers / @masters / @hybrids / @all     class pseudo-groups
+//! ```
+
+use pdl_core::id::PuIdx;
+use pdl_core::platform::Platform;
+use pdl_core::pu::PuClass;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Error parsing or evaluating a group expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupExprError(pub String);
+
+impl fmt::Display for GroupExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "group expression error: {}", self.0)
+    }
+}
+
+impl std::error::Error for GroupExprError {}
+
+/// Resolves a group set-expression to PU indices (document order).
+pub fn resolve(platform: &Platform, expr: &str) -> Result<Vec<PuIdx>, GroupExprError> {
+    let mut p = ExprParser {
+        input: expr,
+        at: 0,
+    };
+    let set = p.parse_expr(platform)?;
+    p.skip_ws();
+    if p.at != p.input.len() {
+        return Err(GroupExprError(format!(
+            "trailing input at byte {}: {:?}",
+            p.at,
+            &p.input[p.at..]
+        )));
+    }
+    // Emit in document order.
+    let mut out: Vec<PuIdx> = platform
+        .dfs()
+        .map(|(i, _)| i)
+        .filter(|i| set.contains(&i.index()))
+        .collect();
+    out.dedup();
+    Ok(out)
+}
+
+/// Resolves a plain group name (no expression operators).
+pub fn members(platform: &Platform, group: &str) -> Vec<PuIdx> {
+    platform.group_members(group)
+}
+
+struct ExprParser<'a> {
+    input: &'a str,
+    at: usize,
+}
+
+impl<'a> ExprParser<'a> {
+    fn skip_ws(&mut self) {
+        while self.input[self.at..].starts_with(' ') {
+            self.at += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.input[self.at..].chars().next()
+    }
+
+    fn parse_expr(&mut self, p: &Platform) -> Result<BTreeSet<usize>, GroupExprError> {
+        let mut acc = self.parse_atom(p)?;
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some('+') => {
+                    self.at += 1;
+                    let rhs = self.parse_atom(p)?;
+                    acc = acc.union(&rhs).copied().collect();
+                }
+                Some('&') => {
+                    self.at += 1;
+                    let rhs = self.parse_atom(p)?;
+                    acc = acc.intersection(&rhs).copied().collect();
+                }
+                Some('-') => {
+                    self.at += 1;
+                    let rhs = self.parse_atom(p)?;
+                    acc = acc.difference(&rhs).copied().collect();
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn parse_atom(&mut self, p: &Platform) -> Result<BTreeSet<usize>, GroupExprError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('(') => {
+                self.at += 1;
+                let inner = self.parse_expr(p)?;
+                self.skip_ws();
+                if self.peek() == Some(')') {
+                    self.at += 1;
+                    Ok(inner)
+                } else {
+                    Err(GroupExprError("expected ')'".into()))
+                }
+            }
+            Some('@') => {
+                self.at += 1;
+                let name = self.take_name();
+                let class = match name.as_str() {
+                    "workers" => Some(PuClass::Worker),
+                    "masters" => Some(PuClass::Master),
+                    "hybrids" => Some(PuClass::Hybrid),
+                    "all" => None,
+                    _ => {
+                        return Err(GroupExprError(format!(
+                            "unknown pseudo-group @{name} (expected @workers, @masters, @hybrids, @all)"
+                        )))
+                    }
+                };
+                Ok(p.iter()
+                    .filter(|(_, pu)| class.map_or(true, |c| pu.class == c))
+                    .map(|(i, _)| i.index())
+                    .collect())
+            }
+            Some(c) if c.is_alphanumeric() || c == '_' => {
+                let name = self.take_name();
+                Ok(p.group_members(&name).into_iter().map(|i| i.index()).collect())
+            }
+            other => Err(GroupExprError(format!(
+                "expected group name, '@' pseudo-group or '(', found {other:?}"
+            ))),
+        }
+    }
+
+    fn take_name(&mut self) -> String {
+        let start = self.at;
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '.') {
+            self.at += self.peek().unwrap().len_utf8();
+        }
+        self.input[start..self.at].to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdl_core::platform::Platform;
+
+    fn testbed() -> Platform {
+        let mut b = Platform::builder("t");
+        let m = b.master("cpu");
+        b.group(m, "hosts");
+        let g0 = b.worker(m, "gpu0").unwrap();
+        b.group(g0, "gpus");
+        let g1 = b.worker(m, "gpu1").unwrap();
+        b.group(g1, "gpus");
+        b.group(g1, "fast");
+        let s = b.worker(m, "spe").unwrap();
+        b.group(s, "slow");
+        b.build().unwrap()
+    }
+
+    fn ids(p: &Platform, idxs: &[PuIdx]) -> Vec<String> {
+        idxs.iter().map(|&i| p.pu(i).id.to_string()).collect()
+    }
+
+    #[test]
+    fn plain_group() {
+        let p = testbed();
+        assert_eq!(ids(&p, &resolve(&p, "gpus").unwrap()), ["gpu0", "gpu1"]);
+        assert!(resolve(&p, "nonexistent").unwrap().is_empty());
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let p = testbed();
+        assert_eq!(
+            ids(&p, &resolve(&p, "gpus+slow").unwrap()),
+            ["gpu0", "gpu1", "spe"]
+        );
+        assert_eq!(ids(&p, &resolve(&p, "gpus&fast").unwrap()), ["gpu1"]);
+        assert_eq!(ids(&p, &resolve(&p, "gpus-fast").unwrap()), ["gpu0"]);
+    }
+
+    #[test]
+    fn parentheses() {
+        let p = testbed();
+        assert_eq!(
+            ids(&p, &resolve(&p, "(gpus+slow)-fast").unwrap()),
+            ["gpu0", "spe"]
+        );
+    }
+
+    #[test]
+    fn pseudo_groups() {
+        let p = testbed();
+        assert_eq!(
+            ids(&p, &resolve(&p, "@workers").unwrap()),
+            ["gpu0", "gpu1", "spe"]
+        );
+        assert_eq!(ids(&p, &resolve(&p, "@masters").unwrap()), ["cpu"]);
+        assert_eq!(resolve(&p, "@all").unwrap().len(), 4);
+        assert_eq!(
+            ids(&p, &resolve(&p, "@workers-gpus").unwrap()),
+            ["spe"]
+        );
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let p = testbed();
+        assert_eq!(
+            ids(&p, &resolve(&p, " gpus + slow ").unwrap()),
+            ["gpu0", "gpu1", "spe"]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        let p = testbed();
+        assert!(resolve(&p, "").is_err());
+        assert!(resolve(&p, "(gpus").is_err());
+        assert!(resolve(&p, "gpus)").is_err());
+        assert!(resolve(&p, "@bogus").is_err());
+        assert!(resolve(&p, "gpus ^ fast").is_err());
+    }
+
+    #[test]
+    fn document_order_output() {
+        let p = testbed();
+        // Union written in reverse order still emits document order.
+        assert_eq!(
+            ids(&p, &resolve(&p, "slow+gpus").unwrap()),
+            ["gpu0", "gpu1", "spe"]
+        );
+    }
+}

@@ -1,0 +1,392 @@
+//! Data-path derivation over explicit interconnect entities.
+//!
+//! Paper §IV-C step 3: *"The PDL allows us to derive data-transfer paths
+//! between memory-regions and communication between processing-units via the
+//! explicitly specified interconnect entity."* This module routes transfers
+//! through the interconnect graph, minimizing modeled transfer time for a
+//! given payload size (Dijkstra), and reports per-hop and end-to-end cost.
+
+use pdl_core::id::{PuId, PuIdx};
+use pdl_core::interconnect::Interconnect;
+use pdl_core::platform::Platform;
+use std::collections::BinaryHeap;
+
+/// Default link bandwidth assumed when an interconnect has no `BANDWIDTH`
+/// descriptor (bytes/second). Deliberately conservative: 1 GB/s.
+pub const DEFAULT_BANDWIDTH_BPS: f64 = 1e9;
+
+/// Default link latency assumed when an interconnect has no `LATENCY`
+/// descriptor (seconds): 10 µs.
+pub const DEFAULT_LATENCY_S: f64 = 10e-6;
+
+/// One hop of a route.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hop {
+    /// PU the hop departs from.
+    pub from: PuId,
+    /// PU the hop arrives at.
+    pub to: PuId,
+    /// Index of the interconnect used, into [`Platform::interconnects`].
+    pub ic_index: usize,
+    /// Modeled time for this hop (seconds) for the queried payload.
+    pub time_s: f64,
+}
+
+/// A complete route between two PUs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    /// Hops in order; empty when source equals destination.
+    pub hops: Vec<Hop>,
+    /// End-to-end modeled time (seconds).
+    pub time_s: f64,
+    /// Minimum bandwidth along the route (bytes/second) — the bottleneck.
+    pub bottleneck_bps: f64,
+    /// Sum of link latencies (seconds).
+    pub latency_s: f64,
+}
+
+impl Route {
+    /// The trivial route from a PU to itself.
+    pub fn trivial() -> Self {
+        Route {
+            hops: Vec::new(),
+            time_s: 0.0,
+            bottleneck_bps: f64::INFINITY,
+            latency_s: 0.0,
+        }
+    }
+}
+
+/// Transfer-time model for one link: `latency + size / bandwidth`.
+pub fn link_time_s(ic: &Interconnect, size_bytes: f64) -> f64 {
+    let bw = ic.bandwidth_bps().unwrap_or(DEFAULT_BANDWIDTH_BPS);
+    let lat = ic.latency_s().unwrap_or(DEFAULT_LATENCY_S);
+    lat + size_bytes / bw
+}
+
+/// Finds the fastest route (per the link model) for transferring
+/// `size_bytes` from `from` to `to`. Returns `None` when no route exists or
+/// an endpoint id is unknown.
+pub fn route(platform: &Platform, from: &str, to: &str, size_bytes: f64) -> Option<Route> {
+    let src = platform.index_of(from)?;
+    let dst = platform.index_of(to)?;
+    if src == dst {
+        return Some(Route::trivial());
+    }
+
+    let n = platform.len();
+    // Adjacency: PU idx -> (neighbor idx, ic index).
+    let mut adj: Vec<Vec<(PuIdx, usize)>> = vec![Vec::new(); n];
+    for (ici, ic) in platform.interconnects().iter().enumerate() {
+        let f = platform.index_of(ic.from.as_str());
+        let t = platform.index_of(ic.to.as_str());
+        if let (Some(f), Some(t)) = (f, t) {
+            adj[f.index()].push((t, ici));
+            if ic.directionality == pdl_core::interconnect::Directionality::Bidirectional {
+                adj[t.index()].push((f, ici));
+            }
+        }
+    }
+
+    // Dijkstra over modeled hop time.
+    #[derive(PartialEq)]
+    struct Entry {
+        cost: f64,
+        node: PuIdx,
+    }
+    impl Eq for Entry {}
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Min-heap via reversed comparison; ties broken by node index
+            // for determinism.
+            other
+                .cost
+                .partial_cmp(&self.cost)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| other.node.index().cmp(&self.node.index()))
+        }
+    }
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<(PuIdx, usize)>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[src.index()] = 0.0;
+    heap.push(Entry {
+        cost: 0.0,
+        node: src,
+    });
+
+    while let Some(Entry { cost, node }) = heap.pop() {
+        if cost > dist[node.index()] {
+            continue;
+        }
+        if node == dst {
+            break;
+        }
+        for &(next, ici) in &adj[node.index()] {
+            let t = link_time_s(&platform.interconnects()[ici], size_bytes);
+            let nd = cost + t;
+            if nd < dist[next.index()] {
+                dist[next.index()] = nd;
+                prev[next.index()] = Some((node, ici));
+                heap.push(Entry {
+                    cost: nd,
+                    node: next,
+                });
+            }
+        }
+    }
+
+    if dist[dst.index()].is_infinite() {
+        return None;
+    }
+
+    // Reconstruct.
+    let mut hops = Vec::new();
+    let mut cur = dst;
+    while cur != src {
+        let (p, ici) = prev[cur.index()].expect("reachable node has predecessor");
+        let ic = &platform.interconnects()[ici];
+        hops.push(Hop {
+            from: platform.pu(p).id.clone(),
+            to: platform.pu(cur).id.clone(),
+            ic_index: ici,
+            time_s: link_time_s(ic, size_bytes),
+        });
+        cur = p;
+    }
+    hops.reverse();
+
+    let bottleneck_bps = hops
+        .iter()
+        .map(|h| {
+            platform.interconnects()[h.ic_index]
+                .bandwidth_bps()
+                .unwrap_or(DEFAULT_BANDWIDTH_BPS)
+        })
+        .fold(f64::INFINITY, f64::min);
+    let latency_s = hops
+        .iter()
+        .map(|h| {
+            platform.interconnects()[h.ic_index]
+                .latency_s()
+                .unwrap_or(DEFAULT_LATENCY_S)
+        })
+        .sum();
+
+    Some(Route {
+        time_s: dist[dst.index()],
+        hops,
+        bottleneck_bps,
+        latency_s,
+    })
+}
+
+/// Among `candidates`, the PU with the cheapest route from `from` for a
+/// payload of `size_bytes` (ties: earliest in candidate order). `None` when
+/// no candidate is reachable. Tools use this to place data near compute.
+pub fn closest_pu<'a>(
+    platform: &Platform,
+    from: &str,
+    candidates: &'a [String],
+    size_bytes: f64,
+) -> Option<(&'a str, Route)> {
+    let mut best: Option<(&'a str, Route)> = None;
+    for c in candidates {
+        if let Some(r) = route(platform, from, c, size_bytes) {
+            let better = match &best {
+                None => true,
+                Some((_, b)) => r.time_s < b.time_s,
+            };
+            if better {
+                best = Some((c.as_str(), r));
+            }
+        }
+    }
+    best
+}
+
+/// All PUs reachable from `from` over interconnects (excluding `from`).
+pub fn reachable(platform: &Platform, from: &str) -> Vec<PuIdx> {
+    let Some(src) = platform.index_of(from) else {
+        return Vec::new();
+    };
+    let mut seen = vec![false; platform.len()];
+    seen[src.index()] = true;
+    let mut stack = vec![src];
+    let mut out = Vec::new();
+    while let Some(cur) = stack.pop() {
+        let cur_id = platform.pu(cur).id.clone();
+        for ic in platform.interconnects() {
+            if let Some(other) = ic.other_endpoint(&cur_id) {
+                if let Some(oidx) = platform.index_of(other.as_str()) {
+                    if !seen[oidx.index()] {
+                        seen[oidx.index()] = true;
+                        out.push(oidx);
+                        stack.push(oidx);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdl_core::prelude::*;
+
+    fn ic(t: &str, from: &str, to: &str, gbps: f64, us: f64) -> Interconnect {
+        Interconnect::new(t, from, to).with_descriptor(
+            Descriptor::new()
+                .with(Property::fixed(wellknown::BANDWIDTH, gbps.to_string()).with_unit(Unit::GigaBytePerSec))
+                .with(Property::fixed(wellknown::LATENCY, us.to_string()).with_unit(Unit::MicroSecond)),
+        )
+    }
+
+    /// cpu --QPI--> node --PCIe--> gpu, plus a slow direct link cpu->gpu.
+    fn mesh() -> Platform {
+        let mut b = Platform::builder("mesh");
+        let m = b.master("cpu");
+        let h = b.hybrid(m, "node").unwrap();
+        b.worker(h, "gpu").unwrap();
+        b.interconnect(ic("QPI", "cpu", "node", 25.0, 1.0));
+        b.interconnect(ic("PCIe", "node", "gpu", 8.0, 10.0));
+        b.interconnect(ic("slow", "cpu", "gpu", 0.1, 100.0));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn picks_fast_two_hop_over_slow_direct_for_large_payloads() {
+        let p = mesh();
+        let r = route(&p, "cpu", "gpu", 1e9).unwrap();
+        assert_eq!(r.hops.len(), 2);
+        assert_eq!(r.hops[0].from, PuId::new("cpu"));
+        assert_eq!(r.hops[1].to, PuId::new("gpu"));
+        assert_eq!(r.bottleneck_bps, 8e9);
+    }
+
+    #[test]
+    fn picks_direct_link_for_tiny_payloads_when_latency_dominates() {
+        // With 0-byte payload: two-hop = 1us + 10us = 11us vs direct 100us →
+        // still two-hop. Make direct latency cheap instead.
+        let mut b = Platform::builder("lat");
+        let m = b.master("a");
+        let h = b.hybrid(m, "b").unwrap();
+        b.worker(h, "c").unwrap();
+        b.interconnect(ic("l1", "a", "b", 100.0, 50.0));
+        b.interconnect(ic("l2", "b", "c", 100.0, 50.0));
+        b.interconnect(ic("direct", "a", "c", 0.5, 1.0));
+        let p = b.build().unwrap();
+        let r = route(&p, "a", "c", 0.0).unwrap();
+        assert_eq!(r.hops.len(), 1);
+        assert_eq!(p.interconnects()[r.hops[0].ic_index].ic_type, "direct");
+        // For a huge payload the bandwidth advantage flips the decision.
+        let r = route(&p, "a", "c", 1e10).unwrap();
+        assert_eq!(r.hops.len(), 2);
+    }
+
+    #[test]
+    fn trivial_route() {
+        let p = mesh();
+        let r = route(&p, "cpu", "cpu", 123.0).unwrap();
+        assert!(r.hops.is_empty());
+        assert_eq!(r.time_s, 0.0);
+    }
+
+    #[test]
+    fn unroutable_returns_none() {
+        let mut b = Platform::builder("iso");
+        let m = b.master("a");
+        b.worker(m, "b").unwrap(); // control edge but NO interconnect
+        let p = b.build().unwrap();
+        assert!(route(&p, "a", "b", 1.0).is_none());
+        assert!(route(&p, "a", "nope", 1.0).is_none());
+    }
+
+    #[test]
+    fn unidirectional_links_respected() {
+        let mut b = Platform::builder("uni");
+        let m = b.master("a");
+        b.worker(m, "b").unwrap();
+        b.interconnect(Interconnect::new("dma", "a", "b").unidirectional());
+        let p = b.build().unwrap();
+        assert!(route(&p, "a", "b", 1.0).is_some());
+        assert!(route(&p, "b", "a", 1.0).is_none());
+    }
+
+    #[test]
+    fn default_link_parameters_used() {
+        let mut b = Platform::builder("def");
+        let m = b.master("a");
+        b.worker(m, "b").unwrap();
+        b.interconnect(Interconnect::new("link", "a", "b"));
+        let p = b.build().unwrap();
+        let r = route(&p, "a", "b", 1e9).unwrap();
+        // 10us + 1e9/1e9 s ≈ 1.00001 s
+        assert!((r.time_s - (DEFAULT_LATENCY_S + 1.0)).abs() < 1e-9);
+        assert_eq!(r.bottleneck_bps, DEFAULT_BANDWIDTH_BPS);
+    }
+
+    #[test]
+    fn route_time_decomposes() {
+        let p = mesh();
+        let size = 8e6;
+        let r = route(&p, "cpu", "gpu", size).unwrap();
+        let sum: f64 = r.hops.iter().map(|h| h.time_s).sum();
+        assert!((r.time_s - sum).abs() < 1e-12);
+        // latency part
+        assert!((r.latency_s - 11e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reachable_set() {
+        let p = mesh();
+        let r = reachable(&p, "cpu");
+        assert_eq!(r.len(), 2);
+        let mut b = Platform::builder("iso");
+        let m = b.master("a");
+        b.worker(m, "b").unwrap();
+        let p = b.build().unwrap();
+        assert!(reachable(&p, "a").is_empty());
+        assert!(reachable(&p, "zzz").is_empty());
+    }
+
+    #[test]
+    fn closest_pu_picks_cheapest_route() {
+        let p = mesh();
+        let candidates = vec!["gpu".to_string(), "node".to_string()];
+        let (best, r) = closest_pu(&p, "cpu", &candidates, 1e6).unwrap();
+        assert_eq!(best, "node"); // one hop beats two
+        assert_eq!(r.hops.len(), 1);
+        // Unreachable candidates are skipped; empty set yields None.
+        let unknown = vec!["nope".to_string()];
+        assert!(closest_pu(&p, "cpu", &unknown, 1.0).is_none());
+        assert!(closest_pu(&p, "cpu", &[], 1.0).is_none());
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        // Two identical parallel links: route must be stable across calls.
+        let mut b = Platform::builder("tie");
+        let m = b.master("a");
+        let h = b.hybrid(m, "b1").unwrap();
+        let _ = h;
+        let h2 = b.hybrid(m, "b2").unwrap();
+        b.worker(h2, "c").unwrap();
+        b.interconnect(ic("l", "a", "b1", 1.0, 1.0));
+        b.interconnect(ic("l", "a", "b2", 1.0, 1.0));
+        b.interconnect(ic("l", "b1", "c", 1.0, 1.0));
+        b.interconnect(ic("l", "b2", "c", 1.0, 1.0));
+        let p = b.build().unwrap();
+        let r1 = route(&p, "a", "c", 100.0).unwrap();
+        let r2 = route(&p, "a", "c", 100.0).unwrap();
+        assert_eq!(r1, r2);
+    }
+}

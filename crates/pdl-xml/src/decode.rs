@@ -1,0 +1,402 @@
+//! DOM → [`Platform`] decoding.
+//!
+//! Accepts both document shapes used in the paper:
+//! * a bare `<Master …>` root (Listing 1), and
+//! * a `<Platform name=… schemaVersion=…>` wrapper holding several Masters
+//!   and platform-level interconnects.
+//!
+//! Interconnect elements may appear inside any PU scope (as in Listing 1) or
+//! at the Platform level; they are hoisted into the platform's global edge
+//! list, which is what the model stores.
+
+use crate::dom::{Document, Element};
+use crate::error::{SchemaError, XmlError};
+use crate::schema::SchemaRegistry;
+use pdl_core::prelude::*;
+
+/// Decodes a validated document into a platform.
+///
+/// Validation (schema + model) is always performed; errors are returned via
+/// [`XmlError`].
+pub fn decode_document(doc: &Document, registry: &SchemaRegistry) -> Result<Platform, XmlError> {
+    let mut schema_errors = registry.validate(doc);
+    if !schema_errors.is_empty() {
+        return Err(XmlError::Schema(schema_errors.remove(0)));
+    }
+    decode_unvalidated(doc)
+}
+
+/// Decodes without schema validation (the model's own structural validation
+/// still runs). Used by tools that already validated, and by tests.
+pub fn decode_unvalidated(doc: &Document) -> Result<Platform, XmlError> {
+    let root = &doc.root;
+    let mut builder;
+    match root.local_name() {
+        "Platform" => {
+            let name = root.attribute("name").unwrap_or("unnamed").to_string();
+            builder = Platform::builder(name);
+            if let Some(v) = root.attribute("schemaVersion") {
+                let version = v.parse::<Version>().map_err(|_| {
+                    XmlError::Schema(SchemaError::BadAttributeValue {
+                        element: "Platform".into(),
+                        attribute: "schemaVersion".into(),
+                        value: v.to_string(),
+                    })
+                })?;
+                builder.schema_version(version);
+            }
+            for child in root.elements() {
+                match child.local_name() {
+                    "Master" => decode_pu_tree(&mut builder, child, None)?,
+                    "Interconnect" => {
+                        let ic = decode_interconnect(child)?;
+                        builder.interconnect(ic);
+                    }
+                    _ => unreachable!("rejected by schema validation"),
+                }
+            }
+        }
+        "Master" => {
+            builder = Platform::builder(root.attribute("id").unwrap_or("unnamed").to_string());
+            decode_pu_tree(&mut builder, root, None)?;
+        }
+        other => {
+            return Err(XmlError::Schema(SchemaError::UnexpectedElement {
+                element: other.to_string(),
+                parent: String::new(),
+            }))
+        }
+    }
+    Ok(builder.build()?)
+}
+
+fn decode_pu_tree(
+    builder: &mut PlatformBuilder,
+    e: &Element,
+    parent: Option<PuHandle>,
+) -> Result<(), XmlError> {
+    let class = PuClass::from_element_name(e.local_name()).expect("caller checked element name");
+    let id = e.attribute("id").unwrap_or_default().to_string();
+
+    let handle = match parent {
+        None => builder.root(id, class),
+        Some(p) => builder.child(p, id, class)?,
+    };
+
+    if let Some(q) = e.attribute("quantity") {
+        let quantity = q.parse::<u32>().map_err(|_| {
+            XmlError::Schema(SchemaError::BadAttributeValue {
+                element: e.local_name().to_string(),
+                attribute: "quantity".into(),
+                value: q.to_string(),
+            })
+        })?;
+        builder.quantity(handle, quantity);
+    }
+
+    for child in e.elements() {
+        match child.local_name() {
+            "PUDescriptor" => {
+                let d = decode_descriptor(child)?;
+                builder.descriptor(handle, d);
+            }
+            "MemoryRegion" => {
+                let id = child.attribute("id").unwrap_or_default().to_string();
+                let mut mr = MemoryRegion::new(id);
+                if let Some(d) = child.first_named("MRDescriptor") {
+                    mr.descriptor = decode_descriptor(d)?;
+                }
+                builder.memory(handle, mr);
+            }
+            "Interconnect" => {
+                let ic = decode_interconnect(child)?;
+                builder.interconnect(ic);
+            }
+            "LogicGroupAttribute" => {
+                let name = child.attribute("name").unwrap_or_default().to_string();
+                builder.group(handle, name);
+            }
+            "Worker" | "Hybrid" => decode_pu_tree(builder, child, Some(handle))?,
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn decode_interconnect(e: &Element) -> Result<Interconnect, XmlError> {
+    let ic_type = e.attribute("type").unwrap_or_default().to_string();
+    let from = e.attribute("from").unwrap_or_default().to_string();
+    let to = e.attribute("to").unwrap_or_default().to_string();
+    let mut ic = Interconnect::new(ic_type, from, to);
+    if let Some(s) = e.attribute("scheme") {
+        ic.scheme = s.to_string();
+    }
+    if e.attribute("direction") == Some("uni") {
+        ic.directionality = Directionality::Unidirectional;
+    }
+    if let Some(d) = e.first_named("ICDescriptor") {
+        ic.descriptor = decode_descriptor(d)?;
+    }
+    Ok(ic)
+}
+
+fn decode_descriptor(e: &Element) -> Result<Descriptor, XmlError> {
+    let mut d = Descriptor::new();
+    for p in e.elements_named("Property") {
+        d.push(decode_property(p)?);
+    }
+    Ok(d)
+}
+
+fn decode_property(e: &Element) -> Result<Property, XmlError> {
+    let fixed = match e.attribute("fixed") {
+        Some("true") | None => e.attribute("fixed").is_some(),
+        Some("false") => false,
+        Some(other) => {
+            return Err(XmlError::Schema(SchemaError::BadAttributeValue {
+                element: "Property".into(),
+                attribute: "fixed".into(),
+                value: other.to_string(),
+            }))
+        }
+    };
+    // `fixed` defaults to false when absent (the attribute is optional in
+    // the paper's schema; both listings spell it explicitly).
+    let fixed = if e.attribute("fixed").is_none() {
+        false
+    } else {
+        fixed
+    };
+
+    let subschema = match e.attribute("xsi:type") {
+        Some(t) => Some(SubschemaRef::parse(t).ok_or_else(|| {
+            XmlError::Schema(SchemaError::UnknownSubschema(t.to_string()))
+        })?),
+        None => None,
+    };
+
+    let name = e
+        .first_named("name")
+        .map(|n| n.text_content())
+        .unwrap_or_default();
+
+    let (text, unit) = match e.first_named("value") {
+        Some(v) => {
+            let unit = match v.attribute("unit") {
+                Some(u) => Some(u.parse::<Unit>().map_err(|_| {
+                    XmlError::Schema(SchemaError::BadAttributeValue {
+                        element: "value".into(),
+                        attribute: "unit".into(),
+                        value: u.to_string(),
+                    })
+                })?),
+                None => None,
+            };
+            (v.text_content(), unit)
+        }
+        None => (String::new(), None),
+    };
+
+    Ok(Property {
+        name,
+        value: PropertyValue { text, unit },
+        fixed,
+        subschema,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    fn decode(src: &str) -> Platform {
+        let doc = parse_document(src).unwrap();
+        decode_document(&doc, &SchemaRegistry::with_builtins()).unwrap()
+    }
+
+    /// Listing 1 of the paper, verbatim structure.
+    const LISTING1: &str = r#"<?xml version="1.0"?>
+<!-- XML HEADER -->
+<Master id="0" quantity="1">
+  <PUDescriptor>
+    <Property fixed="true">
+      <name>ARCHITECTURE</name>
+      <value>x86</value>
+    </Property>
+    <!-- Additional properties -->
+  </PUDescriptor>
+  <Worker quantity="1" id="1">
+    <PUDescriptor>
+      <Property fixed="true">
+        <name>ARCHITECTURE</name>
+        <value>gpu</value>
+      </Property>
+    </PUDescriptor>
+  </Worker>
+  <Interconnect type="rDMA" from="0" to="1" scheme=""/>
+</Master>"#;
+
+    #[test]
+    fn listing1_decodes() {
+        let p = decode(LISTING1);
+        assert_eq!(p.len(), 2);
+        let (_, m) = p.pu_by_id("0").unwrap();
+        assert_eq!(m.class, PuClass::Master);
+        assert_eq!(m.architecture(), Some("x86"));
+        assert!(m.descriptor.get("ARCHITECTURE").unwrap().fixed);
+        let (_, w) = p.pu_by_id("1").unwrap();
+        assert_eq!(w.class, PuClass::Worker);
+        assert_eq!(w.architecture(), Some("gpu"));
+        assert_eq!(p.interconnects().len(), 1);
+        assert_eq!(p.interconnects()[0].ic_type, "rDMA");
+    }
+
+    #[test]
+    fn listing2_typed_properties_decode() {
+        let p = decode(
+            r#"<Master id="0"><Worker id="1"><PUDescriptor>
+                 <Property fixed="false" xsi:type="ocl:oclDevicePropertyType">
+                   <ocl:name>DEVICE_NAME</ocl:name><ocl:value>GeForce GTX 480</ocl:value>
+                 </Property>
+                 <Property fixed="false" xsi:type="ocl:oclDevicePropertyType">
+                   <ocl:name>MAX_COMPUTE_UNITS</ocl:name><ocl:value>15</ocl:value>
+                 </Property>
+                 <Property fixed="false" xsi:type="ocl:oclDevicePropertyType">
+                   <ocl:name>GLOBAL_MEM_SIZE</ocl:name><ocl:value unit="kB">1572864</ocl:value>
+                 </Property>
+               </PUDescriptor></Worker></Master>"#,
+        );
+        let (_, w) = p.pu_by_id("1").unwrap();
+        assert_eq!(w.descriptor.value("DEVICE_NAME"), Some("GeForce GTX 480"));
+        assert_eq!(w.descriptor.value_i64("MAX_COMPUTE_UNITS"), Some(15));
+        let gm = w.descriptor.get("GLOBAL_MEM_SIZE").unwrap();
+        assert_eq!(gm.value.unit, Some(Unit::KiloByte));
+        assert_eq!(gm.value.in_base_units(), Some(1_572_864_000.0));
+        assert_eq!(
+            gm.subschema.as_ref().unwrap().qualified(),
+            "ocl:oclDevicePropertyType"
+        );
+        assert!(!gm.fixed);
+    }
+
+    #[test]
+    fn platform_wrapper_decodes() {
+        let p = decode(
+            r#"<Platform name="dual-host" schemaVersion="1.0">
+                 <Master id="a"><Worker id="aw"/></Master>
+                 <Master id="b"><Worker id="bw"/></Master>
+                 <Interconnect type="QPI" from="a" to="b"/>
+               </Platform>"#,
+        );
+        assert_eq!(p.name, "dual-host");
+        assert_eq!(p.roots().len(), 2);
+        assert_eq!(p.interconnects().len(), 1);
+    }
+
+    #[test]
+    fn memory_regions_and_groups_decode() {
+        let p = decode(
+            r#"<Master id="0">
+                 <MemoryRegion id="ram">
+                   <MRDescriptor>
+                     <Property fixed="true"><name>SIZE</name><value unit="GiB">32</value></Property>
+                   </MRDescriptor>
+                 </MemoryRegion>
+                 <LogicGroupAttribute name="hosts"/>
+                 <Worker id="1">
+                   <LogicGroupAttribute name="gpus"/>
+                   <LogicGroupAttribute name="fast"/>
+                 </Worker>
+               </Master>"#,
+        );
+        let (_, m) = p.pu_by_id("0").unwrap();
+        assert_eq!(m.memory_regions.len(), 1);
+        assert_eq!(
+            m.memory_regions[0].size_bytes(),
+            Some(32.0 * 1024.0 * 1024.0 * 1024.0)
+        );
+        assert!(m.in_group("hosts"));
+        let (_, w) = p.pu_by_id("1").unwrap();
+        assert!(w.in_group("gpus") && w.in_group("fast"));
+    }
+
+    #[test]
+    fn hierarchy_with_hybrids_decodes() {
+        let p = decode(
+            r#"<Master id="fe">
+                 <Hybrid id="node0">
+                   <Worker id="gpu0"/>
+                   <Worker id="gpu1"/>
+                 </Hybrid>
+               </Master>"#,
+        );
+        assert_eq!(p.hybrids().count(), 1);
+        assert_eq!(p.workers().count(), 2);
+        let g0 = p.index_of("gpu0").unwrap();
+        assert_eq!(p.depth(g0), 2);
+    }
+
+    #[test]
+    fn unidirectional_interconnect_decodes() {
+        let p = decode(
+            r#"<Master id="0"><Worker id="1"/>
+               <Interconnect type="dma" from="0" to="1" direction="uni"/></Master>"#,
+        );
+        assert_eq!(
+            p.interconnects()[0].directionality,
+            Directionality::Unidirectional
+        );
+    }
+
+    #[test]
+    fn bad_unit_is_schema_error() {
+        let doc = parse_document(
+            r#"<Master id="0"><PUDescriptor>
+                 <Property fixed="true"><name>S</name><value unit="parsec">1</value></Property>
+               </PUDescriptor></Master>"#,
+        )
+        .unwrap();
+        let err = decode_document(&doc, &SchemaRegistry::with_builtins()).unwrap_err();
+        assert!(matches!(err, XmlError::Schema(SchemaError::BadAttributeValue { .. })));
+    }
+
+    #[test]
+    fn model_violations_surface_as_model_errors() {
+        // Schema-valid XML (Worker under Master is fine) but duplicate ids.
+        let doc = parse_document(r#"<Master id="0"><Worker id="0"/></Master>"#).unwrap();
+        let err = decode_document(&doc, &SchemaRegistry::with_builtins()).unwrap_err();
+        assert!(matches!(err, XmlError::Model(_)));
+    }
+
+    #[test]
+    fn schema_invalid_document_rejected() {
+        let doc = parse_document("<Garbage/>").unwrap();
+        let err = decode_document(&doc, &SchemaRegistry::with_builtins()).unwrap_err();
+        assert!(matches!(err, XmlError::Schema(_)));
+    }
+
+    #[test]
+    fn ic_descriptor_decodes() {
+        let p = decode(
+            r#"<Master id="0"><Worker id="1"/>
+               <Interconnect type="PCIe" from="0" to="1">
+                 <ICDescriptor>
+                   <Property fixed="true"><name>BANDWIDTH</name><value unit="GB/s">8</value></Property>
+                 </ICDescriptor>
+               </Interconnect></Master>"#,
+        );
+        assert_eq!(p.interconnects()[0].bandwidth_bps(), Some(8e9));
+    }
+
+    #[test]
+    fn property_without_fixed_defaults_unfixed() {
+        let p = decode(
+            r#"<Master id="0"><PUDescriptor>
+                 <Property><name>HINT</name><value>x</value></Property>
+               </PUDescriptor></Master>"#,
+        );
+        let (_, m) = p.pu_by_id("0").unwrap();
+        assert!(!m.descriptor.get("HINT").unwrap().fixed);
+    }
+}

@@ -1,0 +1,265 @@
+//! A small XML document object model.
+//!
+//! Only what the PDL needs: elements, attributes, character data, comments
+//! and CDATA sections. Attribute order and child order are preserved for
+//! faithful round-trips.
+
+use crate::error::Pos;
+use std::fmt;
+
+/// A node of the XML tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// An element with attributes and children.
+    Element(Element),
+    /// Character data (entity references already resolved).
+    Text(String),
+    /// A comment (without the `<!--`/`-->` delimiters).
+    Comment(String),
+    /// A CDATA section's raw content.
+    CData(String),
+}
+
+impl Node {
+    /// The element inside, if this node is one.
+    pub fn as_element(&self) -> Option<&Element> {
+        match self {
+            Node::Element(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The textual content, if this is a text or CDATA node.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Node::Text(t) | Node::CData(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// An XML element.
+///
+/// Equality compares name, attributes and children but ignores the
+/// diagnostic [`pos`](Element::pos) field, so parse→write→parse round-trips
+/// compare equal.
+#[derive(Debug, Clone, Default)]
+pub struct Element {
+    /// Qualified element name (prefix kept verbatim, e.g. `ocl:name`).
+    pub name: String,
+    /// Attributes in document order, values with entities resolved.
+    pub attributes: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<Node>,
+    /// Position of the opening `<` in the source (parser-filled; default for
+    /// synthesized elements).
+    pub pos: Pos,
+}
+
+impl PartialEq for Element {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.attributes == other.attributes
+            && self.children == other.children
+    }
+}
+
+impl Element {
+    /// A new element with the given name and no content.
+    pub fn new(name: impl Into<String>) -> Self {
+        Element {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Builder: adds an attribute.
+    pub fn attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attributes.push((name.into(), value.into()));
+        self
+    }
+
+    /// Builder: adds a child element.
+    pub fn child(mut self, child: Element) -> Self {
+        self.children.push(Node::Element(child));
+        self
+    }
+
+    /// Builder: adds a text child.
+    pub fn text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(Node::Text(text.into()));
+        self
+    }
+
+    /// Builder: adds a comment child.
+    pub fn comment(mut self, text: impl Into<String>) -> Self {
+        self.children.push(Node::Comment(text.into()));
+        self
+    }
+
+    /// Value of the first attribute with the given name.
+    pub fn attribute(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Local part of the element name (`ocl:value` → `value`).
+    pub fn local_name(&self) -> &str {
+        match self.name.split_once(':') {
+            Some((_, local)) => local,
+            None => &self.name,
+        }
+    }
+
+    /// Namespace prefix of the element name (`ocl:value` → `Some("ocl")`).
+    pub fn prefix(&self) -> Option<&str> {
+        self.name.split_once(':').map(|(p, _)| p)
+    }
+
+    /// Child elements, in order.
+    pub fn elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(Node::as_element)
+    }
+
+    /// Child elements whose *local* name matches.
+    pub fn elements_named<'a>(&'a self, local: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.elements().filter(move |e| e.local_name() == local)
+    }
+
+    /// First child element with the given local name.
+    pub fn first_named(&self, local: &str) -> Option<&Element> {
+        self.elements().find(|e| e.local_name() == local)
+    }
+
+    /// Concatenated character data of direct text/CDATA children, trimmed.
+    pub fn text_content(&self) -> String {
+        let mut s = String::new();
+        for c in &self.children {
+            if let Some(t) = c.as_text() {
+                s.push_str(t);
+            }
+        }
+        s.trim().to_string()
+    }
+
+    /// Whether the element has no children at all (serialized self-closing).
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+impl fmt::Display for Element {
+    /// Compact single-line rendering, mainly for diagnostics. Use
+    /// [`crate::writer`] for document output.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}", self.name)?;
+        for (n, v) in &self.attributes {
+            write!(f, " {n}={v:?}")?;
+        }
+        if self.children.is_empty() {
+            write!(f, "/>")
+        } else {
+            write!(f, ">…</{}>", self.name)
+        }
+    }
+}
+
+/// A parsed XML document: the root element plus any leading/trailing
+/// comments (the XML declaration is not preserved; the writer re-emits a
+/// canonical one).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Document {
+    /// Comments before the root element.
+    pub prolog_comments: Vec<String>,
+    /// The document element.
+    pub root: Element,
+}
+
+impl Document {
+    /// Wraps an element as a document.
+    pub fn new(root: Element) -> Self {
+        Document {
+            prolog_comments: Vec::new(),
+            root,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Element {
+        Element::new("Master")
+            .attr("id", "0")
+            .attr("quantity", "1")
+            .child(
+                Element::new("PUDescriptor").child(
+                    Element::new("Property")
+                        .attr("fixed", "true")
+                        .child(Element::new("name").text("ARCHITECTURE"))
+                        .child(Element::new("value").text("x86")),
+                ),
+            )
+            .child(Element::new("Worker").attr("id", "1"))
+    }
+
+    #[test]
+    fn attribute_lookup() {
+        let e = sample();
+        assert_eq!(e.attribute("id"), Some("0"));
+        assert_eq!(e.attribute("quantity"), Some("1"));
+        assert_eq!(e.attribute("missing"), None);
+    }
+
+    #[test]
+    fn child_navigation() {
+        let e = sample();
+        assert_eq!(e.elements().count(), 2);
+        assert!(e.first_named("PUDescriptor").is_some());
+        assert!(e.first_named("Worker").is_some());
+        assert!(e.first_named("Hybrid").is_none());
+        let prop = e
+            .first_named("PUDescriptor")
+            .unwrap()
+            .first_named("Property")
+            .unwrap();
+        assert_eq!(prop.first_named("name").unwrap().text_content(), "ARCHITECTURE");
+        assert_eq!(prop.first_named("value").unwrap().text_content(), "x86");
+    }
+
+    #[test]
+    fn namespaced_names() {
+        let e = Element::new("ocl:value").attr("unit", "kB").text("48");
+        assert_eq!(e.local_name(), "value");
+        assert_eq!(e.prefix(), Some("ocl"));
+        assert_eq!(e.text_content(), "48");
+        let plain = Element::new("value");
+        assert_eq!(plain.local_name(), "value");
+        assert_eq!(plain.prefix(), None);
+    }
+
+    #[test]
+    fn text_content_concatenates_and_trims() {
+        let mut e = Element::new("v");
+        e.children.push(Node::Text("  a".into()));
+        e.children.push(Node::Comment("ignored".into()));
+        e.children.push(Node::CData("b  ".into()));
+        assert_eq!(e.text_content(), "a\u{2063}b".replace('\u{2063}', "")); // "ab"
+    }
+
+    #[test]
+    fn local_name_lookup_ignores_prefix() {
+        let e = Element::new("p").child(Element::new("ocl:name").text("X"));
+        assert!(e.first_named("name").is_some());
+        assert_eq!(e.elements_named("name").count(), 1);
+    }
+
+    #[test]
+    fn display_diagnostic_form() {
+        let e = Element::new("Interconnect").attr("type", "rDMA");
+        assert_eq!(e.to_string(), "<Interconnect type=\"rDMA\"/>");
+    }
+}

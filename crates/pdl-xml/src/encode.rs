@@ -1,0 +1,243 @@
+//! [`Platform`] → DOM → XML encoding.
+//!
+//! The encoder emits the `<Platform>` wrapper form (name + schemaVersion +
+//! Masters + platform-level interconnects), which round-trips every model
+//! feature. [`encode_master_fragment`] emits the bare-Master form of
+//! Listing 1 for single-root platforms.
+
+use crate::dom::{Document, Element};
+use crate::writer;
+use pdl_core::prelude::*;
+
+/// Encodes a platform as a `<Platform>` document.
+pub fn encode_document(platform: &Platform) -> Document {
+    let mut root = Element::new("Platform")
+        .attr("name", platform.name.clone())
+        .attr("schemaVersion", platform.schema_version.to_string());
+    for &r in platform.roots() {
+        root = root.child(encode_pu(platform, r));
+    }
+    for ic in platform.interconnects() {
+        root = root.child(encode_interconnect(ic));
+    }
+    Document::new(root)
+}
+
+/// Serializes a platform to an XML string.
+pub fn to_xml(platform: &Platform) -> String {
+    writer::write_document(&encode_document(platform))
+}
+
+/// Encodes a single-root platform as a bare `<Master>` document (Listing 1
+/// shape), with interconnects nested in the Master scope. Returns `None`
+/// when the platform does not have exactly one root.
+pub fn encode_master_fragment(platform: &Platform) -> Option<String> {
+    if platform.roots().len() != 1 {
+        return None;
+    }
+    let mut root = encode_pu(platform, platform.roots()[0]);
+    for ic in platform.interconnects() {
+        root = root.child(encode_interconnect(ic));
+    }
+    Some(writer::write_document(&Document::new(root)))
+}
+
+fn encode_pu(platform: &Platform, idx: PuIdx) -> Element {
+    let pu = platform.pu(idx);
+    let mut e = Element::new(pu.class.element_name()).attr("id", pu.id.as_str());
+    if pu.quantity != 1 {
+        e = e.attr("quantity", pu.quantity.to_string());
+    }
+    if !pu.descriptor.is_empty() {
+        e = e.child(encode_descriptor("PUDescriptor", &pu.descriptor));
+    }
+    for mr in &pu.memory_regions {
+        let mut m = Element::new("MemoryRegion").attr("id", mr.id.as_str());
+        if !mr.descriptor.is_empty() {
+            m = m.child(encode_descriptor("MRDescriptor", &mr.descriptor));
+        }
+        e = e.child(m);
+    }
+    for g in &pu.groups {
+        e = e.child(Element::new("LogicGroupAttribute").attr("name", g.as_str()));
+    }
+    for &c in pu.children() {
+        e = e.child(encode_pu(platform, c));
+    }
+    e
+}
+
+fn encode_interconnect(ic: &Interconnect) -> Element {
+    let mut e = Element::new("Interconnect")
+        .attr("type", ic.ic_type.clone())
+        .attr("from", ic.from.as_str())
+        .attr("to", ic.to.as_str());
+    if !ic.scheme.is_empty() {
+        e = e.attr("scheme", ic.scheme.clone());
+    }
+    if ic.directionality == Directionality::Unidirectional {
+        e = e.attr("direction", "uni");
+    }
+    if !ic.descriptor.is_empty() {
+        e = e.child(encode_descriptor("ICDescriptor", &ic.descriptor));
+    }
+    e
+}
+
+fn encode_descriptor(element_name: &str, d: &Descriptor) -> Element {
+    let mut e = Element::new(element_name);
+    for p in d.iter() {
+        e = e.child(encode_property(p));
+    }
+    e
+}
+
+fn encode_property(p: &Property) -> Element {
+    let mut e = Element::new("Property").attr("fixed", if p.fixed { "true" } else { "false" });
+    // Typed properties use the subschema prefix on name/value children,
+    // exactly as in Listing 2.
+    let (name_el, value_el) = match &p.subschema {
+        Some(s) => {
+            e = e.attr("xsi:type", s.qualified());
+            (format!("{}:name", s.namespace), format!("{}:value", s.namespace))
+        }
+        None => ("name".to_string(), "value".to_string()),
+    };
+    e = e.child(Element::new(name_el).text(p.name.clone()));
+    let mut v = Element::new(value_el);
+    if let Some(u) = p.value.unit {
+        v = v.attr("unit", u.as_str());
+    }
+    if !p.value.text.is_empty() {
+        v = v.text(p.value.text.clone());
+    }
+    e.child(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode_document;
+    use crate::parser::parse_document;
+    use crate::schema::SchemaRegistry;
+
+    fn listing1_platform() -> Platform {
+        let mut b = Platform::builder("listing1");
+        let m = b.master("0");
+        b.prop(m, Property::fixed("ARCHITECTURE", "x86"));
+        let w = b.worker(m, "1").unwrap();
+        b.prop(w, Property::fixed("ARCHITECTURE", "gpu"));
+        b.interconnect(Interconnect::new("rDMA", "0", "1"));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn xml_round_trip_identity() {
+        let p = listing1_platform();
+        let xml = to_xml(&p);
+        let doc = parse_document(&xml).unwrap();
+        let p2 = decode_document(&doc, &SchemaRegistry::with_builtins()).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn round_trip_with_all_features() {
+        let mut b = Platform::builder("full");
+        b.schema_version(Version::new(1, 0));
+        let m = b.master("0");
+        b.prop(m, Property::fixed("ARCHITECTURE", "x86"));
+        b.prop(m, Property::unfixed("HOSTNAME", ""));
+        b.memory(
+            m,
+            MemoryRegion::new("ram").with_descriptor(Descriptor::new().with(
+                Property::fixed("SIZE", "32").with_unit(Unit::GibiByte),
+            )),
+        );
+        b.group(m, "hosts");
+        let h = b.hybrid(m, "node").unwrap();
+        b.quantity(h, 2);
+        let w = b.worker(h, "gpu").unwrap();
+        b.prop(
+            w,
+            Property::typed(
+                "GLOBAL_MEM_SIZE",
+                PropertyValue::with_unit(1_572_864u64, Unit::KiloByte),
+                SubschemaRef::new("ocl", "oclDevicePropertyType"),
+            ),
+        );
+        b.group(w, "gpus");
+        b.interconnect(
+            Interconnect::new("PCIe", "node", "gpu")
+                .with_scheme("dma")
+                .with_descriptor(
+                    Descriptor::new()
+                        .with(Property::fixed("BANDWIDTH", "8").with_unit(Unit::GigaBytePerSec)),
+                ),
+        );
+        b.interconnect(Interconnect::new("QPI", "0", "node").unidirectional());
+        let p = b.build().unwrap();
+
+        let xml = to_xml(&p);
+        let doc = parse_document(&xml).unwrap();
+        let p2 = decode_document(&doc, &SchemaRegistry::with_builtins()).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn master_fragment_matches_listing1_shape() {
+        let p = listing1_platform();
+        let xml = encode_master_fragment(&p).unwrap();
+        assert!(xml.contains("<Master id=\"0\">"));
+        assert!(xml.contains("<name>ARCHITECTURE</name>"));
+        assert!(xml.contains("<value>gpu</value>"));
+        assert!(xml.contains("<Interconnect type=\"rDMA\" from=\"0\" to=\"1\"/>"));
+        // And it decodes back to the same platform modulo name (bare
+        // fragments take the Master id as platform name).
+        let doc = parse_document(&xml).unwrap();
+        let p2 = decode_document(&doc, &SchemaRegistry::with_builtins()).unwrap();
+        assert_eq!(p2.len(), p.len());
+        assert_eq!(p2.interconnects(), p.interconnects());
+    }
+
+    #[test]
+    fn master_fragment_requires_single_root() {
+        let mut b = Platform::builder("two");
+        b.master("a");
+        b.master("b");
+        let p = b.build().unwrap();
+        assert!(encode_master_fragment(&p).is_none());
+        // The Platform wrapper handles it fine.
+        let xml = to_xml(&p);
+        let doc = parse_document(&xml).unwrap();
+        let p2 = decode_document(&doc, &SchemaRegistry::with_builtins()).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn typed_property_emits_prefixed_children() {
+        let mut b = Platform::builder("t");
+        let m = b.master("0");
+        b.prop(
+            m,
+            Property::typed(
+                "DEVICE_NAME",
+                PropertyValue::text("GeForce GTX 480"),
+                SubschemaRef::new("ocl", "oclDevicePropertyType"),
+            ),
+        );
+        let xml = to_xml(&b.build().unwrap());
+        assert!(xml.contains("xsi:type=\"ocl:oclDevicePropertyType\""));
+        assert!(xml.contains("<ocl:name>DEVICE_NAME</ocl:name>"));
+        assert!(xml.contains("<ocl:value>GeForce GTX 480</ocl:value>"));
+    }
+
+    #[test]
+    fn quantity_omitted_when_one() {
+        let p = listing1_platform();
+        let xml = to_xml(&p);
+        assert!(!xml.contains("quantity"));
+        let pool = pdl_core::patterns::master_worker_pool(8);
+        let xml = to_xml(&pool);
+        assert!(xml.contains("quantity=\"8\""));
+    }
+}

@@ -1,0 +1,593 @@
+//! A from-scratch, dependency-free XML parser.
+//!
+//! Covers the XML subset the PDL uses (and a bit more): prolog/declaration,
+//! processing instructions (skipped), comments, elements with attributes,
+//! character data with the five predefined entities plus numeric character
+//! references, and CDATA sections. DTDs are not supported (the PDL uses XSD
+//! schemas, handled by [`crate::schema`]).
+//!
+//! The parser is a hand-rolled recursive-descent cursor over `&str` that
+//! tracks line/column for diagnostics and guarantees well-formedness:
+//! matching tags, unique attributes per element, single root element.
+
+use crate::dom::{Document, Element, Node};
+use crate::error::{Pos, SyntaxError, SyntaxErrorKind};
+
+/// Parses a complete XML document.
+pub fn parse_document(input: &str) -> Result<Document, SyntaxError> {
+    let mut p = Parser::new(input);
+    p.skip_bom();
+    let mut prolog_comments = Vec::new();
+
+    // Prolog: declaration, whitespace, comments, PIs.
+    loop {
+        p.skip_whitespace();
+        if p.starts_with("<?") {
+            p.skip_pi()?;
+        } else if p.starts_with("<!--") {
+            prolog_comments.push(p.parse_comment()?);
+        } else if p.starts_with("<!DOCTYPE") {
+            p.skip_doctype()?;
+        } else {
+            break;
+        }
+    }
+
+    p.skip_whitespace();
+    if p.eof() || !p.starts_with("<") {
+        return Err(p.err(SyntaxErrorKind::NoRootElement));
+    }
+    let root = p.parse_element()?;
+
+    // Epilog: only whitespace, comments and PIs allowed.
+    loop {
+        p.skip_whitespace();
+        if p.starts_with("<!--") {
+            p.parse_comment()?;
+        } else if p.starts_with("<?") {
+            p.skip_pi()?;
+        } else if p.eof() {
+            break;
+        } else {
+            return Err(p.err(SyntaxErrorKind::TrailingContent));
+        }
+    }
+
+    Ok(Document {
+        prolog_comments,
+        root,
+    })
+}
+
+/// Parses a single element (fragment parsing, used by tests and tools that
+/// embed PDL snippets).
+pub fn parse_fragment(input: &str) -> Result<Element, SyntaxError> {
+    let mut p = Parser::new(input);
+    p.skip_bom();
+    p.skip_whitespace();
+    let e = p.parse_element()?;
+    p.skip_whitespace();
+    if !p.eof() {
+        return Err(p.err(SyntaxErrorKind::TrailingContent));
+    }
+    Ok(e)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    /// Byte offset into `input`.
+    at: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            input,
+            at: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn err(&self, kind: SyntaxErrorKind) -> SyntaxError {
+        SyntaxError {
+            pos: self.pos(),
+            kind,
+        }
+    }
+
+    fn eof(&self) -> bool {
+        self.at >= self.input.len()
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.at..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.rest().starts_with(s)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.at += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn bump_str(&mut self, s: &str) {
+        debug_assert!(self.starts_with(s));
+        for _ in s.chars() {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, s: &'static str) -> Result<(), SyntaxError> {
+        if self.starts_with(s) {
+            self.bump_str(s);
+            Ok(())
+        } else {
+            let found: String = self.rest().chars().take(s.chars().count().max(1)).collect();
+            Err(self.err(SyntaxErrorKind::Expected { expected: s, found }))
+        }
+    }
+
+    fn skip_bom(&mut self) {
+        if self.starts_with("\u{feff}") {
+            self.bump();
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    /// Skips `<? … ?>` (declaration or processing instruction).
+    fn skip_pi(&mut self) -> Result<(), SyntaxError> {
+        self.bump_str("<?");
+        loop {
+            if self.eof() {
+                return Err(self.err(SyntaxErrorKind::UnexpectedEof("processing instruction")));
+            }
+            if self.starts_with("?>") {
+                self.bump_str("?>");
+                return Ok(());
+            }
+            self.bump();
+        }
+    }
+
+    /// Skips a DOCTYPE declaration (no internal-subset bracket nesting
+    /// beyond one level, which covers practical documents).
+    fn skip_doctype(&mut self) -> Result<(), SyntaxError> {
+        self.bump_str("<!DOCTYPE");
+        let mut depth = 0usize;
+        loop {
+            match self.bump() {
+                None => return Err(self.err(SyntaxErrorKind::UnexpectedEof("DOCTYPE"))),
+                Some('[') => depth += 1,
+                Some(']') => depth = depth.saturating_sub(1),
+                Some('>') if depth == 0 => return Ok(()),
+                _ => {}
+            }
+        }
+    }
+
+    fn parse_comment(&mut self) -> Result<String, SyntaxError> {
+        self.bump_str("<!--");
+        let start = self.at;
+        loop {
+            if self.eof() {
+                return Err(self.err(SyntaxErrorKind::UnexpectedEof("comment")));
+            }
+            if self.starts_with("-->") {
+                let text = self.input[start..self.at].to_string();
+                self.bump_str("-->");
+                return Ok(text);
+            }
+            self.bump();
+        }
+    }
+
+    fn parse_cdata(&mut self) -> Result<String, SyntaxError> {
+        self.bump_str("<![CDATA[");
+        let start = self.at;
+        loop {
+            if self.eof() {
+                return Err(self.err(SyntaxErrorKind::UnexpectedEof("CDATA section")));
+            }
+            if self.starts_with("]]>") {
+                let text = self.input[start..self.at].to_string();
+                self.bump_str("]]>");
+                return Ok(text);
+            }
+            self.bump();
+        }
+    }
+
+    fn is_name_start(c: char) -> bool {
+        c.is_alphabetic() || c == '_' || c == ':'
+    }
+
+    fn is_name_char(c: char) -> bool {
+        Self::is_name_start(c) || c.is_ascii_digit() || c == '-' || c == '.'
+    }
+
+    fn parse_name(&mut self) -> Result<String, SyntaxError> {
+        let start = self.at;
+        match self.peek() {
+            Some(c) if Self::is_name_start(c) => {
+                self.bump();
+            }
+            _ => {
+                let found: String = self.rest().chars().take(1).collect();
+                return Err(self.err(SyntaxErrorKind::BadName(found)));
+            }
+        }
+        while matches!(self.peek(), Some(c) if Self::is_name_char(c)) {
+            self.bump();
+        }
+        Ok(self.input[start..self.at].to_string())
+    }
+
+    fn parse_entity(&mut self) -> Result<char, SyntaxError> {
+        // Caller consumed nothing; we are at '&'.
+        self.bump(); // '&'
+        let start = self.at;
+        loop {
+            match self.peek() {
+                None => return Err(self.err(SyntaxErrorKind::UnexpectedEof("entity reference"))),
+                Some(';') => break,
+                Some(c) if c.is_alphanumeric() || c == '#' || c == 'x' => {
+                    self.bump();
+                }
+                Some(_) => {
+                    let name = self.input[start..self.at].to_string();
+                    return Err(self.err(SyntaxErrorKind::BadEntity(name)));
+                }
+            }
+            if self.at - start > 12 {
+                let name = self.input[start..self.at].to_string();
+                return Err(self.err(SyntaxErrorKind::BadEntity(name)));
+            }
+        }
+        let name = &self.input[start..self.at];
+        self.bump(); // ';'
+        let bad = || SyntaxError {
+            pos: self.pos(),
+            kind: SyntaxErrorKind::BadEntity(name.to_string()),
+        };
+        match name {
+            "lt" => Ok('<'),
+            "gt" => Ok('>'),
+            "amp" => Ok('&'),
+            "apos" => Ok('\''),
+            "quot" => Ok('"'),
+            _ if name.starts_with("#x") || name.starts_with("#X") => {
+                let code = u32::from_str_radix(&name[2..], 16).map_err(|_| bad())?;
+                char::from_u32(code).ok_or_else(bad)
+            }
+            _ if name.starts_with('#') => {
+                let code: u32 = name[1..].parse().map_err(|_| bad())?;
+                char::from_u32(code).ok_or_else(bad)
+            }
+            _ => Err(bad()),
+        }
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String, SyntaxError> {
+        let quote = match self.peek() {
+            Some(c @ ('"' | '\'')) => c,
+            _ => {
+                let found: String = self.rest().chars().take(1).collect();
+                return Err(self.err(SyntaxErrorKind::Expected {
+                    expected: "attribute value quote",
+                    found,
+                }));
+            }
+        };
+        self.bump();
+        let mut value = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err(SyntaxErrorKind::UnexpectedEof("attribute value"))),
+                Some(c) if c == quote => {
+                    self.bump();
+                    return Ok(value);
+                }
+                Some('&') => value.push(self.parse_entity()?),
+                Some('<') => {
+                    return Err(self.err(SyntaxErrorKind::StrayMarkup("<".into())));
+                }
+                Some(c) => {
+                    value.push(c);
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn parse_element(&mut self) -> Result<Element, SyntaxError> {
+        let pos = self.pos();
+        self.expect("<")?;
+        let name = self.parse_name()?;
+        let mut element = Element::new(name.clone());
+        element.pos = pos;
+
+        // Attributes.
+        loop {
+            let had_space = {
+                let before = self.at;
+                self.skip_whitespace();
+                self.at != before
+            };
+            match self.peek() {
+                Some('>') => {
+                    self.bump();
+                    break;
+                }
+                Some('/') => {
+                    self.bump();
+                    self.expect(">")?;
+                    return Ok(element); // self-closing
+                }
+                Some(c) if Self::is_name_start(c) && had_space => {
+                    let attr_name = self.parse_name()?;
+                    if element.attributes.iter().any(|(n, _)| *n == attr_name) {
+                        return Err(self.err(SyntaxErrorKind::DuplicateAttribute(attr_name)));
+                    }
+                    self.skip_whitespace();
+                    self.expect("=")?;
+                    self.skip_whitespace();
+                    let value = self.parse_attr_value()?;
+                    element.attributes.push((attr_name, value));
+                }
+                _ => {
+                    let found: String = self.rest().chars().take(1).collect();
+                    return Err(self.err(SyntaxErrorKind::Expected {
+                        expected: "attribute, '>' or '/>'",
+                        found,
+                    }));
+                }
+            }
+        }
+
+        // Content.
+        let mut text = String::new();
+        loop {
+            if self.eof() {
+                return Err(self.err(SyntaxErrorKind::UnexpectedEof("element content")));
+            }
+            if self.starts_with("</") {
+                Self::flush_text(&mut text, &mut element);
+                self.bump_str("</");
+                let close = self.parse_name()?;
+                if close != name {
+                    return Err(self.err(SyntaxErrorKind::MismatchedClose {
+                        open: name,
+                        close,
+                    }));
+                }
+                self.skip_whitespace();
+                self.expect(">")?;
+                return Ok(element);
+            } else if self.starts_with("<!--") {
+                Self::flush_text(&mut text, &mut element);
+                let c = self.parse_comment()?;
+                element.children.push(Node::Comment(c));
+            } else if self.starts_with("<![CDATA[") {
+                Self::flush_text(&mut text, &mut element);
+                let c = self.parse_cdata()?;
+                element.children.push(Node::CData(c));
+            } else if self.starts_with("<?") {
+                Self::flush_text(&mut text, &mut element);
+                self.skip_pi()?;
+            } else if self.starts_with("<") {
+                Self::flush_text(&mut text, &mut element);
+                let child = self.parse_element()?;
+                element.children.push(Node::Element(child));
+            } else if self.starts_with("&") {
+                text.push(self.parse_entity()?);
+            } else {
+                text.push(self.bump().expect("not eof"));
+            }
+        }
+    }
+
+    /// Pushes accumulated character data as a text node unless it is pure
+    /// inter-element whitespace.
+    fn flush_text(text: &mut String, element: &mut Element) {
+        if !text.is_empty() {
+            if !text.trim().is_empty() {
+                element.children.push(Node::Text(std::mem::take(text)));
+            } else {
+                text.clear();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::SyntaxErrorKind;
+
+    #[test]
+    fn minimal_document() {
+        let doc = parse_document("<a/>").unwrap();
+        assert_eq!(doc.root.name, "a");
+        assert!(doc.root.is_empty());
+    }
+
+    #[test]
+    fn declaration_and_comments() {
+        let doc = parse_document(
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<!-- XML HEADER -->\n<Master id=\"0\"/>",
+        )
+        .unwrap();
+        assert_eq!(doc.prolog_comments, vec![" XML HEADER "]);
+        assert_eq!(doc.root.attribute("id"), Some("0"));
+    }
+
+    #[test]
+    fn nested_elements_and_text() {
+        let doc = parse_document(
+            "<Property fixed=\"true\"><name>ARCHITECTURE</name><value>x86</value></Property>",
+        )
+        .unwrap();
+        let r = &doc.root;
+        assert_eq!(r.attribute("fixed"), Some("true"));
+        assert_eq!(r.first_named("name").unwrap().text_content(), "ARCHITECTURE");
+        assert_eq!(r.first_named("value").unwrap().text_content(), "x86");
+    }
+
+    #[test]
+    fn entities_resolved() {
+        let doc = parse_document("<v a=\"&lt;&amp;&gt;\">&quot;x&apos; &#65;&#x42;</v>").unwrap();
+        assert_eq!(doc.root.attribute("a"), Some("<&>"));
+        assert_eq!(doc.root.text_content(), "\"x' AB");
+    }
+
+    #[test]
+    fn cdata_preserved_verbatim() {
+        let doc = parse_document("<c><![CDATA[ <not-a-tag> & raw ]]></c>").unwrap();
+        assert_eq!(doc.root.text_content(), "<not-a-tag> & raw");
+    }
+
+    #[test]
+    fn interelement_whitespace_dropped() {
+        let doc = parse_document("<a>\n  <b/>\n  <c/>\n</a>").unwrap();
+        assert_eq!(doc.root.children.len(), 2);
+    }
+
+    #[test]
+    fn mixed_content_kept() {
+        let doc = parse_document("<a>hello <b/> world</a>").unwrap();
+        assert_eq!(doc.root.children.len(), 3);
+        assert_eq!(doc.root.text_content(), "hello  world");
+    }
+
+    #[test]
+    fn mismatched_close_reported_with_position() {
+        let err = parse_document("<a>\n<b></a>").unwrap_err();
+        assert!(matches!(
+            err.kind,
+            SyntaxErrorKind::MismatchedClose { .. }
+        ));
+        assert_eq!(err.pos.line, 2);
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = parse_document("<a x=\"1\" x=\"2\"/>").unwrap_err();
+        assert!(matches!(err.kind, SyntaxErrorKind::DuplicateAttribute(a) if a == "x"));
+    }
+
+    #[test]
+    fn unclosed_element_rejected() {
+        let err = parse_document("<a><b/>").unwrap_err();
+        assert!(matches!(err.kind, SyntaxErrorKind::UnexpectedEof(_)));
+    }
+
+    #[test]
+    fn trailing_content_rejected() {
+        let err = parse_document("<a/><b/>").unwrap_err();
+        assert!(matches!(err.kind, SyntaxErrorKind::TrailingContent));
+    }
+
+    #[test]
+    fn empty_document_rejected() {
+        let err = parse_document("   \n  ").unwrap_err();
+        assert!(matches!(err.kind, SyntaxErrorKind::NoRootElement));
+    }
+
+    #[test]
+    fn bad_entity_rejected() {
+        let err = parse_document("<a>&unknown;</a>").unwrap_err();
+        assert!(matches!(err.kind, SyntaxErrorKind::BadEntity(e) if e == "unknown"));
+    }
+
+    #[test]
+    fn namespaced_names_parse() {
+        let doc = parse_document(
+            "<Property xsi:type=\"ocl:oclDevicePropertyType\"><ocl:name>N</ocl:name></Property>",
+        )
+        .unwrap();
+        assert_eq!(
+            doc.root.attribute("xsi:type"),
+            Some("ocl:oclDevicePropertyType")
+        );
+        assert_eq!(doc.root.first_named("name").unwrap().prefix(), Some("ocl"));
+    }
+
+    #[test]
+    fn doctype_skipped() {
+        let doc = parse_document("<!DOCTYPE pdl [<!ELEMENT a ANY>]><a/>").unwrap();
+        assert_eq!(doc.root.name, "a");
+    }
+
+    #[test]
+    fn processing_instructions_skipped_in_content() {
+        let doc = parse_document("<a><?pi data?><b/></a>").unwrap();
+        assert_eq!(doc.root.elements().count(), 1);
+    }
+
+    #[test]
+    fn fragment_parsing() {
+        let e = parse_fragment("  <Worker id=\"1\"/> ").unwrap();
+        assert_eq!(e.name, "Worker");
+        assert!(parse_fragment("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn bom_skipped() {
+        let doc = parse_document("\u{feff}<a/>").unwrap();
+        assert_eq!(doc.root.name, "a");
+    }
+
+    #[test]
+    fn attribute_whitespace_tolerated() {
+        let doc = parse_document("<a x = \"1\"\n y='2'/>").unwrap();
+        assert_eq!(doc.root.attribute("x"), Some("1"));
+        assert_eq!(doc.root.attribute("y"), Some("2"));
+    }
+
+    #[test]
+    fn crlf_line_counting() {
+        let err = parse_document("<a>\r\n<b></a>").unwrap_err();
+        assert_eq!(err.pos.line, 2);
+    }
+
+    #[test]
+    fn deeply_nested() {
+        let mut s = String::new();
+        for i in 0..200 {
+            s.push_str(&format!("<n{i}>"));
+        }
+        for i in (0..200).rev() {
+            s.push_str(&format!("</n{i}>"));
+        }
+        let doc = parse_document(&s).unwrap();
+        assert_eq!(doc.root.name, "n0");
+    }
+}

@@ -1,0 +1,214 @@
+//! XML serialization: escaping and pretty-printing.
+
+use crate::dom::{Document, Element, Node};
+use std::fmt::Write as _;
+
+/// Output options for the writer.
+#[derive(Debug, Clone)]
+pub struct WriteOptions {
+    /// Indentation per nesting level.
+    pub indent: String,
+    /// Whether to emit the `<?xml …?>` declaration.
+    pub declaration: bool,
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        WriteOptions {
+            indent: "  ".to_string(),
+            declaration: true,
+        }
+    }
+}
+
+/// Escapes character data (`<`, `&`, `>`).
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes an attribute value (quoted with `"`).
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\n' => out.push_str("&#10;"),
+            '\t' => out.push_str("&#9;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes a document with default options.
+pub fn write_document(doc: &Document) -> String {
+    write_document_with(doc, &WriteOptions::default())
+}
+
+/// Serializes a document with explicit options.
+pub fn write_document_with(doc: &Document, opts: &WriteOptions) -> String {
+    let mut out = String::new();
+    if opts.declaration {
+        out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    }
+    for c in &doc.prolog_comments {
+        let _ = writeln!(out, "<!--{c}-->");
+    }
+    write_element(&mut out, &doc.root, 0, opts);
+    out.push('\n');
+    out
+}
+
+/// Serializes a single element (no declaration), e.g. for embedding.
+pub fn write_fragment(element: &Element) -> String {
+    let mut out = String::new();
+    write_element(&mut out, element, 0, &WriteOptions::default());
+    out
+}
+
+fn write_element(out: &mut String, e: &Element, depth: usize, opts: &WriteOptions) {
+    let pad = opts.indent.repeat(depth);
+    let _ = write!(out, "{pad}<{}", e.name);
+    for (n, v) in &e.attributes {
+        let _ = write!(out, " {n}=\"{}\"", escape_attr(v));
+    }
+    if e.children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+
+    // Text-only elements are rendered inline: <name>value</name>.
+    let text_only = e
+        .children
+        .iter()
+        .all(|c| matches!(c, Node::Text(_) | Node::CData(_)));
+    if text_only {
+        out.push('>');
+        for c in &e.children {
+            match c {
+                Node::Text(t) => out.push_str(&escape_text(t)),
+                Node::CData(t) => {
+                    let _ = write!(out, "<![CDATA[{t}]]>");
+                }
+                _ => unreachable!(),
+            }
+        }
+        let _ = write!(out, "</{}>", e.name);
+        return;
+    }
+
+    out.push('>');
+    for c in &e.children {
+        out.push('\n');
+        match c {
+            Node::Element(child) => write_element(out, child, depth + 1, opts),
+            Node::Text(t) => {
+                let _ = write!(out, "{pad}{}{}", opts.indent, escape_text(t.trim()));
+            }
+            Node::CData(t) => {
+                let _ = write!(out, "{pad}{}<![CDATA[{t}]]>", opts.indent);
+            }
+            Node::Comment(t) => {
+                let _ = write!(out, "{pad}{}<!--{t}-->", opts.indent);
+            }
+        }
+    }
+    let _ = write!(out, "\n{pad}</{}>", e.name);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+        assert_eq!(escape_attr("say \"hi\" & <go>"), "say &quot;hi&quot; &amp; &lt;go>");
+    }
+
+    #[test]
+    fn self_closing_and_inline_text() {
+        let e = Element::new("Master")
+            .attr("id", "0")
+            .child(Element::new("name").text("ARCHITECTURE"))
+            .child(Element::new("Worker").attr("id", "1"));
+        let s = write_fragment(&e);
+        assert!(s.contains("<name>ARCHITECTURE</name>"));
+        assert!(s.contains("<Worker id=\"1\"/>"));
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let src = "<Master id=\"0\" quantity=\"1\">\n  <PUDescriptor>\n    <Property fixed=\"true\">\n      <name>ARCHITECTURE</name>\n      <value>x86</value>\n    </Property>\n  </PUDescriptor>\n  <Interconnect type=\"rDMA\" from=\"0\" to=\"1\" scheme=\"\"/>\n</Master>";
+        let doc1 = parse_document(src).unwrap();
+        let out = write_document(&doc1);
+        let doc2 = parse_document(&out).unwrap();
+        assert_eq!(doc1.root, doc2.root);
+    }
+
+    #[test]
+    fn round_trip_with_special_characters() {
+        let e = Element::new("v")
+            .attr("a", "x<y & \"z\"")
+            .text("body <&> text");
+        let doc = Document::new(e);
+        let out = write_document(&doc);
+        let back = parse_document(&out).unwrap();
+        assert_eq!(back.root.attribute("a"), Some("x<y & \"z\""));
+        assert_eq!(back.root.text_content(), "body <&> text");
+    }
+
+    #[test]
+    fn cdata_round_trip() {
+        let src = "<c><![CDATA[raw <markup> & stuff]]></c>";
+        let doc = parse_document(src).unwrap();
+        let out = write_document(&doc);
+        let back = parse_document(&out).unwrap();
+        assert_eq!(back.root.text_content(), "raw <markup> & stuff");
+    }
+
+    #[test]
+    fn declaration_togglable() {
+        let doc = Document::new(Element::new("a"));
+        let with = write_document(&doc);
+        assert!(with.starts_with("<?xml"));
+        let without = write_document_with(
+            &doc,
+            &WriteOptions {
+                declaration: false,
+                ..Default::default()
+            },
+        );
+        assert!(without.starts_with("<a"));
+    }
+
+    #[test]
+    fn prolog_comments_written() {
+        let mut doc = Document::new(Element::new("a"));
+        doc.prolog_comments.push(" XML HEADER ".into());
+        let out = write_document(&doc);
+        assert!(out.contains("<!-- XML HEADER -->"));
+    }
+
+    #[test]
+    fn comments_in_content_round_trip() {
+        let src = "<a>\n  <!-- Additional properties -->\n  <b/>\n</a>";
+        let doc = parse_document(src).unwrap();
+        let out = write_document(&doc);
+        assert!(out.contains("<!-- Additional properties -->"));
+        let back = parse_document(&out).unwrap();
+        assert_eq!(doc.root, back.root);
+    }
+}

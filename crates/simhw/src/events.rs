@@ -1,0 +1,184 @@
+//! A deterministic discrete-event queue.
+//!
+//! Events fire in time order; ties break by insertion sequence, so
+//! simulations are reproducible regardless of payload type. Used by the
+//! event-driven runtime engine (`hetero-rt`'s dynamic engine) and available
+//! for any future simulator component.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A pending event: fire time + stable sequence number + payload.
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// A time-ordered event queue with deterministic tie-breaking.
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time: the fire time of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` to fire at `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` lies in the past (before [`now`](Self::now)) — events
+    /// may only be scheduled forward.
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < now {}",
+            self.now
+        );
+        self.heap.push(Reverse(Entry {
+            at,
+            seq: self.seq,
+            payload,
+        }));
+        self.seq += 1;
+    }
+
+    /// Pops the next event, advancing the clock to its fire time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(e) = self.heap.pop()?;
+        self.now = e.at;
+        Some((e.at, e.payload))
+    }
+
+    /// Fire time of the next event, without popping.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is drained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::new(s)
+    }
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(3.0), "c");
+        q.schedule(t(1.0), "a");
+        q.schedule(t(2.0), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+        assert_eq!(q.now(), t(3.0));
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1.0), "first");
+        q.schedule(t(1.0), "second");
+        q.schedule(t(1.0), "third");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, ["first", "second", "third"]);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5.0), ());
+        q.pop();
+        // Scheduling at the current time is fine; before it is not.
+        q.schedule(t(5.0), ());
+        q.pop();
+        assert_eq!(q.now(), t(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5.0), ());
+        q.pop();
+        q.schedule(t(1.0), ());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(t(2.0), 7);
+        q.schedule(t(1.0), 8);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(t(1.0)));
+        assert_eq!(q.pop(), Some((t(1.0), 8)));
+    }
+
+    #[test]
+    fn cascading_schedules_during_drain() {
+        // Popping an event may schedule follow-ups — the standard
+        // discrete-event pattern.
+        let mut q = EventQueue::new();
+        q.schedule(t(1.0), 0u32);
+        let mut fired = Vec::new();
+        while let Some((at, gen)) = q.pop() {
+            fired.push((at.seconds(), gen));
+            if gen < 3 {
+                q.schedule(at + crate::time::Duration::new(1.0), gen + 1);
+            }
+        }
+        assert_eq!(fired, vec![(1.0, 0), (2.0, 1), (3.0, 2), (4.0, 3)]);
+    }
+}

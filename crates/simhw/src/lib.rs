@@ -1,0 +1,40 @@
+//! # simhw — discrete-event simulation of heterogeneous hardware
+//!
+//! The paper's experiment ran on a dual Xeon X5550 with two Nvidia GPUs;
+//! this reproduction runs on a single-core container with none. `simhw`
+//! substitutes a virtual-time model of such machines, **parameterized
+//! entirely by PDL descriptors**: compute rates, link bandwidth/latency and
+//! power are read from well-known platform properties — the explicit
+//! platform information the paper argues tools should consume.
+//!
+//! Components:
+//! * [`time`] — virtual time ([`time::SimTime`], [`time::Duration`]);
+//! * [`machine`] — [`machine::SimMachine`] instantiated from a
+//!   [`pdl_core::platform::Platform`];
+//! * [`resource`] — serializing occupancy timelines for devices and links;
+//! * [`trace`] — execution spans, makespan/utilization, text Gantt charts;
+//! * [`energy`] — energy accounting from PDL `TDP`/`IDLE_POWER` properties.
+//!
+//! ```
+//! use simhw::machine::SimMachine;
+//!
+//! let platform = pdl_discover::synthetic::xeon_2gpu_testbed();
+//! let machine = SimMachine::from_platform(&platform);
+//! assert_eq!(machine.devices_with_arch("gpu").count(), 2);
+//! ```
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod energy;
+pub mod events;
+pub mod machine;
+pub mod resource;
+pub mod time;
+pub mod trace;
+
+pub use energy::{energy, EnergyReport};
+pub use events::EventQueue;
+pub use machine::{DeviceId, LinkParams, SimDevice, SimMachine};
+pub use resource::Timeline;
+pub use time::{Duration, SimTime};
+pub use trace::{Span, SpanKind, Trace};

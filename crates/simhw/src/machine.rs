@@ -1,0 +1,336 @@
+//! Simulated machines instantiated from PDL descriptors.
+//!
+//! The simulator never hard-codes hardware characteristics: every number it
+//! uses — compute rates, link bandwidth/latency, power — is read from the
+//! platform description (well-known properties), which is the paper's
+//! central claim about explicit platform information. Missing properties
+//! fall back to conservative defaults, and [`SimMachine::from_platform`]
+//! reports which PUs needed them.
+
+use crate::time::Duration;
+use pdl_core::platform::Platform;
+use pdl_core::pu::PuClass;
+use pdl_core::wellknown;
+use pdl_query::paths;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Default effective compute rate when a PU declares no `PEAK_GFLOPS_DP`:
+/// one conservative GFLOP/s.
+pub const DEFAULT_FLOPS_DP: f64 = 1e9;
+
+/// Index of a simulated device within a machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId(pub usize);
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev{}", self.0)
+    }
+}
+
+/// Link parameters between the host memory and a device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkParams {
+    /// Bytes per second.
+    pub bandwidth_bps: f64,
+    /// Seconds per message.
+    pub latency_s: f64,
+}
+
+impl LinkParams {
+    /// A link so fast transfers are effectively free (same address space).
+    pub fn shared_memory() -> Self {
+        LinkParams {
+            bandwidth_bps: f64::INFINITY,
+            latency_s: 0.0,
+        }
+    }
+
+    /// Modeled time to move `bytes` over this link.
+    pub fn transfer_time(&self, bytes: f64) -> Duration {
+        if self.bandwidth_bps.is_infinite() {
+            return Duration::new(self.latency_s);
+        }
+        Duration::new(self.latency_s + bytes / self.bandwidth_bps)
+    }
+}
+
+/// One schedulable execution resource of the simulated machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimDevice {
+    /// Stable device index.
+    pub id: DeviceId,
+    /// PU id from the platform description.
+    pub pu_id: String,
+    /// `ARCHITECTURE` property (`x86`, `gpu`, `spe`, …).
+    pub arch: String,
+    /// Effective double-precision rate: peak × efficiency (FLOP/s).
+    pub flops_dp: f64,
+    /// Link from host memory to this device's memory. `None` means the
+    /// device shares the host address space (no transfers needed).
+    pub link: Option<LinkParams>,
+    /// Active power draw in watts (TDP property; defaults to 0 = untracked).
+    pub active_power_w: f64,
+    /// Idle power draw in watts.
+    pub idle_power_w: f64,
+    /// Logic groups the PU belongs to.
+    pub groups: Vec<String>,
+    /// Software platforms available on the PU (`SOFTWARE_PLATFORM`
+    /// property), e.g. `["OpenCL", "Cuda"]`.
+    pub software_platforms: Vec<String>,
+}
+
+impl SimDevice {
+    /// Modeled compute time for a task of `flops` double-precision
+    /// operations on this device.
+    pub fn compute_time(&self, flops: f64) -> Duration {
+        Duration::new(flops / self.flops_dp)
+    }
+}
+
+/// A simulated machine: devices extracted from a platform description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimMachine {
+    /// Platform name the machine was instantiated from.
+    pub name: String,
+    /// Devices, indexed by [`DeviceId`].
+    pub devices: Vec<SimDevice>,
+    /// PU id → device index.
+    index: BTreeMap<String, DeviceId>,
+    /// PUs that lacked performance properties and got defaults.
+    pub defaulted_pus: Vec<String>,
+}
+
+impl SimMachine {
+    /// Instantiates a machine from a platform description.
+    ///
+    /// Every **Worker** PU becomes a device (after `quantity` expansion);
+    /// Masters and Hybrids are control/entry points, not compute resources —
+    /// except that a platform with *no* workers at all yields one device per
+    /// Master so that purely sequential platforms still execute.
+    ///
+    /// Links are derived by routing from the first Master to the device over
+    /// the explicit interconnect entities (paper §IV-C step 3); a device
+    /// with no route gets `None` (shared address space assumed) when its
+    /// interconnect list is empty, mirroring how shared-memory systems are
+    /// typically described.
+    pub fn from_platform(platform: &Platform) -> SimMachine {
+        let expanded = platform.expand_quantities();
+        let mut devices = Vec::new();
+        let mut index = BTreeMap::new();
+        let mut defaulted = Vec::new();
+
+        let host_id: Option<String> = expanded
+            .roots()
+            .first()
+            .map(|&r| expanded.pu(r).id.as_str().to_string());
+
+        let worker_count = expanded.workers().count();
+        let candidates: Vec<_> = if worker_count > 0 {
+            expanded.workers().collect()
+        } else {
+            expanded.masters().collect()
+        };
+
+        for (_, pu) in candidates {
+            let arch = pu.architecture().unwrap_or("unknown").to_string();
+            let peak = pu.peak_flops_dp();
+            if peak.is_none() {
+                defaulted.push(pu.id.as_str().to_string());
+            }
+            let flops_dp = peak.unwrap_or(DEFAULT_FLOPS_DP) * pu.efficiency();
+
+            // Derive the host link by routing over explicit interconnects.
+            // A route made entirely of `shared-mem` interconnects means the
+            // device lives in the host address space: no copies are ever
+            // needed, so the link collapses to `None`.
+            let link = match (&host_id, pu.class) {
+                (Some(h), PuClass::Worker | PuClass::Hybrid) if *h != pu.id.as_str() => {
+                    match paths::route(&expanded, h, pu.id.as_str(), 1.0) {
+                        Some(r) if !r.hops.is_empty() => {
+                            let all_shared = r.hops.iter().all(|hop| {
+                                expanded.interconnects()[hop.ic_index].ic_type == "shared-mem"
+                            });
+                            if all_shared {
+                                None
+                            } else {
+                                Some(LinkParams {
+                                    bandwidth_bps: r.bottleneck_bps,
+                                    latency_s: r.latency_s,
+                                })
+                            }
+                        }
+                        _ => None,
+                    }
+                }
+                _ => None,
+            };
+
+            let active_power_w = pu.descriptor.value_base(wellknown::TDP).unwrap_or(0.0);
+            let idle_power_w = pu
+                .descriptor
+                .value_base(wellknown::IDLE_POWER)
+                .unwrap_or(active_power_w * 0.3);
+
+            let id = DeviceId(devices.len());
+            index.insert(pu.id.as_str().to_string(), id);
+            devices.push(SimDevice {
+                id,
+                pu_id: pu.id.as_str().to_string(),
+                arch,
+                flops_dp,
+                link,
+                active_power_w,
+                idle_power_w,
+                groups: pu.groups.iter().map(|g| g.as_str().to_string()).collect(),
+                software_platforms: pu
+                    .software_platforms()
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            });
+        }
+
+        SimMachine {
+            name: expanded.name.clone(),
+            devices,
+            index,
+            defaulted_pus: defaulted,
+        }
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the machine has no devices.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Device by PU id.
+    pub fn device_by_pu(&self, pu_id: &str) -> Option<&SimDevice> {
+        self.index.get(pu_id).map(|&i| &self.devices[i.0])
+    }
+
+    /// Devices whose PU belongs to the given logic group.
+    pub fn devices_in_group<'a>(&'a self, group: &'a str) -> impl Iterator<Item = &'a SimDevice> {
+        self.devices
+            .iter()
+            .filter(move |d| d.groups.iter().any(|g| g == group))
+    }
+
+    /// Devices of the given architecture.
+    pub fn devices_with_arch<'a>(&'a self, arch: &'a str) -> impl Iterator<Item = &'a SimDevice> {
+        self.devices.iter().filter(move |d| d.arch == arch)
+    }
+
+    /// Aggregate effective DP rate of all devices (FLOP/s).
+    pub fn total_flops_dp(&self) -> f64 {
+        self.devices.iter().map(|d| d.flops_dp).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdl_discover::synthetic;
+
+    #[test]
+    fn testbed_instantiation() {
+        let p = synthetic::xeon_2gpu_testbed();
+        let m = SimMachine::from_platform(&p);
+        // 6 CPU + 2 GPU workers.
+        assert_eq!(m.len(), 8);
+        assert!(m.defaulted_pus.is_empty(), "{:?}", m.defaulted_pus);
+        let gpu0 = m.device_by_pu("gpu0").unwrap();
+        assert_eq!(gpu0.arch, "gpu");
+        // GTX480: 168 GF/s × 0.60 ≈ 100.8 GF/s effective.
+        assert!((gpu0.flops_dp - 100.8e9).abs() < 1e9, "{}", gpu0.flops_dp);
+        let link = gpu0.link.expect("PCIe link derived from interconnect");
+        assert_eq!(link.bandwidth_bps, 6e9);
+        let cpu = m.device_by_pu("cpu0").unwrap();
+        // Xeon core: 10.64 × 0.9 ≈ 9.58 GF/s.
+        assert!((cpu.flops_dp - 9.576e9).abs() < 0.05e9, "{}", cpu.flops_dp);
+        assert_eq!(m.devices_in_group("gpus").count(), 2);
+        assert_eq!(m.devices_with_arch("x86").count(), 6);
+    }
+
+    #[test]
+    fn quantity_expansion_applies() {
+        let p = pdl_core::patterns::master_worker_pool(8);
+        let m = SimMachine::from_platform(&p);
+        assert_eq!(m.len(), 8);
+        // All defaulted (pattern has no perf properties).
+        assert_eq!(m.defaulted_pus.len(), 8);
+        assert_eq!(m.devices[0].flops_dp, DEFAULT_FLOPS_DP);
+    }
+
+    #[test]
+    fn masters_only_platform_gets_master_device() {
+        let mut b = pdl_core::platform::Platform::builder("solo");
+        let m = b.master("cpu");
+        b.prop(
+            m,
+            pdl_core::property::Property::fixed(wellknown::PEAK_GFLOPS_DP, "10")
+                .with_unit(pdl_core::units::Unit::GigaFlopPerSec),
+        );
+        let p = b.build().unwrap();
+        let machine = SimMachine::from_platform(&p);
+        assert_eq!(machine.len(), 1);
+        assert_eq!(machine.devices[0].pu_id, "cpu");
+        assert_eq!(machine.devices[0].flops_dp, 10e9);
+    }
+
+    #[test]
+    fn compute_and_transfer_times() {
+        let p = synthetic::xeon_2gpu_testbed();
+        let m = SimMachine::from_platform(&p);
+        let gpu = m.device_by_pu("gpu0").unwrap();
+        // 1 GFLOP on ~100.8 GF/s ≈ 9.9 ms.
+        let t = gpu.compute_time(1e9);
+        assert!((t.seconds() - 1.0 / 100.8).abs() < 1e-4);
+        let link = gpu.link.unwrap();
+        // 600 MB over 6 GB/s ≈ 0.1 s + 15us.
+        let tt = link.transfer_time(600e6);
+        assert!((tt.seconds() - 0.100015).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shared_memory_link_is_free() {
+        let l = LinkParams::shared_memory();
+        assert_eq!(l.transfer_time(1e12).seconds(), 0.0);
+    }
+
+    #[test]
+    fn cell_be_machine() {
+        let m = SimMachine::from_platform(&synthetic::cell_be());
+        assert_eq!(m.len(), 8);
+        assert_eq!(m.devices_with_arch("spe").count(), 8);
+        // EIB link derived.
+        let spe = m.device_by_pu("spe0").unwrap();
+        assert_eq!(spe.link.unwrap().bandwidth_bps, 25.6e9);
+        // Effective rate: 1.8 × 0.85.
+        assert!((spe.flops_dp - 1.53e9).abs() < 1e7);
+    }
+
+    #[test]
+    fn total_rate_aggregates() {
+        let m = SimMachine::from_platform(&synthetic::xeon_x5550_host());
+        // 8 × 9.576 GF/s.
+        assert!((m.total_flops_dp() - 8.0 * 9.576e9).abs() < 1e8);
+    }
+
+    #[test]
+    fn power_defaults() {
+        let p = synthetic::xeon_2gpu_testbed();
+        let m = SimMachine::from_platform(&p);
+        let gpu = m.device_by_pu("gpu0").unwrap();
+        assert_eq!(gpu.active_power_w, 250.0);
+        assert_eq!(gpu.idle_power_w, 75.0); // 30% default
+        let cpu = m.device_by_pu("cpu0").unwrap();
+        assert_eq!(cpu.active_power_w, 0.0); // untracked
+    }
+}

@@ -1,0 +1,70 @@
+//! Platform exploration: discover the host machine à la hwloc, emit its PDL
+//! descriptor, compare platform snapshots (the paper's dynamic-resources
+//! future work), and inspect the synthetic platform library.
+//!
+//! Run with: `cargo run --example platform_explorer`
+
+use pdl_discover::{device_database, discover_host, synthetic};
+use pdl_query::diff::diff;
+use pdl_query::{detected_patterns, resolve_groups};
+
+fn main() {
+    // --- 1. Discover the machine we are running on. -------------------------
+    match discover_host() {
+        Some(host) => {
+            println!("=== discovered host ===\n{host}");
+            println!("=== its PDL descriptor ===");
+            let xml = pdl_xml::to_xml(&host);
+            for line in xml.lines().take(24) {
+                println!("{line}");
+            }
+            if xml.lines().count() > 24 {
+                println!("… ({} lines total)", xml.lines().count());
+            }
+        }
+        None => println!("(not a Linux host — skipping live discovery)"),
+    }
+
+    // --- 2. The simulated OpenCL device database (Listing 2 source). --------
+    println!("\n=== simulated OpenCL device database ===");
+    for d in device_database() {
+        println!(
+            "{:<18} {:>3} CUs  {:>7.1} GF/s DP  {:>6.1} GB/s  {:>4.0} W",
+            d.device_name, d.max_compute_units, d.peak_gflops_dp, d.mem_bandwidth_gbs, d.tdp_w
+        );
+    }
+
+    // --- 3. The synthetic platform library. ---------------------------------
+    println!("\n=== synthetic platforms ===");
+    for p in [
+        synthetic::xeon_x5550_host(),
+        synthetic::xeon_2gpu_testbed(),
+        synthetic::cell_be(),
+        synthetic::gpgpu_cluster(2, 2),
+    ] {
+        println!(
+            "{:<28} {:>3} PUs  height {}  patterns {:?}",
+            p.name,
+            p.total_units(),
+            p.height(),
+            detected_patterns(&p)
+        );
+        let workers = resolve_groups(&p, "@workers").unwrap();
+        println!("  workers: {}", workers.len());
+    }
+
+    // --- 4. Snapshot diffing (dynamic resource tracking). --------------------
+    println!("\n=== snapshot diff: GPU hot-unplug ===");
+    let before = synthetic::xeon_2gpu_testbed();
+    let after = synthetic::build_testbed(
+        "xeon-x5550-gtx480-gtx285",
+        &synthetic::TestbedOptions {
+            cpu_cores: 8,
+            gpus: vec!["GeForce GTX 480"], // GTX 285 vanished
+            dedicate_driver_cores: true,
+        },
+    );
+    for change in diff(&before, &after) {
+        println!("  {change}");
+    }
+}

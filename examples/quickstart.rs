@@ -1,0 +1,62 @@
+//! Quickstart: author a platform description (the paper's Listing 1),
+//! serialize it to PDL XML, read it back, and query it.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use pdl_core::prelude::*;
+use pdl_query::{detected_patterns, query, route};
+
+fn main() {
+    // --- 1. Author the Listing-1 platform: x86 Master + GPU Worker. ------
+    let mut b = Platform::builder("gpgpu-node");
+    let master = b.master("0");
+    b.prop(master, Property::fixed(wellknown::ARCHITECTURE, "x86"));
+    let worker = b.worker(master, "1").expect("masters control workers");
+    b.prop(worker, Property::fixed(wellknown::ARCHITECTURE, "gpu"));
+    b.prop(
+        worker,
+        Property::typed(
+            "DEVICE_NAME",
+            PropertyValue::text("GeForce GTX 480"),
+            SubschemaRef::new("ocl", "oclDevicePropertyType"),
+        ),
+    );
+    b.group(worker, "gpus");
+    b.interconnect(
+        Interconnect::new("rDMA", "0", "1").with_descriptor(
+            Descriptor::new()
+                .with(Property::fixed(wellknown::BANDWIDTH, "6").with_unit(Unit::GigaBytePerSec))
+                .with(Property::fixed(wellknown::LATENCY, "15").with_unit(Unit::MicroSecond)),
+        ),
+    );
+    let platform = b.build().expect("structurally valid");
+
+    println!("=== The platform, as a tree ===\n{platform}");
+
+    // --- 2. Serialize to PDL XML and round-trip. --------------------------
+    let xml = pdl_xml::to_xml(&platform);
+    println!("=== PDL XML ===\n{xml}");
+    let read_back = pdl_xml::from_xml(&xml).expect("our own output re-parses");
+    assert_eq!(read_back, platform);
+    println!("round-trip: OK\n");
+
+    // --- 3. Query it. ------------------------------------------------------
+    let gpus = query(&platform, "//Worker[@ARCHITECTURE='gpu']").unwrap();
+    println!(
+        "selector //Worker[@ARCHITECTURE='gpu'] -> {:?}",
+        gpus.iter()
+            .map(|&i| platform.pu(i).id.to_string())
+            .collect::<Vec<_>>()
+    );
+
+    println!("detected patterns: {:?}", detected_patterns(&platform));
+
+    // Data path derivation over the explicit interconnect (paper §IV-C):
+    let r = route(&platform, "0", "1", 512e6).expect("rDMA link routes");
+    println!(
+        "transfer 512 MB host->gpu: {:.1} ms over {} hop(s), bottleneck {:.0} GB/s",
+        r.time_s * 1e3,
+        r.hops.len(),
+        r.bottleneck_bps / 1e9
+    );
+}

@@ -1,0 +1,243 @@
+//! `pdl` — command-line companion for Platform Description Language files.
+//!
+//! ```text
+//! pdl validate <file>                 parse + schema + model validation
+//! pdl show <file>                     render the platform tree
+//! pdl discover                        emit a PDL descriptor for this host
+//! pdl catalog [dir]                   list the descriptor catalog
+//! pdl query <file> <selector>         evaluate a selector (e.g. //Worker[@ARCHITECTURE='gpu'])
+//! pdl groups <file> <expr>            resolve a logic-group set expression
+//! pdl route <file> <from> <to> <MB>   derive the data path between two PUs
+//! pdl diff <old> <new>                compare two descriptor snapshots
+//! pdl simulate <file> [N] [TILE]      simulate a tiled DGEMM on the platform
+//! ```
+
+use hetero_rt::prelude::*;
+use pdl_core::platform::Platform;
+use simhw::machine::SimMachine;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("show") => cmd_show(&args[1..]),
+        Some("discover") => cmd_discover(),
+        Some("catalog") => cmd_catalog(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("groups") => cmd_groups(&args[1..]),
+        Some("route") => cmd_route(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?} (try `pdl help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("pdl: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "pdl — Platform Description Language toolkit
+
+USAGE:
+  pdl validate <file>                 parse + schema + model validation
+  pdl show <file>                     render the platform tree
+  pdl discover                        emit a PDL descriptor for this host
+  pdl catalog [dir]                   list the descriptor catalog
+  pdl query <file> <selector>         evaluate a selector
+  pdl groups <file> <expr>            resolve a logic-group expression
+  pdl route <file> <from> <to> <MB>   derive a data path
+  pdl diff <old> <new>                compare two descriptors
+  pdl simulate <file> [N] [TILE]      simulate a tiled DGEMM on the platform
+
+Builtin platform names (xeon-x5550-8core, xeon-x5550-gtx480-gtx285,
+cell-be, …) are accepted wherever a <file> is expected."
+    );
+}
+
+/// Loads a platform from a file path, or by builtin catalog name.
+fn load(path_or_name: &str) -> Result<Platform, String> {
+    if std::path::Path::new(path_or_name).exists() {
+        let xml = std::fs::read_to_string(path_or_name)
+            .map_err(|e| format!("cannot read {path_or_name}: {e}"))?;
+        return pdl_xml::from_xml(&xml).map_err(|e| e.to_string());
+    }
+    pdl_discover::catalog::Catalog::with_builtin_platforms()
+        .get(path_or_name)
+        .cloned()
+        .ok_or_else(|| format!("{path_or_name}: no such file or builtin platform"))
+}
+
+fn need<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, String> {
+    args.get(i)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing argument: {what}"))
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    let file = need(args, 0, "<file>")?;
+    let platform = load(file)?;
+    let issues = platform.issues();
+    if issues.is_empty() {
+        println!(
+            "{file}: valid ({} PUs, {} interconnects, schema v{})",
+            platform.len(),
+            platform.interconnects().len(),
+            platform.schema_version
+        );
+        Ok(())
+    } else {
+        for i in &issues {
+            eprintln!("  - {i}");
+        }
+        Err(format!("{file}: {} issue(s)", issues.len()))
+    }
+}
+
+fn cmd_show(args: &[String]) -> Result<(), String> {
+    let platform = load(need(args, 0, "<file>")?)?;
+    print!("{platform}");
+    println!(
+        "patterns: {:?}",
+        pdl_query::detected_patterns(&platform)
+    );
+    Ok(())
+}
+
+fn cmd_discover() -> Result<(), String> {
+    let platform =
+        pdl_discover::discover_host().ok_or("host discovery requires /proc (Linux)")?;
+    print!("{}", pdl_xml::to_xml(&platform));
+    Ok(())
+}
+
+fn cmd_catalog(args: &[String]) -> Result<(), String> {
+    let catalog = match args.first() {
+        Some(dir) => pdl_discover::catalog::Catalog::load_from_dir(std::path::Path::new(dir))
+            .map_err(|e| e.to_string())?,
+        None => pdl_discover::catalog::Catalog::with_builtin_platforms(),
+    };
+    for (name, p) in catalog.iter() {
+        println!(
+            "{name:<30} {:>4} PUs  height {}  {:?}",
+            p.total_units(),
+            p.height(),
+            pdl_query::detected_patterns(p)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let platform = load(need(args, 0, "<file>")?)?;
+    let selector = need(args, 1, "<selector>")?;
+    let hits = pdl_query::query(&platform, selector).map_err(|e| e.to_string())?;
+    for idx in &hits {
+        println!("{}", platform.pu(*idx));
+    }
+    println!("({} match(es))", hits.len());
+    Ok(())
+}
+
+fn cmd_groups(args: &[String]) -> Result<(), String> {
+    let platform = load(need(args, 0, "<file>")?)?;
+    let expr = need(args, 1, "<expr>")?;
+    let members = pdl_query::resolve_groups(&platform, expr).map_err(|e| e.to_string())?;
+    for idx in &members {
+        println!("{}", platform.pu(*idx));
+    }
+    println!("({} member(s))", members.len());
+    Ok(())
+}
+
+fn cmd_route(args: &[String]) -> Result<(), String> {
+    let platform = load(need(args, 0, "<file>")?)?;
+    let from = need(args, 1, "<from>")?;
+    let to = need(args, 2, "<to>")?;
+    let mb: f64 = need(args, 3, "<MB>")?
+        .parse()
+        .map_err(|_| "size must be a number (MB)".to_string())?;
+    match pdl_query::route(&platform, from, to, mb * 1e6) {
+        None => Err(format!("no data path from {from:?} to {to:?}")),
+        Some(r) => {
+            for hop in &r.hops {
+                let ic = &platform.interconnects()[hop.ic_index];
+                println!(
+                    "  {} -> {}  via {}  ({:.3} ms)",
+                    hop.from,
+                    hop.to,
+                    ic.ic_type,
+                    hop.time_s * 1e3
+                );
+            }
+            println!(
+                "total: {:.3} ms, bottleneck {:.2} GB/s, latency {:.1} us",
+                r.time_s * 1e3,
+                r.bottleneck_bps / 1e9,
+                r.latency_s * 1e6
+            );
+            Ok(())
+        }
+    }
+}
+
+fn cmd_diff(args: &[String]) -> Result<(), String> {
+    let old = load(need(args, 0, "<old>")?)?;
+    let new = load(need(args, 1, "<new>")?)?;
+    let changes = pdl_query::diff(&old, &new);
+    if changes.is_empty() {
+        println!("identical");
+    } else {
+        for c in &changes {
+            println!("{c}");
+        }
+        println!("({} change(s))", changes.len());
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let platform = load(need(args, 0, "<file>")?)?;
+    let n: usize = args.get(1).map_or(Ok(4096), |a| a.parse()).map_err(|_| "N must be a number")?;
+    let tile: usize = args
+        .get(2)
+        .map_or(Ok((n / 4).max(1)), |a| a.parse())
+        .map_err(|_| "TILE must be a number")?;
+    let machine = SimMachine::from_platform(&platform);
+    if machine.is_empty() {
+        return Err("platform has no schedulable devices".into());
+    }
+    let graph = kernels::graphs::dgemm_graph(n, tile, None);
+    let report = simulate(&graph, &machine, &mut HeftScheduler, &SimOptions::default())
+        .map_err(|e| e.to_string())?;
+    println!(
+        "DGEMM {n}x{n} (tile {tile}, {} tasks) on {:?} [{} devices]:",
+        graph.len(),
+        platform.name,
+        machine.len()
+    );
+    println!(
+        "  makespan {:.4}s, {:.1} GFLOP/s effective, {:.1} MB moved to devices",
+        report.makespan.seconds(),
+        graph.total_flops() / report.makespan.seconds() / 1e9,
+        report.bytes_to_devices / 1e6
+    );
+    if report.energy.total_j() > 0.0 {
+        println!(
+            "  energy {:.1} J (avg {:.0} W)",
+            report.energy.total_j(),
+            report.energy.average_power_w(report.makespan.seconds())
+        );
+    }
+    println!("{}", report.gantt(64));
+    Ok(())
+}

@@ -1,0 +1,1 @@
+pub use pdl_core; pub use pdl_xml; pub use pdl_query; pub use pdl_discover; pub use simhw; pub use hetero_rt; pub use kernels; pub use cascabel;

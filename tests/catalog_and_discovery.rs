@@ -1,0 +1,82 @@
+//! Integration of descriptor generation and the catalog: discover → store →
+//! reload → query → use, across crate boundaries.
+
+use pdl_discover::catalog::Catalog;
+use pdl_query::capability::{Requirement, RequirementSet};
+
+#[test]
+fn full_catalog_lifecycle() {
+    let dir = std::env::temp_dir().join(format!("pdl-it-catalog-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Build a catalog from generators (manual + automatic, paper §II).
+    let mut catalog = Catalog::with_builtin_platforms();
+    if let Some(host) = pdl_discover::discover_host() {
+        catalog.upsert(host);
+    }
+    let before = catalog.len();
+
+    // Persist, reload, compare.
+    catalog.save_to_dir(&dir).unwrap();
+    let reloaded = Catalog::load_from_dir(&dir).unwrap();
+    assert_eq!(reloaded.len(), before);
+    for (name, p) in catalog.iter() {
+        assert_eq!(reloaded.get(name), Some(p), "{name}");
+    }
+
+    // Capability query across the reloaded catalog.
+    let wants_gpu = RequirementSet::new().with(Requirement::Architecture("gpu".into()));
+    let gpu_platforms: Vec<&str> = reloaded.supporting(&wants_gpu).map(|(n, _)| n).collect();
+    assert!(gpu_platforms.contains(&"xeon-x5550-gtx480-gtx285"));
+    assert!(gpu_platforms.contains(&"gpgpu-cluster-4x2"));
+    assert!(!gpu_platforms.contains(&"cell-be"));
+
+    // A selected platform is directly usable by the simulator.
+    let p = reloaded.get("xeon-x5550-gtx480-gtx285").unwrap();
+    let machine = simhw::machine::SimMachine::from_platform(p);
+    assert_eq!(machine.devices_with_arch("gpu").count(), 2);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn discovered_host_is_simulatable() {
+    // The hwloc-analogue output feeds the whole toolchain.
+    let Some(host) = pdl_discover::discover_host() else {
+        return; // non-Linux CI
+    };
+    host.validate().unwrap();
+    let machine = simhw::machine::SimMachine::from_platform(&host);
+    assert!(!machine.is_empty());
+    let graph = kernels::graphs::vecadd_graph(1_000_000, machine.len(), None);
+    let report = hetero_rt::sim_engine::simulate(
+        &graph,
+        &machine,
+        &mut hetero_rt::scheduler::EagerScheduler,
+        &hetero_rt::sim_engine::SimOptions::default(),
+    )
+    .unwrap();
+    assert!(report.makespan.seconds() > 0.0);
+}
+
+#[test]
+fn multiple_logic_views_of_one_machine_coexist_in_catalog() {
+    // Paper §II: "Multiple logic platform patterns can co-exist for a single
+    // target system." Store two views of the same physical host.
+    let mut catalog = Catalog::new();
+    let mut hd = pdl_core::patterns::host_device(4);
+    hd.name = "same-box-as-host-device".into();
+    let mut pool = pdl_core::patterns::master_worker_pool(4);
+    pool.name = "same-box-as-pool".into();
+    catalog.insert(hd).unwrap();
+    catalog.insert(pool).unwrap();
+    assert_eq!(catalog.len(), 2);
+    assert!(pdl_query::matches_pattern(
+        catalog.get("same-box-as-host-device").unwrap(),
+        pdl_core::patterns::PatternKind::HostDevice
+    ));
+    assert!(pdl_query::matches_pattern(
+        catalog.get("same-box-as-pool").unwrap(),
+        pdl_core::patterns::PatternKind::MasterWorkerPool
+    ));
+}

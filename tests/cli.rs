@@ -1,0 +1,123 @@
+//! End-to-end tests of the `pdl` command-line tool, driving the real
+//! binary (Cargo provides its path via `CARGO_BIN_EXE_pdl`).
+
+use std::process::Command;
+
+fn pdl(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_pdl"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_lists_commands() {
+    let (ok, stdout, _) = pdl(&["help"]);
+    assert!(ok);
+    for cmd in ["validate", "discover", "query", "route", "diff", "simulate"] {
+        assert!(stdout.contains(cmd), "missing {cmd}");
+    }
+}
+
+#[test]
+fn unknown_command_fails() {
+    let (ok, _, stderr) = pdl(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn validate_builtin_platform() {
+    let (ok, stdout, _) = pdl(&["validate", "cell-be"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("valid"));
+    assert!(stdout.contains("9 PUs"));
+}
+
+#[test]
+fn validate_file_round_trip() {
+    let dir = std::env::temp_dir().join(format!("pdl-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("box.pdl.xml");
+
+    // Write a descriptor, validate it, then corrupt it and watch it fail.
+    let platform = pdl_discover::synthetic::xeon_2gpu_testbed();
+    std::fs::write(&file, pdl_xml::to_xml(&platform)).unwrap();
+    let (ok, stdout, _) = pdl(&["validate", file.to_str().unwrap()]);
+    assert!(ok, "{stdout}");
+
+    std::fs::write(&file, "<Master id=\"0\"><Worker id=\"0\"/></Master>").unwrap();
+    let (ok, _, stderr) = pdl(&["validate", file.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("duplicate"), "{stderr}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn query_selector_over_builtin() {
+    let (ok, stdout, _) = pdl(&["query", "cell-be", "//Worker[@ARCHITECTURE='spe']"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("(8 match(es))"), "{stdout}");
+}
+
+#[test]
+fn groups_expression() {
+    let (ok, stdout, _) = pdl(&["groups", "xeon-x5550-gtx480-gtx285", "gpus+cpus"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("(8 member(s))"), "{stdout}");
+}
+
+#[test]
+fn route_between_pus() {
+    let (ok, stdout, _) = pdl(&["route", "xeon-x5550-gtx480-gtx285", "host", "gpu0", "512"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("PCIe"));
+    assert!(stdout.contains("bottleneck 6.00 GB/s"));
+}
+
+#[test]
+fn diff_two_builtins() {
+    let (ok, stdout, _) = pdl(&["diff", "xeon-x5550-8core", "xeon-x5550-gtx480-gtx285"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("+ PU gpu0"));
+}
+
+#[test]
+fn simulate_dgemm_on_builtin() {
+    let (ok, stdout, _) = pdl(&["simulate", "xeon-x5550-gtx480-gtx285", "2048", "512"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("makespan"));
+    assert!(stdout.contains("GFLOP/s effective"));
+}
+
+#[test]
+fn discover_emits_valid_xml() {
+    if !std::path::Path::new("/proc/cpuinfo").exists() {
+        return;
+    }
+    let (ok, stdout, _) = pdl(&["discover"]);
+    assert!(ok);
+    let platform = pdl_xml::from_xml(&stdout).expect("CLI output is valid PDL");
+    assert!(platform.workers().count() >= 1);
+}
+
+#[test]
+fn catalog_lists_builtins() {
+    let (ok, stdout, _) = pdl(&["catalog"]);
+    assert!(ok);
+    assert!(stdout.contains("cell-be"));
+    assert!(stdout.contains("gpgpu-cluster-4x2"));
+}
+
+#[test]
+fn missing_arguments_reported() {
+    let (ok, _, stderr) = pdl(&["route", "cell-be"]);
+    assert!(!ok);
+    assert!(stderr.contains("missing argument"));
+}

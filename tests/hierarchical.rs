@@ -1,0 +1,82 @@
+//! Hierarchical control (paper Figure 2): a front-end Master delegates work
+//! to Hybrid nodes; each node schedules its own sub-hierarchy through its
+//! *Master face* (`Platform::subplatform`).
+
+use hetero_rt::prelude::*;
+use pdl_discover::synthetic;
+use simhw::machine::SimMachine;
+
+#[test]
+fn node_local_scheduling_through_subplatform() {
+    let cluster = synthetic::gpgpu_cluster(3, 2);
+
+    // The front-end partitions the DGEMM across nodes; each node view is a
+    // standalone platform with the Hybrid promoted to Master.
+    let node_views: Vec<_> = cluster
+        .hybrids()
+        .map(|(idx, _)| cluster.subplatform(idx))
+        .collect();
+    assert_eq!(node_views.len(), 3);
+
+    let mut total = 0.0;
+    for view in &node_views {
+        view.validate().unwrap();
+        // Node view: 1 promoted Master + 2 GPU workers.
+        assert_eq!(view.masters().count(), 1);
+        assert_eq!(view.workers().count(), 2);
+
+        let machine = SimMachine::from_platform(view);
+        assert_eq!(machine.len(), 2); // the two GPUs
+
+        // One third of an 8192 DGEMM per node (row-block split).
+        let graph = kernels::graphs::dgemm_graph(4096, 1024, None);
+        let report =
+            simulate(&graph, &machine, &mut HeftScheduler, &SimOptions::default()).unwrap();
+        assert!(report.makespan.seconds() > 0.0);
+        total += report.makespan.seconds();
+    }
+    assert!(total > 0.0);
+}
+
+#[test]
+fn subplatform_views_are_serializable_descriptors() {
+    // A node view is itself a PDL document — it can be shipped to the node
+    // (the paper's "concrete platform information can be made available at
+    // multiple levels of heterogeneous toolchains").
+    let cluster = synthetic::gpgpu_cluster(2, 2);
+    let (idx, _) = cluster.hybrids().next().unwrap();
+    let view = cluster.subplatform(idx);
+    let xml = pdl_xml::to_xml(&view);
+    let back = pdl_xml::from_xml(&xml).unwrap();
+    assert_eq!(back, view);
+}
+
+#[test]
+fn whole_cluster_vs_per_node_decomposition() {
+    // Scheduling the full problem on the whole cluster must not be slower
+    // than the *sum* of serialized per-node thirds (it can exploit all six
+    // GPUs at once).
+    let cluster = synthetic::gpgpu_cluster(3, 2);
+    let machine = SimMachine::from_platform(&cluster);
+    assert_eq!(machine.len(), 6);
+    let full = kernels::graphs::dgemm_graph(8192, 1024, None);
+    let whole = simulate(&full, &machine, &mut HeftScheduler, &SimOptions::default())
+        .unwrap()
+        .makespan
+        .seconds();
+
+    let mut serialized = 0.0;
+    for (idx, _) in cluster.hybrids() {
+        let view = cluster.subplatform(idx);
+        let m = SimMachine::from_platform(&view);
+        let part = kernels::graphs::dgemm_graph(4096, 1024, None);
+        serialized += simulate(&part, &m, &mut HeftScheduler, &SimOptions::default())
+            .unwrap()
+            .makespan
+            .seconds();
+    }
+    assert!(
+        whole < serialized,
+        "whole-cluster {whole} !< serialized per-node {serialized}"
+    );
+}

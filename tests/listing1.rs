@@ -1,0 +1,102 @@
+//! Golden test for Listing 1 of the paper: the PDL description of an
+//! x86-core Master with an attached GPU Worker, parsed verbatim.
+
+use pdl_core::prelude::*;
+use pdl_xml::{encode_master_fragment, from_xml, parse_document, SchemaRegistry};
+
+/// Listing 1, typeset exactly as in the paper (comments included).
+const LISTING_1: &str = r#"<?xml version="1.0" encoding="UTF-8"?>
+<!-- XML HEADER -->
+<Master id="0" quantity="1">
+  <PUDescriptor>
+    <Property fixed="true">
+      <name>ARCHITECTURE</name>
+      <value>x86</value>
+    </Property>
+    <!-- Additional properties -->
+  </PUDescriptor>
+  <Worker quantity="1" id="1">
+    <PUDescriptor>
+      <Property fixed="true">
+        <name>ARCHITECTURE</name>
+        <value>gpu</value>
+      </Property>
+      <!-- Additional properties -->
+    </PUDescriptor>
+  </Worker>
+  <Interconnect type="rDMA" from="0" to="1" scheme=""/>
+</Master>
+"#;
+
+#[test]
+fn listing1_is_schema_valid() {
+    let doc = parse_document(LISTING_1).unwrap();
+    let errors = SchemaRegistry::with_builtins().validate(&doc);
+    assert!(errors.is_empty(), "{errors:?}");
+}
+
+#[test]
+fn listing1_decodes_to_the_expected_model() {
+    let p = from_xml(LISTING_1).unwrap();
+    assert_eq!(p.len(), 2);
+    assert_eq!(p.total_units(), 2);
+
+    let (midx, master) = p.pu_by_id("0").unwrap();
+    assert_eq!(master.class, PuClass::Master);
+    assert_eq!(master.architecture(), Some("x86"));
+    assert_eq!(master.quantity, 1);
+    assert_eq!(p.depth(midx), 0);
+    let arch = master.descriptor.get("ARCHITECTURE").unwrap();
+    assert!(arch.fixed);
+    assert!(arch.subschema.is_none());
+
+    let (widx, worker) = p.pu_by_id("1").unwrap();
+    assert_eq!(worker.class, PuClass::Worker);
+    assert_eq!(worker.architecture(), Some("gpu"));
+    assert_eq!(p.depth(widx), 1);
+    assert_eq!(worker.parent(), Some(midx));
+
+    assert_eq!(p.interconnects().len(), 1);
+    let ic = &p.interconnects()[0];
+    assert_eq!(ic.ic_type, "rDMA");
+    assert_eq!(ic.from, PuId::new("0"));
+    assert_eq!(ic.to, PuId::new("1"));
+    assert_eq!(ic.scheme, "");
+}
+
+#[test]
+fn listing1_exhibits_host_device_pattern() {
+    let p = from_xml(LISTING_1).unwrap();
+    assert!(pdl_query::matches_pattern(
+        &p,
+        pdl_core::patterns::PatternKind::HostDevice
+    ));
+}
+
+#[test]
+fn listing1_round_trips_through_our_encoder() {
+    let p = from_xml(LISTING_1).unwrap();
+    // Platform-wrapper form.
+    let xml = pdl_xml::to_xml(&p);
+    assert_eq!(from_xml(&xml).unwrap(), p);
+    // Bare-Master form, like the paper's listing itself.
+    let fragment = encode_master_fragment(&p).unwrap();
+    assert!(fragment.contains("<Master id=\"0\">"));
+    assert!(fragment.contains("<Interconnect type=\"rDMA\" from=\"0\" to=\"1\"/>"));
+    let p2 = from_xml(&fragment).unwrap();
+    assert_eq!(p2.len(), p.len());
+    assert_eq!(p2.interconnects(), p.interconnects());
+}
+
+#[test]
+fn listing1_mutations_are_rejected() {
+    // Worker at top level.
+    let bad = LISTING_1.replace("Master", "Worker");
+    assert!(from_xml(&bad).is_err());
+    // Dangling interconnect endpoint.
+    let bad = LISTING_1.replace("to=\"1\"", "to=\"99\"");
+    assert!(from_xml(&bad).is_err());
+    // Malformed XML.
+    let bad = LISTING_1.replace("</Master>", "");
+    assert!(from_xml(&bad).is_err());
+}

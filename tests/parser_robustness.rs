@@ -1,0 +1,119 @@
+//! Robustness: no input — however malformed — may panic any parser in the
+//! toolchain. Errors must come back as values.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn xml_parser_never_panics(input in ".{0,200}") {
+        let _ = pdl_xml::parse_document(&input);
+    }
+
+    #[test]
+    fn xml_parser_never_panics_on_tag_soup(
+        input in "[<>/a-z \"=&;!\\[\\]-]{0,120}"
+    ) {
+        let _ = pdl_xml::parse_document(&input);
+    }
+
+    #[test]
+    fn full_pdl_pipeline_never_panics(input in ".{0,200}") {
+        let _ = pdl_xml::from_xml(&input);
+    }
+
+    #[test]
+    fn selector_parser_never_panics(input in ".{0,80}") {
+        let _ = input.parse::<pdl_query::Selector>();
+    }
+
+    #[test]
+    fn group_expr_never_panics(input in ".{0,80}") {
+        let p = pdl_core::patterns::host_device(2);
+        let _ = pdl_query::resolve_groups(&p, &input);
+    }
+
+    #[test]
+    fn c_lexer_never_panics(input in ".{0,200}") {
+        let _ = cascabel::lex::lex(&input);
+    }
+
+    #[test]
+    fn cascabel_frontend_never_panics(input in ".{0,200}") {
+        let _ = cascabel::parse::parse_program(&input);
+    }
+
+    #[test]
+    fn pragma_parser_never_panics(input in "#pragma cascabel .{0,100}") {
+        let _ = cascabel::pragma::parse_pragma(&input);
+    }
+
+    #[test]
+    fn version_parser_never_panics(input in ".{0,30}") {
+        let _ = input.parse::<pdl_core::version::Version>();
+    }
+
+    #[test]
+    fn unit_parser_never_panics(input in ".{0,20}") {
+        let _ = input.parse::<pdl_core::units::Unit>();
+    }
+}
+
+/// Curated nasty inputs that have broken real XML parsers.
+#[test]
+fn xml_edge_case_corpus() {
+    let corpus = [
+        "",
+        " ",
+        "<",
+        "<a",
+        "<a>",
+        "</a>",
+        "<a/></a>",
+        "<a><b></a></b>",
+        "<a a=\"1\" a=\"2\"/>",
+        "<a>&#xFFFFFFFF;</a>",
+        "<a>&#0;</a>",
+        "<!---->",
+        "<!-- -- -->",
+        "<![CDATA[",
+        "<a><![CDATA[]]></a>",
+        "<?xml?><?xml?><a/>",
+        "<a xmlns:x=\"u\"><x:b/></a>",
+        "<a>\u{0}</a>",
+        "<\u{feff}a/>",
+        "<a b=c/>",
+        "<a 1=\"2\"/>",
+        "<a>&amp</a>",
+        "<a>&verylongentitynamethatoverflows;</a>",
+    ];
+    for src in corpus {
+        // Must return, never panic; many are errors, a few parse.
+        let _ = pdl_xml::parse_document(src);
+    }
+}
+
+/// Curated nasty cascabel inputs.
+#[test]
+fn cascabel_edge_case_corpus() {
+    let corpus = [
+        "#pragma cascabel",
+        "#pragma cascabel task",
+        "#pragma cascabel task : : : :",
+        "#pragma cascabel task : x86 : a : b : (",
+        "#pragma cascabel execute",
+        "#pragma cascabel execute : ()",
+        "#pragma cascabel task : x86 : a : b : ()\n",
+        "#pragma cascabel task : x86 : a : b : ()\nvoid",
+        "#pragma cascabel task : x86 : a : b : ()\nvoid f(",
+        "#pragma cascabel task : x86 : a : b : ()\nvoid f() {",
+        "#pragma cascabel execute a : g\nf(",
+        "#pragma cascabel execute a : g\nf()",
+        "/* unterminated",
+        "\"unterminated",
+    ];
+    for src in corpus {
+        let _ = cascabel::parse::parse_program(src);
+    }
+}

@@ -1,0 +1,85 @@
+//! Stress and scale tests for the XML pipeline: large generated platforms
+//! must round-trip exactly and within sane costs, and deeply nested /
+//! wide documents must not break the parser.
+
+use pdl_core::prelude::*;
+
+#[test]
+fn thousand_pu_cluster_round_trips() {
+    let platform = pdl_discover::synthetic::gpgpu_cluster(250, 3); // 1 + 250 + 750 PUs
+    assert_eq!(platform.len(), 1001);
+    let xml = pdl_xml::to_xml(&platform);
+    assert!(xml.len() > 100_000, "non-trivial document: {} bytes", xml.len());
+    let back = pdl_xml::from_xml(&xml).unwrap();
+    assert_eq!(back, platform);
+}
+
+#[test]
+fn quantity_expansion_scales() {
+    let platform = pdl_discover::synthetic::numa_host(8, 64);
+    let expanded = platform.expand_quantities();
+    assert_eq!(expanded.workers().count(), 8 * 64);
+    expanded.validate().unwrap();
+    // Expanded form round-trips too.
+    let xml = pdl_xml::to_xml(&expanded);
+    assert_eq!(pdl_xml::from_xml(&xml).unwrap(), expanded);
+}
+
+#[test]
+fn wide_descriptor_many_properties() {
+    let mut b = Platform::builder("wide");
+    let m = b.master("0");
+    for i in 0..500 {
+        b.prop(m, Property::fixed(format!("P{i}"), format!("v{i}")));
+    }
+    let p = b.build().unwrap();
+    let back = pdl_xml::from_xml(&pdl_xml::to_xml(&p)).unwrap();
+    assert_eq!(back, p);
+    let (_, master) = back.pu_by_id("0").unwrap();
+    assert_eq!(master.descriptor.len(), 500);
+    assert_eq!(master.descriptor.value("P250"), Some("v250"));
+}
+
+#[test]
+fn deep_hybrid_chain() {
+    // A 60-level control chain: Master → Hybrid^58 → Worker.
+    let mut b = Platform::builder("deep");
+    let mut cur = b.master("n0");
+    for i in 1..59 {
+        cur = b.hybrid(cur, format!("n{i}")).unwrap();
+    }
+    b.worker(cur, "leaf").unwrap();
+    let p = b.build().unwrap();
+    assert_eq!(p.height(), 59);
+    let back = pdl_xml::from_xml(&pdl_xml::to_xml(&p)).unwrap();
+    assert_eq!(back, p);
+    let leaf = back.index_of("leaf").unwrap();
+    assert_eq!(back.depth(leaf), 59);
+    assert_eq!(back.controllers(leaf).len(), 59);
+}
+
+#[test]
+fn selector_and_routing_work_at_scale() {
+    let platform = pdl_discover::synthetic::gpgpu_cluster(100, 2);
+    let gpus = pdl_query::query(&platform, "//Worker[@ARCHITECTURE='gpu']").unwrap();
+    assert_eq!(gpus.len(), 200);
+    // Route across the whole cluster: frontend → last GPU via IB + PCIe.
+    let r = pdl_query::route(&platform, "frontend", "node99gpu1", 64e6).unwrap();
+    assert_eq!(r.hops.len(), 2);
+    // Bottleneck is the Infiniband link (3.2 GB/s < 6 GB/s PCIe).
+    assert!((r.bottleneck_bps - 3.2e9).abs() < 1e6);
+}
+
+#[test]
+fn simulation_handles_hundreds_of_devices() {
+    use hetero_rt::prelude::*;
+    let platform = pdl_discover::synthetic::gpgpu_cluster(100, 2);
+    let machine = simhw::machine::SimMachine::from_platform(&platform);
+    assert_eq!(machine.len(), 200);
+    let graph = kernels::graphs::dgemm_graph(8192, 512, None); // 4096 tasks
+    let report =
+        simulate(&graph, &machine, &mut EagerScheduler, &SimOptions::default()).unwrap();
+    assert_eq!(report.assignments.len(), 4096);
+    // 200 GPUs at ~100 GF/s each: the 1.1 TFLOP problem finishes fast.
+    assert!(report.makespan.seconds() < 10.0);
+}
