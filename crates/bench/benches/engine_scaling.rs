@@ -1,0 +1,107 @@
+//! Thread-engine scaling: work-stealing vs. the seed single-queue pool.
+//!
+//! The workload is the scheduler-bound repeated fork-join graph from
+//! `kernels::graphs::fork_join_graph` — each stage dumps `WIDTH` trivial
+//! tasks into the engine at once, so wall time is dominated by queueing,
+//! wake-ups and dependency bookkeeping rather than kernel math. That is
+//! exactly where the single shared channel of [`SingleQueueExecutor`] pays
+//! a per-task contention/notify cost that the per-worker deques of
+//! [`ThreadedExecutor`] avoid.
+//!
+//! Before the criterion benchmarks run, a one-shot summary prints the
+//! measured speedup per worker count and the work-stealing observability
+//! counters (executed / steals / failed steals / busy) from an 8-worker
+//! run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetero_rt::thread_engine::{from_graph, SingleQueueExecutor, ThreadTask, ThreadedExecutor};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Tasks per fork stage.
+const WIDTH: usize = 64;
+/// Fork-join rounds.
+const STAGES: usize = 240;
+/// Worker counts compared.
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn fork_join_tasks() -> Vec<ThreadTask> {
+    let graph = kernels::graphs::fork_join_graph(WIDTH, STAGES, None);
+    from_graph(&graph, |t| {
+        let seed = t.id.0 as u64;
+        Box::new(move || {
+            // Near-zero work: the bench measures engine overhead.
+            black_box(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        })
+    })
+}
+
+fn median(mut samples: Vec<Duration>) -> Duration {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn measure(reps: usize, run: impl Fn(Vec<ThreadTask>) -> Duration) -> Duration {
+    median((0..reps).map(|_| run(fork_join_tasks())).collect())
+}
+
+fn print_summary() {
+    println!(
+        "\nengine_scaling: fork-join {WIDTH}x{STAGES} ({} tasks), single-queue vs work-stealing",
+        WIDTH * STAGES + STAGES
+    );
+    for workers in WORKER_COUNTS {
+        let sq = measure(15, |tasks| {
+            let t0 = Instant::now();
+            SingleQueueExecutor::new(workers).run(tasks).unwrap();
+            t0.elapsed()
+        });
+        let ws = measure(15, |tasks| {
+            let t0 = Instant::now();
+            ThreadedExecutor::new(workers).run(tasks).unwrap();
+            t0.elapsed()
+        });
+        println!(
+            "  {workers} workers: single-queue {sq:>12?}  work-stealing {ws:>12?}  speedup {:.2}x",
+            sq.as_secs_f64() / ws.as_secs_f64()
+        );
+    }
+
+    let report = ThreadedExecutor::new(8).run(fork_join_tasks()).unwrap();
+    println!(
+        "  counters @8 workers: executed {}  steals {} (cross-group {})  failed steals {}  busy {:?}",
+        report.tasks.len(),
+        report.total_steals(),
+        report.total_cross_group_steals(),
+        report.total_failed_steals(),
+        report.total_busy(),
+    );
+    println!();
+}
+
+fn engine_scaling(c: &mut Criterion) {
+    print_summary();
+
+    let mut group = c.benchmark_group("engine_scaling");
+    group.sample_size(10);
+    for workers in WORKER_COUNTS {
+        group.bench_function(BenchmarkId::new("single_queue", workers), |b| {
+            b.iter(|| {
+                SingleQueueExecutor::new(workers)
+                    .run(fork_join_tasks())
+                    .unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("work_stealing", workers), |b| {
+            b.iter(|| {
+                ThreadedExecutor::new(workers)
+                    .run(fork_join_tasks())
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engine_scaling);
+criterion_main!(benches);

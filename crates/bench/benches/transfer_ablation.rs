@@ -15,9 +15,10 @@ fn transfer_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("transfer_ablation");
     group.sample_size(10);
     for gbs in [0.25f64, 6.0, 16.0] {
-        group.bench_function(BenchmarkId::new("speedup_vs_pcie", format!("{gbs}GBs")), |b| {
-            b.iter(|| bench::ablations::speedup_vs_pcie(2048, 512, gbs))
-        });
+        group.bench_function(
+            BenchmarkId::new("speedup_vs_pcie", format!("{gbs}GBs")),
+            |b| b.iter(|| bench::ablations::speedup_vs_pcie(2048, 512, gbs)),
+        );
     }
     group.finish();
 }

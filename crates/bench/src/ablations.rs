@@ -135,15 +135,25 @@ pub fn bus_contention(n: usize, tile: usize) -> (f64, f64) {
 pub fn speedup_vs_pcie(n: usize, tile: usize, pcie_gbs: f64) -> f64 {
     let graph = kernels::graphs::dgemm_graph(n, tile, None);
     let cpu_machine = SimMachine::from_platform(&synthetic::xeon_x5550_host());
-    let cpu = simulate(&graph, &cpu_machine, &mut HeftScheduler, &SimOptions::default())
-        .expect("runnable")
-        .makespan
-        .seconds();
+    let cpu = simulate(
+        &graph,
+        &cpu_machine,
+        &mut HeftScheduler,
+        &SimOptions::default(),
+    )
+    .expect("runnable")
+    .makespan
+    .seconds();
     let gpu_machine = SimMachine::from_platform(&testbed_with_pcie(pcie_gbs));
-    let gpu = simulate(&graph, &gpu_machine, &mut HeftScheduler, &SimOptions::default())
-        .expect("runnable")
-        .makespan
-        .seconds();
+    let gpu = simulate(
+        &graph,
+        &gpu_machine,
+        &mut HeftScheduler,
+        &SimOptions::default(),
+    )
+    .expect("runnable")
+    .makespan
+    .seconds();
     cpu / gpu
 }
 
@@ -155,7 +165,12 @@ mod tests {
     fn heft_beats_random_on_heterogeneous_machine() {
         let rows = scheduler_ablation(4096, 1024);
         let get = |name: &str| rows.iter().find(|(n, _)| *n == name).unwrap().1;
-        assert!(get("heft") <= get("random") * 1.001, "heft {} random {}", get("heft"), get("random"));
+        assert!(
+            get("heft") <= get("random") * 1.001,
+            "heft {} random {}",
+            get("heft"),
+            get("random")
+        );
         assert!(get("heft") <= get("round-robin") * 1.001);
         // All policies produce finite, positive makespans.
         for (name, m) in &rows {

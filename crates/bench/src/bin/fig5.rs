@@ -6,10 +6,7 @@
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let n: usize = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(8192);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8192);
     let tile: usize = args
         .next()
         .and_then(|a| a.parse().ok())
@@ -18,16 +15,25 @@ fn main() {
     let results = bench::fig5::run(n, tile);
     println!("{}", results.render());
 
-    println!("paper-reported shape: single = 1.0x, starpu (8 cores) ≈ 7-8x, starpu+2gpu ≫ starpu\n");
+    println!(
+        "paper-reported shape: single = 1.0x, starpu (8 cores) ≈ 7-8x, starpu+2gpu ≫ starpu\n"
+    );
 
     for row in &results.rows {
         println!("--- {} ({}s makespan) ---", row.label, row.makespan_s);
         println!("per-PU utilization:");
         for (pu, u) in &row.utilization {
-            println!("  {pu:>8}: {:>5.1}%  |{}|", u * 100.0, "#".repeat((u * 40.0) as usize));
+            println!(
+                "  {pu:>8}: {:>5.1}%  |{}|",
+                u * 100.0,
+                "#".repeat((u * 40.0) as usize)
+            );
         }
         if row.bytes_to_devices > 0.0 {
-            println!("  host->device traffic: {:.1} MB", row.bytes_to_devices / 1e6);
+            println!(
+                "  host->device traffic: {:.1} MB",
+                row.bytes_to_devices / 1e6
+            );
         }
         println!("{}", row.gantt);
     }

@@ -13,17 +13,25 @@ fn main() {
     println!("\nTransfer ablation (Abl. B): DGEMM 4096/1024 speedup vs PCIe bandwidth:");
     for gbs in [0.05, 0.25, 1.0, 2.0, 6.0, 16.0] {
         let s = bench::ablations::speedup_vs_pcie(4096, 1024, gbs);
-        println!("  {gbs:>6.2} GB/s: {s:>6.2}x  |{}|", "#".repeat((s * 2.0) as usize));
+        println!(
+            "  {gbs:>6.2} GB/s: {s:>6.2}x  |{}|",
+            "#".repeat((s * 2.0) as usize)
+        );
     }
 
     println!("\nTile ablation (Abl. F): DGEMM 8192 makespan vs tile size:");
     for tile in [512usize, 1024, 2048, 4096, 8192] {
-        println!("  tile {tile:>5}: {:>8.3}s", bench::ablations::makespan_vs_tile(8192, tile));
+        println!(
+            "  tile {tile:>5}: {:>8.3}s",
+            bench::ablations::makespan_vs_tile(8192, tile)
+        );
     }
 
     let (list, online) = bench::ablations::engine_comparison(8192, 2048);
     println!("\nEngine ablation (Abl. G): list {list:.3}s vs online {online:.3}s");
 
     let (independent, shared) = bench::ablations::bus_contention(8192, 2048);
-    println!("Bus contention (Abl. H): independent links {independent:.3}s vs shared bus {shared:.3}s");
+    println!(
+        "Bus contention (Abl. H): independent links {independent:.3}s vs shared bus {shared:.3}s"
+    );
 }

@@ -46,11 +46,7 @@ pub fn sweep_workloads() -> Vec<(String, &'static str, ProblemSpec)> {
     let mut dgemm_spec = ProblemSpec::with_size("N", 4096);
     dgemm_spec.tile = Some(1024);
     vec![
-        (
-            "dgemm".to_string(),
-            crate::fig5::DGEMM_INPUT,
-            dgemm_spec,
-        ),
+        ("dgemm".to_string(), crate::fig5::DGEMM_INPUT, dgemm_spec),
         (
             "vecadd".to_string(),
             r#"
@@ -93,11 +89,7 @@ pub fn run() -> Vec<SweepCell> {
                         platform: platform.name.clone(),
                         makespan_s: makespan,
                         tasks: result.output.graph.len(),
-                        kept_variants: result
-                            .selections
-                            .iter()
-                            .map(|s| s.kept().count())
-                            .sum(),
+                        kept_variants: result.selections.iter().map(|s| s.kept().count()).sum(),
                     }
                 }
             };

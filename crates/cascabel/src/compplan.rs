@@ -168,10 +168,7 @@ mod tests {
         let p = synthetic::xeon_2gpu_testbed();
         let plan = derive_plan(
             &p,
-            &sources(&[
-                ("x86", &["main_cpu.c"]),
-                ("gpu", &["dgemm_kernel.cu"]),
-            ]),
+            &sources(&[("x86", &["main_cpu.c"]), ("gpu", &["dgemm_kernel.cu"])]),
             "dgemm_starpu",
         );
         assert_eq!(plan.compiles.len(), 2);

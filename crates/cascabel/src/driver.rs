@@ -104,8 +104,10 @@ impl CompileResult {
             }
         }
         put("build_plan.sh".to_string(), &self.plan.to_string())?;
-        let mut report = String::from("# Cascabel mapping report
-");
+        let mut report = String::from(
+            "# Cascabel mapping report
+",
+        );
         for m in &self.output.mappings {
             report.push_str(&format!(
                 "{} group={:?} pus=[{}] variants=[{}]
@@ -174,7 +176,11 @@ impl Cascabel {
     }
 
     /// Runs the full pipeline on annotated source.
-    pub fn compile(&mut self, source: &str, spec: &ProblemSpec) -> Result<CompileResult, CascabelError> {
+    pub fn compile(
+        &mut self,
+        source: &str,
+        spec: &ProblemSpec,
+    ) -> Result<CompileResult, CascabelError> {
         // 1. Frontend + task registration (§IV-C step 1).
         let program = parse_program(source)?;
         for f in program.task_functions() {
@@ -192,7 +198,13 @@ impl Cascabel {
         let selections = preselect(&self.repository, &self.platform);
 
         // 3. Output generation (§IV-C step 3).
-        let output = generate(&program, &self.repository, &selections, &self.platform, spec)?;
+        let output = generate(
+            &program,
+            &self.repository,
+            &selections,
+            &self.platform,
+            spec,
+        )?;
 
         // 4. Compilation plan (§IV-C step 4).
         let mut sources_by_arch: BTreeMap<String, Vec<String>> = BTreeMap::new();
@@ -261,8 +273,16 @@ my_dgemm(A, B, C);
         assert!((gpu_result.output.graph.total_flops() - total).abs() < 1.0);
 
         // Plans differ: the GPU build compiles with nvcc too.
-        assert!(gpu_result.plan.compiles.iter().any(|c| c.compiler == "nvcc"));
-        assert!(!cpu_result.plan.compiles.iter().any(|c| c.compiler == "nvcc"));
+        assert!(gpu_result
+            .plan
+            .compiles
+            .iter()
+            .any(|c| c.compiler == "nvcc"));
+        assert!(!cpu_result
+            .plan
+            .compiles
+            .iter()
+            .any(|c| c.compiler == "nvcc"));
     }
 
     #[test]
@@ -280,7 +300,11 @@ my_dgemm(A, B, C);
         let spec = ProblemSpec::with_size("N", 256);
         let r = c.compile(DGEMM_INPUT, &spec).unwrap();
         // Only the input-program's serial variant exists.
-        let dgemm = r.selections.iter().find(|s| s.interface == "I_dgemm").unwrap();
+        let dgemm = r
+            .selections
+            .iter()
+            .find(|s| s.interface == "I_dgemm")
+            .unwrap();
         let kept: Vec<&str> = dgemm.kept().collect();
         assert_eq!(kept, ["dgemm_serial"]);
     }
@@ -306,9 +330,12 @@ my_dgemm(A, B, C);
         assert!(written.iter().any(|p| p.ends_with("build_plan.sh")));
         assert!(written.iter().any(|p| p.ends_with("mapping_report.txt")));
         // CuBLAS kernel file present on the GPU target.
-        assert!(written
-            .iter()
-            .any(|p| p.file_name().unwrap().to_str().unwrap().contains("cublas")));
+        assert!(written.iter().any(|p| p
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .contains("cublas")));
         let main = std::fs::read_to_string(dir.join("cascabel_main.c")).unwrap();
         assert!(main.contains("starpu_init"));
         let plan = std::fs::read_to_string(dir.join("build_plan.sh")).unwrap();

@@ -10,6 +10,7 @@
 
 use crate::ast::TaskCall;
 use crate::preselect::InterfaceSelection;
+use hetero_rt::thread_engine::Placement;
 use pdl_core::platform::Platform;
 use pdl_query::groups;
 use std::collections::BTreeSet;
@@ -135,6 +136,36 @@ pub fn map_call(
     })
 }
 
+/// Derives a thread-engine [`Placement`] from a program's call mappings:
+/// every distinct execution group named by an `execute` annotation becomes
+/// one placement group with one worker thread per group-member PU.
+///
+/// This closes the loop the paper sketches between the platform description
+/// and the runtime: logic groups authored in the PDL (§III-B) flow through
+/// Cascabel annotations (§IV) into actual worker-thread affinity in
+/// [`hetero_rt::thread_engine::ThreadedExecutor`]. Calls without a group
+/// (whole-platform scope) contribute no placement group — their tasks run
+/// anywhere.
+pub fn thread_placement(
+    mappings: &[CallMapping],
+    platform: &Platform,
+) -> Result<Placement, MappingError> {
+    let mut placement = Placement::new();
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for m in mappings {
+        if m.execution_group.is_empty() || !seen.insert(&m.execution_group) {
+            continue;
+        }
+        let members =
+            groups::resolve(platform, &m.execution_group).map_err(|e| MappingError::BadGroup {
+                group: m.execution_group.clone(),
+                message: e.to_string(),
+            })?;
+        placement = placement.with_group(&m.execution_group, members.len());
+    }
+    Ok(placement)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,7 +175,12 @@ mod tests {
     use pdl_discover::synthetic;
 
     fn call(src: &str) -> TaskCall {
-        parse_program(src).unwrap().task_calls().next().unwrap().clone()
+        parse_program(src)
+            .unwrap()
+            .task_calls()
+            .next()
+            .unwrap()
+            .clone()
     }
 
     fn setup(platform: &pdl_core::platform::Platform) -> Vec<InterfaceSelection> {
@@ -207,6 +243,31 @@ mod tests {
         let c = call("#pragma cascabel execute I_mystery : gpus\nmystery(A);");
         let err = map_call(&c, &sel, &p).unwrap_err();
         assert!(matches!(err, MappingError::UnknownInterface(_)));
+    }
+
+    #[test]
+    fn thread_placement_from_mappings() {
+        let p = synthetic::xeon_2gpu_testbed();
+        let sel = setup(&p);
+        let prog = "#pragma cascabel execute I_dgemm : gpus (A:BLOCK:N)\n\
+                    dgemm(A, B, C);\n\
+                    #pragma cascabel execute I_dgemm : cpus\n\
+                    dgemm(D, E, F);\n\
+                    #pragma cascabel execute I_dgemm : gpus\n\
+                    dgemm(G, H, I);\n";
+        let mappings: Vec<CallMapping> = parse_program(prog)
+            .unwrap()
+            .task_calls()
+            .map(|c| map_call(c, &sel, &p).unwrap())
+            .collect();
+        let placement = thread_placement(&mappings, &p).unwrap();
+        // Duplicate "gpus" collapses; one worker per group member PU.
+        assert_eq!(placement.groups.len(), 2);
+        assert_eq!(placement.groups[0].name, "gpus");
+        assert_eq!(placement.groups[0].workers, 2);
+        assert_eq!(placement.groups[1].name, "cpus");
+        assert_eq!(placement.groups[1].workers, 6);
+        assert_eq!(placement.total_workers(), 8);
     }
 
     #[test]

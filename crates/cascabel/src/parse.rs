@@ -132,7 +132,12 @@ impl Parser {
         let line;
         loop {
             match self.bump() {
-                None => return Err(err(pragma_line, "expected function definition after task pragma")),
+                None => {
+                    return Err(err(
+                        pragma_line,
+                        "expected function definition after task pragma",
+                    ))
+                }
                 Some(sp) => match &sp.tok {
                     Tok::Ident(id) => {
                         // Is the next token '('? Then this ident is the name.
@@ -227,7 +232,9 @@ impl Parser {
         let mut depth = 0usize;
         let mut text = String::new();
         loop {
-            let Some(sp) = self.bump() else { return Err(err()) };
+            let Some(sp) = self.bump() else {
+                return Err(err());
+            };
             match &sp.tok {
                 Tok::Punct('{') => {
                     depth += 1;
@@ -336,9 +343,12 @@ fn push_token_text(out: &mut String, tok: &Tok) {
 
 /// Splits accumulated parameter tokens into type text and name (last ident).
 fn split_c_param(toks: &[String]) -> CParam {
-    let name_pos = toks
-        .iter()
-        .rposition(|t| t.chars().next().map(|c| c.is_alphabetic() || c == '_').unwrap_or(false));
+    let name_pos = toks.iter().rposition(|t| {
+        t.chars()
+            .next()
+            .map(|c| c.is_alphabetic() || c == '_')
+            .unwrap_or(false)
+    });
     match name_pos {
         Some(p) => CParam {
             ty: toks[..p].join(" "),
@@ -387,8 +397,11 @@ int main() {
         assert_eq!(f.params[0].ty, "double *");
         assert_eq!(f.pragma.task_identifier, "I_vecadd");
         assert_eq!(f.pragma.params[0].1, AccessMode::ReadWrite);
-        assert!(f.body.contains("A[i]+=B[i]") || f.body.contains("A[i] += B[i]")
-            || f.body.contains("+="));
+        assert!(
+            f.body.contains("A[i]+=B[i]")
+                || f.body.contains("A[i] += B[i]")
+                || f.body.contains("+=")
+        );
 
         let calls: Vec<_> = prog.task_calls().collect();
         assert_eq!(calls.len(), 1);
@@ -441,7 +454,10 @@ void dgemm_gpu(double *A, double *B, double *C) { cublas(); }
         let prog = parse_program(src).unwrap();
         let funcs: Vec<_> = prog.task_functions().collect();
         assert_eq!(funcs.len(), 2);
-        assert_eq!(funcs[0].pragma.task_identifier, funcs[1].pragma.task_identifier);
+        assert_eq!(
+            funcs[0].pragma.task_identifier,
+            funcs[1].pragma.task_identifier
+        );
         assert_ne!(funcs[0].pragma.task_name, funcs[1].pragma.task_name);
     }
 

@@ -260,7 +260,11 @@ fn parse_execute(rest: &str, line: &str) -> Result<Pragma, PragmaError> {
             "execute pragma needs 'taskidentifier : executiongroup (distributions)'",
         ));
     }
-    let task_identifier = fields[0].split_whitespace().next().unwrap_or("").to_string();
+    let task_identifier = fields[0]
+        .split_whitespace()
+        .next()
+        .unwrap_or("")
+        .to_string();
     if task_identifier.is_empty() {
         return Err(err("missing task identifier"));
     }
@@ -407,10 +411,7 @@ mod tests {
         assert!(e.message.contains("4"));
         let e = parse_pragma("#pragma cascabel task : : I_v : n : (A: read)").unwrap_err();
         assert!(e.message.contains("4") || e.message.contains("empty"));
-        let e = parse_pragma(
-            "#pragma cascabel task : x86 : I_v : n : (A: sideways)",
-        )
-        .unwrap_err();
+        let e = parse_pragma("#pragma cascabel task : x86 : I_v : n : (A: sideways)").unwrap_err();
         assert!(e.message.contains("access mode"));
         let e = parse_pragma("#pragma cascabel frobnicate").unwrap_err();
         assert!(e.message.contains("task' or 'execute"));

@@ -267,9 +267,8 @@ mod tests {
         let r = repo();
         let cpu_sel = preselect(&r, &synthetic::xeon_x5550_host());
         let gpu_sel = preselect(&r, &synthetic::xeon_2gpu_testbed());
-        let kept = |sel: &[InterfaceSelection]| -> usize {
-            sel.iter().map(|s| s.kept().count()).sum()
-        };
+        let kept =
+            |sel: &[InterfaceSelection]| -> usize { sel.iter().map(|s| s.kept().count()).sum() };
         assert!(kept(&gpu_sel) > kept(&cpu_sel));
     }
 

@@ -128,7 +128,11 @@ impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ModelError::Invalid(issues) => {
-                writeln!(f, "platform description is invalid ({} issues):", issues.len())?;
+                writeln!(
+                    f,
+                    "platform description is invalid ({} issues):",
+                    issues.len()
+                )?;
                 for issue in issues {
                     writeln!(f, "  - {issue}")?;
                 }

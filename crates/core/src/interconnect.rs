@@ -179,9 +179,14 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(Interconnect::new("rDMA", "0", "1").to_string(), "0 <-> 1 [rDMA]");
         assert_eq!(
-            Interconnect::new("dma", "0", "1").unidirectional().to_string(),
+            Interconnect::new("rDMA", "0", "1").to_string(),
+            "0 <-> 1 [rDMA]"
+        );
+        assert_eq!(
+            Interconnect::new("dma", "0", "1")
+                .unidirectional()
+                .to_string(),
             "0 --> 1 [dma]"
         );
     }

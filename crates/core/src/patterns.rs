@@ -76,9 +76,7 @@ pub fn master_worker_pool(pool_size: u32) -> Platform {
 /// Builds the hierarchical pattern of Figure 2: one Master controlling
 /// `nodes` Hybrid inner nodes, each controlling `workers_per_node` Workers.
 pub fn hierarchical(nodes: u32, workers_per_node: u32) -> Platform {
-    let mut b = Platform::builder(format!(
-        "pattern:hierarchical:{nodes}x{workers_per_node}"
-    ));
+    let mut b = Platform::builder(format!("pattern:hierarchical:{nodes}x{workers_per_node}"));
     let m = b.master("m0");
     b.prop(m, Property::fixed("PATTERN_ROLE", "root"));
     for n in 0..nodes {
@@ -132,9 +130,7 @@ pub fn link(b: &mut PlatformBuilder, from: PuHandle, to: PuHandle, ic_type: &str
     let from_id = b.id_of(from).clone();
     let to_id = b.id_of(to).clone();
     b.interconnect(crate::interconnect::Interconnect::new(
-        ic_type,
-        from_id,
-        to_id,
+        ic_type, from_id, to_id,
     ));
 }
 

@@ -233,7 +233,9 @@ impl Platform {
                 };
                 let h = match parent {
                     None => b.root(id.as_str(), pu.class),
-                    Some(p) => b.child(p, id.as_str(), pu.class).expect("parent can control"),
+                    Some(p) => b
+                        .child(p, id.as_str(), pu.class)
+                        .expect("parent can control"),
                 };
                 b.pus[h.0.index()].descriptor = pu.descriptor.clone();
                 b.pus[h.0.index()].memory_regions = pu.memory_regions.clone();
@@ -282,11 +284,7 @@ impl Platform {
     /// Tools use this to delegate a sub-hierarchy to a node-local scheduler
     /// in hierarchical systems (Figure 2).
     pub fn subplatform(&self, root: PuIdx) -> Platform {
-        let mut b = PlatformBuilder::new(format!(
-            "{}@{}",
-            self.name,
-            self.pu(root).id
-        ));
+        let mut b = PlatformBuilder::new(format!("{}@{}", self.name, self.pu(root).id));
         b.schema_version(self.schema_version);
         let mut kept_ids: Vec<PuId> = Vec::new();
 
@@ -458,12 +456,20 @@ impl PlatformBuilder {
     }
 
     /// Adds a Worker under `parent`.
-    pub fn worker(&mut self, parent: PuHandle, id: impl Into<PuId>) -> Result<PuHandle, ModelError> {
+    pub fn worker(
+        &mut self,
+        parent: PuHandle,
+        id: impl Into<PuId>,
+    ) -> Result<PuHandle, ModelError> {
         self.child(parent, id, PuClass::Worker)
     }
 
     /// Adds a Hybrid under `parent`.
-    pub fn hybrid(&mut self, parent: PuHandle, id: impl Into<PuId>) -> Result<PuHandle, ModelError> {
+    pub fn hybrid(
+        &mut self,
+        parent: PuHandle,
+        id: impl Into<PuId>,
+    ) -> Result<PuHandle, ModelError> {
         self.child(parent, id, PuClass::Hybrid)
     }
 

@@ -177,11 +177,7 @@ impl Property {
 
     /// An unfixed property carrying a typed subschema reference
     /// (Listing 2 style).
-    pub fn typed(
-        name: impl Into<String>,
-        value: PropertyValue,
-        subschema: SubschemaRef,
-    ) -> Self {
+    pub fn typed(name: impl Into<String>, value: PropertyValue, subschema: SubschemaRef) -> Self {
         Self {
             name: name.into(),
             value,
@@ -250,7 +246,10 @@ mod tests {
         assert!(!p.fixed);
         assert_eq!(p.value.as_i64(), Some(1_572_864));
         assert_eq!(p.value.in_base_units(), Some(1_572_864_000.0));
-        assert_eq!(p.subschema.as_ref().unwrap().qualified(), "ocl:oclDevicePropertyType");
+        assert_eq!(
+            p.subschema.as_ref().unwrap().qualified(),
+            "ocl:oclDevicePropertyType"
+        );
     }
 
     #[test]

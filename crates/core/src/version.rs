@@ -52,7 +52,11 @@ pub struct VersionParseError(pub String);
 
 impl fmt::Display for VersionParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid version string {:?} (expected MAJOR.MINOR)", self.0)
+        write!(
+            f,
+            "invalid version string {:?} (expected MAJOR.MINOR)",
+            self.0
+        )
     }
 }
 

@@ -106,8 +106,7 @@ pub fn simulate_dynamic(
                 .iter()
                 .filter(|d| timelines[d.id.0].free_at() <= now)
                 .filter(|d| {
-                    let sw: Vec<&str> =
-                        d.software_platforms.iter().map(String::as_str).collect();
+                    let sw: Vec<&str> = d.software_platforms.iter().map(String::as_str).collect();
                     codelet.variant_for(&d.arch, &sw).is_some()
                 })
                 .filter(|d| match &task.execution_group {
@@ -273,7 +272,13 @@ mod tests {
         let c = g.add_codelet(Codelet::new("k").with_variant(Variant::new("x86")));
         for i in 0..n {
             let h = g.register_data(format!("d{i}"), 8.0);
-            g.submit(c, format!("t{i}"), flops, vec![acc(h, AccessMode::Write)], None);
+            g.submit(
+                c,
+                format!("t{i}"),
+                flops,
+                vec![acc(h, AccessMode::Write)],
+                None,
+            );
         }
         g
     }
@@ -282,8 +287,8 @@ mod tests {
     fn completes_every_task_once() {
         let machine = SimMachine::from_platform(&synthetic::xeon_x5550_host());
         let g = independent_graph(33, 1e9);
-        let r = simulate_dynamic(&g, &machine, &mut EagerScheduler, &SimOptions::default())
-            .unwrap();
+        let r =
+            simulate_dynamic(&g, &machine, &mut EagerScheduler, &SimOptions::default()).unwrap();
         assert_eq!(r.assignments.len(), 33);
         let mut ids: Vec<usize> = r.assignments.iter().map(|(t, _)| t.0).collect();
         ids.sort_unstable();
@@ -299,13 +304,9 @@ mod tests {
         let g = independent_graph(64, 9.576e9);
         let dynamic =
             simulate_dynamic(&g, &machine, &mut EagerScheduler, &SimOptions::default()).unwrap();
-        let list = crate::sim_engine::simulate(
-            &g,
-            &machine,
-            &mut EagerScheduler,
-            &SimOptions::default(),
-        )
-        .unwrap();
+        let list =
+            crate::sim_engine::simulate(&g, &machine, &mut EagerScheduler, &SimOptions::default())
+                .unwrap();
         assert!(
             (dynamic.makespan.seconds() - list.makespan.seconds()).abs() < 1e-9,
             "dynamic {} vs list {}",
@@ -321,10 +322,16 @@ mod tests {
         let c = g.add_codelet(Codelet::new("k").with_variant(Variant::new("x86")));
         let h = g.register_data("chain", 8.0);
         for i in 0..5 {
-            g.submit(c, format!("t{i}"), 9.576e9, vec![acc(h, AccessMode::ReadWrite)], None);
+            g.submit(
+                c,
+                format!("t{i}"),
+                9.576e9,
+                vec![acc(h, AccessMode::ReadWrite)],
+                None,
+            );
         }
-        let r = simulate_dynamic(&g, &machine, &mut EagerScheduler, &SimOptions::default())
-            .unwrap();
+        let r =
+            simulate_dynamic(&g, &machine, &mut EagerScheduler, &SimOptions::default()).unwrap();
         // Pure chain: 5 seconds regardless of 8 cores.
         assert!((r.makespan.seconds() - 5.0).abs() < 1e-9);
         // Completion order in the trace respects the chain.
@@ -354,21 +361,29 @@ mod tests {
         );
         let chain = g.register_data("chain", 8.0);
         for i in 0..4 {
-            g.submit(c, format!("chain{i}"), 50e9, vec![acc(chain, AccessMode::ReadWrite)], None);
+            g.submit(
+                c,
+                format!("chain{i}"),
+                50e9,
+                vec![acc(chain, AccessMode::ReadWrite)],
+                None,
+            );
         }
         for i in 0..16 {
             let h = g.register_data(format!("free{i}"), 8.0);
-            g.submit(c, format!("free{i}"), 10e9, vec![acc(h, AccessMode::Write)], None);
+            g.submit(
+                c,
+                format!("free{i}"),
+                10e9,
+                vec![acc(h, AccessMode::Write)],
+                None,
+            );
         }
         let dynamic =
             simulate_dynamic(&g, &machine, &mut HeftScheduler, &SimOptions::default()).unwrap();
-        let list = crate::sim_engine::simulate(
-            &g,
-            &machine,
-            &mut HeftScheduler,
-            &SimOptions::default(),
-        )
-        .unwrap();
+        let list =
+            crate::sim_engine::simulate(&g, &machine, &mut HeftScheduler, &SimOptions::default())
+                .unwrap();
         assert_eq!(dynamic.assignments.len(), list.assignments.len());
         let ratio = dynamic.makespan.seconds() / list.makespan.seconds();
         assert!(
@@ -386,7 +401,10 @@ mod tests {
         let mut b = pdl_core::platform::Platform::builder("one");
         let m = b.master("host");
         let w = b.worker(m, "w0").unwrap();
-        b.prop(w, pdl_core::property::Property::fixed("ARCHITECTURE", "x86"));
+        b.prop(
+            w,
+            pdl_core::property::Property::fixed("ARCHITECTURE", "x86"),
+        );
         b.prop(
             w,
             pdl_core::property::Property::fixed("PEAK_GFLOPS_DP", "10")
@@ -410,8 +428,8 @@ mod tests {
         mk(&mut g, "low", -1);
         mk(&mut g, "high", 5);
         mk(&mut g, "mid", 2);
-        let r = simulate_dynamic(&g, &machine, &mut EagerScheduler, &SimOptions::default())
-            .unwrap();
+        let r =
+            simulate_dynamic(&g, &machine, &mut EagerScheduler, &SimOptions::default()).unwrap();
         let order: Vec<&str> = r
             .trace
             .spans()
@@ -438,8 +456,8 @@ mod tests {
     fn empty_graph_is_fine() {
         let machine = SimMachine::from_platform(&synthetic::xeon_x5550_host());
         let g = TaskGraph::new();
-        let r = simulate_dynamic(&g, &machine, &mut EagerScheduler, &SimOptions::default())
-            .unwrap();
+        let r =
+            simulate_dynamic(&g, &machine, &mut EagerScheduler, &SimOptions::default()).unwrap();
         assert_eq!(r.makespan, SimTime::ZERO);
         assert!(r.assignments.is_empty());
     }

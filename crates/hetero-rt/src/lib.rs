@@ -48,14 +48,17 @@ pub mod thread_engine;
 /// Commonly used items.
 pub mod prelude {
     pub use crate::data::{AccessMode, DataRegistry, HandleId};
+    pub use crate::dyn_engine::simulate_dynamic;
     pub use crate::graph::TaskGraph;
     pub use crate::perfmodel::PerfModel;
     pub use crate::scheduler::{
         by_name, EagerScheduler, EnergyAwareScheduler, HeftScheduler, RandomScheduler,
         RoundRobinScheduler, ScheduleContext, Scheduler,
     };
-    pub use crate::dyn_engine::simulate_dynamic;
     pub use crate::sim_engine::{simulate, RtError, SimOptions, SimReport};
     pub use crate::task::{Codelet, DataAccess, Task, TaskId, Variant};
-    pub use crate::thread_engine::{ExecReport, ThreadTask, ThreadedExecutor};
+    pub use crate::thread_engine::{
+        from_graph, ExecReport, Placement, PlacementGroup, SingleQueueExecutor, ThreadTask,
+        ThreadedExecutor, WorkerStats,
+    };
 }

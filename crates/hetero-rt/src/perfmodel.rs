@@ -77,7 +77,10 @@ impl PerfModel {
             arch: arch.to_string(),
             size_bucket: size_bucket(size),
         };
-        self.buckets.entry(key).or_default().record(duration.seconds());
+        self.buckets
+            .entry(key)
+            .or_default()
+            .record(duration.seconds());
     }
 
     /// Estimated duration, if the model has seen this (codelet, arch, size

@@ -228,7 +228,10 @@ mod tests {
         let free = |d: DeviceId| SimTime::new([5.0, 1.0, 3.0][d.0]);
         let est = |_d: DeviceId| SimTime::ZERO;
         let mut s = EagerScheduler;
-        assert_eq!(s.pick(&ctx(&machine, &task, &candidates, &free, &est)), DeviceId(1));
+        assert_eq!(
+            s.pick(&ctx(&machine, &task, &candidates, &free, &est)),
+            DeviceId(1)
+        );
         assert_eq!(s.name(), "eager");
     }
 
@@ -241,7 +244,10 @@ mod tests {
         let free = |d: DeviceId| SimTime::new([0.0, 2.0][d.0]);
         let est = |d: DeviceId| SimTime::new([10.0, 4.0][d.0]);
         let mut s = HeftScheduler;
-        assert_eq!(s.pick(&ctx(&machine, &task, &candidates, &free, &est)), DeviceId(1));
+        assert_eq!(
+            s.pick(&ctx(&machine, &task, &candidates, &free, &est)),
+            DeviceId(1)
+        );
     }
 
     #[test]
@@ -324,7 +330,10 @@ mod tests {
                 w,
                 Property::fixed(wellknown::PEAK_GFLOPS_DP, "10").with_unit(Unit::GigaFlopPerSec),
             );
-            b.prop(w, Property::fixed(wellknown::TDP, tdp).with_unit(Unit::Watt));
+            b.prop(
+                w,
+                Property::fixed(wellknown::TDP, tdp).with_unit(Unit::Watt),
+            );
         }
         b.build().unwrap()
     }

@@ -121,10 +121,7 @@ impl SimReport {
             .iter()
             .enumerate()
             .map(|(i, name)| {
-                let b = busy
-                    .get(&DeviceId(i))
-                    .map(|d| d.seconds())
-                    .unwrap_or(0.0);
+                let b = busy.get(&DeviceId(i)).map(|d| d.seconds()).unwrap_or(0.0);
                 let m = self.makespan.seconds();
                 (name.clone(), if m > 0.0 { (b / m).min(1.0) } else { 0.0 })
             })
@@ -337,7 +334,13 @@ mod tests {
         let c = g.add_codelet(Codelet::new("k").with_variant(Variant::new("x86")));
         for i in 0..n {
             let h = g.register_data(format!("d{i}"), 8.0);
-            g.submit(c, format!("t{i}"), flops, vec![acc(h, AccessMode::Write)], None);
+            g.submit(
+                c,
+                format!("t{i}"),
+                flops,
+                vec![acc(h, AccessMode::Write)],
+                None,
+            );
         }
         g
     }
@@ -387,13 +390,7 @@ mod tests {
         );
         let a = g.register_data("A", 512e6);
         // Heavy compute: GPU wins even after paying PCIe transfer.
-        g.submit(
-            c,
-            "big",
-            100e9,
-            vec![acc(a, AccessMode::ReadWrite)],
-            None,
-        );
+        g.submit(c, "big", 100e9, vec![acc(a, AccessMode::ReadWrite)], None);
         let r = simulate(&g, &machine, &mut HeftScheduler, &SimOptions::default()).unwrap();
         let (_, dev) = r.assignments[0];
         assert_eq!(machine.devices[dev.0].arch, "gpu");
@@ -478,11 +475,27 @@ mod tests {
         let h = g.register_data("chain", 8.0);
         let h2 = g.register_data("free", 8.0);
         for i in 0..3 {
-            g.submit(c, format!("c{i}"), 1e9, vec![acc(h, AccessMode::ReadWrite)], None);
-            g.submit(c, format!("f{i}"), 1e9, vec![acc(h2, AccessMode::Read)], None);
+            g.submit(
+                c,
+                format!("c{i}"),
+                1e9,
+                vec![acc(h, AccessMode::ReadWrite)],
+                None,
+            );
+            g.submit(
+                c,
+                format!("f{i}"),
+                1e9,
+                vec![acc(h2, AccessMode::Read)],
+                None,
+            );
         }
         let r = simulate(&g, &machine, &mut EagerScheduler, &SimOptions::default()).unwrap();
-        let fastest = machine.devices.iter().map(|d| d.flops_dp).fold(0.0, f64::max);
+        let fastest = machine
+            .devices
+            .iter()
+            .map(|d| d.flops_dp)
+            .fold(0.0, f64::max);
         let cp_seconds = g.critical_path_flops() / fastest;
         assert!(r.makespan.seconds() >= cp_seconds - 1e-9);
     }
@@ -524,7 +537,8 @@ mod tests {
     fn flush_can_be_disabled() {
         let machine = SimMachine::from_platform(&synthetic::xeon_2gpu_testbed());
         let mut g = TaskGraph::new();
-        let c = g.add_codelet(Codelet::new("k").with_variant(Variant::new("gpu").requiring("Cuda")));
+        let c =
+            g.add_codelet(Codelet::new("k").with_variant(Variant::new("gpu").requiring("Cuda")));
         let h = g.register_data("d", 600e6);
         g.submit(c, "t", 1e9, vec![acc(h, AccessMode::Write)], None);
         let with_flush =
@@ -550,10 +564,17 @@ mod tests {
         // serialize and the makespan grows.
         let machine = SimMachine::from_platform(&synthetic::xeon_2gpu_testbed());
         let mut g = TaskGraph::new();
-        let c = g.add_codelet(Codelet::new("k").with_variant(Variant::new("gpu").requiring("Cuda")));
+        let c =
+            g.add_codelet(Codelet::new("k").with_variant(Variant::new("gpu").requiring("Cuda")));
         for i in 0..2 {
             let h = g.register_data(format!("blob{i}"), 1.2e9); // 0.2s on PCIe
-            g.submit(c, format!("t{i}"), 1e9, vec![acc(h, AccessMode::ReadWrite)], None);
+            g.submit(
+                c,
+                format!("t{i}"),
+                1e9,
+                vec![acc(h, AccessMode::ReadWrite)],
+                None,
+            );
         }
         let independent =
             simulate(&g, &machine, &mut EagerScheduler, &SimOptions::default()).unwrap();

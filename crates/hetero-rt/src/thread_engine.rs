@@ -1,20 +1,49 @@
-//! Real (non-simulated) task execution on a thread pool.
+//! Real (non-simulated) task execution on a work-stealing thread pool.
 //!
 //! The simulated engine answers *how long would this run on that machine*;
 //! this engine actually runs task closures, respecting the same dependency
 //! semantics, so functional correctness of generated programs can be tested
 //! end-to-end (the vecadd/DGEMM examples execute real kernels through it).
 //!
-//! Implementation: a work queue over crossbeam channels. Each task knows how
-//! many dependencies are outstanding; completing a task decrements its
-//! dependents' counters and enqueues those reaching zero. Dependencies must
-//! point to earlier task indices (submission order), which guarantees
-//! acyclicity by construction — same rule as the graphs built by
+//! # Execution model
+//!
+//! [`ThreadedExecutor`] is a **work-stealing** executor: every worker owns a
+//! [`crossbeam::deque::Worker`] deque and pops it **LIFO** (a just-unblocked
+//! dependent reuses the cache its parent warmed), while other workers steal
+//! **FIFO** from the opposite end (the oldest task is the best candidate to
+//! migrate — it has waited longest and tends to root the largest untouched
+//! subtree). Dependency bookkeeping is lock-free: each task carries an
+//! `AtomicUsize` of outstanding dependencies; the worker completing the last
+//! one decrements it to zero and enqueues the dependent directly, so the
+//! ready set never funnels through a shared queue.
+//!
+//! # Affinity
+//!
+//! Workers can be partitioned into **placement groups** — the thread-level
+//! image of the PDL's logic groups (§III-B) that Cascabel's `execute`
+//! annotations name as execution groups (§IV-A). A [`Placement`] is built
+//! either by hand ([`Placement::with_group`]) or straight from a platform
+//! description ([`Placement::from_logic_groups`], resolving `pdl-query`
+//! group set-expressions). Tasks annotated with a group are seeded to and
+//! woken on that group's workers; other groups steal them only when their
+//! own group has run completely dry, so affinity is a strong preference,
+//! never a deadlock risk.
+//!
+//! The seed single-queue engine is preserved as [`SingleQueueExecutor`] —
+//! the baseline the `engine_scaling` bench measures against.
+//!
+//! Dependencies must point to earlier task indices (submission order), which
+//! guarantees acyclicity by construction — same rule as the graphs built by
 //! [`crate::graph::TaskGraph`].
 
+use crate::graph::TaskGraph;
+use crate::task::Task;
 use crossbeam::channel;
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use parking_lot::Mutex;
+use pdl_core::platform::Platform;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Condvar;
 use std::time::{Duration as StdDuration, Instant};
 
 /// One executable task.
@@ -24,6 +53,10 @@ pub struct ThreadTask {
     /// Indices of tasks that must complete first (all `<` this task's
     /// index).
     pub deps: Vec<usize>,
+    /// Placement group this task prefers (a [`Placement`] group name);
+    /// `None` runs anywhere. Ignored by executors built without a
+    /// placement.
+    pub group: Option<String>,
     /// The work itself.
     pub work: Box<dyn FnOnce() + Send>,
 }
@@ -34,6 +67,7 @@ impl ThreadTask {
         ThreadTask {
             label: label.into(),
             deps: Vec::new(),
+            group: None,
             work: Box::new(work),
         }
     }
@@ -41,6 +75,12 @@ impl ThreadTask {
     /// Adds dependencies, builder style.
     pub fn after(mut self, deps: impl IntoIterator<Item = usize>) -> Self {
         self.deps.extend(deps);
+        self
+    }
+
+    /// Pins the task to a placement group, builder style.
+    pub fn in_group(mut self, group: impl Into<String>) -> Self {
+        self.group = Some(group.into());
         self
     }
 }
@@ -56,18 +96,67 @@ pub struct TaskStats {
     pub duration: StdDuration,
 }
 
+/// Per-worker observability counters.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WorkerStats {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Placement-group index the worker belongs to.
+    pub group: usize,
+    /// Tasks this worker executed.
+    pub executed: usize,
+    /// Tasks obtained from anywhere other than the worker's own deque:
+    /// group injectors, same-group siblings or cross-group sources.
+    pub steals: usize,
+    /// Steals from *outside* the worker's group (subset of `steals`);
+    /// nonzero means some group ran dry and borrowed foreign work.
+    pub cross_group_steals: usize,
+    /// Full scans (own deque + injectors + every sibling) that found
+    /// nothing and sent the worker to sleep.
+    pub failed_steals: usize,
+    /// Total wall-clock time spent inside task closures.
+    pub busy: StdDuration,
+}
+
 /// Result of a pool run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecReport {
-    /// Per-task stats, in completion order.
+    /// Per-task stats. For [`ThreadedExecutor`] these are grouped by
+    /// worker (each worker's slice in its own completion order — stats are
+    /// collected worker-locally so the hot path shares no lock); for
+    /// [`SingleQueueExecutor`] they are in global completion order.
     pub tasks: Vec<TaskStats>,
     /// End-to-end wall time.
     pub wall: StdDuration,
     /// Number of worker threads used.
     pub workers: usize,
+    /// Per-worker counters (always `workers` entries).
+    pub worker_stats: Vec<WorkerStats>,
 }
 
-/// Errors the threaded executor can report before running anything.
+impl ExecReport {
+    /// Total successful steals across workers.
+    pub fn total_steals(&self) -> usize {
+        self.worker_stats.iter().map(|w| w.steals).sum()
+    }
+
+    /// Total cross-group steals across workers.
+    pub fn total_cross_group_steals(&self) -> usize {
+        self.worker_stats.iter().map(|w| w.cross_group_steals).sum()
+    }
+
+    /// Total failed steal scans across workers.
+    pub fn total_failed_steals(&self) -> usize {
+        self.worker_stats.iter().map(|w| w.failed_steals).sum()
+    }
+
+    /// Total busy time across workers.
+    pub fn total_busy(&self) -> StdDuration {
+        self.worker_stats.iter().map(|w| w.busy).sum()
+    }
+}
+
+/// Errors the threaded executors can report before running anything.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ThreadEngineError {
     /// A dependency index points at the task itself or a later task.
@@ -76,6 +165,20 @@ pub enum ThreadEngineError {
         task: usize,
         /// The bad dependency index.
         dep: usize,
+    },
+    /// A task names a placement group the executor's placement lacks.
+    UnknownGroup {
+        /// The offending task index.
+        task: usize,
+        /// The unknown group name.
+        group: String,
+    },
+    /// A group set-expression failed to resolve against the platform.
+    BadGroupExpr {
+        /// The expression.
+        expr: String,
+        /// Resolver message.
+        message: String,
     },
 }
 
@@ -86,23 +189,216 @@ impl std::fmt::Display for ThreadEngineError {
                 f,
                 "task {task} depends on {dep}, but dependencies must reference earlier tasks"
             ),
+            ThreadEngineError::UnknownGroup { task, group } => write!(
+                f,
+                "task {task} is pinned to group {group:?}, which the placement does not define"
+            ),
+            ThreadEngineError::BadGroupExpr { expr, message } => {
+                write!(f, "cannot resolve group expression {expr:?}: {message}")
+            }
         }
     }
 }
 
 impl std::error::Error for ThreadEngineError {}
 
-/// A fixed-size thread pool executing dependency graphs.
+/// One named worker subset of a [`Placement`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementGroup {
+    /// Group name; tasks reference it via [`ThreadTask::in_group`].
+    pub name: String,
+    /// Number of worker threads dedicated to the group.
+    pub workers: usize,
+}
+
+/// A partition of the thread pool into named worker groups — the engine's
+/// image of PDL logic groups.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Placement {
+    /// The groups, in worker-index order: group 0 owns workers
+    /// `0..groups[0].workers`, group 1 the next range, and so on.
+    pub groups: Vec<PlacementGroup>,
+}
+
+impl Placement {
+    /// An empty placement.
+    pub fn new() -> Self {
+        Placement::default()
+    }
+
+    /// Adds a group with `workers` dedicated threads, builder style.
+    pub fn with_group(mut self, name: impl Into<String>, workers: usize) -> Self {
+        self.groups.push(PlacementGroup {
+            name: name.into(),
+            workers: workers.max(1),
+        });
+        self
+    }
+
+    /// Builds a placement from PDL logic groups: each set-expression (plain
+    /// group names, unions like `"gpus+cpus"`, pseudo-groups like
+    /// `"@workers"` — the `pdl-query` group grammar) becomes one placement
+    /// group with one worker per resolved processing unit.
+    ///
+    /// This is the `pdl-core → pdl-query → hetero-rt` wiring: logic-group
+    /// attributes authored in a platform description flow directly into
+    /// thread placement.
+    pub fn from_logic_groups<S: AsRef<str>>(
+        platform: &Platform,
+        exprs: &[S],
+    ) -> Result<Self, ThreadEngineError> {
+        let mut placement = Placement::new();
+        for expr in exprs {
+            let expr = expr.as_ref();
+            let members = pdl_query::groups::resolve(platform, expr).map_err(|e| {
+                ThreadEngineError::BadGroupExpr {
+                    expr: expr.to_string(),
+                    message: e.to_string(),
+                }
+            })?;
+            placement = placement.with_group(expr, members.len());
+        }
+        Ok(placement)
+    }
+
+    /// Total workers across all groups.
+    pub fn total_workers(&self) -> usize {
+        self.groups.iter().map(|g| g.workers).sum()
+    }
+
+    fn group_index(&self, name: &str) -> Option<usize> {
+        self.groups.iter().position(|g| g.name == name)
+    }
+}
+
+/// Builds [`ThreadTask`]s mirroring a [`TaskGraph`]'s dependency structure
+/// and execution-group annotations; `work` supplies each task's closure.
+///
+/// This is the bridge from Cascabel-shaped graphs (whose tasks carry the
+/// paper's execution groups) to real execution: submission order becomes
+/// index order, graph edges become index dependencies, and each task's
+/// `execution_group` becomes its placement group.
+pub fn from_graph(
+    graph: &TaskGraph,
+    mut work: impl FnMut(&Task) -> Box<dyn FnOnce() + Send>,
+) -> Vec<ThreadTask> {
+    graph
+        .tasks
+        .iter()
+        .map(|t| ThreadTask {
+            label: t.label.clone(),
+            deps: graph.dependencies(t.id).iter().map(|d| d.0).collect(),
+            group: t.execution_group.clone(),
+            work: work(t),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Shared run plumbing
+// ---------------------------------------------------------------------------
+
+/// A task body, claimable exactly once by whichever worker executes it.
+type WorkSlot = Mutex<Option<Box<dyn FnOnce() + Send>>>;
+
+struct ValidatedTasks {
+    pending: Vec<AtomicUsize>,
+    /// Dependents in CSR form (offsets + flat targets): avoids one small
+    /// heap allocation per task that a `Vec<Vec<usize>>` would cost.
+    dep_offsets: Vec<usize>,
+    dep_targets: Vec<usize>,
+    labels: Vec<String>,
+    work: Vec<WorkSlot>,
+}
+
+impl ValidatedTasks {
+    fn dependents(&self, i: usize) -> &[usize] {
+        &self.dep_targets[self.dep_offsets[i]..self.dep_offsets[i + 1]]
+    }
+}
+
+fn validate(tasks: Vec<ThreadTask>) -> Result<ValidatedTasks, ThreadEngineError> {
+    let n = tasks.len();
+    for (i, t) in tasks.iter().enumerate() {
+        for &d in &t.deps {
+            if d >= i {
+                return Err(ThreadEngineError::ForwardDependency { task: i, dep: d });
+            }
+        }
+    }
+    let mut pending = Vec::with_capacity(n);
+    let mut edges: Vec<(usize, usize)> = Vec::new(); // (dependency, dependent)
+    let mut scratch: Vec<usize> = Vec::new();
+    for (i, t) in tasks.iter().enumerate() {
+        scratch.clear();
+        scratch.extend_from_slice(&t.deps);
+        scratch.sort_unstable();
+        scratch.dedup();
+        pending.push(AtomicUsize::new(scratch.len()));
+        edges.extend(scratch.iter().map(|&d| (d, i)));
+    }
+    edges.sort_unstable();
+    let mut dep_offsets = vec![0usize; n + 1];
+    for &(d, _) in &edges {
+        dep_offsets[d + 1] += 1;
+    }
+    for i in 0..n {
+        dep_offsets[i + 1] += dep_offsets[i];
+    }
+    let dep_targets = edges.into_iter().map(|(_, t)| t).collect();
+    let mut labels = Vec::with_capacity(n);
+    let mut work = Vec::with_capacity(n);
+    for t in tasks {
+        labels.push(t.label);
+        work.push(Mutex::new(Some(t.work)));
+    }
+    Ok(ValidatedTasks {
+        pending,
+        dep_offsets,
+        dep_targets,
+        labels,
+        work,
+    })
+}
+
+fn empty_report(start: Instant, workers: usize) -> ExecReport {
+    ExecReport {
+        tasks: Vec::new(),
+        wall: start.elapsed(),
+        workers,
+        worker_stats: (0..workers)
+            .map(|w| WorkerStats {
+                worker: w,
+                ..WorkerStats::default()
+            })
+            .collect(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Work-stealing executor
+// ---------------------------------------------------------------------------
+
+/// How long an idle worker sleeps between steal scans. Wake-ups are
+/// event-driven (fork points and cross-group hand-offs notify sleepers), so
+/// this is only the safety net bounding the cost of a missed notification
+/// and the shutdown latency.
+const PARK_TIMEOUT: StdDuration = StdDuration::from_millis(2);
+
+/// A work-stealing, affinity-aware thread pool executing dependency graphs.
 #[derive(Debug, Clone)]
 pub struct ThreadedExecutor {
     workers: usize,
+    placement: Option<Placement>,
 }
 
 impl ThreadedExecutor {
-    /// A pool with the given number of worker threads (min 1).
+    /// A pool with the given number of worker threads (min 1) and no
+    /// placement groups: every task may run on every worker.
     pub fn new(workers: usize) -> Self {
         ThreadedExecutor {
             workers: workers.max(1),
+            placement: None,
         }
     }
 
@@ -114,44 +410,343 @@ impl ThreadedExecutor {
         Self::new(n)
     }
 
-    /// Executes all tasks, returning per-task stats.
+    /// A pool partitioned according to `placement`: one dedicated worker
+    /// range per group, `placement.total_workers()` threads overall.
+    pub fn with_placement(placement: Placement) -> Self {
+        let workers = placement.total_workers().max(1);
+        ThreadedExecutor {
+            workers,
+            placement: (placement.total_workers() > 0).then_some(placement),
+        }
+    }
+
+    /// The configured placement, if any.
+    pub fn placement(&self) -> Option<&Placement> {
+        self.placement.as_ref()
+    }
+
+    /// Executes all tasks, returning per-task and per-worker stats.
     pub fn run(&self, tasks: Vec<ThreadTask>) -> Result<ExecReport, ThreadEngineError> {
         let n = tasks.len();
-        for (i, t) in tasks.iter().enumerate() {
-            for &d in &t.deps {
-                if d >= i {
-                    return Err(ThreadEngineError::ForwardDependency { task: i, dep: d });
+        let start = Instant::now();
+
+        // Resolve every task's group name to a group index up front.
+        let mut task_group: Vec<Option<usize>> = Vec::with_capacity(n);
+        match &self.placement {
+            None => task_group.resize(n, None),
+            Some(p) => {
+                for (i, t) in tasks.iter().enumerate() {
+                    match &t.group {
+                        None => task_group.push(None),
+                        Some(name) => match p.group_index(name) {
+                            Some(g) => task_group.push(Some(g)),
+                            None => {
+                                return Err(ThreadEngineError::UnknownGroup {
+                                    task: i,
+                                    group: name.clone(),
+                                })
+                            }
+                        },
+                    }
                 }
             }
         }
 
-        let start = Instant::now();
+        let mut v = validate(tasks)?;
         if n == 0 {
-            return Ok(ExecReport {
-                tasks: Vec::new(),
-                wall: start.elapsed(),
-                workers: self.workers,
-            });
+            return Ok(empty_report(start, self.workers));
         }
 
-        // Dependency bookkeeping.
-        let mut pending: Vec<AtomicUsize> = Vec::with_capacity(n);
-        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for (i, t) in tasks.iter().enumerate() {
-            let mut deps = t.deps.clone();
-            deps.sort_unstable();
-            deps.dedup();
-            pending.push(AtomicUsize::new(deps.len()));
-            for d in deps {
-                dependents[d].push(i);
+        // Worker → group map: contiguous ranges in group order.
+        let worker_group: Vec<usize> = match &self.placement {
+            None => vec![0; self.workers],
+            Some(p) => p
+                .groups
+                .iter()
+                .enumerate()
+                .flat_map(|(g, spec)| std::iter::repeat_n(g, spec.workers))
+                .collect(),
+        };
+        let group_count = worker_group.iter().copied().max().unwrap_or(0) + 1;
+        let mut group_workers: Vec<Vec<usize>> = vec![Vec::new(); group_count];
+        for (w, &g) in worker_group.iter().enumerate() {
+            group_workers[g].push(w);
+        }
+
+        // Deques, stealers, per-group injectors.
+        let locals: Vec<Worker<usize>> = (0..self.workers).map(|_| Worker::new_lifo()).collect();
+        let stealers: Vec<Stealer<usize>> = locals.iter().map(|l| l.stealer()).collect();
+        let injectors: Vec<Injector<usize>> = (0..group_count).map(|_| Injector::new()).collect();
+
+        // Seed initially-ready tasks round-robin across their group's
+        // workers (or all workers when ungrouped), so there is no single
+        // contended entry queue even at t=0.
+        let mut rr = vec![0usize; group_count + 1];
+        for i in 0..n {
+            if v.pending[i].load(Ordering::Relaxed) != 0 {
+                continue;
+            }
+            let targets: &[usize] = match task_group[i] {
+                Some(g) => &group_workers[g],
+                None => {
+                    rr[group_count] = (rr[group_count] + 1) % self.workers;
+                    locals[rr[group_count]].push(i);
+                    continue;
+                }
+            };
+            let slot = rr[task_group[i].unwrap()];
+            rr[task_group[i].unwrap()] = (slot + 1) % targets.len();
+            locals[targets[slot]].push(i);
+        }
+
+        let completed = AtomicUsize::new(0);
+        let park = std::sync::Mutex::new(());
+        let wake = Condvar::new();
+
+        let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(self.workers);
+        let mut records: Vec<(usize, usize, StdDuration)> = Vec::with_capacity(n);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.workers);
+            for (me, local) in locals.into_iter().enumerate() {
+                let ctx = WorkerCtx {
+                    me,
+                    my_group: worker_group[me],
+                    local,
+                    stealers: &stealers,
+                    injectors: &injectors,
+                    group_workers: &group_workers,
+                    worker_group: &worker_group,
+                    task_group: &task_group,
+                    v: &v,
+                    completed: &completed,
+                    park: &park,
+                    wake: &wake,
+                    n,
+                };
+                handles.push(scope.spawn(move || ctx.run()));
+            }
+            for h in handles {
+                let (ws, recs) = h.join().expect("worker panicked");
+                let worker = ws.worker;
+                worker_stats.push(ws);
+                records.extend(recs.into_iter().map(|(task, dt)| (task, worker, dt)));
+            }
+        });
+
+        // Assemble the per-task stats outside the hot path: workers only
+        // recorded (task index, duration); labels are moved (not cloned)
+        // out of the validated set here.
+        let tasks = records
+            .into_iter()
+            .map(|(task, worker, duration)| TaskStats {
+                label: std::mem::take(&mut v.labels[task]),
+                worker,
+                duration,
+            })
+            .collect();
+
+        Ok(ExecReport {
+            tasks,
+            wall: start.elapsed(),
+            workers: self.workers,
+            worker_stats,
+        })
+    }
+}
+
+/// Everything one worker thread needs, borrowed from the run invocation.
+struct WorkerCtx<'a> {
+    me: usize,
+    my_group: usize,
+    local: Worker<usize>,
+    stealers: &'a [Stealer<usize>],
+    injectors: &'a [Injector<usize>],
+    group_workers: &'a [Vec<usize>],
+    worker_group: &'a [usize],
+    task_group: &'a [Option<usize>],
+    v: &'a ValidatedTasks,
+    completed: &'a AtomicUsize,
+    park: &'a std::sync::Mutex<()>,
+    wake: &'a Condvar,
+    n: usize,
+}
+
+/// Where a claimed task came from, for the steal counters.
+enum Source {
+    Local,
+    OwnGroup,
+    CrossGroup,
+}
+
+impl WorkerCtx<'_> {
+    fn run(self) -> (WorkerStats, Vec<(usize, StdDuration)>) {
+        let mut out = WorkerStats {
+            worker: self.me,
+            group: self.my_group,
+            ..WorkerStats::default()
+        };
+        let mut records: Vec<(usize, StdDuration)> = Vec::new();
+        loop {
+            if self.completed.load(Ordering::Acquire) >= self.n {
+                break;
+            }
+            match self.find_task() {
+                Some((task, source)) => {
+                    match source {
+                        Source::Local => {}
+                        Source::OwnGroup => out.steals += 1,
+                        Source::CrossGroup => {
+                            out.steals += 1;
+                            out.cross_group_steals += 1;
+                        }
+                    }
+                    out.busy += self.execute(task, &mut records);
+                    out.executed += 1;
+                }
+                None => {
+                    out.failed_steals += 1;
+                    let guard = self.park.lock().unwrap_or_else(|e| e.into_inner());
+                    if self.completed.load(Ordering::Acquire) >= self.n {
+                        break;
+                    }
+                    // Timed wait: a missed notification costs at most
+                    // PARK_TIMEOUT, so no wake-up protocol bug can hang the
+                    // pool.
+                    let _ = self
+                        .wake
+                        .wait_timeout(guard, PARK_TIMEOUT)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
             }
         }
+        (out, records)
+    }
 
-        let labels: Vec<String> = tasks.iter().map(|t| t.label.clone()).collect();
-        let work: Vec<Mutex<Option<Box<dyn FnOnce() + Send>>>> = tasks
-            .into_iter()
-            .map(|t| Mutex::new(Some(t.work)))
-            .collect();
+    /// Claims one ready task: own deque, then own group's injector and
+    /// siblings, then — only when the whole group is dry — other groups.
+    fn find_task(&self) -> Option<(usize, Source)> {
+        if let Some(i) = self.local.pop() {
+            return Some((i, Source::Local));
+        }
+        if let Some(i) = steal_one(&self.injectors[self.my_group]) {
+            return Some((i, Source::OwnGroup));
+        }
+        for &w in &self.group_workers[self.my_group] {
+            if w == self.me {
+                continue;
+            }
+            if let Some(i) = steal_from(&self.stealers[w]) {
+                return Some((i, Source::OwnGroup));
+            }
+        }
+        // Group dry: scan foreign injectors, then foreign workers.
+        for (g, injector) in self.injectors.iter().enumerate() {
+            if g == self.my_group {
+                continue;
+            }
+            if let Some(i) = steal_one(injector) {
+                return Some((i, Source::CrossGroup));
+            }
+        }
+        for (w, stealer) in self.stealers.iter().enumerate() {
+            if self.worker_group[w] == self.my_group {
+                continue;
+            }
+            if let Some(i) = steal_from(stealer) {
+                return Some((i, Source::CrossGroup));
+            }
+        }
+        None
+    }
+
+    /// Runs the task, records stats worker-locally, wakes or enqueues
+    /// dependents.
+    fn execute(&self, i: usize, records: &mut Vec<(usize, StdDuration)>) -> StdDuration {
+        let job = self.v.work[i].lock().take().expect("task runs once");
+        let t0 = Instant::now();
+        job();
+        let dt = t0.elapsed();
+        records.push((i, dt));
+        let mut woke_other_group = false;
+        for &dep in self.v.dependents(i) {
+            if self.v.pending[dep].fetch_sub(1, Ordering::AcqRel) == 1 {
+                match self.task_group[dep] {
+                    Some(g) if g != self.my_group => {
+                        // Affinity routing: deliver to the task's group.
+                        self.injectors[g].push(dep);
+                        woke_other_group = true;
+                    }
+                    _ => self.local.push(dep),
+                }
+            }
+        }
+        let me_last = self.completed.fetch_add(1, Ordering::AcqRel) + 1 == self.n;
+        if me_last {
+            self.wake.notify_all();
+        } else if woke_other_group {
+            // Cross-group hand-offs are latency-sensitive (the target
+            // group may be entirely asleep), so they get an eager wake.
+            // Same-group surplus is left to the timed steal scans: waking
+            // a sleeper per fork point costs a context switch per wake and
+            // the sleepers re-scan within PARK_TIMEOUT anyway.
+            self.wake.notify_all();
+        }
+        dt
+    }
+}
+
+fn steal_one(injector: &Injector<usize>) -> Option<usize> {
+    loop {
+        match injector.steal() {
+            Steal::Success(i) => return Some(i),
+            Steal::Empty => return None,
+            Steal::Retry => continue,
+        }
+    }
+}
+
+fn steal_from(stealer: &Stealer<usize>) -> Option<usize> {
+    // Bounded retries: under contention the item will be found by a later
+    // scan; spinning here would fight the owner for its own lock.
+    for _ in 0..2 {
+        match stealer.steal() {
+            Steal::Success(i) => return Some(i),
+            Steal::Empty => return None,
+            Steal::Retry => continue,
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Seed single-queue executor (baseline)
+// ---------------------------------------------------------------------------
+
+/// The seed engine: a fixed-size pool where every ready task flows through
+/// one shared MPMC channel. Kept as the measured baseline for the
+/// work-stealing engine (`cargo bench --bench engine_scaling`); placement
+/// groups are ignored.
+#[derive(Debug, Clone)]
+pub struct SingleQueueExecutor {
+    workers: usize,
+}
+
+impl SingleQueueExecutor {
+    /// A pool with the given number of worker threads (min 1).
+    pub fn new(workers: usize) -> Self {
+        SingleQueueExecutor {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Executes all tasks, returning per-task stats.
+    pub fn run(&self, tasks: Vec<ThreadTask>) -> Result<ExecReport, ThreadEngineError> {
+        let start = Instant::now();
+        let v = validate(tasks)?;
+        let n = v.labels.len();
+        if n == 0 {
+            return Ok(empty_report(start, self.workers));
+        }
 
         // Queue protocol: task indices flow through the channel; SHUTDOWN
         // sentinels release blocked workers once all tasks completed (the
@@ -159,7 +754,7 @@ impl ThreadedExecutor {
         // holds a sender clone).
         const SHUTDOWN: usize = usize::MAX;
         let (tx, rx) = channel::unbounded::<usize>();
-        for (i, p) in pending.iter().enumerate() {
+        for (i, p) in v.pending.iter().enumerate() {
             if p.load(Ordering::Relaxed) == 0 {
                 tx.send(i).expect("queue open");
             }
@@ -167,34 +762,39 @@ impl ThreadedExecutor {
 
         let completed = AtomicUsize::new(0);
         let stats: Mutex<Vec<TaskStats>> = Mutex::new(Vec::with_capacity(n));
+        let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(self.workers);
 
         std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.workers);
             for worker in 0..self.workers {
                 let rx = rx.clone();
                 let tx = tx.clone();
-                let pending = &pending;
-                let dependents = &dependents;
-                let work = &work;
-                let labels = &labels;
+                let v = &v;
                 let completed = &completed;
                 let stats = &stats;
                 let workers_total = self.workers;
-                scope.spawn(move || {
+                handles.push(scope.spawn(move || {
+                    let mut out = WorkerStats {
+                        worker,
+                        ..WorkerStats::default()
+                    };
                     while let Ok(i) = rx.recv() {
                         if i == SHUTDOWN {
                             break;
                         }
-                        let job = work[i].lock().take().expect("task runs once");
+                        let job = v.work[i].lock().take().expect("task runs once");
                         let t0 = Instant::now();
                         job();
                         let dt = t0.elapsed();
+                        out.executed += 1;
+                        out.busy += dt;
                         stats.lock().push(TaskStats {
-                            label: labels[i].clone(),
+                            label: v.labels[i].clone(),
                             worker,
                             duration: dt,
                         });
-                        for &dep in &dependents[i] {
-                            if pending[dep].fetch_sub(1, Ordering::AcqRel) == 1 {
+                        for &dep in v.dependents(i) {
+                            if v.pending[dep].fetch_sub(1, Ordering::AcqRel) == 1 {
                                 let _ = tx.send(dep);
                             }
                         }
@@ -206,16 +806,21 @@ impl ThreadedExecutor {
                             }
                         }
                     }
-                });
+                    out
+                }));
             }
             drop(tx);
             drop(rx);
+            for h in handles {
+                worker_stats.push(h.join().expect("worker panicked"));
+            }
         });
 
         Ok(ExecReport {
             tasks: stats.into_inner(),
             wall: start.elapsed(),
             workers: self.workers,
+            worker_stats,
         })
     }
 }
@@ -241,6 +846,9 @@ mod tests {
         assert_eq!(counter.load(Ordering::Relaxed), 50);
         assert_eq!(report.tasks.len(), 50);
         assert_eq!(report.workers, 4);
+        assert_eq!(report.worker_stats.len(), 4);
+        let executed: usize = report.worker_stats.iter().map(|w| w.executed).sum();
+        assert_eq!(executed, 50);
     }
 
     #[test]
@@ -294,7 +902,10 @@ mod tests {
             ThreadTask::new("b", || {}),
         ];
         let err = ThreadedExecutor::new(2).run(tasks).unwrap_err();
-        assert_eq!(err, ThreadEngineError::ForwardDependency { task: 0, dep: 1 });
+        assert_eq!(
+            err,
+            ThreadEngineError::ForwardDependency { task: 0, dep: 1 }
+        );
     }
 
     #[test]
@@ -307,6 +918,7 @@ mod tests {
     fn empty_graph() {
         let report = ThreadedExecutor::new(2).run(Vec::new()).unwrap();
         assert!(report.tasks.is_empty());
+        assert_eq!(report.worker_stats.len(), 2);
     }
 
     #[test]
@@ -369,5 +981,137 @@ mod tests {
         }
         ThreadedExecutor::new(2).run(tasks).unwrap();
         assert_eq!(*total.lock(), 499500.0);
+    }
+
+    #[test]
+    fn unknown_group_rejected() {
+        let placement = Placement::new().with_group("gpus", 2);
+        let tasks = vec![ThreadTask::new("t", || {}).in_group("tpus")];
+        let err = ThreadedExecutor::with_placement(placement)
+            .run(tasks)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ThreadEngineError::UnknownGroup {
+                task: 0,
+                group: "tpus".into()
+            }
+        );
+    }
+
+    #[test]
+    fn groups_ignored_without_placement() {
+        // An executor built with new() runs grouped tasks anywhere.
+        let counter = Arc::new(AtomicU64::new(0));
+        let c = counter.clone();
+        let tasks = vec![ThreadTask::new("t", move || {
+            c.fetch_add(1, Ordering::Relaxed);
+        })
+        .in_group("gpus")];
+        ThreadedExecutor::new(2).run(tasks).unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn placement_pins_tasks_to_group_workers() {
+        // Group "a" = workers 0..2, group "b" = workers 2..4. With both
+        // groups continuously loaded, group-b tasks must not run on group-a
+        // workers unless a cross-group steal happened — and then the
+        // counters must say so.
+        let placement = Placement::new().with_group("a", 2).with_group("b", 2);
+        let mut tasks = Vec::new();
+        for i in 0..40 {
+            let g = if i % 2 == 0 { "a" } else { "b" };
+            tasks.push(ThreadTask::new(format!("{g}{i}"), || {}).in_group(g));
+        }
+        let report = ThreadedExecutor::with_placement(placement)
+            .run(tasks)
+            .unwrap();
+        assert_eq!(report.workers, 4);
+        let cross = report.total_cross_group_steals();
+        for t in &report.tasks {
+            let expect_a = t.label.starts_with('a');
+            let on_a = t.worker < 2;
+            if expect_a != on_a {
+                assert!(
+                    cross > 0,
+                    "{} ran on worker {} without any cross-group steal",
+                    t.label,
+                    t.worker
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_logic_groups_builds_placement() {
+        let mut b = Platform::builder("t");
+        let m = b.master("cpu");
+        let g0 = b.worker(m, "gpu0").unwrap();
+        b.group(g0, "gpus");
+        let g1 = b.worker(m, "gpu1").unwrap();
+        b.group(g1, "gpus");
+        let s = b.worker(m, "spe").unwrap();
+        b.group(s, "slow");
+        let p = b.build().unwrap();
+
+        let placement = Placement::from_logic_groups(&p, &["gpus", "@workers-gpus"]).unwrap();
+        assert_eq!(placement.groups.len(), 2);
+        assert_eq!(placement.groups[0].workers, 2); // gpu0, gpu1
+        assert_eq!(placement.groups[1].workers, 1); // spe
+        assert_eq!(placement.total_workers(), 3);
+
+        assert!(Placement::from_logic_groups(&p, &["@bogus"]).is_err());
+    }
+
+    #[test]
+    fn single_queue_baseline_agrees() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let tasks: Vec<ThreadTask> = (0..30)
+            .map(|i| {
+                let c = counter.clone();
+                let mut t = ThreadTask::new(format!("t{i}"), move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+                if i >= 10 {
+                    t = t.after([i - 10]);
+                }
+                t
+            })
+            .collect();
+        let report = SingleQueueExecutor::new(3).run(tasks).unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 30);
+        assert_eq!(report.tasks.len(), 30);
+        assert_eq!(report.total_steals(), 0); // no steal concept
+    }
+
+    #[test]
+    fn from_graph_mirrors_structure() {
+        let mut g = TaskGraph::new();
+        let c = g.add_codelet(
+            crate::task::Codelet::new("k").with_variant(crate::task::Variant::new("x86")),
+        );
+        let h = g.register_data("d", 8.0);
+        let acc = |mode| crate::task::DataAccess { handle: h, mode };
+        g.submit(
+            c,
+            "w",
+            1.0,
+            vec![acc(crate::data::AccessMode::Write)],
+            Some("gpus".into()),
+        );
+        g.submit(c, "r", 1.0, vec![acc(crate::data::AccessMode::Read)], None);
+
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let tasks = from_graph(&g, |t| {
+            let log = log.clone();
+            let label = t.label.clone();
+            Box::new(move || log.lock().push(label))
+        });
+        assert_eq!(tasks.len(), 2);
+        assert_eq!(tasks[0].group.as_deref(), Some("gpus"));
+        assert_eq!(tasks[1].deps, vec![0]);
+        ThreadedExecutor::new(2).run(tasks).unwrap();
+        assert_eq!(*log.lock(), vec!["w".to_string(), "r".to_string()]);
     }
 }

@@ -78,7 +78,11 @@ pub fn dgemm_graph(n: usize, tile: usize, execution_group: Option<String>) -> Ta
                     codelet,
                     format!("dgemm[{i},{j},{k}]"),
                     tile_flops,
-                    vec![read(a[i * tiles + k]), read(b[k * tiles + j]), rw(c[i * tiles + j])],
+                    vec![
+                        read(a[i * tiles + k]),
+                        read(b[k * tiles + j]),
+                        rw(c[i * tiles + j]),
+                    ],
                     execution_group.clone(),
                 );
             }
@@ -256,6 +260,63 @@ pub fn reduce_graph(n: usize, chunks: usize) -> TaskGraph {
     g
 }
 
+/// Builds a repeated wide fork-join graph: `stages` rounds of `width`
+/// independent tasks, each round funnelled through a join task before the
+/// next round forks again.
+///
+/// This is the scheduler stress shape — every stage dumps `width` ready
+/// tasks into the engine at once and the join serialises them back — used
+/// by the `engine_scaling` bench to compare the work-stealing and
+/// single-queue thread engines. Per-task cost is a nominal `flops` so the
+/// graph also simulates meaningfully.
+///
+/// `execution_group` optionally pins all tasks to a logic group.
+pub fn fork_join_graph(width: usize, stages: usize, execution_group: Option<String>) -> TaskGraph {
+    let width = width.max(1);
+    let stages = stages.max(1);
+    let mut g = TaskGraph::new();
+    let codelet = g.add_codelet(Codelet::new("I_forkjoin").with_variant(Variant::new("x86")));
+    let flops = 1000.0;
+
+    let mut join_prev: Option<HandleId> = None;
+    for s in 0..stages {
+        let join = g.register_data(format!("join[{s}]"), 8.0);
+        let mut partials = Vec::with_capacity(width);
+        for i in 0..width {
+            let partial = g.register_data(format!("part[{s}][{i}]"), 8.0);
+            let mut accesses = vec![DataAccess {
+                handle: partial,
+                mode: AccessMode::Write,
+            }];
+            if let Some(prev) = join_prev {
+                accesses.push(read(prev));
+            }
+            g.submit(
+                codelet,
+                format!("fork[{s}][{i}]"),
+                flops,
+                accesses,
+                execution_group.clone(),
+            );
+            partials.push(partial);
+        }
+        let mut accesses: Vec<DataAccess> = partials.into_iter().map(read).collect();
+        accesses.push(DataAccess {
+            handle: join,
+            mode: AccessMode::Write,
+        });
+        g.submit(
+            codelet,
+            format!("join[{s}]"),
+            flops,
+            accesses,
+            execution_group.clone(),
+        );
+        join_prev = Some(join);
+    }
+    g
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,9 +330,7 @@ mod tests {
         // Total flops preserved by the decomposition.
         assert!((g.total_flops() - dgemm_flops(8192)).abs() < 1.0);
         // k-chain on each C tile: critical path = tiles × tile_flops.
-        assert!(
-            (g.critical_path_flops() - (tiles as f64) * dgemm_flops(2048)).abs() < 1.0
-        );
+        assert!((g.critical_path_flops() - (tiles as f64) * dgemm_flops(2048)).abs() < 1.0);
     }
 
     #[test]
@@ -285,10 +344,7 @@ mod tests {
         let g = dgemm_serial_graph(8192);
         assert_eq!(g.len(), 1);
         assert_eq!(g.total_flops(), dgemm_flops(8192));
-        assert!(!g.codelets[0]
-            .variants
-            .iter()
-            .any(|v| v.arch == "gpu"));
+        assert!(!g.codelets[0].variants.iter().any(|v| v.arch == "gpu"));
     }
 
     #[test]
@@ -297,7 +353,10 @@ mod tests {
         assert_eq!(g.len(), 8);
         assert_eq!(g.sources().len(), 8);
         assert!((g.total_flops() - 1_000_000.0).abs() < 1e-9);
-        assert!(g.tasks.iter().all(|t| t.execution_group.as_deref() == Some("gpus")));
+        assert!(g
+            .tasks
+            .iter()
+            .all(|t| t.execution_group.as_deref() == Some("gpus")));
     }
 
     #[test]
@@ -338,6 +397,31 @@ mod tests {
     }
 
     #[test]
+    fn fork_join_shape() {
+        let width = 6;
+        let stages = 4;
+        let g = fork_join_graph(width, stages, Some("cpus".into()));
+        assert_eq!(g.tasks.len(), stages * (width + 1));
+        for s in 0..stages {
+            let join = &g.tasks[s * (width + 1) + width];
+            assert_eq!(join.label, format!("join[{s}]"));
+            // The join waits on every fork of its stage.
+            assert_eq!(g.dependencies(join.id).len(), width);
+            // Stage s forks wait on the previous join (and nothing else).
+            for i in 0..width {
+                let fork = &g.tasks[s * (width + 1) + i];
+                let deps = g.dependencies(fork.id);
+                if s == 0 {
+                    assert!(deps.is_empty());
+                } else {
+                    assert_eq!(deps, vec![g.tasks[(s - 1) * (width + 1) + width].id]);
+                }
+                assert_eq!(fork.execution_group.as_deref(), Some("cpus"));
+            }
+        }
+    }
+
+    #[test]
     fn all_workload_codelets_have_cpu_fallback() {
         // Paper §IV-C: "At least one sequential fall-back variant must be
         // provided by the application developer."
@@ -347,6 +431,7 @@ mod tests {
             stencil_graph(64, 2, 2),
             reduce_graph(100, 4),
             spmv_graph(100, 4),
+            fork_join_graph(8, 3, None),
         ] {
             for c in &g.codelets {
                 assert!(c.has_cpu_fallback(), "{}", c.name);

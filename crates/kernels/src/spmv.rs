@@ -25,7 +25,8 @@ impl CsrMatrix {
         cols: usize,
         triplets: impl IntoIterator<Item = (usize, usize, f64)>,
     ) -> Self {
-        let mut per_row: Vec<std::collections::BTreeMap<usize, f64>> = vec![Default::default(); rows];
+        let mut per_row: Vec<std::collections::BTreeMap<usize, f64>> =
+            vec![Default::default(); rows];
         for (r, c, v) in triplets {
             assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds");
             *per_row[r].entry(c).or_insert(0.0) += v;
@@ -75,24 +76,18 @@ impl CsrMatrix {
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "x length");
         assert_eq!(y.len(), self.rows, "y length");
-        for r in 0..self.rows {
-            let mut acc = 0.0;
-            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
-                acc += self.values[k] * x[self.col_idx[k]];
-            }
-            y[r] = acc;
-        }
+        self.spmv_rows(x, y, 0, self.rows);
     }
 
     /// `y[lo..hi] = (A x)[lo..hi]` — row-strip task body.
     pub fn spmv_rows(&self, x: &[f64], y: &mut [f64], lo: usize, hi: usize) {
         assert!(lo <= hi && hi <= self.rows);
-        for r in lo..hi {
+        for (r, out) in y.iter_mut().enumerate().take(hi).skip(lo) {
             let mut acc = 0.0;
             for k in self.row_ptr[r]..self.row_ptr[r + 1] {
                 acc += self.values[k] * x[self.col_idx[k]];
             }
-            y[r] = acc;
+            *out = acc;
         }
     }
 

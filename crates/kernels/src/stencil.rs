@@ -61,9 +61,7 @@ mod tests {
 
     fn hot_edge_grid(n: usize) -> Vec<f64> {
         let mut g = vec![0.0; n * n];
-        for j in 0..n {
-            g[j] = 100.0; // top edge hot
-        }
+        g[..n].fill(100.0); // top edge hot
         g
     }
 
@@ -74,7 +72,7 @@ mod tests {
         let mut dst = vec![0.0; n * n];
         jacobi_sweep(&src, &mut dst, n);
         // Center = average of (top=100, bottom=0, left=0, right=0) = 25.
-        assert_eq!(dst[1 * n + 1], 25.0);
+        assert_eq!(dst[n + 1], 25.0);
         // Boundary preserved.
         assert_eq!(dst[0], 100.0);
         assert_eq!(dst[2 * n], 0.0);

@@ -205,7 +205,10 @@ mod tests {
         let mut c = Catalog::new();
         let p = crate::synthetic::cell_be();
         c.insert(p.clone()).unwrap();
-        assert!(matches!(c.insert(p.clone()), Err(CatalogError::Duplicate(_))));
+        assert!(matches!(
+            c.insert(p.clone()),
+            Err(CatalogError::Duplicate(_))
+        ));
         assert!(c.upsert(p).is_some());
         assert_eq!(c.len(), 1);
     }

@@ -94,7 +94,10 @@ pub fn platform_from_cpuinfo(name: &str, cpu: &CpuInfo, mem_total_bytes: Option<
             host,
             MemoryRegion::new("ram").with_descriptor(
                 Descriptor::new()
-                    .with(Property::fixed(wellknown::SIZE, format!("{bytes:.0}")).with_unit(Unit::Byte))
+                    .with(
+                        Property::fixed(wellknown::SIZE, format!("{bytes:.0}"))
+                            .with_unit(Unit::Byte),
+                    )
                     .with(Property::fixed(wellknown::MEMORY_KIND, "ram")),
             ),
         );

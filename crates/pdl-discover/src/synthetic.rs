@@ -47,10 +47,7 @@ impl Default for TestbedOptions {
 /// Paper §IV-D testbed, CPU-only view ("starpu" configuration):
 /// dual-socket 2.66 GHz Xeon X5550, 8 cores, no GPUs.
 pub fn xeon_x5550_host() -> Platform {
-    build_testbed(
-        "xeon-x5550-8core",
-        &TestbedOptions::default(),
-    )
+    build_testbed("xeon-x5550-8core", &TestbedOptions::default())
 }
 
 /// Paper §IV-D testbed, full view ("starpu+2gpu" configuration):
@@ -79,7 +76,10 @@ pub fn build_testbed(name: &str, opts: &TestbedOptions) -> Platform {
         host,
         Property::fixed(wellknown::FREQUENCY, "2.66").with_unit(Unit::GigaHertz),
     );
-    b.prop(host, Property::fixed(wellknown::CORES, opts.cpu_cores.to_string()));
+    b.prop(
+        host,
+        Property::fixed(wellknown::CORES, opts.cpu_cores.to_string()),
+    );
     b.prop(host, Property::fixed(wellknown::SOFTWARE_PLATFORM, "x86"));
     b.prop(host, Property::fixed(wellknown::COMPILER, "gcc"));
     b.prop(host, Property::fixed(wellknown::RUNTIME_SYSTEM, "StarPU"));
@@ -88,9 +88,7 @@ pub fn build_testbed(name: &str, opts: &TestbedOptions) -> Platform {
         MemoryRegion::new("ram").with_descriptor(
             Descriptor::new()
                 .with(Property::fixed(wellknown::SIZE, "24").with_unit(Unit::GibiByte))
-                .with(
-                    Property::fixed(wellknown::BANDWIDTH, "32").with_unit(Unit::GigaBytePerSec),
-                )
+                .with(Property::fixed(wellknown::BANDWIDTH, "32").with_unit(Unit::GigaBytePerSec))
                 .with(Property::fixed(wellknown::MEMORY_KIND, "ram")),
         ),
     );
@@ -126,12 +124,9 @@ pub fn build_testbed(name: &str, opts: &TestbedOptions) -> Platform {
             Interconnect::new("shared-mem", "host", id).with_descriptor(
                 Descriptor::new()
                     .with(
-                        Property::fixed(wellknown::BANDWIDTH, "32")
-                            .with_unit(Unit::GigaBytePerSec),
+                        Property::fixed(wellknown::BANDWIDTH, "32").with_unit(Unit::GigaBytePerSec),
                     )
-                    .with(
-                        Property::fixed(wellknown::LATENCY, "0.1").with_unit(Unit::MicroSecond),
-                    ),
+                    .with(Property::fixed(wellknown::LATENCY, "0.1").with_unit(Unit::MicroSecond)),
             ),
         );
     }
@@ -176,7 +171,10 @@ pub fn cell_be() -> Platform {
     let mut b = Platform::builder("cell-be");
     let ppe = b.master("ppe");
     b.prop(ppe, Property::fixed(wellknown::ARCHITECTURE, "ppe"));
-    b.prop(ppe, Property::fixed(wellknown::DEVICE_NAME, "Cell B.E. PPE"));
+    b.prop(
+        ppe,
+        Property::fixed(wellknown::DEVICE_NAME, "Cell B.E. PPE"),
+    );
     b.prop(ppe, Property::fixed(wellknown::VENDOR, "IBM"));
     b.prop(
         ppe,
@@ -187,14 +185,19 @@ pub fn cell_be() -> Platform {
         Property::fixed(wellknown::PEAK_GFLOPS_DP, "6.4").with_unit(Unit::GigaFlopPerSec),
     );
     b.prop(ppe, Property::fixed(wellknown::EFFICIENCY, "0.8"));
-    b.prop(ppe, Property::fixed(wellknown::SOFTWARE_PLATFORM, "CellSDK"));
+    b.prop(
+        ppe,
+        Property::fixed(wellknown::SOFTWARE_PLATFORM, "CellSDK"),
+    );
     b.prop(ppe, Property::fixed(wellknown::COMPILER, "xlc"));
     b.memory(
         ppe,
         MemoryRegion::new("xdr").with_descriptor(
             Descriptor::new()
                 .with(Property::fixed(wellknown::SIZE, "256").with_unit(Unit::MebiByte))
-                .with(Property::fixed(wellknown::BANDWIDTH, "25.6").with_unit(Unit::GigaBytePerSec)),
+                .with(
+                    Property::fixed(wellknown::BANDWIDTH, "25.6").with_unit(Unit::GigaBytePerSec),
+                ),
         ),
     );
     for i in 0..8 {
@@ -219,14 +222,18 @@ pub fn cell_be() -> Platform {
             ),
         );
         b.interconnect(
-            Interconnect::new("EIB", "ppe", id).with_scheme("dma").with_descriptor(
-                Descriptor::new()
-                    .with(
-                        Property::fixed(wellknown::BANDWIDTH, "25.6")
-                            .with_unit(Unit::GigaBytePerSec),
-                    )
-                    .with(Property::fixed(wellknown::LATENCY, "0.5").with_unit(Unit::MicroSecond)),
-            ),
+            Interconnect::new("EIB", "ppe", id)
+                .with_scheme("dma")
+                .with_descriptor(
+                    Descriptor::new()
+                        .with(
+                            Property::fixed(wellknown::BANDWIDTH, "25.6")
+                                .with_unit(Unit::GigaBytePerSec),
+                        )
+                        .with(
+                            Property::fixed(wellknown::LATENCY, "0.5").with_unit(Unit::MicroSecond),
+                        ),
+                ),
         );
     }
     b.build().expect("cell descriptor is structurally valid")
@@ -255,7 +262,10 @@ pub fn gpgpu_cluster(nodes: u32, gpus_per_node: u32) -> Platform {
         b.interconnect(
             Interconnect::new("Infiniband", "frontend", nid.clone()).with_descriptor(
                 Descriptor::new()
-                    .with(Property::fixed(wellknown::BANDWIDTH, "3.2").with_unit(Unit::GigaBytePerSec))
+                    .with(
+                        Property::fixed(wellknown::BANDWIDTH, "3.2")
+                            .with_unit(Unit::GigaBytePerSec),
+                    )
                     .with(Property::fixed(wellknown::LATENCY, "2").with_unit(Unit::MicroSecond)),
             ),
         );
@@ -297,13 +307,18 @@ pub fn numa_host(sockets: u32, cores_per_socket: u32) -> Platform {
         let sid = format!("socket{s}");
         let m = b.master(sid.clone());
         b.prop(m, Property::fixed(wellknown::ARCHITECTURE, "x86"));
-        let pool = b.worker(m, format!("socket{s}core")).expect("master controls");
+        let pool = b
+            .worker(m, format!("socket{s}core"))
+            .expect("master controls");
         b.quantity(pool, cores_per_socket);
         b.prop(pool, Property::fixed(wellknown::ARCHITECTURE, "x86"));
         b.prop(
             pool,
-            Property::fixed(wellknown::PEAK_GFLOPS_DP, XEON_X5550_CORE_GFLOPS_DP.to_string())
-                .with_unit(Unit::GigaFlopPerSec),
+            Property::fixed(
+                wellknown::PEAK_GFLOPS_DP,
+                XEON_X5550_CORE_GFLOPS_DP.to_string(),
+            )
+            .with_unit(Unit::GigaFlopPerSec),
         );
         b.memory(
             m,
@@ -410,10 +425,16 @@ mod tests {
         // Local store constraint present.
         assert_eq!(spe.memory_regions[0].size_bytes(), Some(256.0 * 1024.0));
         assert_eq!(
-            p.interconnects().iter().filter(|i| i.ic_type == "EIB").count(),
+            p.interconnects()
+                .iter()
+                .filter(|i| i.ic_type == "EIB")
+                .count(),
             8
         );
-        assert!(matches_pattern(&p, pdl_core::patterns::PatternKind::MasterWorkerPool));
+        assert!(matches_pattern(
+            &p,
+            pdl_core::patterns::PatternKind::MasterWorkerPool
+        ));
         p.validate().unwrap();
     }
 
@@ -422,7 +443,10 @@ mod tests {
         let p = gpgpu_cluster(3, 2);
         assert_eq!(p.hybrids().count(), 3);
         assert_eq!(p.workers().count(), 6);
-        assert!(matches_pattern(&p, pdl_core::patterns::PatternKind::Hierarchical));
+        assert!(matches_pattern(
+            &p,
+            pdl_core::patterns::PatternKind::Hierarchical
+        ));
         assert_eq!(p.height(), 2);
         p.validate().unwrap();
     }
@@ -432,7 +456,10 @@ mod tests {
         let p = numa_host(4, 6);
         assert_eq!(p.masters().count(), 4);
         assert_eq!(p.total_units(), 4 + 4 * 6);
-        assert!(matches_pattern(&p, pdl_core::patterns::PatternKind::MultiMaster));
+        assert!(matches_pattern(
+            &p,
+            pdl_core::patterns::PatternKind::MultiMaster
+        ));
         // QPI mesh: C(4,2) = 6 links.
         assert_eq!(p.interconnects().len(), 6);
         let e = p.expand_quantities();

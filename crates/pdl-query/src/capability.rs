@@ -57,11 +57,12 @@ impl Requirement {
                 .iter()
                 .any(|p| p.eq_ignore_ascii_case(sp)),
             Requirement::Class(c) => pu.class == *c,
-            Requirement::HasProperty(name) => {
-                pu.descriptor.value(name).map_or(false, |v| !v.trim().is_empty())
-            }
+            Requirement::HasProperty(name) => pu
+                .descriptor
+                .value(name)
+                .is_some_and(|v| !v.trim().is_empty()),
             Requirement::MinProperty { name, min } => {
-                pu.descriptor.value_base(name).map_or(false, |v| v >= *min)
+                pu.descriptor.value_base(name).is_some_and(|v| v >= *min)
             }
             Requirement::MinMemoryBytes(min) => pu
                 .memory_regions
@@ -201,10 +202,16 @@ mod tests {
         let mut b = Platform::builder("gpgpu");
         let m = b.master("cpu");
         b.prop(m, Property::fixed(wellknown::ARCHITECTURE, "x86"));
-        b.prop(m, Property::fixed(wellknown::SOFTWARE_PLATFORM, "x86, OpenCL"));
+        b.prop(
+            m,
+            Property::fixed(wellknown::SOFTWARE_PLATFORM, "x86, OpenCL"),
+        );
         let g = b.worker(m, "gpu0").unwrap();
         b.prop(g, Property::fixed(wellknown::ARCHITECTURE, "gpu"));
-        b.prop(g, Property::fixed(wellknown::SOFTWARE_PLATFORM, "OpenCL, Cuda"));
+        b.prop(
+            g,
+            Property::fixed(wellknown::SOFTWARE_PLATFORM, "OpenCL, Cuda"),
+        );
         b.memory(
             g,
             MemoryRegion::new("vram").with_descriptor(

@@ -113,12 +113,12 @@ pub fn diff(old: &Platform, new: &Platform) -> Vec<Change> {
     let new_ids: BTreeMap<&str, &ProcessingUnit> =
         new.iter().map(|(_, pu)| (pu.id.as_str(), pu)).collect();
 
-    for (&id, _) in &old_ids {
+    for &id in old_ids.keys() {
         if !new_ids.contains_key(id) {
             changes.push(Change::PuRemoved(id.to_string()));
         }
     }
-    for (&id, _) in &new_ids {
+    for &id in new_ids.keys() {
         if !old_ids.contains_key(id) {
             changes.push(Change::PuAdded(id.to_string()));
         }

@@ -48,7 +48,10 @@ pub fn select(platform: &Platform, selector: &Selector) -> Vec<PuIdx> {
 }
 
 /// Convenience: parse and evaluate in one call.
-pub fn query(platform: &Platform, selector: &str) -> Result<Vec<PuIdx>, crate::selector::SelectorParseError> {
+pub fn query(
+    platform: &Platform,
+    selector: &str,
+) -> Result<Vec<PuIdx>, crate::selector::SelectorParseError> {
     let sel: Selector = selector.parse()?;
     Ok(select(platform, &sel))
 }
@@ -74,7 +77,7 @@ fn matches_step(platform: &Platform, idx: PuIdx, step: &Step) -> bool {
 
 fn matches_predicate(pu: &ProcessingUnit, pred: &Predicate) -> bool {
     match pred {
-        Predicate::Has(name) => attr_value(pu, name).map_or(false, |v| !v.is_empty()),
+        Predicate::Has(name) => attr_value(pu, name).is_some_and(|v| !v.is_empty()),
         Predicate::Cmp { name, op, value } => {
             if name == "group" {
                 // Group membership is set-valued: equality means "member of",
@@ -103,8 +106,13 @@ fn attr_value(pu: &ProcessingUnit, name: &str) -> Option<String> {
         "id" => Some(pu.id.as_str().to_string()),
         "class" => Some(pu.class.element_name().to_string()),
         "quantity" => Some(pu.quantity.to_string()),
-        "group" => (!pu.groups.is_empty())
-            .then(|| pu.groups.iter().map(|g| g.as_str()).collect::<Vec<_>>().join(",")),
+        "group" => (!pu.groups.is_empty()).then(|| {
+            pu.groups
+                .iter()
+                .map(|g| g.as_str())
+                .collect::<Vec<_>>()
+                .join(",")
+        }),
         _ => pu.descriptor.value(name).map(str::to_string),
     }
 }
@@ -237,7 +245,9 @@ mod tests {
     #[test]
     fn no_matches_is_empty() {
         let p = testbed();
-        assert!(query(&p, "//Worker[@ARCHITECTURE='spe']").unwrap().is_empty());
+        assert!(query(&p, "//Worker[@ARCHITECTURE='spe']")
+            .unwrap()
+            .is_empty());
         assert!(query(&p, "/Worker").unwrap().is_empty()); // no top-level workers
     }
 

@@ -34,10 +34,7 @@ impl std::error::Error for GroupExprError {}
 
 /// Resolves a group set-expression to PU indices (document order).
 pub fn resolve(platform: &Platform, expr: &str) -> Result<Vec<PuIdx>, GroupExprError> {
-    let mut p = ExprParser {
-        input: expr,
-        at: 0,
-    };
+    let mut p = ExprParser { input: expr, at: 0 };
     let set = p.parse_expr(platform)?;
     p.skip_ws();
     if p.at != p.input.len() {
@@ -132,13 +129,16 @@ impl<'a> ExprParser<'a> {
                     }
                 };
                 Ok(p.iter()
-                    .filter(|(_, pu)| class.map_or(true, |c| pu.class == c))
+                    .filter(|(_, pu)| class.is_none_or(|c| pu.class == c))
                     .map(|(i, _)| i.index())
                     .collect())
             }
             Some(c) if c.is_alphanumeric() || c == '_' => {
                 let name = self.take_name();
-                Ok(p.group_members(&name).into_iter().map(|i| i.index()).collect())
+                Ok(p.group_members(&name)
+                    .into_iter()
+                    .map(|i| i.index())
+                    .collect())
             }
             other => Err(GroupExprError(format!(
                 "expected group name, '@' pseudo-group or '(', found {other:?}"
@@ -214,10 +214,7 @@ mod tests {
         );
         assert_eq!(ids(&p, &resolve(&p, "@masters").unwrap()), ["cpu"]);
         assert_eq!(resolve(&p, "@all").unwrap().len(), 4);
-        assert_eq!(
-            ids(&p, &resolve(&p, "@workers-gpus").unwrap()),
-            ["spe"]
-        );
+        assert_eq!(ids(&p, &resolve(&p, "@workers-gpus").unwrap()), ["spe"]);
     }
 
     #[test]

@@ -245,8 +245,14 @@ mod tests {
     fn ic(t: &str, from: &str, to: &str, gbps: f64, us: f64) -> Interconnect {
         Interconnect::new(t, from, to).with_descriptor(
             Descriptor::new()
-                .with(Property::fixed(wellknown::BANDWIDTH, gbps.to_string()).with_unit(Unit::GigaBytePerSec))
-                .with(Property::fixed(wellknown::LATENCY, us.to_string()).with_unit(Unit::MicroSecond)),
+                .with(
+                    Property::fixed(wellknown::BANDWIDTH, gbps.to_string())
+                        .with_unit(Unit::GigaBytePerSec),
+                )
+                .with(
+                    Property::fixed(wellknown::LATENCY, us.to_string())
+                        .with_unit(Unit::MicroSecond),
+                ),
         )
     }
 

@@ -118,7 +118,11 @@ pub struct SelectorParseError {
 
 impl fmt::Display for SelectorParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "selector parse error at byte {}: {}", self.at, self.message)
+        write!(
+            f,
+            "selector parse error at byte {}: {}",
+            self.at, self.message
+        )
     }
 }
 
@@ -128,11 +132,7 @@ impl FromStr for Selector {
     type Err = SelectorParseError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        SelectorParser {
-            input: s,
-            at: 0,
-        }
-        .parse()
+        SelectorParser { input: s, at: 0 }.parse()
     }
 }
 
@@ -360,7 +360,10 @@ mod tests {
     #[test]
     fn parse_existence_predicate() {
         let s: Selector = "//*[@ARCHITECTURE]".parse().unwrap();
-        assert_eq!(s.steps[0].predicates[0], Predicate::Has("ARCHITECTURE".into()));
+        assert_eq!(
+            s.steps[0].predicates[0],
+            Predicate::Has("ARCHITECTURE".into())
+        );
         assert_eq!(s.steps[0].test, NodeTest::Any);
     }
 
@@ -396,7 +399,9 @@ mod tests {
         assert!(e.message.contains("Gadget"));
         let e = "//Worker[@]".parse::<Selector>().unwrap_err();
         assert!(e.message.contains("attribute name"));
-        let e = "//Worker[@x='unterminated]".parse::<Selector>().unwrap_err();
+        let e = "//Worker[@x='unterminated]"
+            .parse::<Selector>()
+            .unwrap_err();
         assert!(e.message.contains("unterminated"));
         let e = "".parse::<Selector>().unwrap_err();
         assert!(e.message.contains("empty"));

@@ -169,9 +169,10 @@ fn decode_property(e: &Element) -> Result<Property, XmlError> {
     };
 
     let subschema = match e.attribute("xsi:type") {
-        Some(t) => Some(SubschemaRef::parse(t).ok_or_else(|| {
-            XmlError::Schema(SchemaError::UnknownSubschema(t.to_string()))
-        })?),
+        Some(t) => Some(
+            SubschemaRef::parse(t)
+                .ok_or_else(|| XmlError::Schema(SchemaError::UnknownSubschema(t.to_string())))?,
+        ),
         None => None,
     };
 
@@ -358,7 +359,10 @@ mod tests {
         )
         .unwrap();
         let err = decode_document(&doc, &SchemaRegistry::with_builtins()).unwrap_err();
-        assert!(matches!(err, XmlError::Schema(SchemaError::BadAttributeValue { .. })));
+        assert!(matches!(
+            err,
+            XmlError::Schema(SchemaError::BadAttributeValue { .. })
+        ));
     }
 
     #[test]

@@ -226,7 +226,10 @@ mod tests {
             .unwrap()
             .first_named("Property")
             .unwrap();
-        assert_eq!(prop.first_named("name").unwrap().text_content(), "ARCHITECTURE");
+        assert_eq!(
+            prop.first_named("name").unwrap().text_content(),
+            "ARCHITECTURE"
+        );
         assert_eq!(prop.first_named("value").unwrap().text_content(), "x86");
     }
 

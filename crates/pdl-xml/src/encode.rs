@@ -99,7 +99,10 @@ fn encode_property(p: &Property) -> Element {
     let (name_el, value_el) = match &p.subschema {
         Some(s) => {
             e = e.attr("xsi:type", s.qualified());
-            (format!("{}:name", s.namespace), format!("{}:value", s.namespace))
+            (
+                format!("{}:name", s.namespace),
+                format!("{}:value", s.namespace),
+            )
         }
         None => ("name".to_string(), "value".to_string()),
     };
@@ -149,9 +152,9 @@ mod tests {
         b.prop(m, Property::unfixed("HOSTNAME", ""));
         b.memory(
             m,
-            MemoryRegion::new("ram").with_descriptor(Descriptor::new().with(
-                Property::fixed("SIZE", "32").with_unit(Unit::GibiByte),
-            )),
+            MemoryRegion::new("ram").with_descriptor(
+                Descriptor::new().with(Property::fixed("SIZE", "32").with_unit(Unit::GibiByte)),
+            ),
         );
         b.group(m, "hosts");
         let h = b.hybrid(m, "node").unwrap();

@@ -153,7 +153,10 @@ impl fmt::Display for SchemaError {
                 write!(f, "element <{element}> is not allowed inside <{parent}>")
             }
             MissingAttribute { element, attribute } => {
-                write!(f, "element <{element}> is missing required attribute {attribute:?}")
+                write!(
+                    f,
+                    "element <{element}> is missing required attribute {attribute:?}"
+                )
             }
             UnknownSubschema(s) => write!(f, "xsi:type references unregistered subschema {s:?}"),
             UnknownSubschemaProperty {

@@ -383,10 +383,7 @@ impl<'a> Parser<'a> {
                 self.bump_str("</");
                 let close = self.parse_name()?;
                 if close != name {
-                    return Err(self.err(SyntaxErrorKind::MismatchedClose {
-                        open: name,
-                        close,
-                    }));
+                    return Err(self.err(SyntaxErrorKind::MismatchedClose { open: name, close }));
                 }
                 self.skip_whitespace();
                 self.expect(">")?;
@@ -457,7 +454,10 @@ mod tests {
         .unwrap();
         let r = &doc.root;
         assert_eq!(r.attribute("fixed"), Some("true"));
-        assert_eq!(r.first_named("name").unwrap().text_content(), "ARCHITECTURE");
+        assert_eq!(
+            r.first_named("name").unwrap().text_content(),
+            "ARCHITECTURE"
+        );
         assert_eq!(r.first_named("value").unwrap().text_content(), "x86");
     }
 
@@ -490,10 +490,7 @@ mod tests {
     #[test]
     fn mismatched_close_reported_with_position() {
         let err = parse_document("<a>\n<b></a>").unwrap_err();
-        assert!(matches!(
-            err.kind,
-            SyntaxErrorKind::MismatchedClose { .. }
-        ));
+        assert!(matches!(err.kind, SyntaxErrorKind::MismatchedClose { .. }));
         assert_eq!(err.pos.line, 2);
     }
 

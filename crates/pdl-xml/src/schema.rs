@@ -97,7 +97,7 @@ impl Subschema {
         let mut visited = Vec::new();
         let mut current = Some(type_name);
         while let Some(name) = current {
-            if visited.iter().any(|v| *v == name) {
+            if visited.contains(&name) {
                 return false; // inheritance cycle
             }
             visited.push(name);
@@ -471,9 +471,13 @@ mod tests {
     #[test]
     fn missing_id_rejected() {
         let errs = validate("<Master><Worker id=\"1\"/></Master>");
-        assert!(errs
-            .iter()
-            .any(|e| matches!(e, SchemaError::MissingAttribute { attribute: "id", .. })));
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            SchemaError::MissingAttribute {
+                attribute: "id",
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -498,20 +502,18 @@ mod tests {
     #[test]
     fn master_not_allowed_under_pu() {
         let errs = validate("<Master id=\"0\"><Master id=\"1\"/></Master>");
-        assert!(errs
-            .iter()
-            .any(|e| matches!(e, SchemaError::UnexpectedElement { element, .. } if element == "Master")));
+        assert!(errs.iter().any(
+            |e| matches!(e, SchemaError::UnexpectedElement { element, .. } if element == "Master")
+        ));
     }
 
     #[test]
     fn platform_wrapper_with_version() {
-        let errs = validate(
-            r#"<Platform name="p" schemaVersion="1.0"><Master id="0"/></Platform>"#,
-        );
+        let errs =
+            validate(r#"<Platform name="p" schemaVersion="1.0"><Master id="0"/></Platform>"#);
         assert!(errs.is_empty(), "{errs:?}");
-        let errs = validate(
-            r#"<Platform name="p" schemaVersion="9.9"><Master id="0"/></Platform>"#,
-        );
+        let errs =
+            validate(r#"<Platform name="p" schemaVersion="9.9"><Master id="0"/></Platform>"#);
         assert!(matches!(errs[0], SchemaError::IncompatibleVersion { .. }));
         let errs = validate(r#"<Platform schemaVersion="abc"><Master id="0"/></Platform>"#);
         assert!(matches!(errs[0], SchemaError::BadAttributeValue { .. }));
@@ -542,7 +544,11 @@ mod tests {
             version: Version::new(0, 1),
             property_types: vec![PropertyTypeDecl::closed("npuPropertyType", &["TOPS"])],
         });
-        assert!(r.subschema("npu").unwrap().property_type("npuPropertyType").is_some());
+        assert!(r
+            .subschema("npu")
+            .unwrap()
+            .property_type("npuPropertyType")
+            .is_some());
     }
 
     #[test]

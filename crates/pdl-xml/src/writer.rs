@@ -135,7 +135,10 @@ mod tests {
     #[test]
     fn escaping() {
         assert_eq!(escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
-        assert_eq!(escape_attr("say \"hi\" & <go>"), "say &quot;hi&quot; &amp; &lt;go>");
+        assert_eq!(
+            escape_attr("say \"hi\" & <go>"),
+            "say &quot;hi&quot; &amp; &lt;go>"
+        );
     }
 
     #[test]

@@ -86,16 +86,28 @@ mod tests {
             w,
             Property::fixed(wellknown::PEAK_GFLOPS_DP, "100").with_unit(Unit::GigaFlopPerSec),
         );
-        b.prop(w, Property::fixed(wellknown::TDP, "200").with_unit(Unit::Watt));
-        b.prop(w, Property::fixed(wellknown::IDLE_POWER, "50").with_unit(Unit::Watt));
+        b.prop(
+            w,
+            Property::fixed(wellknown::TDP, "200").with_unit(Unit::Watt),
+        );
+        b.prop(
+            w,
+            Property::fixed(wellknown::IDLE_POWER, "50").with_unit(Unit::Watt),
+        );
         let w2 = b.worker(m, "cpu").unwrap();
         b.prop(w2, Property::fixed(wellknown::ARCHITECTURE, "x86"));
         b.prop(
             w2,
             Property::fixed(wellknown::PEAK_GFLOPS_DP, "10").with_unit(Unit::GigaFlopPerSec),
         );
-        b.prop(w2, Property::fixed(wellknown::TDP, "100").with_unit(Unit::Watt));
-        b.prop(w2, Property::fixed(wellknown::IDLE_POWER, "20").with_unit(Unit::Watt));
+        b.prop(
+            w2,
+            Property::fixed(wellknown::TDP, "100").with_unit(Unit::Watt),
+        );
+        b.prop(
+            w2,
+            Property::fixed(wellknown::IDLE_POWER, "20").with_unit(Unit::Watt),
+        );
         SimMachine::from_platform(&b.build().unwrap())
     }
 
@@ -106,8 +118,20 @@ mod tests {
         let cpu = m.device_by_pu("cpu").unwrap().id;
         let mut tr = Trace::new();
         // GPU busy 0-2s, CPU busy 0-4s → makespan 4s.
-        tr.record(gpu, "k", SpanKind::Compute, SimTime::ZERO, SimTime::new(2.0));
-        tr.record(cpu, "k", SpanKind::Compute, SimTime::ZERO, SimTime::new(4.0));
+        tr.record(
+            gpu,
+            "k",
+            SpanKind::Compute,
+            SimTime::ZERO,
+            SimTime::new(2.0),
+        );
+        tr.record(
+            cpu,
+            "k",
+            SpanKind::Compute,
+            SimTime::ZERO,
+            SimTime::new(4.0),
+        );
         let e = energy(&m, &tr);
         // GPU: 2s×200W + 2s×50W = 500 J; CPU: 4s×100W = 400 J.
         assert_eq!(e.per_device_j["gpu"], 500.0);
@@ -131,7 +155,13 @@ mod tests {
         let p = pdl_core::patterns::host_device(1); // no power properties
         let m = SimMachine::from_platform(&p);
         let mut tr = Trace::new();
-        tr.record(DeviceId(0), "k", SpanKind::Compute, SimTime::ZERO, SimTime::new(10.0));
+        tr.record(
+            DeviceId(0),
+            "k",
+            SpanKind::Compute,
+            SimTime::ZERO,
+            SimTime::new(10.0),
+        );
         let e = energy(&m, &tr);
         assert_eq!(e.total_j(), 0.0);
     }
@@ -144,12 +174,36 @@ mod tests {
         let cpu = m.device_by_pu("cpu").unwrap().id;
 
         let mut balanced = Trace::new();
-        balanced.record(gpu, "a", SpanKind::Compute, SimTime::ZERO, SimTime::new(2.0));
-        balanced.record(cpu, "b", SpanKind::Compute, SimTime::ZERO, SimTime::new(2.0));
+        balanced.record(
+            gpu,
+            "a",
+            SpanKind::Compute,
+            SimTime::ZERO,
+            SimTime::new(2.0),
+        );
+        balanced.record(
+            cpu,
+            "b",
+            SpanKind::Compute,
+            SimTime::ZERO,
+            SimTime::new(2.0),
+        );
 
         let mut skewed = Trace::new();
-        skewed.record(gpu, "a", SpanKind::Compute, SimTime::ZERO, SimTime::new(2.0));
-        skewed.record(cpu, "b", SpanKind::Compute, SimTime::new(2.0), SimTime::new(4.0));
+        skewed.record(
+            gpu,
+            "a",
+            SpanKind::Compute,
+            SimTime::ZERO,
+            SimTime::new(2.0),
+        );
+        skewed.record(
+            cpu,
+            "b",
+            SpanKind::Compute,
+            SimTime::new(2.0),
+            SimTime::new(4.0),
+        );
 
         let eb = energy(&m, &balanced);
         let es = energy(&m, &skewed);

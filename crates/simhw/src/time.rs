@@ -167,7 +167,7 @@ mod tests {
         assert!(SimTime::new(1.0) < SimTime::new(2.0));
         assert_eq!(SimTime::new(3.0).max(SimTime::new(1.0)).seconds(), 3.0);
         assert_eq!(SimTime::new(3.0).min(SimTime::new(1.0)).seconds(), 1.0);
-        let mut v = vec![SimTime::new(3.0), SimTime::ZERO, SimTime::new(1.0)];
+        let mut v = [SimTime::new(3.0), SimTime::ZERO, SimTime::new(1.0)];
         v.sort();
         assert_eq!(v[0], SimTime::ZERO);
     }

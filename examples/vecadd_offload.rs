@@ -63,10 +63,18 @@ fn main() {
     );
     println!("{}", report.gantt(60));
 
-    // --- Execute for real on the threaded engine. ---------------------------
+    // --- Execute for real on the work-stealing threaded engine. ------------
+    // The execution groups Cascabel mapped become thread placement: the
+    // "gpus" logic group of the PDL gets its own dedicated workers, and the
+    // vecadd chunks are pinned to them.
+    let placement = cascabel::mapping::thread_placement(&result.output.mappings, &platform)
+        .expect("mapped groups resolve");
+    println!("\nthread placement from PDL logic groups: {placement:?}");
+
     let a: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new((0..N).map(|i| i as f64).collect()));
     let b: Arc<Vec<f64>> = Arc::new((0..N).map(|i| (2 * i) as f64).collect());
 
+    let group = result.output.mappings[0].execution_group.clone();
     let chunks = result.output.graph.len();
     let tasks: Vec<ThreadTask> = block_ranges(N, chunks)
         .into_iter()
@@ -77,10 +85,11 @@ fn main() {
             ThreadTask::new(format!("vecadd[{idx}]"), move || {
                 vecadd_chunk(&mut a.lock(), &b, lo, hi);
             })
+            .in_group(group.clone())
         })
         .collect();
 
-    let exec = ThreadedExecutor::with_available_parallelism()
+    let exec = ThreadedExecutor::with_placement(placement)
         .run(tasks)
         .expect("dependency-free graph");
     println!(
@@ -89,6 +98,19 @@ fn main() {
         exec.wall,
         exec.workers
     );
+    println!(
+        "engine counters: {} steals ({} cross-group), {} failed steal scans, {:?} total busy",
+        exec.total_steals(),
+        exec.total_cross_group_steals(),
+        exec.total_failed_steals(),
+        exec.total_busy()
+    );
+    for w in &exec.worker_stats {
+        println!(
+            "  worker {} (group {}): {} tasks, {} stolen, busy {:?}",
+            w.worker, w.group, w.executed, w.steals, w.busy
+        );
+    }
 
     // Verify: A[i] == i + 2i.
     let a = a.lock();

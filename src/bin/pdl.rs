@@ -106,16 +106,12 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
 fn cmd_show(args: &[String]) -> Result<(), String> {
     let platform = load(need(args, 0, "<file>")?)?;
     print!("{platform}");
-    println!(
-        "patterns: {:?}",
-        pdl_query::detected_patterns(&platform)
-    );
+    println!("patterns: {:?}", pdl_query::detected_patterns(&platform));
     Ok(())
 }
 
 fn cmd_discover() -> Result<(), String> {
-    let platform =
-        pdl_discover::discover_host().ok_or("host discovery requires /proc (Linux)")?;
+    let platform = pdl_discover::discover_host().ok_or("host discovery requires /proc (Linux)")?;
     print!("{}", pdl_xml::to_xml(&platform));
     Ok(())
 }
@@ -207,7 +203,10 @@ fn cmd_diff(args: &[String]) -> Result<(), String> {
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let platform = load(need(args, 0, "<file>")?)?;
-    let n: usize = args.get(1).map_or(Ok(4096), |a| a.parse()).map_err(|_| "N must be a number")?;
+    let n: usize = args
+        .get(1)
+        .map_or(Ok(4096), |a| a.parse())
+        .map_err(|_| "N must be a number")?;
     let tile: usize = args
         .get(2)
         .map_or(Ok((n / 4).max(1)), |a| a.parse())

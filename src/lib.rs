@@ -1,1 +1,8 @@
-pub use pdl_core; pub use pdl_xml; pub use pdl_query; pub use pdl_discover; pub use simhw; pub use hetero_rt; pub use kernels; pub use cascabel;
+pub use cascabel;
+pub use hetero_rt;
+pub use kernels;
+pub use pdl_core;
+pub use pdl_discover;
+pub use pdl_query;
+pub use pdl_xml;
+pub use simhw;

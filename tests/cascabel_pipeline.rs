@@ -45,7 +45,9 @@ fn vecadd_runs_on_every_platform_without_source_changes() {
 #[test]
 fn pipeline_artifacts_are_complete() {
     let mut cc = Cascabel::new(synthetic::xeon_2gpu_testbed());
-    let r = cc.compile(VECADD, &ProblemSpec::with_size("N", 4096)).unwrap();
+    let r = cc
+        .compile(VECADD, &ProblemSpec::with_size("N", 4096))
+        .unwrap();
 
     // (1) Repository holds the input task + expert variants.
     let iface = cc.repository().interface("I_vecadd").unwrap();
@@ -84,7 +86,9 @@ vector_add(A, B);
 "#;
     let platform = synthetic::xeon_2gpu_testbed();
     let mut cc = Cascabel::new(platform.clone());
-    let r = cc.compile(gpu_src, &ProblemSpec::with_size("N", 1 << 20)).unwrap();
+    let r = cc
+        .compile(gpu_src, &ProblemSpec::with_size("N", 1 << 20))
+        .unwrap();
     let report = simulate_result(&platform, &r.output.graph);
     // Every task landed on a gpu-group device.
     let machine = SimMachine::from_platform(&platform);

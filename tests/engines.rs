@@ -83,7 +83,13 @@ fn simulated_and_threaded_run_the_same_task_count_for_vecadd() {
     let chunks = 8;
     let graph = kernels::graphs::vecadd_graph(n, chunks, None);
     let machine = SimMachine::from_platform(&pdl_discover::synthetic::xeon_x5550_host());
-    let sim = simulate(&graph, &machine, &mut EagerScheduler, &SimOptions::default()).unwrap();
+    let sim = simulate(
+        &graph,
+        &machine,
+        &mut EagerScheduler,
+        &SimOptions::default(),
+    )
+    .unwrap();
     assert_eq!(sim.assignments.len(), chunks);
 
     let a = Arc::new(Mutex::new(vec![1.0f64; n]));

@@ -68,7 +68,10 @@ fn figure5_shape_is_stable_across_problem_sizes() {
         let r = fig5::run(n, tile);
         let starpu = r.row("starpu").unwrap().speedup;
         let gpu = r.row("starpu+2gpu").unwrap().speedup;
-        assert!(gpu > starpu && starpu > 4.0, "n={n}: starpu {starpu}, gpu {gpu}");
+        assert!(
+            gpu > starpu && starpu > 4.0,
+            "n={n}: starpu {starpu}, gpu {gpu}"
+        );
     }
 }
 

@@ -183,9 +183,10 @@ proptest! {
 
 /// Random task graph: chain/parallel mix over a few data handles.
 fn arb_graph() -> impl Strategy<Value = TaskGraph> {
-    (
-        proptest::collection::vec((0usize..4, 1u64..100, any::<bool>()), 1..40),
-    )
+    (proptest::collection::vec(
+        (0usize..4, 1u64..100, any::<bool>()),
+        1..40,
+    ),)
         .prop_map(|(tasks,)| {
             let mut g = TaskGraph::new();
             let c = g.add_codelet(

@@ -9,7 +9,11 @@ fn thousand_pu_cluster_round_trips() {
     let platform = pdl_discover::synthetic::gpgpu_cluster(250, 3); // 1 + 250 + 750 PUs
     assert_eq!(platform.len(), 1001);
     let xml = pdl_xml::to_xml(&platform);
-    assert!(xml.len() > 100_000, "non-trivial document: {} bytes", xml.len());
+    assert!(
+        xml.len() > 100_000,
+        "non-trivial document: {} bytes",
+        xml.len()
+    );
     let back = pdl_xml::from_xml(&xml).unwrap();
     assert_eq!(back, platform);
 }
@@ -77,8 +81,13 @@ fn simulation_handles_hundreds_of_devices() {
     let machine = simhw::machine::SimMachine::from_platform(&platform);
     assert_eq!(machine.len(), 200);
     let graph = kernels::graphs::dgemm_graph(8192, 512, None); // 4096 tasks
-    let report =
-        simulate(&graph, &machine, &mut EagerScheduler, &SimOptions::default()).unwrap();
+    let report = simulate(
+        &graph,
+        &machine,
+        &mut EagerScheduler,
+        &SimOptions::default(),
+    )
+    .unwrap();
     assert_eq!(report.assignments.len(), 4096);
     // 200 GPUs at ~100 GF/s each: the 1.1 TFLOP problem finishes fast.
     assert!(report.makespan.seconds() < 10.0);

@@ -1,0 +1,315 @@
+//! Vendored, std-only stand-in for the `criterion` crate.
+//!
+//! Offline builds (see `vendor/README.md`) replace criterion with this
+//! minimal benchmark harness implementing the API subset the workspace's
+//! benches use: [`Criterion`], [`BenchmarkId`], [`Throughput`], benchmark
+//! groups with `sample_size`/`throughput`, `Bencher::iter`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Differences from upstream: no statistical analysis or HTML reports —
+//! each benchmark reports min/median over its samples on stdout. The
+//! `--test` CLI flag (used by CI smoke runs via
+//! `cargo bench --bench <name> -- --test`) runs every benchmark exactly
+//! once and reports `ok`, so benches can't silently rot without the cost
+//! of a full measurement run.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target samples per benchmark in measurement mode.
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+/// Soft time budget per benchmark in measurement mode.
+const TIME_BUDGET: Duration = Duration::from_secs(2);
+
+/// A benchmark identifier: a function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, criterion's composite id.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into [`BenchmarkId`], so `bench_function` accepts both ids
+/// and plain strings.
+pub trait IntoBenchmarkId {
+    /// Converts to an id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            name: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { name: self }
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Samples collected by [`Bencher::iter`].
+    samples: Vec<Duration>,
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly, recording one sample per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up: one untimed call.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+            if start.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+/// The benchmark driver; parses CLI args (`--test`, name filter).
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Cargo/criterion flags we accept and ignore.
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion {
+            filter,
+            test_mode,
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        self.run(&id.name, self.sample_size, None, f);
+    }
+
+    fn run<F>(&self, full_name: &str, sample_size: usize, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !full_name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            test_mode: self.test_mode,
+            sample_size,
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test {full_name} ... ok");
+            return;
+        }
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            println!("{full_name}: no samples (closure never called iter?)");
+            return;
+        }
+        samples.sort_unstable();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let rate = match throughput {
+            Some(Throughput::Bytes(b)) if median.as_secs_f64() > 0.0 => {
+                format!(
+                    "  {:>9.1} MiB/s",
+                    b as f64 / median.as_secs_f64() / (1024.0 * 1024.0)
+                )
+            }
+            Some(Throughput::Elements(e)) if median.as_secs_f64() > 0.0 => {
+                format!("  {:>9.0} elem/s", e as f64 / median.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{full_name:<48} min {min:>12?}  median {median:>12?}  ({} samples){rate}",
+            samples.len()
+        );
+    }
+
+    /// Prints the closing summary (no-op in this harness).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API parity; the measurement budget is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity; warm-up is a single untimed call.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let full = format!("{}/{}", self.name, id.name);
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run(&full, sample_size, self.throughput, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a function running the given benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            test_mode: false,
+            sample_size: 5,
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(b.samples.len(), 5);
+        assert_eq!(count, 6); // 1 warm-up + 5 samples
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            test_mode: true,
+            sample_size: 5,
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert!(b.samples.is_empty());
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).name, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").name, "x");
+    }
+}

@@ -1,0 +1,244 @@
+//! MPMC unbounded channel compatible with `crossbeam::channel`.
+//!
+//! `recv` blocks until a message arrives or every [`Sender`] is dropped;
+//! `send` fails only once every [`Receiver`] is gone. Senders and receivers
+//! are cheaply cloneable handles onto one shared queue.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    ready: Condvar,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The sending half of an unbounded channel.
+pub struct Sender<T>(Arc<Shared<T>>);
+
+/// The receiving half of an unbounded channel.
+pub struct Receiver<T>(Arc<Shared<T>>);
+
+/// Error returned by [`Sender::send`] when all receivers are gone; carries
+/// the unsent message back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a channel with no receivers")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and all
+/// senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty channel with no senders")
+    }
+}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty but senders remain.
+    Empty,
+    /// The channel is empty and all senders are gone.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => write!(f, "channel empty"),
+            TryRecvError::Disconnected => write!(f, "channel disconnected"),
+        }
+    }
+}
+
+/// Creates an unbounded MPMC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (Sender(shared.clone()), Receiver(shared))
+}
+
+impl<T> Sender<T> {
+    /// Enqueues a message, waking one blocked receiver.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        if self.0.receivers.load(Ordering::Acquire) == 0 {
+            return Err(SendError(msg));
+        }
+        self.0.lock().push_back(msg);
+        self.0.ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.0.senders.fetch_add(1, Ordering::AcqRel);
+        Sender(self.0.clone())
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.0.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last sender gone: blocked receivers must observe disconnect.
+            self.0.ready.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues a message, blocking while the channel is empty and at least
+    /// one sender remains.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut queue = self.0.lock();
+        loop {
+            if let Some(msg) = queue.pop_front() {
+                return Ok(msg);
+            }
+            if self.0.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvError);
+            }
+            queue = self
+                .0
+                .ready
+                .wait(queue)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Dequeues a message without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut queue = self.0.lock();
+        if let Some(msg) = queue.pop_front() {
+            Ok(msg)
+        } else if self.0.senders.load(Ordering::Acquire) == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Number of queued messages right now.
+    pub fn len(&self) -> usize {
+        self.0.lock().len()
+    }
+
+    /// Whether the queue is empty right now.
+    pub fn is_empty(&self) -> bool {
+        self.0.lock().is_empty()
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.0.receivers.fetch_add(1, Ordering::AcqRel);
+        Receiver(self.0.clone())
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.0.receivers.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn recv_unblocks_on_sender_drop() {
+        let (tx, rx) = unbounded::<i32>();
+        let h = std::thread::spawn(move || rx.recv());
+        drop(tx);
+        assert_eq!(h.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn mpmc_all_messages_arrive_once() {
+        let (tx, rx) = unbounded::<usize>();
+        let n = 1000;
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for i in 0..n {
+                        tx.send(p * n + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        drop(rx);
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all: Vec<usize> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..4 * n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_recv_states() {
+        let (tx, rx) = unbounded();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(1).unwrap();
+        assert_eq!(rx.try_recv(), Ok(1));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+}

@@ -1,0 +1,325 @@
+//! Work-stealing deques compatible with `crossbeam::deque`
+//! (`crossbeam-deque`).
+//!
+//! * [`Worker`] — the owner's end: LIFO push/pop at the back;
+//! * [`Stealer`] — other threads' end: FIFO steal from the front, so the
+//!   owner reuses hot (recently pushed) work while thieves take the oldest
+//!   and largest-granularity items;
+//! * [`Injector`] — a shared FIFO queue any thread can push to or steal
+//!   from.
+//!
+//! Lock-based (one spinlock-protected `VecDeque` per queue) rather than
+//! Chase-Lev, so a steal never observes torn state; [`Steal::Retry`] is
+//! still part of the API surface for upstream compatibility but is only
+//! returned under lock contention via `try_lock` failure. The spinlock
+//! keeps uncontended push/pop at a couple of atomic operations — the
+//! critical sections are a handful of nanoseconds, and contention is rare
+//! by design (thieves back off with `Retry` instead of queueing).
+
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A minimal test-and-test-and-set spinlock. Uncontended acquire/release is
+/// one CAS plus one store; under contention it spins briefly, then yields so
+/// a descheduled lock holder can run.
+struct SpinMutex<T> {
+    locked: AtomicBool,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: the lock guarantees exclusive access to `data`, so sharing the
+// mutex between threads is safe whenever the payload itself is Send.
+unsafe impl<T: Send> Sync for SpinMutex<T> {}
+unsafe impl<T: Send> Send for SpinMutex<T> {}
+
+struct SpinGuard<'a, T> {
+    m: &'a SpinMutex<T>,
+}
+
+impl<T> SpinMutex<T> {
+    fn new(value: T) -> Self {
+        SpinMutex {
+            locked: AtomicBool::new(false),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    fn lock(&self) -> SpinGuard<'_, T> {
+        let mut spins = 0u32;
+        loop {
+            if self
+                .locked
+                .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                return SpinGuard { m: self };
+            }
+            while self.locked.load(Ordering::Relaxed) {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    fn try_lock(&self) -> Option<SpinGuard<'_, T>> {
+        if self
+            .locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            Some(SpinGuard { m: self })
+        } else {
+            None
+        }
+    }
+}
+
+impl<T> Deref for SpinGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard holds the lock, so access is exclusive.
+        unsafe { &*self.m.data.get() }
+    }
+}
+
+impl<T> DerefMut for SpinGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: the guard holds the lock, so access is exclusive.
+        unsafe { &mut *self.m.data.get() }
+    }
+}
+
+impl<T> Drop for SpinGuard<'_, T> {
+    fn drop(&mut self) {
+        self.m.locked.store(false, Ordering::Release);
+    }
+}
+
+fn lock<T>(m: &SpinMutex<VecDeque<T>>) -> SpinGuard<'_, VecDeque<T>> {
+    m.lock()
+}
+
+/// Outcome of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// One item was stolen.
+    Success(T),
+    /// The attempt lost a race; retrying may succeed.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// The stolen item, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Whether this is [`Steal::Success`].
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+
+    /// Whether this is [`Steal::Empty`].
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// Whether this is [`Steal::Retry`].
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+}
+
+/// The owning end of a work-stealing deque.
+pub struct Worker<T> {
+    queue: Arc<SpinMutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// A new deque whose owner pops in LIFO order.
+    pub fn new_lifo() -> Self {
+        Worker {
+            queue: Arc::new(SpinMutex::new(VecDeque::new())),
+        }
+    }
+
+    /// A new deque whose owner pops in FIFO order.
+    ///
+    /// Provided for API parity; the engine uses [`Worker::new_lifo`].
+    pub fn new_fifo() -> Self {
+        Self::new_lifo()
+    }
+
+    /// Pushes an item onto the owner's end.
+    pub fn push(&self, item: T) {
+        lock(&self.queue).push_back(item);
+    }
+
+    /// Pops the most recently pushed item (LIFO).
+    pub fn pop(&self) -> Option<T> {
+        lock(&self.queue).pop_back()
+    }
+
+    /// Creates a [`Stealer`] for this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: self.queue.clone(),
+        }
+    }
+
+    /// Whether the deque is empty right now.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+
+    /// Number of queued items right now.
+    pub fn len(&self) -> usize {
+        lock(&self.queue).len()
+    }
+}
+
+/// The thieves' end of a work-stealing deque: FIFO steals.
+pub struct Stealer<T> {
+    queue: Arc<SpinMutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            queue: self.queue.clone(),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steals the oldest item (opposite end from the owner's LIFO pops).
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.try_lock() {
+            Some(mut q) => match q.pop_front() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            },
+            None => Steal::Retry,
+        }
+    }
+
+    /// Whether the deque is empty right now.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+}
+
+/// A shared FIFO injector queue.
+pub struct Injector<T> {
+    queue: SpinMutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// An empty injector.
+    pub fn new() -> Self {
+        Injector {
+            queue: SpinMutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Pushes an item onto the back.
+    pub fn push(&self, item: T) {
+        lock(&self.queue).push_back(item);
+    }
+
+    /// Steals the oldest item.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.queue).pop_front() {
+            Some(v) => Steal::Success(v),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Whether the injector is empty right now.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+
+    /// Number of queued items right now.
+    pub fn len(&self) -> usize {
+        lock(&self.queue).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_is_lifo_thief_is_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal().success(), Some(1)); // oldest
+        assert_eq!(w.pop(), Some(3)); // newest
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        inj.push('a');
+        inj.push('b');
+        assert_eq!(inj.steal().success(), Some('a'));
+        assert_eq!(inj.steal().success(), Some('b'));
+        assert!(inj.steal().is_empty());
+    }
+
+    #[test]
+    fn concurrent_steals_take_each_item_once() {
+        let w = Worker::new_lifo();
+        let n = 10_000;
+        for i in 0..n {
+            w.push(i);
+        }
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = w.stealer();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        match s.steal() {
+                            Steal::Success(v) => got.push(v),
+                            Steal::Empty => break,
+                            Steal::Retry => continue,
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<usize> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,17 @@
+//! Vendored, std-only stand-in for the `crossbeam` crate.
+//!
+//! Offline builds (see `vendor/README.md`) replace crossbeam with this
+//! implementation of the two modules the workspace uses:
+//!
+//! * [`channel`] — MPMC unbounded channel (`Mutex<VecDeque>` + `Condvar`);
+//! * [`deque`] — work-stealing deque trio `Worker`/`Stealer`/`Injector`
+//!   with crossbeam-deque's LIFO-local / FIFO-steal ordering.
+//!
+//! The real crossbeam implementations are lock-free; these are lock-based
+//! but semantically identical, so code written against them ports to the
+//! upstream crate without change once the registry is reachable again.
+
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod deque;

@@ -1,0 +1,206 @@
+//! Vendored, std-only stand-in for the `proptest` crate.
+//!
+//! Offline builds (see `vendor/README.md`) replace proptest with this mini
+//! property-testing framework implementing the API subset the workspace's
+//! test suites use:
+//!
+//! * [`Strategy`] with `prop_map`, implemented for integer ranges, tuples,
+//!   regex-like pattern strings (`"[a-z][a-z0-9]{0,6}"`) and
+//!   [`collection::vec`];
+//! * [`any`]`::<T>()` for primitive types;
+//! * the [`proptest!`] macro with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`, and the
+//!   `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!` assertions.
+//!
+//! Differences from upstream: no shrinking (failures report the case number
+//! and the deterministic per-test seed instead, so reruns reproduce them
+//! exactly), and no persistence of regression files (`*.proptest-regressions`
+//! files are ignored).
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod rng;
+pub mod strategy;
+pub mod string;
+
+pub use strategy::{any, Arbitrary, Strategy};
+
+/// Per-`proptest!`-block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+/// Commonly used items; mirrors `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[doc(hidden)]
+pub struct CaseGuard {
+    /// Test name, for the failure report.
+    pub name: &'static str,
+    /// 0-based case index.
+    pub case: u32,
+    /// Total cases configured.
+    pub cases: u32,
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest: {} failed on case {}/{} (deterministic seed; rerun reproduces it)",
+                self.name,
+                self.case + 1,
+                self.cases
+            );
+        }
+    }
+}
+
+/// Defines property tests: `#[test]` functions whose arguments are drawn
+/// from strategies, run for a configurable number of random cases.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::rng::TestRng::deterministic(concat!(
+                    module_path!(),
+                    "::",
+                    stringify!($name)
+                ));
+                for __case in 0..__config.cases {
+                    let __guard = $crate::CaseGuard {
+                        name: stringify!($name),
+                        case: __case,
+                        cases: __config.cases,
+                    };
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    { $body }
+                    drop(__guard);
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in 1u32..4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((1..4).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_maps(pair in (0u64..10, 0u64..10).prop_map(|(a, b)| a * 10 + b)) {
+            prop_assert!(pair < 100);
+        }
+
+        #[test]
+        fn vec_lengths(v in crate::collection::vec(0u8..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn pattern_strings_match_shape(s in "[a-z][a-z0-9]{0,6}") {
+            let mut chars = s.chars();
+            let first = chars.next().unwrap();
+            prop_assert!(first.is_ascii_lowercase());
+            prop_assert!(s.len() <= 7);
+            prop_assert!(chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+
+        #[test]
+        fn optional_group(s in "(ab)?") {
+            prop_assert!(s.is_empty() || s == "ab");
+        }
+
+        #[test]
+        fn any_bool_and_u64(b in any::<bool>(), x in any::<u64>()) {
+            let _ = (b, x);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut rng = crate::rng::TestRng::deterministic("seed-test");
+            (0..10).map(|_| rng.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

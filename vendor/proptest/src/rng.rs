@@ -1,0 +1,93 @@
+//! Deterministic PRNG for test-case generation.
+//!
+//! splitmix64 seeded from an FNV-1a hash of the test's full path, so every
+//! test gets an independent, reproducible stream with no global state.
+
+/// A small, fast, deterministic PRNG (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// An RNG seeded deterministically from a name (typically the test
+    /// path): the same name always yields the same stream.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the name bytes.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// An RNG from an explicit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n` must be nonzero).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift bounded sampling; bias is negligible for test use.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform value in `lo..hi` (`lo < hi`).
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi);
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform value in `lo..hi` over i128, for signed ranges.
+    pub fn range_i128(&mut self, lo: i128, hi: i128) -> i128 {
+        debug_assert!(lo < hi);
+        lo + self.below((hi - lo) as u64) as i128
+    }
+
+    /// A random bool.
+    pub fn random_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_is_in_range() {
+        let mut rng = TestRng::deterministic("below");
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+            let v = rng.range_u64(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn different_names_different_streams() {
+        let a = TestRng::deterministic("a").next_u64();
+        let b = TestRng::deterministic("b").next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn signed_ranges() {
+        let mut rng = TestRng::deterministic("signed");
+        for _ in 0..1000 {
+            let v = rng.range_i128(-5, 5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! Regex-like pattern string generation.
+//!
+//! proptest treats `&str` strategies as anchored regexes; this module
+//! implements the subset the workspace's tests use: literals, `.`,
+//! character classes (`[a-z0-9_-]`, ranges, escapes, leading `^` negation),
+//! groups with alternation (`(ab|cd)`), and the quantifiers `?`, `*`, `+`,
+//! `{m}`, `{m,n}`, `{m,}`. Unbounded quantifiers are capped at 8 extra
+//! repetitions.
+
+use crate::rng::TestRng;
+
+const UNBOUNDED_CAP: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `.` — any char except `\n`.
+    Any,
+    Literal(char),
+    /// Inclusive char ranges; `negated` inverts membership.
+    Class {
+        ranges: Vec<(char, char)>,
+        negated: bool,
+    },
+    /// `( alt | alt | … )`
+    Group(Vec<Seq>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32, // inclusive
+}
+
+type Seq = Vec<Piece>;
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    pattern: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn fail(&self, msg: &str) -> ! {
+        panic!("unsupported pattern {:?}: {msg}", self.pattern)
+    }
+
+    fn parse_alternation(&mut self, in_group: bool) -> Vec<Seq> {
+        let mut alts = vec![self.parse_seq()];
+        while self.chars.peek() == Some(&'|') {
+            self.chars.next();
+            alts.push(self.parse_seq());
+        }
+        if in_group {
+            if self.chars.next() != Some(')') {
+                self.fail("expected ')'");
+            }
+        } else if let Some(c) = self.chars.peek() {
+            if *c == ')' {
+                self.fail("unmatched ')'");
+            }
+        }
+        alts
+    }
+
+    fn parse_seq(&mut self) -> Seq {
+        let mut seq = Seq::new();
+        while let Some(&c) = self.chars.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            self.chars.next();
+            let atom = match c {
+                '.' => Atom::Any,
+                '(' => Atom::Group(self.parse_alternation(true)),
+                '[' => self.parse_class(),
+                '\\' => Atom::Literal(self.parse_escape()),
+                '?' | '*' | '+' | '{' => self.fail("quantifier without atom"),
+                other => Atom::Literal(other),
+            };
+            let (min, max) = self.parse_quantifier();
+            seq.push(Piece { atom, min, max });
+        }
+        seq
+    }
+
+    fn parse_escape(&mut self) -> char {
+        match self.chars.next() {
+            Some('n') => '\n',
+            Some('t') => '\t',
+            Some('r') => '\r',
+            Some('0') => '\0',
+            Some(c) => c, // \[ \] \\ \. \- etc: the char itself
+            None => self.fail("dangling escape"),
+        }
+    }
+
+    fn parse_class(&mut self) -> Atom {
+        let mut ranges = Vec::new();
+        let negated = if self.chars.peek() == Some(&'^') {
+            self.chars.next();
+            true
+        } else {
+            false
+        };
+        let mut pending: Option<char> = None;
+        loop {
+            let c = match self.chars.next() {
+                Some(']') => break,
+                Some('\\') => self.parse_escape(),
+                Some('-') if pending.is_some() && self.chars.peek() != Some(&']') => {
+                    // Range like a-z: combine pending with the next char.
+                    let lo = pending.take().unwrap();
+                    let hi = match self.chars.next() {
+                        Some('\\') => self.parse_escape(),
+                        Some(h) => h,
+                        None => self.fail("unterminated class range"),
+                    };
+                    if lo > hi {
+                        self.fail("reversed class range");
+                    }
+                    ranges.push((lo, hi));
+                    continue;
+                }
+                Some(c) => c,
+                None => self.fail("unterminated class"),
+            };
+            if let Some(p) = pending.replace(c) {
+                ranges.push((p, p));
+            }
+        }
+        if let Some(p) = pending {
+            ranges.push((p, p));
+        }
+        if ranges.is_empty() {
+            self.fail("empty character class");
+        }
+        Atom::Class { ranges, negated }
+    }
+
+    fn parse_quantifier(&mut self) -> (u32, u32) {
+        match self.chars.peek() {
+            Some('?') => {
+                self.chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                self.chars.next();
+                (0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                self.chars.next();
+                (1, 1 + UNBOUNDED_CAP)
+            }
+            Some('{') => {
+                self.chars.next();
+                let mut spec = String::new();
+                loop {
+                    match self.chars.next() {
+                        Some('}') => break,
+                        Some(c) => spec.push(c),
+                        None => self.fail("unterminated {m,n}"),
+                    }
+                }
+                let parse = |s: &str| -> u32 {
+                    s.trim()
+                        .parse()
+                        .unwrap_or_else(|_| self.fail("bad {m,n} bound"))
+                };
+                match spec.split_once(',') {
+                    None => {
+                        let m = parse(&spec);
+                        (m, m)
+                    }
+                    Some((m, "")) => {
+                        let m = parse(m);
+                        (m, m + UNBOUNDED_CAP)
+                    }
+                    Some((m, n)) => (parse(m), parse(n)),
+                }
+            }
+            _ => (1, 1),
+        }
+    }
+}
+
+/// A char for `.`: printable ASCII most of the time, sprinkled with
+/// controls, high unicode and quote/bracket metacharacters to stress
+/// parsers.
+pub(crate) fn arbitrary_char(rng: &mut TestRng) -> char {
+    match rng.below(10) {
+        0 => {
+            // Control chars (excluding '\n': proptest's `.` excludes it).
+            let controls = ['\t', '\r', '\0', '\u{1b}', '\u{7f}', '\u{b}'];
+            controls[rng.below(controls.len() as u64) as usize]
+        }
+        1 => {
+            // Non-ASCII: latin-1 supplement, CJK, emoji, BOM-adjacent.
+            let specials = ['é', 'ß', '漢', '字', '→', '\u{feff}', '\u{2028}', '😀', 'Ω'];
+            specials[rng.below(specials.len() as u64) as usize]
+        }
+        _ => char::from_u32(rng.range_u64(0x20, 0x7f) as u32).unwrap(),
+    }
+}
+
+fn generate_atom(atom: &Atom, rng: &mut TestRng, out: &mut String) {
+    match atom {
+        Atom::Any => {
+            let mut c = arbitrary_char(rng);
+            while c == '\n' {
+                c = arbitrary_char(rng);
+            }
+            out.push(c);
+        }
+        Atom::Literal(c) => out.push(*c),
+        Atom::Class { ranges, negated } => {
+            if *negated {
+                loop {
+                    let c = char::from_u32(rng.range_u64(0x20, 0x7f) as u32).unwrap();
+                    if !ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&c)) {
+                        out.push(c);
+                        return;
+                    }
+                }
+            }
+            // Weight ranges by size for uniformity over the class.
+            let total: u64 = ranges
+                .iter()
+                .map(|&(lo, hi)| hi as u64 - lo as u64 + 1)
+                .sum();
+            let mut pick = rng.below(total);
+            for &(lo, hi) in ranges {
+                let span = hi as u64 - lo as u64 + 1;
+                if pick < span {
+                    // Skip the surrogate gap if a range straddles it.
+                    let code = lo as u64 + pick;
+                    if let Some(c) = char::from_u32(code as u32) {
+                        out.push(c);
+                    } else {
+                        out.push(lo);
+                    }
+                    return;
+                }
+                pick -= span;
+            }
+            unreachable!("weighted pick within total");
+        }
+        Atom::Group(alts) => {
+            let alt = &alts[rng.below(alts.len() as u64) as usize];
+            generate_seq(alt, rng, out);
+        }
+    }
+}
+
+fn generate_seq(seq: &Seq, rng: &mut TestRng, out: &mut String) {
+    for piece in seq {
+        let reps = rng.range_u64(piece.min as u64, piece.max as u64 + 1) as u32;
+        for _ in 0..reps {
+            generate_atom(&piece.atom, rng, out);
+        }
+    }
+}
+
+/// Generates a string matching `pattern` (anchored, regex-lite subset).
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut parser = Parser {
+        chars: pattern.chars().peekable(),
+        pattern,
+    };
+    let alts = parser.parse_alternation(false);
+    let mut out = String::new();
+    let alt = &alts[rng.below(alts.len() as u64) as usize];
+    generate_seq(alt, rng, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("string-tests")
+    }
+
+    #[test]
+    fn literal_and_dot() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate_matching("ab.", &mut r);
+            assert!(s.starts_with("ab"));
+            assert_eq!(s.chars().count(), 3);
+            assert!(!s.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn classes_ranges_and_counts() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[a-z][a-z0-9]{0,6}", &mut r);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn class_with_escapes_and_trailing_dash() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[<>/a-z \"=&;!\\[\\]-]{0,120}", &mut r);
+            assert!(s.len() <= 120);
+            for c in s.chars() {
+                assert!(
+                    "<>/ \"=&;!-[]".contains(c) || c.is_ascii_lowercase(),
+                    "{c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn optional_group() {
+        let mut r = rng();
+        let mut saw_empty = false;
+        let mut saw_full = false;
+        for _ in 0..100 {
+            let s = generate_matching("(xy)?", &mut r);
+            match s.as_str() {
+                "" => saw_empty = true,
+                "xy" => saw_full = true,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(saw_empty && saw_full);
+    }
+
+    #[test]
+    fn alternation() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate_matching("(ab|cd|e)", &mut r);
+            assert!(["ab", "cd", "e"].contains(&s.as_str()));
+        }
+    }
+
+    #[test]
+    fn space_to_tilde_is_printable_ascii() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[ -~]{0,24}", &mut r);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn negated_class() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate_matching("[^abc]{1,5}", &mut r);
+            assert!(!s.is_empty());
+            assert!(s.chars().all(|c| !"abc".contains(c)));
+        }
+    }
+
+    #[test]
+    fn literal_prefix_with_dot_tail() {
+        let mut r = rng();
+        let s = generate_matching("#pragma cascabel .{0,100}", &mut r);
+        assert!(s.starts_with("#pragma cascabel "));
+    }
+}
