@@ -9,12 +9,15 @@
 //! [`ThreadedExecutor`] avoid.
 //!
 //! Before the criterion benchmarks run, a one-shot summary prints the
-//! measured speedup per worker count and the work-stealing observability
+//! measured speedup per worker count, the work-stealing observability
 //! counters (executed / steals / failed steals / busy) from an 8-worker
-//! run.
+//! run, and the tracing overhead (`TraceSink::Null` vs `TraceSink::ring()`)
+//! — then writes everything to `BENCH_engine_scaling.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hetero_rt::thread_engine::{from_graph, SingleQueueExecutor, ThreadTask, ThreadedExecutor};
+use hetero_trace::json::Json;
+use hetero_trace::TraceSink;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -50,6 +53,7 @@ fn print_summary() {
         "\nengine_scaling: fork-join {WIDTH}x{STAGES} ({} tasks), single-queue vs work-stealing",
         WIDTH * STAGES + STAGES
     );
+    let mut scaling_rows: Vec<Json> = Vec::new();
     for workers in WORKER_COUNTS {
         let sq = measure(15, |tasks| {
             let t0 = Instant::now();
@@ -65,6 +69,12 @@ fn print_summary() {
             "  {workers} workers: single-queue {sq:>12?}  work-stealing {ws:>12?}  speedup {:.2}x",
             sq.as_secs_f64() / ws.as_secs_f64()
         );
+        scaling_rows.push(Json::obj([
+            ("workers", Json::Num(workers as f64)),
+            ("single_queue_ns", Json::Num(sq.as_nanos() as f64)),
+            ("work_stealing_ns", Json::Num(ws.as_nanos() as f64)),
+            ("speedup", Json::Num(sq.as_secs_f64() / ws.as_secs_f64())),
+        ]));
     }
 
     let report = ThreadedExecutor::new(8).run(fork_join_tasks()).unwrap();
@@ -76,7 +86,82 @@ fn print_summary() {
         report.total_failed_steals(),
         report.total_busy(),
     );
+
+    // Tracing overhead: the same engine/workload with the null sink vs a
+    // full ring collection — the zero-overhead-when-off claim, measured.
+    let off = measure(15, |tasks| {
+        let t0 = Instant::now();
+        ThreadedExecutor::new(8)
+            .with_trace(TraceSink::Null)
+            .run(tasks)
+            .unwrap();
+        t0.elapsed()
+    });
+    let on = measure(15, |tasks| {
+        let t0 = Instant::now();
+        ThreadedExecutor::new(8)
+            .with_trace(TraceSink::ring())
+            .run(tasks)
+            .unwrap();
+        t0.elapsed()
+    });
+    let overhead_pct = (on.as_secs_f64() / off.as_secs_f64() - 1.0) * 100.0;
+    println!("  tracing overhead @8 workers: off {off:>12?}  on {on:>12?}  ({overhead_pct:+.1}%)");
     println!();
+
+    let doc = Json::obj([
+        (
+            "schema",
+            Json::Num(hetero_trace::summary::SCHEMA_VERSION as f64),
+        ),
+        ("kind", Json::str("engine-scaling")),
+        (
+            "workload",
+            Json::obj([
+                ("shape", Json::str("fork-join")),
+                ("width", Json::Num(WIDTH as f64)),
+                ("stages", Json::Num(STAGES as f64)),
+                ("tasks", Json::Num((WIDTH * STAGES + STAGES) as f64)),
+            ]),
+        ),
+        ("scaling", Json::Arr(scaling_rows)),
+        (
+            "counters_8_workers",
+            Json::obj([
+                ("executed", Json::Num(report.tasks.len() as f64)),
+                ("steals", Json::Num(report.total_steals() as f64)),
+                (
+                    "cross_group_steals",
+                    Json::Num(report.total_cross_group_steals() as f64),
+                ),
+                (
+                    "failed_steals",
+                    Json::Num(report.total_failed_steals() as f64),
+                ),
+                ("busy_ns", Json::Num(report.total_busy().as_nanos() as f64)),
+                ("busy_fraction", Json::Num(report.busy_fraction())),
+            ]),
+        ),
+        (
+            "tracing_overhead",
+            Json::obj([
+                ("off_ns", Json::Num(off.as_nanos() as f64)),
+                ("on_ns", Json::Num(on.as_nanos() as f64)),
+                ("overhead_pct", Json::Num(overhead_pct)),
+            ]),
+        ),
+    ]);
+    // Cargo runs bench binaries with the package directory as cwd; CI sets
+    // BENCH_OUT_DIR to collect the JSON from a known place.
+    let dir = std::path::PathBuf::from(std::env::var("BENCH_OUT_DIR").unwrap_or_default());
+    if !dir.as_os_str().is_empty() {
+        let _ = std::fs::create_dir_all(&dir);
+    }
+    let out = dir.join("BENCH_engine_scaling.json");
+    match std::fs::write(&out, doc.to_pretty()) {
+        Ok(()) => println!("  wrote {}\n", out.display()),
+        Err(e) => println!("  could not write {}: {e}\n", out.display()),
+    }
 }
 
 fn engine_scaling(c: &mut Criterion) {
@@ -100,6 +185,28 @@ fn engine_scaling(c: &mut Criterion) {
             })
         });
     }
+    group.finish();
+
+    // Tracing on/off comparison on the same engine and workload: criterion
+    // evidence for the zero-overhead-when-disabled design.
+    let mut group = c.benchmark_group("tracing_overhead");
+    group.sample_size(10);
+    group.bench_function("off", |b| {
+        b.iter(|| {
+            ThreadedExecutor::new(8)
+                .with_trace(TraceSink::Null)
+                .run(fork_join_tasks())
+                .unwrap()
+        })
+    });
+    group.bench_function("on", |b| {
+        b.iter(|| {
+            ThreadedExecutor::new(8)
+                .with_trace(TraceSink::ring())
+                .run(fork_join_tasks())
+                .unwrap()
+        })
+    });
     group.finish();
 }
 

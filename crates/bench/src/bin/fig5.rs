@@ -1,16 +1,55 @@
 //! Regenerates Figure 5 of the paper: speedup of the translated DGEMM
 //! (`single` → `starpu` → `starpu+2gpu`).
 //!
-//! Usage: `cargo run -p bench --bin fig5 [N] [TILE]`
-//! Defaults to the paper's 8192 with tile 2048.
+//! Usage: `cargo run -p bench --bin fig5 [N] [TILE] [--json [PATH]] [--trace [PATH]]`
+//! Defaults to the paper's 8192 with tile 2048. `--json` writes the
+//! machine-readable run summary (default `BENCH_fig5.json`); `--trace`
+//! writes a chrome://tracing view of the `starpu+2gpu` row (default
+//! `fig5_trace.json`).
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8192);
-    let tile: usize = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or_else(|| (n / 4).max(1));
+    let mut n: usize = 8192;
+    let mut tile: Option<usize> = None;
+    let mut json_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut positional = 0;
+
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => {
+                json_path = Some(match args.peek() {
+                    Some(p) if !p.starts_with("--") && p.parse::<usize>().is_err() => {
+                        args.next().unwrap()
+                    }
+                    _ => "BENCH_fig5.json".to_string(),
+                })
+            }
+            "--trace" => {
+                trace_path = Some(match args.peek() {
+                    Some(p) if !p.starts_with("--") && p.parse::<usize>().is_err() => {
+                        args.next().unwrap()
+                    }
+                    _ => "fig5_trace.json".to_string(),
+                })
+            }
+            other => match (positional, other.parse::<usize>()) {
+                (0, Ok(v)) => {
+                    n = v;
+                    positional = 1;
+                }
+                (1, Ok(v)) => {
+                    tile = Some(v);
+                    positional = 2;
+                }
+                _ => {
+                    eprintln!("unknown argument {other:?}");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+    let tile = tile.unwrap_or_else(|| (n / 4).max(1));
 
     let results = bench::fig5::run(n, tile);
     println!("{}", results.render());
@@ -36,5 +75,17 @@ fn main() {
             );
         }
         println!("{}", row.gantt);
+    }
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, results.to_json().to_pretty()).expect("write summary JSON");
+        println!("wrote run summary to {path}");
+    }
+    if let Some(path) = trace_path {
+        let row = results
+            .row("starpu+2gpu")
+            .expect("starpu+2gpu row always present");
+        std::fs::write(&path, hetero_trace::chrome::export(&row.trace)).expect("write trace JSON");
+        println!("wrote chrome trace of starpu+2gpu to {path} (open at chrome://tracing)");
     }
 }

@@ -1,11 +1,36 @@
 //! Regenerates the portability sweep (DESIGN.md Abl. E): one annotated
 //! input program translated against several PDL descriptors without source
 //! changes.
+//!
+//! `--json [PATH]` additionally writes the sweep as machine-readable JSON
+//! (default `BENCH_portability.json`).
 
 fn main() {
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => {
+                json_path = Some(match args.peek() {
+                    Some(p) if !p.starts_with("--") => args.next().unwrap(),
+                    _ => "BENCH_portability.json".to_string(),
+                })
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; usage: portability [--json [PATH]]");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let cells = bench::portability::run();
     println!("Portability sweep — identical input programs, varying PDL descriptor only\n");
     println!("{}", bench::portability::render(&cells));
+    if let Some(path) = &json_path {
+        std::fs::write(path, bench::portability::to_json(&cells).to_pretty())
+            .expect("write sweep JSON");
+        println!("wrote sweep JSON to {path}\n");
+    }
     println!("Scheduler ablation (Abl. A) on the 2-GPU testbed, DGEMM 8192/2048:");
     for (policy, makespan) in bench::ablations::scheduler_ablation(8192, 2048) {
         println!("  {policy:>12}: {makespan:.4}s");

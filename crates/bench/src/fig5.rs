@@ -13,6 +13,7 @@
 use cascabel::codegen::ProblemSpec;
 use cascabel::driver::Cascabel;
 use hetero_rt::prelude::*;
+use hetero_trace::{json::Json, PhaseSpan, RunTrace};
 use pdl_core::platform::Platform;
 use pdl_discover::synthetic;
 use simhw::machine::SimMachine;
@@ -44,6 +45,9 @@ pub struct Fig5Row {
     pub bytes_to_devices: f64,
     /// Gantt chart (text).
     pub gantt: String,
+    /// Virtual-time run trace (one lane per device, PDL-labeled) — feed to
+    /// [`hetero_trace::chrome::export`] or [`hetero_trace::summary`].
+    pub trace: RunTrace,
 }
 
 /// Full results of the Figure 5 experiment.
@@ -55,6 +59,9 @@ pub struct Fig5Results {
     pub tile: usize,
     /// The three configurations, in paper order.
     pub rows: Vec<Fig5Row>,
+    /// Cascabel compile-phase timings per translated configuration
+    /// (label → parse/preselect/mapping/codegen/compplan spans).
+    pub compile_phases: Vec<(String, Vec<PhaseSpan>)>,
 }
 
 impl Fig5Results {
@@ -86,6 +93,73 @@ impl Fig5Results {
         }
         out
     }
+
+    /// The `BENCH_fig5.json` run-summary document: per-row makespan,
+    /// speedup, trace summary and compile-phase timings.
+    pub fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let wall_ns = (r.makespan_s * 1e9).round().max(0.0) as u64;
+                Json::obj([
+                    ("label", Json::str(r.label.clone())),
+                    ("makespan_s", Json::Num(r.makespan_s)),
+                    ("speedup", Json::Num(r.speedup)),
+                    ("bytes_to_devices", Json::Num(r.bytes_to_devices)),
+                    (
+                        "utilization",
+                        Json::Arr(
+                            r.utilization
+                                .iter()
+                                .map(|(pu, u)| {
+                                    Json::obj([
+                                        ("pu", Json::str(pu.clone())),
+                                        ("utilization", Json::Num(*u)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    ("summary", hetero_trace::summary::to_json(&r.trace, wall_ns)),
+                ])
+            })
+            .collect();
+        let compile: Vec<Json> = self
+            .compile_phases
+            .iter()
+            .map(|(label, phases)| {
+                Json::obj([
+                    ("label", Json::str(label.clone())),
+                    (
+                        "phases",
+                        Json::Arr(
+                            phases
+                                .iter()
+                                .map(|p| {
+                                    Json::obj([
+                                        ("name", Json::str(p.name.clone())),
+                                        ("duration_ns", Json::Num(p.duration().as_nanos() as f64)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj([
+            (
+                "schema",
+                Json::Num(hetero_trace::summary::SCHEMA_VERSION as f64),
+            ),
+            ("kind", Json::str("fig5")),
+            ("n", Json::Num(self.n as f64)),
+            ("tile", Json::Num(self.tile as f64)),
+            ("rows", Json::Arr(rows)),
+            ("compile_phases", Json::Arr(compile)),
+        ])
+    }
 }
 
 /// Simulates one translated program on one platform.
@@ -100,6 +174,7 @@ fn run_config(label: &str, platform: &Platform, graph: &TaskGraph) -> Fig5Row {
         utilization: report.utilization(),
         bytes_to_devices: report.bytes_to_devices,
         gantt: report.gantt(64),
+        trace: sim_report_to_trace(&report, &machine),
     }
 }
 
@@ -139,6 +214,10 @@ pub fn run(n: usize, tile: usize) -> Fig5Results {
         n,
         tile,
         rows: vec![single, starpu, gpu],
+        compile_phases: vec![
+            ("starpu".to_string(), starpu_result.phases),
+            ("starpu+2gpu".to_string(), gpu_result.phases),
+        ],
     }
 }
 

@@ -99,6 +99,38 @@ pub fn run() -> Vec<SweepCell> {
     cells
 }
 
+/// The `BENCH_portability.json` document: one object per sweep cell.
+pub fn to_json(cells: &[SweepCell]) -> hetero_trace::json::Json {
+    use hetero_trace::json::Json;
+    Json::obj([
+        (
+            "schema",
+            Json::Num(hetero_trace::summary::SCHEMA_VERSION as f64),
+        ),
+        ("kind", Json::str("portability-sweep")),
+        (
+            "cells",
+            Json::Arr(
+                cells
+                    .iter()
+                    .map(|c| {
+                        Json::obj([
+                            ("workload", Json::str(c.workload.clone())),
+                            ("platform", Json::str(c.platform.clone())),
+                            (
+                                "makespan_s",
+                                c.makespan_s.map(Json::Num).unwrap_or(Json::Null),
+                            ),
+                            ("tasks", Json::Num(c.tasks as f64)),
+                            ("kept_variants", Json::Num(c.kept_variants as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 /// Renders the sweep as a table.
 pub fn render(cells: &[SweepCell]) -> String {
     let mut out = String::new();

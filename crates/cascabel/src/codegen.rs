@@ -105,6 +105,26 @@ pub struct GeneratedOutput {
     pub graph: TaskGraph,
 }
 
+/// Statically maps every annotated call site of the program, in source
+/// order.
+///
+/// Split out of [`generate`] so the driver can time the mapping step as its
+/// own compile phase; [`generate_with_mappings`] consumes the result.
+pub fn map_calls(
+    program: &Program,
+    selections: &[InterfaceSelection],
+    platform: &Platform,
+) -> Result<Vec<CallMapping>, CodegenError> {
+    program
+        .items
+        .iter()
+        .filter_map(|item| match item {
+            Item::TaskCall(call) => Some(map_call(call, selections, platform).map_err(Into::into)),
+            _ => None,
+        })
+        .collect()
+}
+
 /// Generates output for an annotated program against a target platform.
 ///
 /// `selections` must come from [`crate::preselect::preselect`] over the same
@@ -116,8 +136,25 @@ pub fn generate(
     platform: &Platform,
     spec: &ProblemSpec,
 ) -> Result<GeneratedOutput, CodegenError> {
+    let mappings = map_calls(program, selections, platform)?;
+    generate_with_mappings(program, repository, selections, platform, spec, mappings)
+}
+
+/// [`generate`] with call mappings precomputed by [`map_calls`].
+///
+/// Call sites beyond the supplied mappings (never the case when the same
+/// program produced them) are mapped on the fly.
+pub fn generate_with_mappings(
+    program: &Program,
+    repository: &TaskRepository,
+    selections: &[InterfaceSelection],
+    platform: &Platform,
+    spec: &ProblemSpec,
+    mappings: Vec<CallMapping>,
+) -> Result<GeneratedOutput, CodegenError> {
     let mut main = String::new();
     let mut kernel_sources: BTreeMap<String, Vec<(String, String)>> = BTreeMap::new();
+    let mut supplied = mappings.into_iter();
     let mut mappings = Vec::new();
     let mut graph = TaskGraph::new();
 
@@ -177,7 +214,10 @@ pub fn generate(
                 ));
             }
             Item::TaskCall(call) => {
-                let mapping = map_call(call, selections, platform)?;
+                let mapping = match supplied.next() {
+                    Some(m) => m,
+                    None => map_call(call, selections, platform)?,
+                };
                 emit_call(&mut main, call, &mapping);
                 build_graph_for_call(&mut graph, call, repository, &mapping, spec)?;
                 mappings.push(mapping);

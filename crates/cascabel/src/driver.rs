@@ -15,11 +15,14 @@
 //! different target architectures without the need to modify the source
 //! program" — [`Cascabel::compile`] takes the same source and any platform.
 
-use crate::codegen::{generate, CodegenError, GeneratedOutput, ProblemSpec};
+use crate::codegen::{
+    generate_with_mappings, map_calls, CodegenError, GeneratedOutput, ProblemSpec,
+};
 use crate::compplan::{derive_plan, CompilationPlan};
 use crate::parse::{parse_program, ParseError};
 use crate::preselect::{preselect, InterfaceSelection, PreselectError};
 use crate::repository::{RepositoryError, TaskRepository};
+use hetero_trace::{PhaseSpan, PhaseTimer};
 use pdl_core::platform::Platform;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -80,6 +83,10 @@ pub struct CompileResult {
     pub selections: Vec<InterfaceSelection>,
     /// The compilation/link plan derived from the PDL.
     pub plan: CompilationPlan,
+    /// Timed pipeline phases (`parse`, `preselect`, `mapping`, `codegen`,
+    /// `compplan`) on one monotonic clock — convert with
+    /// [`hetero_trace::RunTrace::from_phases`] for Chrome-trace export.
+    pub phases: Vec<PhaseSpan>,
 }
 
 impl CompileResult {
@@ -176,12 +183,18 @@ impl Cascabel {
     }
 
     /// Runs the full pipeline on annotated source.
+    ///
+    /// Each pipeline step is timed as a named phase on one monotonic clock;
+    /// the spans come back in [`CompileResult::phases`].
     pub fn compile(
         &mut self,
         source: &str,
         spec: &ProblemSpec,
     ) -> Result<CompileResult, CascabelError> {
+        let mut timer = PhaseTimer::new();
+
         // 1. Frontend + task registration (§IV-C step 1).
+        timer.start("parse");
         let program = parse_program(source)?;
         for f in program.task_functions() {
             match self.repository.register_function(f) {
@@ -193,37 +206,48 @@ impl Cascabel {
                 Err(e) => return Err(e.into()),
             }
         }
+        timer.end();
 
         // 2. Static pre-selection (§IV-C step 2).
-        let selections = preselect(&self.repository, &self.platform);
+        let selections = timer.scope("preselect", |_| preselect(&self.repository, &self.platform));
 
-        // 3. Output generation (§IV-C step 3).
-        let output = generate(
+        // 3. Output generation (§IV-C step 3): call mapping first, then
+        // source emission + graph construction from the mapped calls.
+        timer.start("mapping");
+        let mappings = map_calls(&program, &selections, &self.platform)?;
+        timer.end();
+        timer.start("codegen");
+        let output = generate_with_mappings(
             &program,
             &self.repository,
             &selections,
             &self.platform,
             spec,
+            mappings,
         )?;
+        timer.end();
 
         // 4. Compilation plan (§IV-C step 4).
-        let mut sources_by_arch: BTreeMap<String, Vec<String>> = BTreeMap::new();
-        sources_by_arch
-            .entry("x86".to_string())
-            .or_default()
-            .push("cascabel_main.c".to_string());
-        for (arch, files) in &output.kernel_sources {
-            let entry = sources_by_arch.entry(arch.clone()).or_default();
-            for (name, _) in files {
-                entry.push(name.clone());
+        let plan = timer.scope("compplan", |_| {
+            let mut sources_by_arch: BTreeMap<String, Vec<String>> = BTreeMap::new();
+            sources_by_arch
+                .entry("x86".to_string())
+                .or_default()
+                .push("cascabel_main.c".to_string());
+            for (arch, files) in &output.kernel_sources {
+                let entry = sources_by_arch.entry(arch.clone()).or_default();
+                for (name, _) in files {
+                    entry.push(name.clone());
+                }
             }
-        }
-        let plan = derive_plan(&self.platform, &sources_by_arch, "cascabel_out");
+            derive_plan(&self.platform, &sources_by_arch, "cascabel_out")
+        });
 
         Ok(CompileResult {
             output,
             selections,
             plan,
+            phases: timer.finish(),
         })
     }
 }
@@ -283,6 +307,25 @@ my_dgemm(A, B, C);
             .compiles
             .iter()
             .any(|c| c.compiler == "nvcc"));
+    }
+
+    #[test]
+    fn compile_times_every_pipeline_phase() {
+        let mut c = Cascabel::new(synthetic::xeon_2gpu_testbed());
+        let spec = ProblemSpec::with_size("N", 1024);
+        let r = c.compile(DGEMM_INPUT, &spec).unwrap();
+        let names: Vec<&str> = r.phases.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["parse", "preselect", "mapping", "codegen", "compplan"]
+        );
+        // One shared clock: phases are sequential and non-overlapping.
+        for pair in r.phases.windows(2) {
+            assert!(pair[0].end_ns <= pair[1].start_ns, "{pair:?}");
+        }
+        // The spans convert into a valid trace for the Chrome exporter.
+        let trace = hetero_trace::RunTrace::from_phases(Some("testbed".into()), &r.phases);
+        trace.validate().expect("phase trace is well-formed");
     }
 
     #[test]

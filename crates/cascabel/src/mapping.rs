@@ -151,6 +151,7 @@ pub fn thread_placement(
     platform: &Platform,
 ) -> Result<Placement, MappingError> {
     let mut placement = Placement::new();
+    placement.platform = Some(platform.name.clone());
     let mut seen: BTreeSet<&str> = BTreeSet::new();
     for m in mappings {
         if m.execution_group.is_empty() || !seen.insert(&m.execution_group) {
@@ -161,7 +162,16 @@ pub fn thread_placement(
                 group: m.execution_group.clone(),
                 message: e.to_string(),
             })?;
+        // Member PU ids label the trace lanes of an execution under this
+        // placement (PDL identity end to end).
+        let pu_ids: Vec<String> = members
+            .iter()
+            .map(|&idx| platform.pu(idx).id.as_str().to_string())
+            .collect();
         placement = placement.with_group(&m.execution_group, members.len());
+        if let Some(g) = placement.groups.last_mut() {
+            g.members = pu_ids;
+        }
     }
     Ok(placement)
 }

@@ -44,6 +44,7 @@ pub mod scheduler;
 pub mod sim_engine;
 pub mod task;
 pub mod thread_engine;
+pub mod trace_bridge;
 
 /// Commonly used items.
 pub mod prelude {
@@ -61,4 +62,6 @@ pub mod prelude {
         from_graph, ExecReport, Placement, PlacementGroup, SingleQueueExecutor, ThreadTask,
         ThreadedExecutor, WorkerStats,
     };
+    pub use crate::trace_bridge::sim_report_to_trace;
+    pub use hetero_trace::TraceSink;
 }

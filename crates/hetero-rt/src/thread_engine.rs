@@ -40,11 +40,15 @@ use crate::graph::TaskGraph;
 use crate::task::Task;
 use crossbeam::channel;
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use hetero_trace::{
+    EventKind, LaneLabel, Provenance, RunTrace, TaskInfo, TimeUnit, TraceClock, TraceMeta,
+    TraceSink, WorkerTrace, WorkerTracer,
+};
 use parking_lot::Mutex;
 use pdl_core::platform::Platform;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Condvar;
-use std::time::{Duration as StdDuration, Instant};
+use std::time::Duration as StdDuration;
 
 /// One executable task.
 pub struct ThreadTask {
@@ -132,6 +136,13 @@ pub struct ExecReport {
     pub workers: usize,
     /// Per-worker counters (always `workers` entries).
     pub worker_stats: Vec<WorkerStats>,
+    /// Placement-group names, indexed by [`WorkerStats::group`]. A single
+    /// `"all"` pseudo-group when the executor ran without a placement.
+    pub groups: Vec<String>,
+    /// The drained event trace, when the executor was built with a
+    /// recording [`TraceSink`]. Export with [`hetero_trace::chrome::export`]
+    /// or [`hetero_trace::summary::export`].
+    pub trace: Option<RunTrace>,
 }
 
 impl ExecReport {
@@ -153,6 +164,56 @@ impl ExecReport {
     /// Total busy time across workers.
     pub fn total_busy(&self) -> StdDuration {
         self.worker_stats.iter().map(|w| w.busy).sum()
+    }
+
+    /// Fraction of the pool's total capacity (`wall × workers`) spent
+    /// inside task closures. All durations share one monotonic clock
+    /// origin, so this is exact, not a cross-origin estimate.
+    pub fn busy_fraction(&self) -> f64 {
+        let capacity = self.wall.as_secs_f64() * self.workers.max(1) as f64;
+        if capacity <= 0.0 {
+            0.0
+        } else {
+            (self.total_busy().as_secs_f64() / capacity).min(1.0)
+        }
+    }
+
+    /// Busy time per placement group, indexed like [`ExecReport::groups`].
+    pub fn busy_by_group(&self) -> Vec<StdDuration> {
+        let mut busy = vec![StdDuration::ZERO; self.groups.len()];
+        for w in &self.worker_stats {
+            if let Some(slot) = busy.get_mut(w.group) {
+                *slot += w.busy;
+            }
+        }
+        busy
+    }
+
+    /// Per-group utilization: `(group name, busy / (wall × group
+    /// workers))` — the thread-engine equivalent of the simulated engine's
+    /// per-PU utilization, keyed by PDL logic group.
+    pub fn utilization_by_group(&self) -> Vec<(String, f64)> {
+        let wall = self.wall.as_secs_f64();
+        let mut workers_per_group = vec![0usize; self.groups.len()];
+        for w in &self.worker_stats {
+            if let Some(slot) = workers_per_group.get_mut(w.group) {
+                *slot += 1;
+            }
+        }
+        self.groups
+            .iter()
+            .zip(self.busy_by_group())
+            .zip(workers_per_group)
+            .map(|((name, busy), workers)| {
+                let capacity = wall * workers.max(1) as f64;
+                let u = if capacity <= 0.0 {
+                    0.0
+                } else {
+                    (busy.as_secs_f64() / capacity).min(1.0)
+                };
+                (name.clone(), u)
+            })
+            .collect()
     }
 }
 
@@ -209,6 +270,10 @@ pub struct PlacementGroup {
     pub name: String,
     /// Number of worker threads dedicated to the group.
     pub workers: usize,
+    /// PU ids backing each worker of the group, when the group was resolved
+    /// from a platform description (`members[k]` labels worker `k` of the
+    /// group in traces). Empty for hand-built groups.
+    pub members: Vec<String>,
 }
 
 /// A partition of the thread pool into named worker groups — the engine's
@@ -218,6 +283,9 @@ pub struct Placement {
     /// The groups, in worker-index order: group 0 owns workers
     /// `0..groups[0].workers`, group 1 the next range, and so on.
     pub groups: Vec<PlacementGroup>,
+    /// Name of the platform descriptor the placement was resolved from
+    /// (stamped into traces); `None` for hand-built placements.
+    pub platform: Option<String>,
 }
 
 impl Placement {
@@ -231,6 +299,7 @@ impl Placement {
         self.groups.push(PlacementGroup {
             name: name.into(),
             workers: workers.max(1),
+            members: Vec::new(),
         });
         self
     }
@@ -248,6 +317,7 @@ impl Placement {
         exprs: &[S],
     ) -> Result<Self, ThreadEngineError> {
         let mut placement = Placement::new();
+        placement.platform = Some(platform.name.clone());
         for expr in exprs {
             let expr = expr.as_ref();
             let members = pdl_query::groups::resolve(platform, expr).map_err(|e| {
@@ -256,7 +326,15 @@ impl Placement {
                     message: e.to_string(),
                 }
             })?;
-            placement = placement.with_group(expr, members.len());
+            let pu_ids: Vec<String> = members
+                .iter()
+                .map(|&idx| platform.pu(idx).id.as_str().to_string())
+                .collect();
+            placement.groups.push(PlacementGroup {
+                name: expr.to_string(),
+                workers: pu_ids.len().max(1),
+                members: pu_ids,
+            });
         }
         Ok(placement)
     }
@@ -361,10 +439,10 @@ fn validate(tasks: Vec<ThreadTask>) -> Result<ValidatedTasks, ThreadEngineError>
     })
 }
 
-fn empty_report(start: Instant, workers: usize) -> ExecReport {
+fn empty_report(wall: StdDuration, workers: usize, groups: Vec<String>) -> ExecReport {
     ExecReport {
         tasks: Vec::new(),
-        wall: start.elapsed(),
+        wall,
         workers,
         worker_stats: (0..workers)
             .map(|w| WorkerStats {
@@ -372,6 +450,45 @@ fn empty_report(start: Instant, workers: usize) -> ExecReport {
                 ..WorkerStats::default()
             })
             .collect(),
+        groups,
+        trace: None,
+    }
+}
+
+/// Lane labels for `workers` threads under an optional placement: PU ids
+/// where the placement knows them, `w<i>` otherwise, plus the logic-group
+/// name of each worker's range.
+fn lane_labels(workers: usize, placement: Option<&Placement>) -> Vec<LaneLabel> {
+    match placement {
+        None => (0..workers)
+            .map(|w| LaneLabel {
+                name: format!("w{w}"),
+                group: None,
+            })
+            .collect(),
+        Some(p) => {
+            let mut lanes = Vec::with_capacity(workers);
+            for g in &p.groups {
+                for k in 0..g.workers {
+                    lanes.push(LaneLabel {
+                        name: g
+                            .members
+                            .get(k)
+                            .cloned()
+                            .unwrap_or_else(|| format!("w{}", lanes.len())),
+                        group: Some(g.name.clone()),
+                    });
+                }
+            }
+            lanes.truncate(workers);
+            while lanes.len() < workers {
+                lanes.push(LaneLabel {
+                    name: format!("w{}", lanes.len()),
+                    group: None,
+                });
+            }
+            lanes
+        }
     }
 }
 
@@ -390,6 +507,7 @@ const PARK_TIMEOUT: StdDuration = StdDuration::from_millis(2);
 pub struct ThreadedExecutor {
     workers: usize,
     placement: Option<Placement>,
+    sink: TraceSink,
 }
 
 impl ThreadedExecutor {
@@ -399,6 +517,7 @@ impl ThreadedExecutor {
         ThreadedExecutor {
             workers: workers.max(1),
             placement: None,
+            sink: TraceSink::Null,
         }
     }
 
@@ -417,7 +536,18 @@ impl ThreadedExecutor {
         ThreadedExecutor {
             workers,
             placement: (placement.total_workers() > 0).then_some(placement),
+            sink: TraceSink::Null,
         }
+    }
+
+    /// Enables (or disables) event tracing, builder style. The default is
+    /// [`TraceSink::Null`]: no events, no clock reads, no overhead. With a
+    /// ring sink, [`ExecReport::trace`] carries the drained [`RunTrace`],
+    /// every event labeled with the worker's PDL identity from the
+    /// placement.
+    pub fn with_trace(mut self, sink: TraceSink) -> Self {
+        self.sink = sink;
+        self
     }
 
     /// The configured placement, if any.
@@ -428,7 +558,21 @@ impl ThreadedExecutor {
     /// Executes all tasks, returning per-task and per-worker stats.
     pub fn run(&self, tasks: Vec<ThreadTask>) -> Result<ExecReport, ThreadEngineError> {
         let n = tasks.len();
-        let start = Instant::now();
+        // One clock for the whole run: every worker stamps events and
+        // measures durations against the same monotonic origin.
+        let clock = TraceClock::new();
+        let mut prelude = self.sink.worker_tracer();
+        prelude.record(
+            &clock,
+            EventKind::PhaseStart {
+                name: "validate".into(),
+            },
+        );
+
+        let group_names: Vec<String> = match &self.placement {
+            None => vec!["all".to_string()],
+            Some(p) => p.groups.iter().map(|g| g.name.clone()).collect(),
+        };
 
         // Resolve every task's group name to a group index up front.
         let mut task_group: Vec<Option<usize>> = Vec::with_capacity(n);
@@ -452,9 +596,35 @@ impl ThreadedExecutor {
             }
         }
 
+        // PDL-labeled trace metadata, built only when events are kept.
+        let meta = self.sink.enabled().then(|| TraceMeta {
+            platform: self.placement.as_ref().and_then(|p| p.platform.clone()),
+            lanes: lane_labels(self.workers, self.placement.as_ref()),
+            tasks: tasks
+                .iter()
+                .enumerate()
+                .map(|(i, t)| TaskInfo {
+                    label: t.label.clone(),
+                    category: "task".to_string(),
+                    group: task_group[i].map(|g| group_names[g].clone()),
+                })
+                .collect(),
+            time_unit: TimeUnit::RealNanos,
+        });
+
         let mut v = validate(tasks)?;
+        prelude.record(
+            &clock,
+            EventKind::PhaseEnd {
+                name: "validate".into(),
+            },
+        );
         if n == 0 {
-            return Ok(empty_report(start, self.workers));
+            return Ok(empty_report(
+                StdDuration::from_nanos(clock.now()),
+                self.workers,
+                group_names,
+            ));
         }
 
         // Worker → group map: contiguous ranges in group order.
@@ -481,11 +651,18 @@ impl ThreadedExecutor {
         // Seed initially-ready tasks round-robin across their group's
         // workers (or all workers when ungrouped), so there is no single
         // contended entry queue even at t=0.
+        prelude.record(
+            &clock,
+            EventKind::PhaseStart {
+                name: "seed".into(),
+            },
+        );
         let mut rr = vec![0usize; group_count + 1];
         for i in 0..n {
             if v.pending[i].load(Ordering::Relaxed) != 0 {
                 continue;
             }
+            prelude.record(&clock, EventKind::TaskReady { task: i as u32 });
             let targets: &[usize] = match task_group[i] {
                 Some(g) => &group_workers[g],
                 None => {
@@ -498,6 +675,12 @@ impl ThreadedExecutor {
             rr[task_group[i].unwrap()] = (slot + 1) % targets.len();
             locals[targets[slot]].push(i);
         }
+        prelude.record(
+            &clock,
+            EventKind::PhaseEnd {
+                name: "seed".into(),
+            },
+        );
 
         let completed = AtomicUsize::new(0);
         let park = std::sync::Mutex::new(());
@@ -505,6 +688,13 @@ impl ThreadedExecutor {
 
         let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(self.workers);
         let mut records: Vec<(usize, usize, StdDuration)> = Vec::with_capacity(n);
+        let mut worker_traces: Vec<WorkerTrace> = Vec::new();
+        prelude.record(
+            &clock,
+            EventKind::PhaseStart {
+                name: "execute".into(),
+            },
+        );
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.workers);
             for (me, local) in locals.into_iter().enumerate() {
@@ -522,16 +712,25 @@ impl ThreadedExecutor {
                     park: &park,
                     wake: &wake,
                     n,
+                    clock,
+                    tracer: self.sink.worker_tracer(),
                 };
                 handles.push(scope.spawn(move || ctx.run()));
             }
             for h in handles {
-                let (ws, recs) = h.join().expect("worker panicked");
+                let (ws, recs, wt) = h.join().expect("worker panicked");
                 let worker = ws.worker;
                 worker_stats.push(ws);
                 records.extend(recs.into_iter().map(|(task, dt)| (task, worker, dt)));
+                worker_traces.extend(wt);
             }
         });
+        prelude.record(
+            &clock,
+            EventKind::PhaseEnd {
+                name: "execute".into(),
+            },
+        );
 
         // Assemble the per-task stats outside the hot path: workers only
         // recorded (task index, duration); labels are moved (not cloned)
@@ -545,11 +744,22 @@ impl ThreadedExecutor {
             })
             .collect();
 
+        let trace = meta.map(|meta| RunTrace {
+            meta,
+            prelude: prelude
+                .finish(self.workers)
+                .map(|wt| wt.events)
+                .unwrap_or_default(),
+            workers: worker_traces,
+        });
+
         Ok(ExecReport {
             tasks,
-            wall: start.elapsed(),
+            wall: StdDuration::from_nanos(clock.now()),
             workers: self.workers,
             worker_stats,
+            groups: group_names,
+            trace,
         })
     }
 }
@@ -569,23 +779,47 @@ struct WorkerCtx<'a> {
     park: &'a std::sync::Mutex<()>,
     wake: &'a Condvar,
     n: usize,
+    clock: TraceClock,
+    tracer: WorkerTracer,
 }
 
-/// Where a claimed task came from, for the steal counters.
+/// Where a claimed task came from, for the steal counters and the trace's
+/// steal-provenance events.
 enum Source {
     Local,
-    OwnGroup,
-    CrossGroup,
+    /// Popped from a group injector (affinity hand-off or seed surplus).
+    Inject {
+        cross: bool,
+    },
+    /// Stolen from another worker's deque.
+    Steal {
+        victim: usize,
+        cross: bool,
+    },
+}
+
+impl Source {
+    fn provenance(&self) -> Provenance {
+        match *self {
+            Source::Local => Provenance::Local,
+            Source::Inject { cross } => Provenance::Inject { cross_group: cross },
+            Source::Steal { victim, cross } => Provenance::Steal {
+                victim: victim as u32,
+                cross_group: cross,
+            },
+        }
+    }
 }
 
 impl WorkerCtx<'_> {
-    fn run(self) -> (WorkerStats, Vec<(usize, StdDuration)>) {
+    fn run(mut self) -> (WorkerStats, Vec<(usize, StdDuration)>, Option<WorkerTrace>) {
         let mut out = WorkerStats {
             worker: self.me,
             group: self.my_group,
             ..WorkerStats::default()
         };
         let mut records: Vec<(usize, StdDuration)> = Vec::new();
+        let mut tracer = std::mem::replace(&mut self.tracer, WorkerTracer::Null);
         loop {
             if self.completed.load(Ordering::Acquire) >= self.n {
                 break;
@@ -594,13 +828,21 @@ impl WorkerCtx<'_> {
                 Some((task, source)) => {
                     match source {
                         Source::Local => {}
-                        Source::OwnGroup => out.steals += 1,
-                        Source::CrossGroup => {
+                        Source::Inject { cross } | Source::Steal { cross, .. } => {
                             out.steals += 1;
-                            out.cross_group_steals += 1;
+                            if cross {
+                                out.cross_group_steals += 1;
+                            }
                         }
                     }
-                    out.busy += self.execute(task, &mut records);
+                    tracer.record(
+                        &self.clock,
+                        EventKind::TaskDequeued {
+                            task: task as u32,
+                            provenance: source.provenance(),
+                        },
+                    );
+                    out.busy += self.execute(task, &mut records, &mut tracer);
                     out.executed += 1;
                 }
                 None => {
@@ -612,14 +854,17 @@ impl WorkerCtx<'_> {
                     // Timed wait: a missed notification costs at most
                     // PARK_TIMEOUT, so no wake-up protocol bug can hang the
                     // pool.
+                    tracer.record(&self.clock, EventKind::Park);
                     let _ = self
                         .wake
                         .wait_timeout(guard, PARK_TIMEOUT)
                         .unwrap_or_else(|e| e.into_inner());
+                    tracer.record(&self.clock, EventKind::Unpark);
                 }
             }
         }
-        (out, records)
+        let trace = tracer.finish(self.me);
+        (out, records, trace)
     }
 
     /// Claims one ready task: own deque, then own group's injector and
@@ -629,14 +874,20 @@ impl WorkerCtx<'_> {
             return Some((i, Source::Local));
         }
         if let Some(i) = steal_one(&self.injectors[self.my_group]) {
-            return Some((i, Source::OwnGroup));
+            return Some((i, Source::Inject { cross: false }));
         }
         for &w in &self.group_workers[self.my_group] {
             if w == self.me {
                 continue;
             }
             if let Some(i) = steal_from(&self.stealers[w]) {
-                return Some((i, Source::OwnGroup));
+                return Some((
+                    i,
+                    Source::Steal {
+                        victim: w,
+                        cross: false,
+                    },
+                ));
             }
         }
         // Group dry: scan foreign injectors, then foreign workers.
@@ -645,7 +896,7 @@ impl WorkerCtx<'_> {
                 continue;
             }
             if let Some(i) = steal_one(injector) {
-                return Some((i, Source::CrossGroup));
+                return Some((i, Source::Inject { cross: true }));
             }
         }
         for (w, stealer) in self.stealers.iter().enumerate() {
@@ -653,7 +904,13 @@ impl WorkerCtx<'_> {
                 continue;
             }
             if let Some(i) = steal_from(stealer) {
-                return Some((i, Source::CrossGroup));
+                return Some((
+                    i,
+                    Source::Steal {
+                        victim: w,
+                        cross: true,
+                    },
+                ));
             }
         }
         None
@@ -661,15 +918,27 @@ impl WorkerCtx<'_> {
 
     /// Runs the task, records stats worker-locally, wakes or enqueues
     /// dependents.
-    fn execute(&self, i: usize, records: &mut Vec<(usize, StdDuration)>) -> StdDuration {
+    fn execute(
+        &self,
+        i: usize,
+        records: &mut Vec<(usize, StdDuration)>,
+        tracer: &mut WorkerTracer,
+    ) -> StdDuration {
         let job = self.v.work[i].lock().take().expect("task runs once");
-        let t0 = Instant::now();
+        // Both the stat duration and the trace span come from the run's
+        // shared clock, so per-worker busy time and the exported spans are
+        // the same numbers.
+        let t0 = self.clock.now();
+        tracer.record_at(t0, EventKind::TaskStart { task: i as u32 });
         job();
-        let dt = t0.elapsed();
+        let t1 = self.clock.now();
+        tracer.record_at(t1, EventKind::TaskEnd { task: i as u32 });
+        let dt = TraceClock::between(t0, t1);
         records.push((i, dt));
         let mut woke_other_group = false;
         for &dep in self.v.dependents(i) {
             if self.v.pending[dep].fetch_sub(1, Ordering::AcqRel) == 1 {
+                tracer.record(&self.clock, EventKind::TaskReady { task: dep as u32 });
                 match self.task_group[dep] {
                     Some(g) if g != self.my_group => {
                         // Affinity routing: deliver to the task's group.
@@ -729,6 +998,7 @@ fn steal_from(stealer: &Stealer<usize>) -> Option<usize> {
 #[derive(Debug, Clone)]
 pub struct SingleQueueExecutor {
     workers: usize,
+    sink: TraceSink,
 }
 
 impl SingleQueueExecutor {
@@ -736,16 +1006,53 @@ impl SingleQueueExecutor {
     pub fn new(workers: usize) -> Self {
         SingleQueueExecutor {
             workers: workers.max(1),
+            sink: TraceSink::Null,
         }
+    }
+
+    /// Enables (or disables) event tracing for subsequent runs.
+    pub fn with_trace(mut self, sink: TraceSink) -> Self {
+        self.sink = sink;
+        self
     }
 
     /// Executes all tasks, returning per-task stats.
     pub fn run(&self, tasks: Vec<ThreadTask>) -> Result<ExecReport, ThreadEngineError> {
-        let start = Instant::now();
+        let clock = TraceClock::new();
+        let mut prelude = self.sink.worker_tracer();
+        prelude.record(
+            &clock,
+            EventKind::PhaseStart {
+                name: "validate".into(),
+            },
+        );
+        let meta = self.sink.enabled().then(|| TraceMeta {
+            platform: None,
+            lanes: lane_labels(self.workers, None),
+            tasks: tasks
+                .iter()
+                .map(|t| TaskInfo {
+                    label: t.label.clone(),
+                    category: "task".to_string(),
+                    group: t.group.clone(),
+                })
+                .collect(),
+            time_unit: TimeUnit::RealNanos,
+        });
         let v = validate(tasks)?;
+        prelude.record(
+            &clock,
+            EventKind::PhaseEnd {
+                name: "validate".into(),
+            },
+        );
         let n = v.labels.len();
         if n == 0 {
-            return Ok(empty_report(start, self.workers));
+            return Ok(empty_report(
+                StdDuration::from_nanos(clock.now()),
+                self.workers,
+                vec!["all".to_string()],
+            ));
         }
 
         // Queue protocol: task indices flow through the channel; SHUTDOWN
@@ -754,16 +1061,36 @@ impl SingleQueueExecutor {
         // holds a sender clone).
         const SHUTDOWN: usize = usize::MAX;
         let (tx, rx) = channel::unbounded::<usize>();
+        prelude.record(
+            &clock,
+            EventKind::PhaseStart {
+                name: "seed".into(),
+            },
+        );
         for (i, p) in v.pending.iter().enumerate() {
             if p.load(Ordering::Relaxed) == 0 {
+                prelude.record(&clock, EventKind::TaskReady { task: i as u32 });
                 tx.send(i).expect("queue open");
             }
         }
+        prelude.record(
+            &clock,
+            EventKind::PhaseEnd {
+                name: "seed".into(),
+            },
+        );
 
         let completed = AtomicUsize::new(0);
         let stats: Mutex<Vec<TaskStats>> = Mutex::new(Vec::with_capacity(n));
         let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(self.workers);
+        let mut worker_traces: Vec<WorkerTrace> = Vec::new();
 
+        prelude.record(
+            &clock,
+            EventKind::PhaseStart {
+                name: "execute".into(),
+            },
+        );
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.workers);
             for worker in 0..self.workers {
@@ -773,6 +1100,7 @@ impl SingleQueueExecutor {
                 let completed = &completed;
                 let stats = &stats;
                 let workers_total = self.workers;
+                let mut tracer = self.sink.worker_tracer();
                 handles.push(scope.spawn(move || {
                     let mut out = WorkerStats {
                         worker,
@@ -782,10 +1110,20 @@ impl SingleQueueExecutor {
                         if i == SHUTDOWN {
                             break;
                         }
+                        tracer.record(
+                            &clock,
+                            EventKind::TaskDequeued {
+                                task: i as u32,
+                                provenance: Provenance::Queue,
+                            },
+                        );
                         let job = v.work[i].lock().take().expect("task runs once");
-                        let t0 = Instant::now();
+                        let t0 = clock.now();
+                        tracer.record_at(t0, EventKind::TaskStart { task: i as u32 });
                         job();
-                        let dt = t0.elapsed();
+                        let t1 = clock.now();
+                        tracer.record_at(t1, EventKind::TaskEnd { task: i as u32 });
+                        let dt = TraceClock::between(t0, t1);
                         out.executed += 1;
                         out.busy += dt;
                         stats.lock().push(TaskStats {
@@ -795,6 +1133,7 @@ impl SingleQueueExecutor {
                         });
                         for &dep in v.dependents(i) {
                             if v.pending[dep].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                tracer.record(&clock, EventKind::TaskReady { task: dep as u32 });
                                 let _ = tx.send(dep);
                             }
                         }
@@ -806,21 +1145,40 @@ impl SingleQueueExecutor {
                             }
                         }
                     }
-                    out
+                    (out, tracer.finish(worker))
                 }));
             }
             drop(tx);
             drop(rx);
             for h in handles {
-                worker_stats.push(h.join().expect("worker panicked"));
+                let (ws, wt) = h.join().expect("worker panicked");
+                worker_stats.push(ws);
+                worker_traces.extend(wt);
             }
+        });
+        prelude.record(
+            &clock,
+            EventKind::PhaseEnd {
+                name: "execute".into(),
+            },
+        );
+
+        let trace = meta.map(|meta| RunTrace {
+            meta,
+            prelude: prelude
+                .finish(self.workers)
+                .map(|wt| wt.events)
+                .unwrap_or_default(),
+            workers: worker_traces,
         });
 
         Ok(ExecReport {
             tasks: stats.into_inner(),
-            wall: start.elapsed(),
+            wall: StdDuration::from_nanos(clock.now()),
             workers: self.workers,
             worker_stats,
+            groups: vec!["all".to_string()],
+            trace,
         })
     }
 }
@@ -1060,8 +1418,67 @@ mod tests {
         assert_eq!(placement.groups[0].workers, 2); // gpu0, gpu1
         assert_eq!(placement.groups[1].workers, 1); // spe
         assert_eq!(placement.total_workers(), 3);
+        assert_eq!(placement.platform.as_deref(), Some("t"));
+        assert_eq!(placement.groups[0].members, vec!["gpu0", "gpu1"]);
+        assert_eq!(placement.groups[1].members, vec!["spe"]);
 
         assert!(Placement::from_logic_groups(&p, &["@bogus"]).is_err());
+    }
+
+    #[test]
+    fn traced_run_validates_and_matches_report() {
+        let tasks: Vec<ThreadTask> = (0..40)
+            .map(|i| {
+                let mut t = ThreadTask::new(format!("t{i}"), move || {
+                    std::hint::black_box((0..200).sum::<u64>());
+                });
+                if i >= 8 {
+                    t = t.after([i - 8]);
+                }
+                t
+            })
+            .collect();
+        let report = ThreadedExecutor::new(4)
+            .with_trace(hetero_trace::TraceSink::ring())
+            .run(tasks)
+            .unwrap();
+        let trace = report.trace.as_ref().expect("trace collected");
+        assert_eq!(trace.meta.lanes.len(), 4);
+        assert_eq!(trace.meta.tasks.len(), 40);
+        assert_eq!(trace.meta.time_unit, hetero_trace::TimeUnit::RealNanos);
+        let stats = trace.validate().expect("invariants hold");
+        assert_eq!(stats.tasks, 40);
+        assert_eq!(stats.steals, report.total_steals() as u64);
+        assert_eq!(
+            stats.cross_group_steals,
+            report.total_cross_group_steals() as u64
+        );
+        // Seed readies live in the prelude, dependency readies on worker
+        // lanes; together every task became ready exactly once.
+        assert_eq!(stats.readies, 40);
+
+        // Null sink keeps the report trace-free.
+        let tasks2: Vec<ThreadTask> = (0..4)
+            .map(|i| ThreadTask::new(format!("t{i}"), || {}))
+            .collect();
+        let plain = ThreadedExecutor::new(2).run(tasks2).unwrap();
+        assert!(plain.trace.is_none());
+    }
+
+    #[test]
+    fn traced_single_queue_uses_queue_provenance() {
+        let tasks: Vec<ThreadTask> = (0..12)
+            .map(|i| ThreadTask::new(format!("t{i}"), || {}))
+            .collect();
+        let report = SingleQueueExecutor::new(3)
+            .with_trace(hetero_trace::TraceSink::ring())
+            .run(tasks)
+            .unwrap();
+        let trace = report.trace.as_ref().expect("trace collected");
+        trace.validate().expect("invariants hold");
+        for span in trace.task_spans() {
+            assert_eq!(span.provenance, Some(Provenance::Queue));
+        }
     }
 
     #[test]

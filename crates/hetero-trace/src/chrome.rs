@@ -1,0 +1,357 @@
+//! `chrome://tracing` / Perfetto JSON export.
+//!
+//! Produces the [Trace Event Format] "JSON object" flavor: a top-level
+//! object with a `traceEvents` array. Open the file in `chrome://tracing`
+//! or <https://ui.perfetto.dev>: one lane (thread) per worker/device, task
+//! spans colored by PDL logic group, phase spans on the lane that recorded
+//! them, park/unpark as instant markers.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//!
+//! Timestamps: Chrome wants microseconds; nanosecond timestamps are emitted
+//! as fractional µs so nothing is rounded away. Virtual-time traces use the
+//! same scale (1 virtual ns = 1 µs-scale unit ÷ 1000).
+
+use crate::event::EventKind;
+use crate::json::Json;
+use crate::trace::{RunTrace, TimeUnit};
+
+/// Chrome-reserved color names, assigned per logic group in first-seen
+/// order. (`cname` values must come from Chrome's fixed palette.)
+const GROUP_COLORS: [&str; 8] = [
+    "thread_state_running",
+    "rail_response",
+    "cq_build_running",
+    "thread_state_runnable",
+    "rail_animation",
+    "thread_state_iowait",
+    "rail_idle",
+    "generic_work",
+];
+
+fn us(ns: u64) -> Json {
+    Json::Num(ns as f64 / 1000.0)
+}
+
+/// Exports a drained trace as a Chrome-trace JSON document.
+pub fn export(trace: &RunTrace) -> String {
+    to_json(trace).to_string()
+}
+
+/// The Chrome-trace document as a [`Json`] value (for tests/inspection).
+pub fn to_json(trace: &RunTrace) -> Json {
+    let mut events: Vec<Json> = Vec::new();
+    let pid = Json::Num(0.0);
+
+    // Process metadata: name the process after the platform descriptor.
+    let process_name = match (&trace.meta.platform, trace.meta.time_unit) {
+        (Some(p), TimeUnit::RealNanos) => p.clone(),
+        (Some(p), TimeUnit::VirtualNanos) => format!("{p} (virtual time)"),
+        (None, _) => "hetero-rt".to_string(),
+    };
+    events.push(Json::obj([
+        ("name", Json::str("process_name")),
+        ("ph", Json::str("M")),
+        ("pid", pid.clone()),
+        ("args", Json::obj([("name", Json::str(process_name))])),
+    ]));
+
+    // Color assignment: one palette entry per distinct logic group, in
+    // lane order.
+    let mut colors: std::collections::BTreeMap<&str, &'static str> = Default::default();
+    for lane in &trace.meta.lanes {
+        if let Some(g) = lane.group.as_deref() {
+            let next = GROUP_COLORS[colors.len() % GROUP_COLORS.len()];
+            colors.entry(g).or_insert(next);
+        }
+    }
+    let group_color = |group: Option<&str>| -> Option<&'static str> {
+        group.and_then(|g| colors.get(g).copied())
+    };
+
+    // One lane per worker, named with its PDL identity; ordered by index.
+    let run_lane = trace.meta.lanes.len().max(trace.workers.len());
+    let lane_name = |worker: usize| -> String {
+        match trace.meta.lanes.get(worker) {
+            Some(l) => match &l.group {
+                Some(g) => format!("{} [{g}]", l.name),
+                None => l.name.clone(),
+            },
+            None if worker == run_lane => "run".to_string(),
+            None => format!("w{worker}"),
+        }
+    };
+    for worker in (0..run_lane).chain(std::iter::once(run_lane)) {
+        events.push(Json::obj([
+            ("name", Json::str("thread_name")),
+            ("ph", Json::str("M")),
+            ("pid", pid.clone()),
+            ("tid", Json::Num(worker as f64)),
+            ("args", Json::obj([("name", Json::str(lane_name(worker)))])),
+        ]));
+    }
+
+    // Task spans ("X" complete events), colored by the lane's logic group.
+    for span in trace.task_spans() {
+        let info = trace.meta.tasks.get(span.task as usize);
+        let lane_group = trace
+            .meta
+            .lanes
+            .get(span.worker)
+            .and_then(|l| l.group.as_deref());
+        let mut args = vec![("task".to_string(), Json::Num(span.task as f64))];
+        if let Some(g) = lane_group {
+            args.push(("group".to_string(), Json::str(g)));
+        }
+        if let Some(p) = span.provenance {
+            args.push(("provenance".to_string(), Json::str(p.label())));
+            if let crate::event::Provenance::Steal { victim, .. } = p {
+                args.push(("victim".to_string(), Json::Num(victim as f64)));
+            }
+        }
+        let mut members = vec![
+            (
+                "name".to_string(),
+                Json::str(info.map(|i| i.label.as_str()).unwrap_or("task")),
+            ),
+            (
+                "cat".to_string(),
+                Json::str(info.map(|i| i.category.as_str()).unwrap_or("task")),
+            ),
+            ("ph".to_string(), Json::str("X")),
+            ("ts".to_string(), us(span.start)),
+            ("dur".to_string(), us(span.end - span.start)),
+            ("pid".to_string(), pid.clone()),
+            ("tid".to_string(), Json::Num(span.worker as f64)),
+            ("args".to_string(), Json::Obj(args)),
+        ];
+        if let Some(color) = group_color(lane_group) {
+            members.push(("cname".to_string(), Json::str(color)));
+        }
+        events.push(Json::Obj(members));
+    }
+
+    // Phase spans and instant markers, per lane (prelude = the run lane).
+    let lanes = trace
+        .workers
+        .iter()
+        .map(|w| (w.worker, &w.events))
+        .chain(std::iter::once((run_lane, &trace.prelude)));
+    for (worker, lane_events) in lanes {
+        let tid = Json::Num(worker as f64);
+        let mut open_phases: Vec<(&str, u64)> = Vec::new();
+        for e in lane_events {
+            match &e.kind {
+                EventKind::PhaseStart { name } => open_phases.push((name, e.ts)),
+                EventKind::PhaseEnd { name } => {
+                    if let Some(pos) = open_phases.iter().rposition(|(n, _)| n == name) {
+                        let (name, start) = open_phases.remove(pos);
+                        events.push(Json::obj([
+                            ("name", Json::str(name)),
+                            ("cat", Json::str("phase")),
+                            ("ph", Json::str("X")),
+                            ("ts", us(start)),
+                            ("dur", us(e.ts - start)),
+                            ("pid", pid.clone()),
+                            ("tid", tid.clone()),
+                        ]));
+                    }
+                }
+                EventKind::Park | EventKind::Unpark => {
+                    events.push(Json::obj([
+                        (
+                            "name",
+                            Json::str(if e.kind == EventKind::Park {
+                                "park"
+                            } else {
+                                "unpark"
+                            }),
+                        ),
+                        ("cat", Json::str("scheduler")),
+                        ("ph", Json::str("i")),
+                        ("s", Json::str("t")),
+                        ("ts", us(e.ts)),
+                        ("pid", pid.clone()),
+                        ("tid", tid.clone()),
+                    ]));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    Json::obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::str("ms")),
+        (
+            "otherData",
+            Json::obj([
+                (
+                    "platform",
+                    match &trace.meta.platform {
+                        Some(p) => Json::str(p.clone()),
+                        None => Json::Null,
+                    },
+                ),
+                ("timeUnit", Json::str(trace.meta.time_unit.label())),
+                ("generator", Json::str("hetero-trace")),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Provenance, TraceEvent};
+    use crate::trace::{LaneLabel, TaskInfo, TraceMeta, WorkerTrace};
+
+    fn sample() -> RunTrace {
+        RunTrace {
+            meta: TraceMeta {
+                platform: Some("xeon_2gpu".to_string()),
+                lanes: vec![
+                    LaneLabel {
+                        name: "cpu0".to_string(),
+                        group: Some("cpus".to_string()),
+                    },
+                    LaneLabel {
+                        name: "gpu0".to_string(),
+                        group: Some("gpus".to_string()),
+                    },
+                ],
+                tasks: vec![TaskInfo {
+                    label: "dgemm_tile".to_string(),
+                    category: "task".to_string(),
+                    group: Some("gpus".to_string()),
+                }],
+                time_unit: TimeUnit::RealNanos,
+            },
+            prelude: vec![
+                TraceEvent {
+                    ts: 0,
+                    kind: EventKind::PhaseStart {
+                        name: "execute".to_string(),
+                    },
+                },
+                TraceEvent {
+                    ts: 900,
+                    kind: EventKind::PhaseEnd {
+                        name: "execute".to_string(),
+                    },
+                },
+            ],
+            workers: vec![
+                WorkerTrace {
+                    worker: 0,
+                    events: vec![
+                        TraceEvent {
+                            ts: 100,
+                            kind: EventKind::Park,
+                        },
+                        TraceEvent {
+                            ts: 200,
+                            kind: EventKind::Unpark,
+                        },
+                    ],
+                    overwritten: 0,
+                },
+                WorkerTrace {
+                    worker: 1,
+                    events: vec![
+                        TraceEvent {
+                            ts: 100,
+                            kind: EventKind::TaskDequeued {
+                                task: 0,
+                                provenance: Provenance::Steal {
+                                    victim: 0,
+                                    cross_group: true,
+                                },
+                            },
+                        },
+                        TraceEvent {
+                            ts: 150,
+                            kind: EventKind::TaskStart { task: 0 },
+                        },
+                        TraceEvent {
+                            ts: 650,
+                            kind: EventKind::TaskEnd { task: 0 },
+                        },
+                    ],
+                    overwritten: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn export_is_valid_json_with_lanes_and_colors() {
+        let text = export(&sample());
+        let doc = Json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().items();
+
+        // Process + 3 thread_name lanes (2 workers + run lane).
+        let thread_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("thread_name"))
+            .map(|e| {
+                e.get("args")
+                    .unwrap()
+                    .get("name")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(thread_names, ["cpu0 [cpus]", "gpu0 [gpus]", "run"]);
+
+        // The task span: on lane 1, labeled, colored, with provenance.
+        let task = events
+            .iter()
+            .find(|e| e.get("cat").and_then(Json::as_str) == Some("task"))
+            .unwrap();
+        assert_eq!(task.get("name").and_then(Json::as_str), Some("dgemm_tile"));
+        assert_eq!(task.get("tid").and_then(Json::as_u64), Some(1));
+        assert_eq!(task.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(task.get("dur").and_then(Json::as_f64), Some(0.5));
+        assert!(task.get("cname").is_some());
+        let args = task.get("args").unwrap();
+        assert_eq!(args.get("group").and_then(Json::as_str), Some("gpus"));
+        assert_eq!(
+            args.get("provenance").and_then(Json::as_str),
+            Some("steal-cross-group")
+        );
+        assert_eq!(args.get("victim").and_then(Json::as_u64), Some(0));
+
+        // Phase span on the run lane; park markers on lane 0.
+        let phase = events
+            .iter()
+            .find(|e| e.get("cat").and_then(Json::as_str) == Some("phase"))
+            .unwrap();
+        assert_eq!(phase.get("name").and_then(Json::as_str), Some("execute"));
+        assert_eq!(phase.get("tid").and_then(Json::as_u64), Some(2));
+        assert!(events
+            .iter()
+            .any(|e| e.get("name").and_then(Json::as_str) == Some("park")));
+
+        // Distinct groups get distinct colors.
+        let colors: std::collections::BTreeSet<&str> = events
+            .iter()
+            .filter_map(|e| e.get("cname").and_then(Json::as_str))
+            .collect();
+        assert!(!colors.is_empty());
+    }
+
+    #[test]
+    fn empty_trace_still_exports() {
+        let doc = Json::parse(&export(&RunTrace::default())).unwrap();
+        assert!(doc.get("traceEvents").is_some());
+        assert_eq!(
+            doc.get("otherData")
+                .unwrap()
+                .get("generator")
+                .and_then(Json::as_str),
+            Some("hetero-trace")
+        );
+    }
+}

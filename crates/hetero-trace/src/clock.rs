@@ -1,0 +1,59 @@
+//! The run-wide monotonic clock.
+
+use std::time::{Duration, Instant};
+
+/// A single monotonic time origin shared by every worker of a run.
+///
+/// All trace timestamps are nanoseconds since this epoch, so events and
+/// durations from different workers are directly comparable — the fix for
+/// mixing per-call `Instant::now()` origins across threads. The clock is
+/// `Copy`; workers each hold their own copy of the same epoch.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceClock {
+    epoch: Instant,
+}
+
+impl TraceClock {
+    /// A clock whose epoch is now.
+    pub fn new() -> Self {
+        TraceClock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since the epoch (monotonic, saturating).
+    #[inline]
+    pub fn now(&self) -> u64 {
+        // u64 nanoseconds overflow after ~584 years of run time.
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// The duration between two timestamps from this clock (saturating).
+    #[inline]
+    pub fn between(start_ns: u64, end_ns: u64) -> Duration {
+        Duration::from_nanos(end_ns.saturating_sub(start_ns))
+    }
+}
+
+impl Default for TraceClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_and_shared_origin() {
+        let clock = TraceClock::new();
+        let copy = clock;
+        let a = clock.now();
+        let b = copy.now();
+        let c = clock.now();
+        assert!(a <= b && b <= c);
+        assert_eq!(TraceClock::between(5, 3), Duration::ZERO);
+        assert_eq!(TraceClock::between(3, 5), Duration::from_nanos(2));
+    }
+}

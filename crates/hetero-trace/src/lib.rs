@@ -1,0 +1,61 @@
+//! # hetero-trace — structured runtime tracing for the PDL suite
+//!
+//! The paper's premise is that explicit platform descriptions should explain
+//! *where* work ran: which processing unit, which logic group. This crate is
+//! the observability layer that makes the runtime answer that question — a
+//! low-overhead event collector plus exporters that turn one run of any
+//! engine into a per-worker timeline labeled with PDL identity.
+//!
+//! ## Design
+//!
+//! * **Typed events** ([`TraceEvent`]/[`EventKind`]): task lifecycle
+//!   (ready → dequeued → start → end), steal provenance (victim worker,
+//!   own-group vs cross-group), worker park/unpark, and named phase spans
+//!   (graph-level engine phases, Cascabel compile phases).
+//! * **Lock-free hot path**: each worker records into its own bounded
+//!   [`RingBuffer`] — unshared until the run ends, so recording is a plain
+//!   store, no atomics, no locks. Buffers are drained when workers join.
+//! * **One monotonic clock** ([`TraceClock`]): a single `Instant` epoch per
+//!   run; every timestamp is nanoseconds since that epoch, so events from
+//!   different workers are directly comparable.
+//! * **PDL identity** ([`TraceMeta`]): each lane (worker/device) carries the
+//!   PU id and logic group it maps to, resolved from the platform
+//!   description via `pdl-query` placement; the trace knows which platform
+//!   descriptor produced the schedule.
+//! * **Zero overhead when off**: [`TraceSink::Null`] makes every record call
+//!   an inlined no-op that never reads the clock (measured by the
+//!   `engine_scaling` bench's tracing-off/on comparison).
+//!
+//! ## Exporters
+//!
+//! * [`chrome::export`] — `chrome://tracing` / Perfetto JSON: one lane per
+//!   worker, task spans colored by logic group.
+//! * [`summary::export`] — compact machine-readable run summary (the
+//!   `BENCH_*.json` format), reconciling exactly with engine reports.
+//!
+//! Both are dependency-free; [`json`] is the tiny writer/parser they and
+//! the validation tooling share.
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chrome;
+mod clock;
+mod event;
+pub mod json;
+mod metrics;
+mod phase;
+mod ring;
+mod sink;
+pub mod summary;
+mod trace;
+
+pub use clock::TraceClock;
+pub use event::{EventKind, Provenance, TraceEvent};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use phase::{PhaseSpan, PhaseTimer};
+pub use ring::RingBuffer;
+pub use sink::{TraceSink, WorkerTracer};
+pub use trace::{
+    LaneLabel, RunTrace, TaskInfo, TaskSpan, TimeUnit, TraceError, TraceMeta, TraceStats,
+    WorkerTrace,
+};

@@ -1,0 +1,420 @@
+//! Counters and fixed-bucket histograms summarizing a run.
+
+use crate::json::Json;
+use crate::trace::RunTrace;
+use std::collections::BTreeMap;
+
+/// A fixed-bucket histogram (cumulative-free, bucket upper bounds are
+/// inclusive). The default bounds are powers of four in nanoseconds from
+/// 256 ns to ~4.4 s — coarse but allocation-free and mergeable, which is
+/// all latency attribution needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    /// `bounds.len() + 1` buckets; the last is the overflow bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// A histogram with explicit inclusive bucket upper bounds
+    /// (must be strictly increasing).
+    pub fn with_bounds(bounds: Vec<u64>) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        let buckets = bounds.len() + 1;
+        Histogram {
+            bounds,
+            counts: vec![0; buckets],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The default duration histogram: powers of 4 ns, 256 ns .. ~4.4 s.
+    pub fn duration_ns() -> Self {
+        // 4^4 .. 4^16: 256ns, 1µs, 4µs, 16µs, 65µs, 262µs, 1ms, 4.2ms,
+        // 16.8ms, 67ms, 268ms, 1.07s, 4.29s.
+        Self::with_bounds((4..=16).map(|e| 4u64.pow(e)).collect())
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// `(inclusive upper bound, count)` per bucket; the final bucket is
+    /// `(u64::MAX, overflow count)`.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.bounds
+            .iter()
+            .copied()
+            .chain(std::iter::once(u64::MAX))
+            .zip(self.counts.iter().copied())
+    }
+
+    /// The histogram as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::Num(self.count as f64)),
+            ("sum", Json::Num(self.sum as f64)),
+            ("mean", Json::Num(self.mean())),
+            ("min", Json::Num(self.min().unwrap_or(0) as f64)),
+            ("max", Json::Num(self.max().unwrap_or(0) as f64)),
+            (
+                "buckets",
+                Json::Arr(
+                    self.buckets()
+                        .map(|(le, n)| {
+                            Json::obj([
+                                (
+                                    "le",
+                                    if le == u64::MAX {
+                                        Json::str("+inf")
+                                    } else {
+                                        Json::Num(le as f64)
+                                    },
+                                ),
+                                ("count", Json::Num(n as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::duration_ns()
+    }
+}
+
+/// Named counters plus named histograms — the run-level metrics surface.
+///
+/// [`MetricsRegistry::from_trace`] derives the standard metric set from a
+/// drained [`RunTrace`]: task latency, queue wait (ready → start), steal
+/// counters and per-group busy time / utilization.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `by` to a counter (creating it at 0).
+    pub fn inc(&mut self, name: impl Into<String>, by: u64) {
+        *self.counters.entry(name.into()).or_insert(0) += by;
+    }
+
+    /// Reads a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records an observation into a histogram (creating it with the
+    /// default duration buckets).
+    pub fn observe(&mut self, name: impl Into<String>, value: u64) {
+        self.histograms
+            .entry(name.into())
+            .or_default()
+            .observe(value);
+    }
+
+    /// Reads a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Derives the standard metric set from a trace:
+    ///
+    /// * counters `tasks_executed`, `dequeues`, `steals`,
+    ///   `cross_group_steals`, `parks`, `events`, plus per-group
+    ///   `group_busy_ns/<group>` and `group_tasks/<group>`;
+    /// * histograms `task_latency_ns` (start → end) and `queue_wait_ns`
+    ///   (ready → start, tasks with a recorded ready event only).
+    pub fn from_trace(trace: &RunTrace) -> Self {
+        let mut m = MetricsRegistry::new();
+        m.inc("events", trace.total_events() as u64);
+
+        // Ready timestamps may live on a different lane than the task's
+        // execution; collect them globally first.
+        let mut ready_ts: BTreeMap<u32, u64> = BTreeMap::new();
+        for e in trace
+            .prelude
+            .iter()
+            .chain(trace.workers.iter().flat_map(|w| w.events.iter()))
+        {
+            if let crate::event::EventKind::TaskReady { task } = e.kind {
+                ready_ts.entry(task).or_insert(e.ts);
+            }
+        }
+        m.inc("readies", ready_ts.len() as u64);
+
+        for span in trace.task_spans() {
+            m.inc("tasks_executed", 1);
+            m.observe("task_latency_ns", span.end - span.start);
+            if let Some(ready) = ready_ts.get(&span.task) {
+                m.observe("queue_wait_ns", span.start.saturating_sub(*ready));
+            }
+            if let Some(p) = span.provenance {
+                m.inc("dequeues", 1);
+                if p.is_steal() {
+                    m.inc("steals", 1);
+                }
+                if p.is_cross_group() {
+                    m.inc("cross_group_steals", 1);
+                }
+            }
+            let group = trace
+                .meta
+                .lanes
+                .get(span.worker)
+                .and_then(|l| l.group.as_deref())
+                .unwrap_or("ungrouped");
+            m.inc(format!("group_busy_ns/{group}"), span.end - span.start);
+            m.inc(format!("group_tasks/{group}"), 1);
+        }
+
+        for w in &trace.workers {
+            for e in &w.events {
+                if matches!(e.kind, crate::event::EventKind::Park) {
+                    m.inc("parks", 1);
+                }
+            }
+        }
+        m
+    }
+
+    /// Per-group utilization over `wall_ns`: `group_busy_ns / (wall ×
+    /// lanes-in-group)`, using the lane table of `trace`.
+    pub fn group_utilization(&self, trace: &RunTrace, wall_ns: u64) -> Vec<(String, f64)> {
+        let mut lanes_per_group: BTreeMap<&str, u64> = BTreeMap::new();
+        for lane in &trace.meta.lanes {
+            *lanes_per_group
+                .entry(lane.group.as_deref().unwrap_or("ungrouped"))
+                .or_insert(0) += 1;
+        }
+        lanes_per_group
+            .into_iter()
+            .map(|(group, lanes)| {
+                let busy = self.counter(&format!("group_busy_ns/{group}"));
+                let capacity = wall_ns.saturating_mul(lanes).max(1);
+                (group.to_string(), busy as f64 / capacity as f64)
+            })
+            .collect()
+    }
+
+    /// The registry as JSON (`counters` object + `histograms` object).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "counters",
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), h.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Provenance, TraceEvent};
+    use crate::trace::{LaneLabel, TaskInfo, TraceMeta, WorkerTrace};
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::with_bounds(vec![10, 100]);
+        for v in [5, 10, 11, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1026);
+        assert_eq!(h.min(), Some(5));
+        assert_eq!(h.max(), Some(1000));
+        let buckets: Vec<(u64, u64)> = h.buckets().collect();
+        // ≤10 → 2 (5 and the inclusive 10), ≤100 → 1, overflow → 1.
+        assert_eq!(buckets, vec![(10, 2), (100, 1), (u64::MAX, 1)]);
+        let json = h.to_json();
+        assert_eq!(json.get("count").and_then(Json::as_u64), Some(4));
+    }
+
+    #[test]
+    fn default_histogram_spans_ns_to_seconds() {
+        let h = Histogram::duration_ns();
+        let bounds: Vec<u64> = h.buckets().map(|(le, _)| le).collect();
+        assert_eq!(bounds[0], 256);
+        assert!(bounds[bounds.len() - 2] > 4_000_000_000);
+    }
+
+    #[test]
+    fn registry_from_trace_attributes_groups() {
+        let trace = RunTrace {
+            meta: TraceMeta {
+                platform: Some("testbed".to_string()),
+                lanes: vec![
+                    LaneLabel {
+                        name: "cpu0".to_string(),
+                        group: Some("cpus".to_string()),
+                    },
+                    LaneLabel {
+                        name: "gpu0".to_string(),
+                        group: Some("gpus".to_string()),
+                    },
+                ],
+                tasks: vec![
+                    TaskInfo {
+                        label: "a".to_string(),
+                        category: "task".to_string(),
+                        group: None,
+                    },
+                    TaskInfo {
+                        label: "b".to_string(),
+                        category: "task".to_string(),
+                        group: None,
+                    },
+                ],
+                time_unit: Default::default(),
+            },
+            prelude: vec![TraceEvent {
+                ts: 0,
+                kind: EventKind::TaskReady { task: 0 },
+            }],
+            workers: vec![
+                WorkerTrace {
+                    worker: 0,
+                    events: vec![
+                        TraceEvent {
+                            ts: 10,
+                            kind: EventKind::TaskDequeued {
+                                task: 0,
+                                provenance: Provenance::Local,
+                            },
+                        },
+                        TraceEvent {
+                            ts: 10,
+                            kind: EventKind::TaskStart { task: 0 },
+                        },
+                        TraceEvent {
+                            ts: 40,
+                            kind: EventKind::TaskEnd { task: 0 },
+                        },
+                    ],
+                    overwritten: 0,
+                },
+                WorkerTrace {
+                    worker: 1,
+                    events: vec![
+                        TraceEvent {
+                            ts: 20,
+                            kind: EventKind::TaskDequeued {
+                                task: 1,
+                                provenance: Provenance::Steal {
+                                    victim: 0,
+                                    cross_group: true,
+                                },
+                            },
+                        },
+                        TraceEvent {
+                            ts: 20,
+                            kind: EventKind::TaskStart { task: 1 },
+                        },
+                        TraceEvent {
+                            ts: 60,
+                            kind: EventKind::TaskEnd { task: 1 },
+                        },
+                        TraceEvent {
+                            ts: 61,
+                            kind: EventKind::Park,
+                        },
+                    ],
+                    overwritten: 0,
+                },
+            ],
+        };
+        let m = MetricsRegistry::from_trace(&trace);
+        assert_eq!(m.counter("tasks_executed"), 2);
+        assert_eq!(m.counter("steals"), 1);
+        assert_eq!(m.counter("cross_group_steals"), 1);
+        assert_eq!(m.counter("parks"), 1);
+        assert_eq!(m.counter("group_busy_ns/cpus"), 30);
+        assert_eq!(m.counter("group_busy_ns/gpus"), 40);
+        assert_eq!(m.counter("group_tasks/gpus"), 1);
+        let lat = m.histogram("task_latency_ns").unwrap();
+        assert_eq!(lat.count(), 2);
+        assert_eq!(lat.sum(), 70);
+        // Only task 0 had a ready event: one queue-wait sample of 10 ns.
+        let wait = m.histogram("queue_wait_ns").unwrap();
+        assert_eq!(wait.count(), 1);
+        assert_eq!(wait.sum(), 10);
+
+        let util = m.group_utilization(&trace, 100);
+        let cpus = util.iter().find(|(g, _)| g == "cpus").unwrap().1;
+        let gpus = util.iter().find(|(g, _)| g == "gpus").unwrap().1;
+        assert!((cpus - 0.3).abs() < 1e-9);
+        assert!((gpus - 0.4).abs() < 1e-9);
+    }
+}

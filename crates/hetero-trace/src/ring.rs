@@ -1,0 +1,130 @@
+//! Bounded per-worker event storage.
+
+use crate::event::TraceEvent;
+
+/// A bounded ring buffer of trace events, owned by exactly one worker.
+///
+/// Recording is a plain `Vec` store (the buffer is unshared until the run
+/// ends), so the hot path takes no lock and issues no atomic operation.
+/// Memory is bounded: the buffer grows lazily up to `capacity` events and
+/// then wraps.
+///
+/// **Overflow policy: overwrite-oldest.** Once full, each new event
+/// replaces the oldest one and bumps the `overwritten` counter — the tail
+/// of a run is always retained (that is where hangs and stragglers live),
+/// and the drained trace reports exactly how many early events were lost.
+/// A trace with `overwritten > 0` fails strict validation, by design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingBuffer {
+    capacity: usize,
+    buf: Vec<TraceEvent>,
+    /// Index of the oldest event once the buffer has wrapped.
+    head: usize,
+    overwritten: u64,
+}
+
+impl RingBuffer {
+    /// A ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        RingBuffer {
+            capacity: capacity.max(1),
+            buf: Vec::new(),
+            head: 0,
+            overwritten: 0,
+        }
+    }
+
+    /// Records one event.
+    #[inline]
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+            self.overwritten += 1;
+        }
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events lost to the overwrite-oldest policy.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// Drains the ring into recording order (oldest retained event first).
+    pub fn into_events(mut self) -> (Vec<TraceEvent>, u64) {
+        self.buf.rotate_left(self.head);
+        (self.buf, self.overwritten)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(ts: u64) -> TraceEvent {
+        TraceEvent {
+            ts,
+            kind: EventKind::Park,
+        }
+    }
+
+    #[test]
+    fn stores_in_order_below_capacity() {
+        let mut r = RingBuffer::new(8);
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        let (events, overwritten) = r.into_events();
+        assert_eq!(overwritten, 0);
+        assert_eq!(
+            events.iter().map(|e| e.ts).collect::<Vec<_>>(),
+            [0, 1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn overwrites_oldest_when_full() {
+        let mut r = RingBuffer::new(4);
+        for i in 0..10 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.overwritten(), 6);
+        let (events, overwritten) = r.into_events();
+        assert_eq!(overwritten, 6);
+        // The newest 4 events survive, in order.
+        assert_eq!(
+            events.iter().map(|e| e.ts).collect::<Vec<_>>(),
+            [6, 7, 8, 9]
+        );
+    }
+
+    #[test]
+    fn zero_capacity_clamped() {
+        let mut r = RingBuffer::new(0);
+        r.push(ev(1));
+        r.push(ev(2));
+        assert_eq!(r.capacity(), 1);
+        let (events, overwritten) = r.into_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].ts, 2);
+        assert_eq!(overwritten, 1);
+    }
+}

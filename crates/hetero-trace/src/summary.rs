@@ -1,0 +1,204 @@
+//! Compact machine-readable run summary — the `BENCH_*.json` format.
+//!
+//! One JSON object per run: schema version, PDL identity, per-lane totals,
+//! aggregate stats and the [`crate::MetricsRegistry`] derived from the
+//! trace. By construction the totals reconcile exactly with the engine's
+//! own report counters (the `trace_export` integration test asserts it),
+//! so the perf trajectory tracked in `BENCH_*.json` files can always be
+//! traced back to a concrete schedule.
+
+use crate::json::Json;
+use crate::metrics::MetricsRegistry;
+use crate::trace::{RunTrace, TraceStats};
+
+/// Schema version stamped into every summary document.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Builds the run-summary JSON value for a drained trace.
+///
+/// `wall_ns` is the engine-reported end-to-end time on the same clock as
+/// the trace; pass the trace's own extent when no external measurement
+/// exists. Validation failures are embedded as `"invariant_error"` rather
+/// than returned — the summary of a broken run is still worth keeping.
+pub fn to_json(trace: &RunTrace, wall_ns: u64) -> Json {
+    let metrics = MetricsRegistry::from_trace(trace);
+    let (stats, invariant_error) = match trace.validate() {
+        Ok(stats) => (stats, None),
+        Err(e) => (TraceStats::default(), Some(e.to_string())),
+    };
+
+    let lanes: Vec<Json> = trace
+        .workers
+        .iter()
+        .map(|w| {
+            let label = trace.meta.lanes.get(w.worker);
+            let executed = w
+                .events
+                .iter()
+                .filter(|e| matches!(e.kind, crate::event::EventKind::TaskEnd { .. }))
+                .count();
+            Json::obj([
+                ("worker", Json::Num(w.worker as f64)),
+                (
+                    "pu",
+                    label
+                        .map(|l| Json::str(l.name.clone()))
+                        .unwrap_or(Json::Null),
+                ),
+                (
+                    "group",
+                    label
+                        .and_then(|l| l.group.clone())
+                        .map(Json::Str)
+                        .unwrap_or(Json::Null),
+                ),
+                ("events", Json::Num(w.events.len() as f64)),
+                ("overwritten", Json::Num(w.overwritten as f64)),
+                ("tasks_executed", Json::Num(executed as f64)),
+                (
+                    "busy_ns",
+                    Json::Num(stats.busy_ns.get(w.worker).copied().unwrap_or(0) as f64),
+                ),
+            ])
+        })
+        .collect();
+
+    let utilization: Vec<Json> = metrics
+        .group_utilization(trace, wall_ns)
+        .into_iter()
+        .map(|(group, u)| Json::obj([("group", Json::Str(group)), ("utilization", Json::Num(u))]))
+        .collect();
+
+    Json::obj([
+        ("schema", Json::Num(SCHEMA_VERSION as f64)),
+        ("kind", Json::str("hetero-trace-run-summary")),
+        (
+            "platform",
+            trace
+                .meta
+                .platform
+                .clone()
+                .map(Json::Str)
+                .unwrap_or(Json::Null),
+        ),
+        ("time_unit", Json::str(trace.meta.time_unit.label())),
+        ("wall_ns", Json::Num(wall_ns as f64)),
+        (
+            "invariant_error",
+            invariant_error.map(Json::Str).unwrap_or(Json::Null),
+        ),
+        (
+            "totals",
+            Json::obj([
+                ("tasks", Json::Num(trace.meta.tasks.len() as f64)),
+                ("tasks_executed", Json::Num(stats.tasks as f64)),
+                ("dequeues", Json::Num(stats.dequeues as f64)),
+                ("steals", Json::Num(stats.steals as f64)),
+                (
+                    "cross_group_steals",
+                    Json::Num(stats.cross_group_steals as f64),
+                ),
+                ("parks", Json::Num(stats.parks as f64)),
+                ("events", Json::Num(trace.total_events() as f64)),
+                ("overwritten", Json::Num(trace.overwritten() as f64)),
+                (
+                    "busy_ns",
+                    Json::Num(stats.busy_ns.iter().sum::<u64>() as f64),
+                ),
+            ]),
+        ),
+        ("lanes", Json::Arr(lanes)),
+        ("group_utilization", Json::Arr(utilization)),
+        ("metrics", metrics.to_json()),
+    ])
+}
+
+/// Exports the run summary as a pretty-printed JSON string.
+pub fn export(trace: &RunTrace, wall_ns: u64) -> String {
+    to_json(trace, wall_ns).to_pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Provenance, TraceEvent};
+    use crate::trace::{LaneLabel, TaskInfo, TraceMeta, WorkerTrace};
+
+    #[test]
+    fn summary_totals_match_trace() {
+        let trace = RunTrace {
+            meta: TraceMeta {
+                platform: Some("p".to_string()),
+                lanes: vec![LaneLabel {
+                    name: "cpu0".to_string(),
+                    group: Some("cpus".to_string()),
+                }],
+                tasks: vec![TaskInfo {
+                    label: "t".to_string(),
+                    category: "task".to_string(),
+                    group: None,
+                }],
+                time_unit: Default::default(),
+            },
+            prelude: Vec::new(),
+            workers: vec![WorkerTrace {
+                worker: 0,
+                events: vec![
+                    TraceEvent {
+                        ts: 0,
+                        kind: EventKind::TaskDequeued {
+                            task: 0,
+                            provenance: Provenance::Inject { cross_group: false },
+                        },
+                    },
+                    TraceEvent {
+                        ts: 1,
+                        kind: EventKind::TaskStart { task: 0 },
+                    },
+                    TraceEvent {
+                        ts: 11,
+                        kind: EventKind::TaskEnd { task: 0 },
+                    },
+                ],
+                overwritten: 0,
+            }],
+        };
+        let text = export(&trace, 20);
+        let doc = Json::parse(&text).unwrap();
+        assert_eq!(doc.get("schema").and_then(Json::as_u64), Some(1));
+        assert_eq!(doc.get("invariant_error"), Some(&Json::Null));
+        let totals = doc.get("totals").unwrap();
+        assert_eq!(totals.get("tasks_executed").and_then(Json::as_u64), Some(1));
+        assert_eq!(totals.get("steals").and_then(Json::as_u64), Some(1));
+        assert_eq!(totals.get("busy_ns").and_then(Json::as_u64), Some(10));
+        let lanes = doc.get("lanes").unwrap().items();
+        assert_eq!(lanes.len(), 1);
+        assert_eq!(lanes[0].get("pu").and_then(Json::as_str), Some("cpu0"));
+        assert_eq!(lanes[0].get("group").and_then(Json::as_str), Some("cpus"));
+        let util = doc.get("group_utilization").unwrap().items();
+        assert_eq!(util[0].get("group").and_then(Json::as_str), Some("cpus"));
+        assert_eq!(util[0].get("utilization").and_then(Json::as_f64), Some(0.5));
+    }
+
+    #[test]
+    fn invalid_trace_embeds_error() {
+        let trace = RunTrace {
+            meta: TraceMeta::default(),
+            prelude: Vec::new(),
+            workers: vec![WorkerTrace {
+                worker: 0,
+                events: vec![TraceEvent {
+                    ts: 0,
+                    kind: EventKind::TaskStart { task: 0 },
+                }],
+                overwritten: 0,
+            }],
+        };
+        let doc = Json::parse(&export(&trace, 1)).unwrap();
+        assert!(doc
+            .get("invariant_error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("never ended"));
+    }
+}

@@ -1,0 +1,681 @@
+//! The drained trace of one run, its PDL metadata and its invariants.
+
+use crate::event::{EventKind, Provenance, TraceEvent};
+use crate::phase::PhaseSpan;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// What the timestamps mean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimeUnit {
+    /// Real nanoseconds from a [`crate::TraceClock`] (thread engines).
+    #[default]
+    RealNanos,
+    /// Virtual nanoseconds of a simulated run (sim/dyn engines).
+    VirtualNanos,
+}
+
+impl TimeUnit {
+    /// Label used in exported JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TimeUnit::RealNanos => "real-ns",
+            TimeUnit::VirtualNanos => "virtual-ns",
+        }
+    }
+}
+
+/// PDL identity of one lane (worker thread or simulated device).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LaneLabel {
+    /// Lane name: the PU id from the platform description when known
+    /// (`"gpu0"`), otherwise a worker name (`"w3"`).
+    pub name: String,
+    /// The PDL logic group the lane belongs to, if any.
+    pub group: Option<String>,
+}
+
+/// Static description of one task, referenced by index from task events.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TaskInfo {
+    /// Display label.
+    pub label: String,
+    /// Category (`"task"`, `"transfer"`, …) — becomes the Chrome trace
+    /// `cat` field.
+    pub category: String,
+    /// The execution group the task was pinned to, if any.
+    pub group: Option<String>,
+}
+
+/// Run-level metadata: the PDL identity every event is resolved against.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceMeta {
+    /// Name of the platform descriptor that produced the schedule.
+    pub platform: Option<String>,
+    /// One label per lane, indexed by worker/device id.
+    pub lanes: Vec<LaneLabel>,
+    /// One entry per task, indexed by the task ids in events.
+    pub tasks: Vec<TaskInfo>,
+    /// Timestamp semantics.
+    pub time_unit: TimeUnit,
+}
+
+/// Events recorded by one worker, in recording order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerTrace {
+    /// The worker (lane) index.
+    pub worker: usize,
+    /// Events, oldest retained first.
+    pub events: Vec<TraceEvent>,
+    /// Events lost to ring overflow (see [`crate::RingBuffer`]).
+    pub overwritten: u64,
+}
+
+/// The complete drained trace of one run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunTrace {
+    /// PDL identity and task table.
+    pub meta: TraceMeta,
+    /// Events recorded outside any worker (initial task readiness, run-level
+    /// phases); exported as a synthetic `run` lane.
+    pub prelude: Vec<TraceEvent>,
+    /// Per-worker event streams.
+    pub workers: Vec<WorkerTrace>,
+}
+
+/// One reconstructed task execution interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskSpan {
+    /// Task index (into [`TraceMeta::tasks`]).
+    pub task: u32,
+    /// Lane that executed it.
+    pub worker: usize,
+    /// Start timestamp (ns).
+    pub start: u64,
+    /// End timestamp (ns).
+    pub end: u64,
+    /// How the executing worker obtained the task, when a dequeue event
+    /// preceded the start.
+    pub provenance: Option<Provenance>,
+}
+
+/// Aggregate numbers extracted by [`RunTrace::validate`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceStats {
+    /// Tasks with a complete start/end pair.
+    pub tasks: usize,
+    /// Total dequeue events.
+    pub dequeues: u64,
+    /// Dequeues whose provenance counts as a steal.
+    pub steals: u64,
+    /// Steals that crossed a logic-group boundary.
+    pub cross_group_steals: u64,
+    /// Park events.
+    pub parks: u64,
+    /// Ready events.
+    pub readies: u64,
+    /// Busy nanoseconds per lane (sum of task span lengths).
+    pub busy_ns: Vec<u64>,
+}
+
+/// An invariant violation found by [`RunTrace::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// A worker's ring overflowed; the trace is lossy and cannot be
+    /// strictly validated.
+    Lossy {
+        /// The worker whose ring overflowed.
+        worker: usize,
+        /// Events lost.
+        overwritten: u64,
+    },
+    /// Timestamps on one lane went backwards.
+    NonMonotonic {
+        /// The lane.
+        worker: usize,
+        /// Index of the offending event within the lane.
+        index: usize,
+    },
+    /// A task started twice.
+    DuplicateStart {
+        /// The task.
+        task: u32,
+    },
+    /// A task ended without (or not innermost to) a matching start — spans
+    /// must nest per lane.
+    BadNesting {
+        /// The lane.
+        worker: usize,
+        /// Index of the offending event within the lane.
+        index: usize,
+    },
+    /// A task started but never ended.
+    MissingEnd {
+        /// The task.
+        task: u32,
+    },
+    /// A phase was left open, or closed out of LIFO order.
+    UnbalancedPhase {
+        /// The lane (lane count = the prelude).
+        worker: usize,
+        /// The phase name.
+        name: String,
+    },
+    /// A task event references a task index outside the meta task table.
+    UnknownTask {
+        /// The out-of-range index.
+        task: u32,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Lossy {
+                worker,
+                overwritten,
+            } => write!(
+                f,
+                "worker {worker} ring overflowed ({overwritten} events lost); \
+                 raise the ring capacity to validate"
+            ),
+            TraceError::NonMonotonic { worker, index } => {
+                write!(f, "worker {worker} event {index} has a backwards timestamp")
+            }
+            TraceError::DuplicateStart { task } => write!(f, "task {task} started twice"),
+            TraceError::BadNesting { worker, index } => write!(
+                f,
+                "worker {worker} event {index} ends a span that is not the innermost open one"
+            ),
+            TraceError::MissingEnd { task } => write!(f, "task {task} started but never ended"),
+            TraceError::UnbalancedPhase { worker, name } => {
+                write!(f, "lane {worker}: phase {name:?} not closed in LIFO order")
+            }
+            TraceError::UnknownTask { task } => {
+                write!(f, "event references task {task} outside the task table")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// One open entry on a lane's span stack during validation.
+enum Open {
+    Task(u32),
+    Phase(String),
+}
+
+impl RunTrace {
+    /// Builds a workerless trace from a list of phase spans (e.g. the
+    /// Cascabel compile pipeline) so phase timings can use the same
+    /// exporters as engine runs.
+    pub fn from_phases(platform: Option<String>, phases: &[PhaseSpan]) -> RunTrace {
+        // Sort by (start, longest-first) and emit with an explicit stack so
+        // sequential phases sharing a boundary timestamp still close in
+        // strict LIFO order (ends are emitted before the next start).
+        let mut sorted: Vec<&PhaseSpan> = phases.iter().collect();
+        sorted.sort_by(|a, b| a.start_ns.cmp(&b.start_ns).then(b.end_ns.cmp(&a.end_ns)));
+        let mut prelude = Vec::with_capacity(phases.len() * 2);
+        let mut open: Vec<&PhaseSpan> = Vec::new();
+        let close_until = |open: &mut Vec<&PhaseSpan>, prelude: &mut Vec<TraceEvent>, ts| {
+            while open.last().is_some_and(|p| p.end_ns <= ts) {
+                let p = open.pop().expect("checked non-empty");
+                prelude.push(TraceEvent {
+                    ts: p.end_ns,
+                    kind: EventKind::PhaseEnd {
+                        name: p.name.clone(),
+                    },
+                });
+            }
+        };
+        for p in sorted {
+            close_until(&mut open, &mut prelude, p.start_ns);
+            prelude.push(TraceEvent {
+                ts: p.start_ns,
+                kind: EventKind::PhaseStart {
+                    name: p.name.clone(),
+                },
+            });
+            open.push(p);
+        }
+        close_until(&mut open, &mut prelude, u64::MAX);
+        RunTrace {
+            meta: TraceMeta {
+                platform,
+                ..TraceMeta::default()
+            },
+            prelude,
+            workers: Vec::new(),
+        }
+    }
+
+    /// Total events across the prelude and all workers.
+    pub fn total_events(&self) -> usize {
+        self.prelude.len() + self.workers.iter().map(|w| w.events.len()).sum::<usize>()
+    }
+
+    /// Total events lost to ring overflow.
+    pub fn overwritten(&self) -> u64 {
+        self.workers.iter().map(|w| w.overwritten).sum()
+    }
+
+    /// Reconstructs every task execution interval from start/end pairs, in
+    /// per-lane order. Dequeue provenance is attached from the closest
+    /// preceding dequeue event for the same task on the same lane.
+    pub fn task_spans(&self) -> Vec<TaskSpan> {
+        let mut spans = Vec::new();
+        for w in &self.workers {
+            let mut open: Vec<(u32, u64)> = Vec::new();
+            let mut provenance: BTreeMap<u32, Provenance> = BTreeMap::new();
+            for e in &w.events {
+                match &e.kind {
+                    EventKind::TaskDequeued {
+                        task,
+                        provenance: p,
+                    } => {
+                        provenance.insert(*task, *p);
+                    }
+                    EventKind::TaskStart { task } => open.push((*task, e.ts)),
+                    EventKind::TaskEnd { task } => {
+                        if let Some(pos) = open.iter().rposition(|(t, _)| t == task) {
+                            let (_, start) = open.remove(pos);
+                            spans.push(TaskSpan {
+                                task: *task,
+                                worker: w.worker,
+                                start,
+                                end: e.ts,
+                                provenance: provenance.remove(task),
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        spans
+    }
+
+    /// Checks the trace invariants and returns aggregate statistics:
+    ///
+    /// * the trace is lossless (no ring overflowed);
+    /// * timestamps are monotonic (non-decreasing) per lane;
+    /// * every started task ends exactly once, and task/phase spans nest
+    ///   properly per lane (LIFO order);
+    /// * task indices stay inside the meta task table (when non-empty).
+    pub fn validate(&self) -> Result<TraceStats, TraceError> {
+        for w in &self.workers {
+            if w.overwritten > 0 {
+                return Err(TraceError::Lossy {
+                    worker: w.worker,
+                    overwritten: w.overwritten,
+                });
+            }
+        }
+
+        let task_count = self.meta.tasks.len();
+        let lane_count = self.workers.len();
+        let mut stats = TraceStats {
+            busy_ns: vec![0; lane_count],
+            ..TraceStats::default()
+        };
+        // 0 = never started, 1 = started, 2 = ended.
+        let mut task_state: BTreeMap<u32, u8> = BTreeMap::new();
+
+        let check_task = |task: u32| -> Result<(), TraceError> {
+            if task_count > 0 && task as usize >= task_count {
+                return Err(TraceError::UnknownTask { task });
+            }
+            Ok(())
+        };
+
+        let lanes = self
+            .workers
+            .iter()
+            .map(|w| (w.worker, &w.events))
+            .chain(std::iter::once((lane_count, &self.prelude)));
+        for (lane, events) in lanes {
+            let mut last_ts = 0u64;
+            let mut open: Vec<Open> = Vec::new();
+            let mut open_start: Vec<u64> = Vec::new();
+            for (index, e) in events.iter().enumerate() {
+                if e.ts < last_ts {
+                    return Err(TraceError::NonMonotonic {
+                        worker: lane,
+                        index,
+                    });
+                }
+                last_ts = e.ts;
+                match &e.kind {
+                    EventKind::TaskReady { task } => {
+                        check_task(*task)?;
+                        stats.readies += 1;
+                    }
+                    EventKind::TaskDequeued { task, provenance } => {
+                        check_task(*task)?;
+                        stats.dequeues += 1;
+                        if provenance.is_steal() {
+                            stats.steals += 1;
+                        }
+                        if provenance.is_cross_group() {
+                            stats.cross_group_steals += 1;
+                        }
+                    }
+                    EventKind::TaskStart { task } => {
+                        check_task(*task)?;
+                        match task_state.insert(*task, 1) {
+                            None => {}
+                            Some(_) => return Err(TraceError::DuplicateStart { task: *task }),
+                        }
+                        open.push(Open::Task(*task));
+                        open_start.push(e.ts);
+                    }
+                    EventKind::TaskEnd { task } => {
+                        check_task(*task)?;
+                        match open.pop() {
+                            Some(Open::Task(t)) if t == *task => {
+                                task_state.insert(*task, 2);
+                                stats.tasks += 1;
+                                let start = open_start.pop().unwrap_or(e.ts);
+                                if lane < lane_count {
+                                    stats.busy_ns[lane] += e.ts - start;
+                                }
+                            }
+                            _ => {
+                                return Err(TraceError::BadNesting {
+                                    worker: lane,
+                                    index,
+                                })
+                            }
+                        }
+                    }
+                    EventKind::Park => stats.parks += 1,
+                    EventKind::Unpark => {}
+                    EventKind::PhaseStart { name } => {
+                        open.push(Open::Phase(name.clone()));
+                        open_start.push(e.ts);
+                    }
+                    EventKind::PhaseEnd { name } => match open.pop() {
+                        Some(Open::Phase(n)) if &n == name => {
+                            open_start.pop();
+                        }
+                        _ => {
+                            return Err(TraceError::UnbalancedPhase {
+                                worker: lane,
+                                name: name.clone(),
+                            })
+                        }
+                    },
+                }
+            }
+            if let Some(entry) = open.pop() {
+                return Err(match entry {
+                    Open::Task(task) => TraceError::MissingEnd { task },
+                    Open::Phase(name) => TraceError::UnbalancedPhase { worker: lane, name },
+                });
+            }
+        }
+
+        if let Some((task, _)) = task_state.iter().find(|(_, s)| **s == 1) {
+            return Err(TraceError::MissingEnd { task: *task });
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent { ts, kind }
+    }
+
+    fn lane(worker: usize, events: Vec<TraceEvent>) -> WorkerTrace {
+        WorkerTrace {
+            worker,
+            events,
+            overwritten: 0,
+        }
+    }
+
+    fn meta(tasks: usize) -> TraceMeta {
+        TraceMeta {
+            tasks: (0..tasks)
+                .map(|i| TaskInfo {
+                    label: format!("t{i}"),
+                    category: "task".to_string(),
+                    group: None,
+                })
+                .collect(),
+            ..TraceMeta::default()
+        }
+    }
+
+    #[test]
+    fn valid_trace_produces_stats() {
+        let trace = RunTrace {
+            meta: meta(2),
+            prelude: vec![ev(0, EventKind::TaskReady { task: 0 })],
+            workers: vec![lane(
+                0,
+                vec![
+                    ev(
+                        1,
+                        EventKind::TaskDequeued {
+                            task: 0,
+                            provenance: Provenance::Local,
+                        },
+                    ),
+                    ev(2, EventKind::TaskStart { task: 0 }),
+                    ev(5, EventKind::TaskEnd { task: 0 }),
+                    ev(
+                        6,
+                        EventKind::TaskDequeued {
+                            task: 1,
+                            provenance: Provenance::Steal {
+                                victim: 1,
+                                cross_group: true,
+                            },
+                        },
+                    ),
+                    ev(6, EventKind::TaskStart { task: 1 }),
+                    ev(9, EventKind::TaskEnd { task: 1 }),
+                    ev(9, EventKind::Park),
+                ],
+            )],
+        };
+        let stats = trace.validate().unwrap();
+        assert_eq!(stats.tasks, 2);
+        assert_eq!(stats.dequeues, 2);
+        assert_eq!(stats.steals, 1);
+        assert_eq!(stats.cross_group_steals, 1);
+        assert_eq!(stats.parks, 1);
+        assert_eq!(stats.readies, 1);
+        assert_eq!(stats.busy_ns, vec![6]);
+
+        let spans = trace.task_spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].start, 2);
+        assert_eq!(spans[0].end, 5);
+        assert_eq!(spans[1].provenance.unwrap().label(), "steal-cross-group");
+    }
+
+    #[test]
+    fn backwards_time_rejected() {
+        let trace = RunTrace {
+            meta: meta(1),
+            prelude: Vec::new(),
+            workers: vec![lane(
+                0,
+                vec![
+                    ev(5, EventKind::TaskStart { task: 0 }),
+                    ev(3, EventKind::TaskEnd { task: 0 }),
+                ],
+            )],
+        };
+        assert_eq!(
+            trace.validate(),
+            Err(TraceError::NonMonotonic {
+                worker: 0,
+                index: 1
+            })
+        );
+    }
+
+    #[test]
+    fn duplicate_start_rejected() {
+        let trace = RunTrace {
+            meta: meta(1),
+            prelude: Vec::new(),
+            workers: vec![lane(
+                0,
+                vec![
+                    ev(1, EventKind::TaskStart { task: 0 }),
+                    ev(2, EventKind::TaskEnd { task: 0 }),
+                    ev(3, EventKind::TaskStart { task: 0 }),
+                    ev(4, EventKind::TaskEnd { task: 0 }),
+                ],
+            )],
+        };
+        assert_eq!(
+            trace.validate(),
+            Err(TraceError::DuplicateStart { task: 0 })
+        );
+    }
+
+    #[test]
+    fn missing_end_rejected() {
+        let trace = RunTrace {
+            meta: meta(1),
+            prelude: Vec::new(),
+            workers: vec![lane(0, vec![ev(1, EventKind::TaskStart { task: 0 })])],
+        };
+        assert_eq!(trace.validate(), Err(TraceError::MissingEnd { task: 0 }));
+    }
+
+    #[test]
+    fn interleaved_spans_rejected() {
+        // start 0, start 1, end 0 — spans must nest.
+        let trace = RunTrace {
+            meta: meta(2),
+            prelude: Vec::new(),
+            workers: vec![lane(
+                0,
+                vec![
+                    ev(1, EventKind::TaskStart { task: 0 }),
+                    ev(2, EventKind::TaskStart { task: 1 }),
+                    ev(3, EventKind::TaskEnd { task: 0 }),
+                    ev(4, EventKind::TaskEnd { task: 1 }),
+                ],
+            )],
+        };
+        assert_eq!(
+            trace.validate(),
+            Err(TraceError::BadNesting {
+                worker: 0,
+                index: 2
+            })
+        );
+    }
+
+    #[test]
+    fn lossy_trace_rejected() {
+        let trace = RunTrace {
+            meta: meta(0),
+            prelude: Vec::new(),
+            workers: vec![WorkerTrace {
+                worker: 0,
+                events: Vec::new(),
+                overwritten: 7,
+            }],
+        };
+        assert_eq!(
+            trace.validate(),
+            Err(TraceError::Lossy {
+                worker: 0,
+                overwritten: 7
+            })
+        );
+    }
+
+    #[test]
+    fn out_of_range_task_rejected() {
+        let trace = RunTrace {
+            meta: meta(1),
+            prelude: Vec::new(),
+            workers: vec![lane(0, vec![ev(1, EventKind::TaskReady { task: 9 })])],
+        };
+        assert_eq!(trace.validate(), Err(TraceError::UnknownTask { task: 9 }));
+    }
+
+    #[test]
+    fn phases_nest_and_unbalanced_rejected() {
+        let ok = RunTrace {
+            meta: meta(0),
+            prelude: vec![
+                ev(
+                    0,
+                    EventKind::PhaseStart {
+                        name: "outer".to_string(),
+                    },
+                ),
+                ev(
+                    1,
+                    EventKind::PhaseStart {
+                        name: "inner".to_string(),
+                    },
+                ),
+                ev(
+                    2,
+                    EventKind::PhaseEnd {
+                        name: "inner".to_string(),
+                    },
+                ),
+                ev(
+                    3,
+                    EventKind::PhaseEnd {
+                        name: "outer".to_string(),
+                    },
+                ),
+            ],
+            workers: Vec::new(),
+        };
+        assert!(ok.validate().is_ok());
+
+        let bad = RunTrace {
+            meta: meta(0),
+            prelude: vec![ev(
+                0,
+                EventKind::PhaseStart {
+                    name: "open".to_string(),
+                },
+            )],
+            workers: Vec::new(),
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(TraceError::UnbalancedPhase { .. })
+        ));
+    }
+
+    #[test]
+    fn from_phases_round_trips() {
+        let phases = vec![
+            PhaseSpan {
+                name: "parse".to_string(),
+                start_ns: 0,
+                end_ns: 10,
+            },
+            PhaseSpan {
+                name: "codegen".to_string(),
+                start_ns: 10,
+                end_ns: 30,
+            },
+        ];
+        let trace = RunTrace::from_phases(Some("testbed".to_string()), &phases);
+        assert_eq!(trace.meta.platform.as_deref(), Some("testbed"));
+        assert_eq!(trace.prelude.len(), 4);
+        trace.validate().unwrap();
+    }
+}
