@@ -6,6 +6,7 @@
 //!     : taskidentifier          e.g.  I_vecadd
 //!     : taskname                e.g.  vecadd01
 //!     : parameterlist           e.g.  (A: readwrite, B: read)
+//!     [: access(...)]           e.g.  access(in: B, inout: A)
 //!
 //! #pragma cascabel execute taskidentifier
 //!     : executiongroup          e.g.  executionset01
@@ -74,6 +75,30 @@ pub struct TaskPragma {
     pub task_name: String,
     /// Parameters with access modes, in order.
     pub params: Vec<(String, AccessMode)>,
+    /// Dataflow overrides from an optional `access(in|out|inout: param)`
+    /// clause. Entries refine the parameterlist mode of the named parameter
+    /// (e.g. a `readwrite` buffer that a given implementation only reads).
+    /// Names not present in `params` are a `C010` diagnostic, not a parse
+    /// error.
+    pub accesses: Vec<(String, AccessMode)>,
+}
+
+impl TaskPragma {
+    /// The parameters with `access(…)` overrides applied, in declaration
+    /// order. This is the dataflow signature analyses should use.
+    pub fn effective_params(&self) -> Vec<(String, AccessMode)> {
+        self.params
+            .iter()
+            .map(|(name, mode)| {
+                let mode = self
+                    .accesses
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map_or(*mode, |(_, m)| *m);
+                (name.clone(), mode)
+            })
+            .collect()
+    }
 }
 
 /// A parsed `execute` annotation.
@@ -187,12 +212,13 @@ fn parse_task(rest: &str, line: &str) -> Result<Pragma, PragmaError> {
         text: line.to_string(),
     };
     // rest looks like ": x86 : I_vecadd : vecadd01 : (A: readwrite, B: read)"
+    // optionally followed by ": access(in: B, inout: A)".
     let parts = split_toplevel_colons(rest);
     // First element is empty (text starts with ':').
     let fields: Vec<&String> = parts.iter().filter(|p| !p.is_empty()).collect();
-    if fields.len() != 4 {
+    if !(4..=5).contains(&fields.len()) {
         return Err(err(&format!(
-            "task pragma needs 4 ':'-separated fields (platforms, identifier, name, parameters), got {}",
+            "task pragma needs 4 ':'-separated fields (platforms, identifier, name, parameters) plus an optional access(...) clause, got {}",
             fields.len()
         )));
     }
@@ -228,11 +254,36 @@ fn parse_task(rest: &str, line: &str) -> Result<Pragma, PragmaError> {
             .ok_or_else(|| err(&format!("unknown access mode {:?}", mode.trim())))?;
         params.push((name.trim().to_string(), mode));
     }
+
+    let mut accesses = Vec::new();
+    if let Some(clause) = fields.get(4) {
+        let body = clause
+            .trim()
+            .strip_prefix("access")
+            .map(str::trim_start)
+            .and_then(|s| s.strip_prefix('('))
+            .and_then(|s| s.trim_end().strip_suffix(')'))
+            .ok_or_else(|| err("fifth field must be an access(...) clause"))?;
+        for entry in body.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (mode, name) = entry
+                .split_once(':')
+                .ok_or_else(|| err("access entry must be 'in|out|inout: param'"))?;
+            let mode = AccessMode::parse(mode)
+                .ok_or_else(|| err(&format!("unknown access mode {:?}", mode.trim())))?;
+            accesses.push((name.trim().to_string(), mode));
+        }
+    }
+
     Ok(Pragma::Task(TaskPragma {
         target_platforms,
         task_identifier,
         task_name,
         params,
+        accesses,
     }))
 }
 
@@ -394,6 +445,71 @@ mod tests {
             }
             _ => panic!(),
         }
+    }
+
+    #[test]
+    fn access_clause_overrides_modes() {
+        let p = parse_pragma(
+            "#pragma cascabel task : x86 : I_vecadd : vecadd01 : (A: readwrite, B: read) : access(in: A, out: B)",
+        )
+        .unwrap();
+        match p {
+            Pragma::Task(t) => {
+                assert_eq!(
+                    t.accesses,
+                    vec![
+                        ("A".to_string(), AccessMode::Read),
+                        ("B".to_string(), AccessMode::Write)
+                    ]
+                );
+                // Parameterlist is untouched; effective view applies the
+                // overrides in declaration order.
+                assert_eq!(t.params[0].1, AccessMode::ReadWrite);
+                assert_eq!(
+                    t.effective_params(),
+                    vec![
+                        ("A".to_string(), AccessMode::Read),
+                        ("B".to_string(), AccessMode::Write)
+                    ]
+                );
+            }
+            _ => panic!("expected task"),
+        }
+    }
+
+    #[test]
+    fn access_clause_inout_and_partial() {
+        let p = parse_pragma(
+            "#pragma cascabel task : x86 : I_k : k01 : (A: read, B: write) : access(inout: B)",
+        )
+        .unwrap();
+        match p {
+            Pragma::Task(t) => {
+                assert_eq!(
+                    t.effective_params(),
+                    vec![
+                        ("A".to_string(), AccessMode::Read),
+                        ("B".to_string(), AccessMode::ReadWrite)
+                    ]
+                );
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn bad_access_clauses_rejected() {
+        let e = parse_pragma("#pragma cascabel task : x86 : I_k : k : (A: read) : frob(in: A)")
+            .unwrap_err();
+        assert!(e.message.contains("access"));
+        let e = parse_pragma("#pragma cascabel task : x86 : I_k : k : (A: read) : access(zap: A)")
+            .unwrap_err();
+        assert!(e.message.contains("access mode"));
+        let e = parse_pragma(
+            "#pragma cascabel task : x86 : I_k : k : (A: read) : access(in: A) : extra",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("got 6"));
     }
 
     #[test]

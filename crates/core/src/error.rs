@@ -60,6 +60,62 @@ pub enum ValidationIssue {
     },
 }
 
+impl ValidationIssue {
+    /// The stable diagnostic code for this issue (the `P0xx` range of the
+    /// shared code space in [`crate::diag`]).
+    pub fn code(&self) -> &'static str {
+        use ValidationIssue::*;
+        match self {
+            DuplicatePuId(_) => "P001",
+            EmptyPuId(_) => "P002",
+            MasterNotTopLevel(_) => "P003",
+            WorkerHasChildren(_) => "P004",
+            Uncontrolled(_) => "P005",
+            HybridNotControlled(_) => "P006",
+            ZeroQuantity(_) => "P007",
+            DanglingInterconnect { .. } => "P008",
+            SelfLoopInterconnect { .. } => "P009",
+            DuplicateMemoryRegion { .. } => "P010",
+            EmptyGroupName(_) => "P011",
+            EmptyPropertyName(_) => "P012",
+            FixedPropertyWithoutValue { .. } => "P013",
+        }
+    }
+
+    /// The PU id (or interconnect endpoint id) this issue is about, when it
+    /// has one — used as the diagnostic subject.
+    pub fn subject(&self) -> Option<&str> {
+        use ValidationIssue::*;
+        match self {
+            DuplicatePuId(id)
+            | MasterNotTopLevel(id)
+            | WorkerHasChildren(id)
+            | Uncontrolled(id)
+            | HybridNotControlled(id)
+            | ZeroQuantity(id)
+            | EmptyGroupName(id)
+            | EmptyPropertyName(id) => Some(id.as_str()),
+            DanglingInterconnect { endpoint, .. } | SelfLoopInterconnect { endpoint, .. } => {
+                Some(endpoint.as_str())
+            }
+            DuplicateMemoryRegion { pu, .. } | FixedPropertyWithoutValue { pu, .. } => {
+                Some(pu.as_str())
+            }
+            EmptyPuId(_) => None,
+        }
+    }
+
+    /// Converts the issue into a [`crate::diag::Diagnostic`] (always an
+    /// error — §III-A rules are hard requirements).
+    pub fn to_diagnostic(&self) -> crate::diag::Diagnostic {
+        let mut d = crate::diag::Diagnostic::error(self.code(), self.to_string());
+        if let Some(s) = self.subject() {
+            d = d.with_subject(s);
+        }
+        d
+    }
+}
+
 impl fmt::Display for ValidationIssue {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         use ValidationIssue::*;

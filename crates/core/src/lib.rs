@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 
 pub mod descriptor;
+pub mod diag;
 pub mod error;
 pub mod id;
 pub mod interconnect;
@@ -61,6 +62,7 @@ pub mod wellknown;
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::descriptor::{Descriptor, DescriptorKind};
+    pub use crate::diag::{Diagnostic, Report, Severity, Span};
     pub use crate::error::{ModelError, ValidationIssue};
     pub use crate::id::{GroupId, MrId, PuId, PuIdx};
     pub use crate::interconnect::{Directionality, Interconnect};

@@ -103,6 +103,14 @@ pub fn check(platform: &Platform) -> Vec<ValidationIssue> {
     issues
 }
 
+/// Like [`check`], but returns the issues as [`crate::diag::Diagnostic`]s
+/// in the shared `P0xx` code space. The [`check`] API remains the source of
+/// truth; this is the diagnostics-facing view used by `pdl-analyze` and
+/// `pdl-lint`.
+pub fn diagnostics(platform: &Platform) -> crate::diag::Report {
+    check(platform).iter().map(|i| i.to_diagnostic()).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +250,22 @@ mod tests {
                 .count(),
             1
         );
+    }
+
+    #[test]
+    fn diagnostics_shim_maps_codes_and_subjects() {
+        let mut b = Platform::builder("bad");
+        b.root("w", PuClass::Worker);
+        b.interconnect(Interconnect::new("PCIe", "w", "404"));
+        let p = b.build_unchecked();
+        let report = diagnostics(&p);
+        assert!(report.has_errors());
+        assert!(report.codes().contains(&"P005"));
+        assert!(report.codes().contains(&"P008"));
+        let dangling = report.iter().find(|d| d.code == "P008").unwrap();
+        assert_eq!(dangling.subject.as_deref(), Some("404"));
+        // Same findings as the legacy API, one-to-one.
+        assert_eq!(report.len(), check(&p).len());
     }
 
     #[test]

@@ -46,12 +46,14 @@ impl AccessMode {
         matches!(self, AccessMode::Write | AccessMode::ReadWrite)
     }
 
-    /// Parses the annotation spelling (`read`, `write`, `readwrite`).
+    /// Parses the annotation spelling: `read`/`write`/`readwrite` from the
+    /// parameterlist, or the dataflow spelling `in`/`out`/`inout` used by
+    /// `access(…)` clauses.
     pub fn parse(s: &str) -> Option<Self> {
         match s.trim().to_ascii_lowercase().as_str() {
-            "read" | "r" => Some(AccessMode::Read),
-            "write" | "w" => Some(AccessMode::Write),
-            "readwrite" | "rw" => Some(AccessMode::ReadWrite),
+            "read" | "r" | "in" => Some(AccessMode::Read),
+            "write" | "w" | "out" => Some(AccessMode::Write),
+            "readwrite" | "rw" | "inout" => Some(AccessMode::ReadWrite),
             _ => None,
         }
     }

@@ -1,0 +1,171 @@
+//! Command-line driver for the `pdl-analyze` diagnostics engine.
+//!
+//! ```text
+//! pdl-lint [--format human|json] [--platform FILE-or-NAME]... [--expect] FILE...
+//! ```
+//!
+//! Each `FILE` is analyzed according to its extension (`.xml`/`.pdl` as a
+//! platform description, `.c`/`.h`/`.cascabel` as an annotated task program).
+//! Program files are mapping-checked against every `--platform` (a PDL file
+//! path or a builtin platform name such as `xeon_2gpu_testbed`).
+//!
+//! With `--expect`, each file must carry an `expect:` header naming the exact
+//! diagnostic codes it should produce (see `pdl_analyze::expect`); the run
+//! fails if any file deviates.  Exit status: 0 clean (or all expectations
+//! met), 1 diagnostics with errors (or an expectation mismatch), 2 usage or
+//! I/O failure.
+
+use std::process::ExitCode;
+
+use hetero_trace::json::Json;
+use pdl_analyze::expect::parse_expectation;
+use pdl_analyze::{analyze_source_file, render::report_to_json};
+use pdl_core::platform::Platform;
+use pdl_discover::catalog::Catalog;
+
+enum Format {
+    Human,
+    Json,
+}
+
+struct Args {
+    format: Format,
+    platforms: Vec<Platform>,
+    expect: bool,
+    files: Vec<String>,
+}
+
+const USAGE: &str =
+    "usage: pdl-lint [--format human|json] [--platform FILE-or-NAME]... [--expect] FILE...";
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("pdl-lint: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(failed) => ExitCode::from(u8::from(failed)),
+        Err(msg) => {
+            eprintln!("pdl-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args {
+        format: Format::Human,
+        platforms: Vec::new(),
+        expect: false,
+        files: Vec::new(),
+    };
+    let mut argv = argv.peekable();
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--format" => {
+                let value = argv.next().ok_or("--format needs a value")?;
+                args.format = match value.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format {other:?}")),
+                };
+            }
+            "--platform" => {
+                let value = argv.next().ok_or("--platform needs a value")?;
+                args.platforms.push(load_platform(&value)?);
+            }
+            "--expect" => args.expect = true,
+            "--help" | "-h" => return Err("help requested".into()),
+            other if other.starts_with('-') => return Err(format!("unknown flag {other:?}")),
+            _ => args.files.push(arg),
+        }
+    }
+    if args.files.is_empty() {
+        return Err("no input files".into());
+    }
+    Ok(args)
+}
+
+/// Loads a `--platform` argument: a PDL file path if it exists on disk,
+/// otherwise a builtin platform name from the discovery catalog.
+fn load_platform(value: &str) -> Result<Platform, String> {
+    if std::path::Path::new(value).exists() {
+        let xml = std::fs::read_to_string(value).map_err(|e| format!("{value}: {e}"))?;
+        pdl_xml::from_xml(&xml).map_err(|e| format!("{value}: {e}"))
+    } else {
+        Catalog::with_builtin_platforms()
+            .get(value)
+            .cloned()
+            .ok_or_else(|| format!("{value}: not a file and not a builtin platform name"))
+    }
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    let mut failed = false;
+    let mut file_objs: Vec<Json> = Vec::new();
+    for path in &args.files {
+        let contents = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let expectation = if args.expect {
+            Some(
+                parse_expectation(&contents)
+                    .ok_or_else(|| format!("{path}: --expect set but no expect: header found"))?,
+            )
+        } else {
+            None
+        };
+        // Fixture-declared platforms override the command-line list.
+        let platforms: Vec<Platform> = match &expectation {
+            Some(exp) if !exp.platforms.is_empty() => {
+                let catalog = Catalog::with_builtin_platforms();
+                exp.platforms
+                    .iter()
+                    .map(|name| {
+                        catalog
+                            .get(name)
+                            .cloned()
+                            .ok_or_else(|| format!("{path}: unknown builtin platform {name:?}"))
+                    })
+                    .collect::<Result<_, _>>()?
+            }
+            _ => args.platforms.clone(),
+        };
+        let report = analyze_source_file(path, &contents, &platforms)?;
+        match &expectation {
+            Some(exp) => {
+                let got = report.codes();
+                if got != exp.codes {
+                    failed = true;
+                    eprintln!(
+                        "pdl-lint: {path}: expected codes {:?}, got {:?}",
+                        exp.codes, got
+                    );
+                }
+            }
+            None => failed |= report.has_errors(),
+        }
+        match args.format {
+            Format::Human => {
+                if !report.is_empty() {
+                    println!("{path}:\n{}", report.render());
+                }
+            }
+            Format::Json => {
+                let mut obj = vec![("path".to_string(), Json::str(path.clone()))];
+                if let Json::Obj(members) = report_to_json(&report) {
+                    obj.extend(members);
+                }
+                file_objs.push(Json::Obj(obj));
+            }
+        }
+    }
+    if matches!(args.format, Format::Json) {
+        println!(
+            "{}",
+            Json::obj([("files", Json::Arr(file_objs))]).to_pretty()
+        );
+    }
+    Ok(failed)
+}

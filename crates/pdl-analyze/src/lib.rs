@@ -1,0 +1,73 @@
+//! Static analysis for platform descriptions, annotated task programs and
+//! recorded run traces.
+//!
+//! `pdl-analyze` is the diagnostics engine of this workspace.  It turns the
+//! ad-hoc validity checks scattered across the lower crates into a single
+//! rustc-style report model ([`Diagnostic`], [`Report`]) with stable codes:
+//!
+//! * `P0xx`/`P1xx` — platform model and PDL source findings
+//!   ([`analyze_platform`], [`analyze_platform_source`]),
+//! * `C0xx`/`C1xx` — Cascabel program and mapping findings
+//!   ([`analyze_program`], [`analyze_program_source`]),
+//! * `T0xx` — trace-replay findings from comparing a recorded
+//!   [`hetero_trace::RunTrace`] against the declared task graph
+//!   ([`check_trace`]).
+//!
+//! Every code is documented, with a minimal triggering example, in
+//! `docs/ANALYSIS.md`.  The `pdl-lint` binary (and `pdl check`) drive all the
+//! passes from the command line; [`render_json`] provides machine-readable
+//! output for CI.
+//!
+//! ```
+//! let platform = pdl_discover::synthetic::xeon_2gpu_testbed();
+//! let report = pdl_analyze::analyze_platform(&platform);
+//! assert!(report.is_empty());
+//! ```
+
+pub mod expect;
+pub mod platform;
+pub mod program;
+pub mod render;
+pub mod trace;
+
+pub use pdl_core::diag::{Diagnostic, Report, Severity, Span};
+
+pub use platform::{analyze_platform, analyze_platform_source};
+pub use program::{analyze_program, analyze_program_source};
+pub use render::{render_json, report_to_json};
+pub use trace::check_trace;
+
+use pdl_core::platform::Platform;
+
+/// Analyzes one source file, dispatching on its extension.
+///
+/// `.xml` and `.pdl` files are treated as platform descriptions; `.c`, `.h`
+/// and `.cascabel` files as annotated task programs (which are additionally
+/// mapping-checked against each platform in `platforms`).  Returns `Err` for
+/// extensions the analyzer does not understand.
+pub fn analyze_source_file(
+    path: &str,
+    contents: &str,
+    platforms: &[Platform],
+) -> Result<Report, String> {
+    let ext = path.rsplit('.').next().unwrap_or("");
+    match ext {
+        "xml" | "pdl" => Ok(analyze_platform_source(path, contents).1),
+        "c" | "h" | "cascabel" => Ok(analyze_program_source(path, contents, platforms)),
+        other => Err(format!(
+            "{path}: unsupported file extension {other:?} (expected .xml, .pdl, .c, .h or .cascabel)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_recognises_extensions() {
+        assert!(analyze_source_file("a.xml", "<platform", &[]).is_ok());
+        assert!(analyze_source_file("a.c", "int main() { return 0; }", &[]).is_ok());
+        assert!(analyze_source_file("a.txt", "", &[]).is_err());
+    }
+}

@@ -1,0 +1,469 @@
+//! Trace-replay checking (`T` codes): did an observed schedule respect the
+//! declared task graph?
+//!
+//! [`check_trace`] consumes a [`RunTrace`] (from the thread engine's trace
+//! sink or the virtual-time bridge) plus the [`TaskGraph`] that was
+//! submitted, and verifies:
+//!
+//! * `T001` — the trace satisfies its own structural invariants
+//!   ([`RunTrace::validate`]); nothing else is checked on a broken trace.
+//! * `T002` — every declared task actually executed.
+//! * `T003` — every declared dependency is respected by observed time:
+//!   a task may not start before each of its dependencies ended.
+//! * `T004` — tasks pinned to an execution group ran on a lane of that
+//!   group (silent when the lane declares no group).
+//! * `T005` — conflicting data accesses are ordered by the
+//!   happens-before relation of the observed schedule, established with
+//!   vector clocks over per-lane program order plus time-respected
+//!   dependency edges.
+//!
+//! Trace task indices are correlated to graph tasks **by label** when the
+//! trace carries a task table (the virtual-time bridge renumbers every span,
+//! including transfers), in span-start order for duplicated labels; an
+//! index-identical mapping is assumed for label-less traces.
+
+use hetero_rt::data::AccessMode;
+use hetero_rt::graph::TaskGraph;
+use hetero_trace::RunTrace;
+use pdl_core::diag::{Diagnostic, Report};
+use std::collections::BTreeMap;
+
+/// Replays a trace against the declared task graph. See the module docs for
+/// the codes this can produce.
+pub fn check_trace(trace: &RunTrace, graph: &TaskGraph) -> Report {
+    let mut out: Vec<Diagnostic> = Vec::new();
+
+    if let Err(e) = trace.validate() {
+        out.push(
+            Diagnostic::error(
+                "T001",
+                format!("trace violates its structural invariants: {e}"),
+            )
+            .with_note(
+                "remaining replay checks were skipped — the event stream itself is unreliable",
+            ),
+        );
+        return out.into_iter().collect();
+    }
+
+    let mut spans = trace.task_spans();
+    spans.sort_by_key(|s| (s.start, s.end, s.worker, s.task));
+
+    // Correlate graph tasks with trace spans.
+    let mut graph_span: Vec<Option<usize>> = vec![None; graph.len()];
+    if trace.meta.tasks.is_empty() {
+        for (si, span) in spans.iter().enumerate() {
+            if let Some(slot) = graph_span.get_mut(span.task as usize) {
+                slot.get_or_insert(si);
+            }
+        }
+    } else {
+        // Label correlation: trace task index → label, label → span queue
+        // in start order.
+        let mut by_label: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (si, span) in spans.iter().enumerate() {
+            if let Some(info) = trace.meta.tasks.get(span.task as usize) {
+                by_label.entry(info.label.as_str()).or_default().push(si);
+            }
+        }
+        for queue in by_label.values_mut() {
+            queue.reverse(); // pop() yields earliest start first
+        }
+        for task in &graph.tasks {
+            graph_span[task.id.0] = by_label
+                .get_mut(task.label.as_str())
+                .and_then(std::vec::Vec::pop);
+        }
+    }
+
+    // T002: declared tasks that never ran.
+    for task in &graph.tasks {
+        if graph_span[task.id.0].is_none() {
+            out.push(
+                Diagnostic::error(
+                    "T002",
+                    format!(
+                        "declared task {} (\"{}\") never executed in the trace",
+                        task.id, task.label
+                    ),
+                )
+                .with_subject(task.label.clone()),
+            );
+        }
+    }
+
+    // T003: dependency edges must be respected by observed time.
+    for task in &graph.tasks {
+        let Some(si) = graph_span[task.id.0] else {
+            continue;
+        };
+        for &dep in graph.dependencies(task.id) {
+            let Some(di) = graph_span[dep.0] else {
+                continue;
+            };
+            if spans[di].end > spans[si].start {
+                out.push(
+                    Diagnostic::error(
+                        "T003",
+                        format!(
+                            "task {} (\"{}\") started at {} before its declared dependency {} (\"{}\") finished at {}",
+                            task.id,
+                            task.label,
+                            spans[si].start,
+                            dep,
+                            graph.tasks[dep.0].label,
+                            spans[di].end
+                        ),
+                    )
+                    .with_subject(task.label.clone()),
+                );
+            }
+        }
+    }
+
+    // T004: group placement. The declared pin comes from the graph (or the
+    // trace's own task table); the lane's group from the trace meta.
+    for task in &graph.tasks {
+        let Some(si) = graph_span[task.id.0] else {
+            continue;
+        };
+        let declared = task.execution_group.as_deref().or_else(|| {
+            trace
+                .meta
+                .tasks
+                .get(spans[si].task as usize)
+                .and_then(|info| info.group.as_deref())
+        });
+        let Some(declared) = declared else { continue };
+        let lane_group = trace
+            .meta
+            .lanes
+            .get(spans[si].worker)
+            .and_then(|l| l.group.as_deref());
+        if let Some(lane_group) = lane_group {
+            if lane_group != declared {
+                out.push(
+                    Diagnostic::error(
+                        "T004",
+                        format!(
+                            "task {} (\"{}\") is pinned to execution group \"{}\" but ran on lane {} of group \"{}\"",
+                            task.id,
+                            task.label,
+                            declared,
+                            spans[si].worker,
+                            lane_group
+                        ),
+                    )
+                    .with_subject(task.label.clone()),
+                );
+            }
+        }
+    }
+
+    // T005: vector-clock race check over ALL spans (transfers included —
+    // they strengthen per-lane ordering), with dependency edges between
+    // correlated graph tasks that observed time actually respects.
+    let clocks = vector_clocks(&spans, graph, &graph_span);
+    for a in &graph.tasks {
+        let Some(sa) = graph_span[a.id.0] else {
+            continue;
+        };
+        for b in &graph.tasks {
+            if b.id.0 <= a.id.0 {
+                continue;
+            }
+            let Some(sb) = graph_span[b.id.0] else {
+                continue;
+            };
+            let Some(handle) = conflict(a, b) else {
+                continue;
+            };
+            let ordered = vc_leq(&clocks[sa], &clocks[sb]) || vc_leq(&clocks[sb], &clocks[sa]);
+            if !ordered {
+                out.push(
+                    Diagnostic::error(
+                        "T005",
+                        format!(
+                            "tasks {} (\"{}\") and {} (\"{}\") both access data handle {} with a write but are unordered in the observed schedule: a data race",
+                            a.id, a.label, b.id, b.label, handle
+                        ),
+                    )
+                    .with_subject(a.label.clone()),
+                );
+            }
+        }
+    }
+
+    let mut report: Report = out.into_iter().collect();
+    report.sort();
+    report
+}
+
+/// First shared handle two tasks access conflictingly (≥ 1 write).
+fn conflict(a: &hetero_rt::task::Task, b: &hetero_rt::task::Task) -> Option<usize> {
+    for aa in &a.accesses {
+        for ba in &b.accesses {
+            if aa.handle == ba.handle
+                && (aa.mode != AccessMode::Read || ba.mode != AccessMode::Read)
+            {
+                return Some(aa.handle.0);
+            }
+        }
+    }
+    None
+}
+
+/// Computes one vector clock per span. Component space is one slot per lane;
+/// a span's clock is the join of its predecessors (previous span on its
+/// lane, plus every time-respected declared dependency), then its own lane
+/// component is bumped to its per-lane sequence number.
+fn vector_clocks(
+    spans: &[hetero_trace::TaskSpan],
+    graph: &TaskGraph,
+    graph_span: &[Option<usize>],
+) -> Vec<Vec<u64>> {
+    // Lane → dense slot.
+    let mut slots: BTreeMap<usize, usize> = BTreeMap::new();
+    for span in spans {
+        let next = slots.len();
+        slots.entry(span.worker).or_insert(next);
+    }
+    let width = slots.len().max(1);
+
+    // Per-lane predecessor chain and sequence numbers (spans are sorted by
+    // start time, so per-lane order is start order).
+    let mut prev_on_lane: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut lane_pred: Vec<Option<usize>> = vec![None; spans.len()];
+    let mut seq: Vec<u64> = vec![0; spans.len()];
+    let mut lane_count: BTreeMap<usize, u64> = BTreeMap::new();
+    for (si, span) in spans.iter().enumerate() {
+        lane_pred[si] = prev_on_lane.insert(span.worker, si);
+        let c = lane_count.entry(span.worker).or_insert(0);
+        *c += 1;
+        seq[si] = *c;
+    }
+
+    // Dependency predecessors, per span index of the dependent task.
+    let mut dep_preds: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+    for task in &graph.tasks {
+        let Some(si) = graph_span[task.id.0] else {
+            continue;
+        };
+        for &dep in graph.dependencies(task.id) {
+            if let Some(di) = graph_span[dep.0] {
+                if spans[di].end <= spans[si].start {
+                    dep_preds[si].push(di);
+                }
+            }
+        }
+    }
+
+    let mut clocks: Vec<Vec<u64>> = vec![vec![0; width]; spans.len()];
+    for si in 0..spans.len() {
+        let mut clock = vec![0u64; width];
+        let join = |pred: usize, clock: &mut Vec<u64>, clocks: &[Vec<u64>]| {
+            for (c, p) in clock.iter_mut().zip(&clocks[pred]) {
+                *c = (*c).max(*p);
+            }
+        };
+        if let Some(p) = lane_pred[si] {
+            join(p, &mut clock, &clocks);
+        }
+        for &p in &dep_preds[si] {
+            join(p, &mut clock, &clocks);
+        }
+        clock[slots[&spans[si].worker]] = seq[si];
+        clocks[si] = clock;
+    }
+    clocks
+}
+
+fn vc_leq(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x <= y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetero_rt::data::AccessMode;
+    use hetero_rt::task::{Codelet, DataAccess};
+    use hetero_trace::{EventKind, LaneLabel, TaskInfo, TraceEvent, TraceMeta, WorkerTrace};
+
+    /// Two dependent tasks sharing one buffer: `a` writes, `b` reads-writes
+    /// after `a` (sequential consistency inserts the edge on submit).
+    fn chain_graph() -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let c = g.add_codelet(Codelet::new("k"));
+        let h = g.register_data("buf", 8.0);
+        g.submit(
+            c,
+            "a",
+            1.0,
+            vec![DataAccess {
+                handle: h,
+                mode: AccessMode::Write,
+            }],
+            None,
+        );
+        g.submit(
+            c,
+            "b",
+            1.0,
+            vec![DataAccess {
+                handle: h,
+                mode: AccessMode::ReadWrite,
+            }],
+            None,
+        );
+        g
+    }
+
+    fn meta_for(graph: &TaskGraph, lanes: Vec<LaneLabel>) -> TraceMeta {
+        TraceMeta {
+            platform: None,
+            lanes,
+            tasks: graph
+                .tasks
+                .iter()
+                .map(|t| TaskInfo {
+                    label: t.label.clone(),
+                    category: "task".into(),
+                    group: t.execution_group.clone(),
+                })
+                .collect(),
+            time_unit: hetero_trace::TimeUnit::default(),
+        }
+    }
+
+    fn lane(worker: usize, events: Vec<(u64, EventKind)>) -> WorkerTrace {
+        WorkerTrace {
+            worker,
+            events: events
+                .into_iter()
+                .map(|(ts, kind)| TraceEvent { ts, kind })
+                .collect(),
+            overwritten: 0,
+        }
+    }
+
+    fn start(task: u32) -> EventKind {
+        EventKind::TaskStart { task }
+    }
+
+    fn end(task: u32) -> EventKind {
+        EventKind::TaskEnd { task }
+    }
+
+    #[test]
+    fn conforming_trace_is_clean() {
+        let g = chain_graph();
+        let trace = RunTrace {
+            meta: meta_for(&g, vec![LaneLabel::default()]),
+            prelude: Vec::new(),
+            workers: vec![lane(
+                0,
+                vec![(0, start(0)), (5, end(0)), (6, start(1)), (9, end(1))],
+            )],
+        };
+        let report = check_trace(&trace, &g);
+        assert!(report.is_empty(), "{}", report.render());
+    }
+
+    #[test]
+    fn broken_trace_is_t001_only() {
+        let g = chain_graph();
+        let trace = RunTrace {
+            meta: meta_for(&g, vec![LaneLabel::default()]),
+            prelude: Vec::new(),
+            // Task 0 never ends: bad nesting.
+            workers: vec![lane(0, vec![(0, start(0)), (6, start(1)), (9, end(1))])],
+        };
+        assert_eq!(check_trace(&trace, &g).codes(), ["T001"]);
+    }
+
+    #[test]
+    fn missing_task_is_t002() {
+        let g = chain_graph();
+        let trace = RunTrace {
+            meta: meta_for(&g, vec![LaneLabel::default()]),
+            prelude: Vec::new(),
+            workers: vec![lane(0, vec![(0, start(0)), (5, end(0))])],
+        };
+        assert_eq!(check_trace(&trace, &g).codes(), ["T002"]);
+    }
+
+    #[test]
+    fn dependency_violation_is_t003_plus_race() {
+        let g = chain_graph();
+        // Two lanes, overlapping in time: b starts before a ends, and the
+        // conflicting accesses become unordered → T003 and T005.
+        let trace = RunTrace {
+            meta: meta_for(&g, vec![LaneLabel::default(), LaneLabel::default()]),
+            prelude: Vec::new(),
+            workers: vec![
+                lane(0, vec![(0, start(0)), (5, end(0))]),
+                lane(1, vec![(2, start(1)), (7, end(1))]),
+            ],
+        };
+        assert_eq!(check_trace(&trace, &g).codes(), ["T003", "T005"]);
+    }
+
+    #[test]
+    fn group_violation_is_t004() {
+        let mut g = TaskGraph::new();
+        let c = g.add_codelet(Codelet::new("k"));
+        g.submit(c, "pinned", 1.0, Vec::new(), Some("gpus".into()));
+        let trace = RunTrace {
+            meta: meta_for(
+                &g,
+                vec![LaneLabel {
+                    name: "cpu0".into(),
+                    group: Some("cpus".into()),
+                }],
+            ),
+            prelude: Vec::new(),
+            workers: vec![lane(0, vec![(0, start(0)), (5, end(0))])],
+        };
+        assert_eq!(check_trace(&trace, &g).codes(), ["T004"]);
+    }
+
+    #[test]
+    fn independent_overlap_is_not_a_race() {
+        // Two tasks on disjoint data, overlapping on two lanes: unordered
+        // but no conflict → clean.
+        let mut g = TaskGraph::new();
+        let c = g.add_codelet(Codelet::new("k"));
+        let h1 = g.register_data("x", 8.0);
+        let h2 = g.register_data("y", 8.0);
+        g.submit(
+            c,
+            "a",
+            1.0,
+            vec![DataAccess {
+                handle: h1,
+                mode: AccessMode::Write,
+            }],
+            None,
+        );
+        g.submit(
+            c,
+            "b",
+            1.0,
+            vec![DataAccess {
+                handle: h2,
+                mode: AccessMode::Write,
+            }],
+            None,
+        );
+        let trace = RunTrace {
+            meta: meta_for(&g, vec![LaneLabel::default(), LaneLabel::default()]),
+            prelude: Vec::new(),
+            workers: vec![
+                lane(0, vec![(0, start(0)), (5, end(0))]),
+                lane(1, vec![(2, start(1)), (7, end(1))]),
+            ],
+        };
+        let report = check_trace(&trace, &g);
+        assert!(report.is_empty(), "{}", report.render());
+    }
+}

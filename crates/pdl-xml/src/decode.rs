@@ -29,6 +29,23 @@ pub fn decode_document(doc: &Document, registry: &SchemaRegistry) -> Result<Plat
 /// Decodes without schema validation (the model's own structural validation
 /// still runs). Used by tools that already validated, and by tests.
 pub fn decode_unvalidated(doc: &Document) -> Result<Platform, XmlError> {
+    let builder = decode_to_builder(doc, false)?;
+    Ok(builder.build()?)
+}
+
+/// Decodes without schema *or* model validation, tolerating malformed
+/// attribute values and structurally invalid trees as far as the arena can
+/// represent them (un-attachable children — e.g. PUs nested under a Worker —
+/// are skipped). This is the entry point for analysis tools like
+/// `pdl-analyze` that want to report *all* problems in a description rather
+/// than stop at the first; pair it with
+/// [`crate::schema::SchemaRegistry::validate_at`] for the skipped findings.
+pub fn decode_unchecked(doc: &Document) -> Result<Platform, XmlError> {
+    let builder = decode_to_builder(doc, true)?;
+    Ok(builder.build_unchecked())
+}
+
+fn decode_to_builder(doc: &Document, lenient: bool) -> Result<PlatformBuilder, XmlError> {
     let root = &doc.root;
     let mut builder;
     match root.local_name() {
@@ -36,29 +53,41 @@ pub fn decode_unvalidated(doc: &Document) -> Result<Platform, XmlError> {
             let name = root.attribute("name").unwrap_or("unnamed").to_string();
             builder = Platform::builder(name);
             if let Some(v) = root.attribute("schemaVersion") {
-                let version = v.parse::<Version>().map_err(|_| {
-                    XmlError::Schema(SchemaError::BadAttributeValue {
-                        element: "Platform".into(),
-                        attribute: "schemaVersion".into(),
-                        value: v.to_string(),
-                    })
-                })?;
-                builder.schema_version(version);
+                match v.parse::<Version>() {
+                    Ok(version) => {
+                        builder.schema_version(version);
+                    }
+                    Err(_) if lenient => {}
+                    Err(_) => {
+                        return Err(XmlError::Schema(SchemaError::BadAttributeValue {
+                            element: "Platform".into(),
+                            attribute: "schemaVersion".into(),
+                            value: v.to_string(),
+                        }))
+                    }
+                }
             }
             for child in root.elements() {
                 match child.local_name() {
-                    "Master" => decode_pu_tree(&mut builder, child, None)?,
+                    "Master" => decode_pu_tree(&mut builder, child, None, lenient)?,
                     "Interconnect" => {
-                        let ic = decode_interconnect(child)?;
+                        let ic = decode_interconnect(child, lenient)?;
                         builder.interconnect(ic);
                     }
+                    _ if lenient => {} // reported by schema validation
                     _ => unreachable!("rejected by schema validation"),
                 }
             }
         }
         "Master" => {
             builder = Platform::builder(root.attribute("id").unwrap_or("unnamed").to_string());
-            decode_pu_tree(&mut builder, root, None)?;
+            decode_pu_tree(&mut builder, root, None, lenient)?;
+        }
+        // In lenient mode any PU class may appear as the root; the model's
+        // structural rules (Uncontrolled, HybridNotControlled) then report it.
+        "Worker" | "Hybrid" if lenient => {
+            builder = Platform::builder(root.attribute("id").unwrap_or("unnamed").to_string());
+            decode_pu_tree(&mut builder, root, None, lenient)?;
         }
         other => {
             return Err(XmlError::Schema(SchemaError::UnexpectedElement {
@@ -67,63 +96,75 @@ pub fn decode_unvalidated(doc: &Document) -> Result<Platform, XmlError> {
             }))
         }
     }
-    Ok(builder.build()?)
+    Ok(builder)
 }
 
 fn decode_pu_tree(
     builder: &mut PlatformBuilder,
     e: &Element,
     parent: Option<PuHandle>,
+    lenient: bool,
 ) -> Result<(), XmlError> {
     let class = PuClass::from_element_name(e.local_name()).expect("caller checked element name");
     let id = e.attribute("id").unwrap_or_default().to_string();
 
     let handle = match parent {
         None => builder.root(id, class),
-        Some(p) => builder.child(p, id, class)?,
+        Some(p) => match builder.child(p, id, class) {
+            Ok(h) => h,
+            // A parent that cannot control children (a Worker): the arena
+            // cannot hold this subtree. Analysis tools detect it on the DOM.
+            Err(_) if lenient => return Ok(()),
+            Err(e) => return Err(e.into()),
+        },
     };
 
     if let Some(q) = e.attribute("quantity") {
-        let quantity = q.parse::<u32>().map_err(|_| {
-            XmlError::Schema(SchemaError::BadAttributeValue {
-                element: e.local_name().to_string(),
-                attribute: "quantity".into(),
-                value: q.to_string(),
-            })
-        })?;
-        builder.quantity(handle, quantity);
+        match q.parse::<u32>() {
+            Ok(quantity) => {
+                builder.quantity(handle, quantity);
+            }
+            Err(_) if lenient => {}
+            Err(_) => {
+                return Err(XmlError::Schema(SchemaError::BadAttributeValue {
+                    element: e.local_name().to_string(),
+                    attribute: "quantity".into(),
+                    value: q.to_string(),
+                }))
+            }
+        }
     }
 
     for child in e.elements() {
         match child.local_name() {
             "PUDescriptor" => {
-                let d = decode_descriptor(child)?;
+                let d = decode_descriptor(child, lenient)?;
                 builder.descriptor(handle, d);
             }
             "MemoryRegion" => {
                 let id = child.attribute("id").unwrap_or_default().to_string();
                 let mut mr = MemoryRegion::new(id);
                 if let Some(d) = child.first_named("MRDescriptor") {
-                    mr.descriptor = decode_descriptor(d)?;
+                    mr.descriptor = decode_descriptor(d, lenient)?;
                 }
                 builder.memory(handle, mr);
             }
             "Interconnect" => {
-                let ic = decode_interconnect(child)?;
+                let ic = decode_interconnect(child, lenient)?;
                 builder.interconnect(ic);
             }
             "LogicGroupAttribute" => {
                 let name = child.attribute("name").unwrap_or_default().to_string();
                 builder.group(handle, name);
             }
-            "Worker" | "Hybrid" => decode_pu_tree(builder, child, Some(handle))?,
+            "Worker" | "Hybrid" => decode_pu_tree(builder, child, Some(handle), lenient)?,
             _ => {}
         }
     }
     Ok(())
 }
 
-fn decode_interconnect(e: &Element) -> Result<Interconnect, XmlError> {
+fn decode_interconnect(e: &Element, lenient: bool) -> Result<Interconnect, XmlError> {
     let ic_type = e.attribute("type").unwrap_or_default().to_string();
     let from = e.attribute("from").unwrap_or_default().to_string();
     let to = e.attribute("to").unwrap_or_default().to_string();
@@ -135,23 +176,24 @@ fn decode_interconnect(e: &Element) -> Result<Interconnect, XmlError> {
         ic.directionality = Directionality::Unidirectional;
     }
     if let Some(d) = e.first_named("ICDescriptor") {
-        ic.descriptor = decode_descriptor(d)?;
+        ic.descriptor = decode_descriptor(d, lenient)?;
     }
     Ok(ic)
 }
 
-fn decode_descriptor(e: &Element) -> Result<Descriptor, XmlError> {
+fn decode_descriptor(e: &Element, lenient: bool) -> Result<Descriptor, XmlError> {
     let mut d = Descriptor::new();
     for p in e.elements_named("Property") {
-        d.push(decode_property(p)?);
+        d.push(decode_property(p, lenient)?);
     }
     Ok(d)
 }
 
-fn decode_property(e: &Element) -> Result<Property, XmlError> {
+fn decode_property(e: &Element, lenient: bool) -> Result<Property, XmlError> {
     let fixed = match e.attribute("fixed") {
         Some("true") | None => e.attribute("fixed").is_some(),
         Some("false") => false,
+        Some(_) if lenient => false,
         Some(other) => {
             return Err(XmlError::Schema(SchemaError::BadAttributeValue {
                 element: "Property".into(),
@@ -169,10 +211,15 @@ fn decode_property(e: &Element) -> Result<Property, XmlError> {
     };
 
     let subschema = match e.attribute("xsi:type") {
-        Some(t) => Some(
-            SubschemaRef::parse(t)
-                .ok_or_else(|| XmlError::Schema(SchemaError::UnknownSubschema(t.to_string())))?,
-        ),
+        Some(t) => match SubschemaRef::parse(t) {
+            Some(r) => Some(r),
+            None if lenient => None,
+            None => {
+                return Err(XmlError::Schema(SchemaError::UnknownSubschema(
+                    t.to_string(),
+                )))
+            }
+        },
         None => None,
     };
 
@@ -184,13 +231,17 @@ fn decode_property(e: &Element) -> Result<Property, XmlError> {
     let (text, unit) = match e.first_named("value") {
         Some(v) => {
             let unit = match v.attribute("unit") {
-                Some(u) => Some(u.parse::<Unit>().map_err(|_| {
-                    XmlError::Schema(SchemaError::BadAttributeValue {
-                        element: "value".into(),
-                        attribute: "unit".into(),
-                        value: u.to_string(),
-                    })
-                })?),
+                Some(u) => match u.parse::<Unit>() {
+                    Ok(unit) => Some(unit),
+                    Err(_) if lenient => None,
+                    Err(_) => {
+                        return Err(XmlError::Schema(SchemaError::BadAttributeValue {
+                            element: "value".into(),
+                            attribute: "unit".into(),
+                            value: u.to_string(),
+                        }))
+                    }
+                },
                 None => None,
             };
             (v.text_content(), unit)
@@ -391,6 +442,35 @@ mod tests {
                </Interconnect></Master>"#,
         );
         assert_eq!(p.interconnects()[0].bandwidth_bps(), Some(8e9));
+    }
+
+    #[test]
+    fn decode_unchecked_tolerates_invalid_platforms() {
+        // Duplicate ids + dangling interconnect + bad quantity: strict
+        // decoding fails, lenient decoding yields an analyzable platform.
+        let doc = parse_document(
+            r#"<Master id="0" quantity="many">
+                 <Worker id="0"/>
+                 <Interconnect type="PCIe" from="0" to="404"/>
+               </Master>"#,
+        )
+        .unwrap();
+        assert!(decode_unvalidated(&doc).is_err());
+        let p = decode_unchecked(&doc).unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(!p.issues().is_empty());
+    }
+
+    #[test]
+    fn decode_unchecked_accepts_non_master_roots() {
+        let doc = parse_document(r#"<Hybrid id="h"><Worker id="w"/></Hybrid>"#).unwrap();
+        let p = decode_unchecked(&doc).unwrap();
+        assert_eq!(p.len(), 2);
+        use pdl_core::error::ValidationIssue;
+        assert!(p
+            .issues()
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::HybridNotControlled(_))));
     }
 
     #[test]

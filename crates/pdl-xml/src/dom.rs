@@ -148,6 +148,42 @@ impl Element {
     pub fn is_empty(&self) -> bool {
         self.children.is_empty()
     }
+
+    /// All descendant elements (self included), in document order.
+    pub fn descendants(&self) -> Descendants<'_> {
+        Descendants { stack: vec![self] }
+    }
+
+    /// Source position of the first descendant PU element
+    /// (`Master`/`Hybrid`/`Worker`) carrying the given `id` attribute.
+    /// Lets diagnostics about a decoded PU point back at its XML element.
+    pub fn pos_of_pu(&self, id: &str) -> Option<crate::error::Pos> {
+        self.descendants()
+            .find(|e| {
+                matches!(e.local_name(), "Master" | "Hybrid" | "Worker")
+                    && e.attribute("id") == Some(id)
+            })
+            .map(|e| e.pos)
+    }
+}
+
+/// Depth-first iterator over an element and its descendants
+/// (see [`Element::descendants`]).
+pub struct Descendants<'a> {
+    stack: Vec<&'a Element>,
+}
+
+impl<'a> Iterator for Descendants<'a> {
+    type Item = &'a Element;
+
+    fn next(&mut self) -> Option<&'a Element> {
+        let e = self.stack.pop()?;
+        // Push children reversed so iteration stays in document order.
+        for child in e.children.iter().rev().filter_map(Node::as_element) {
+            self.stack.push(child);
+        }
+        Some(e)
+    }
 }
 
 impl fmt::Display for Element {
@@ -190,6 +226,19 @@ impl Document {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn descendants_and_pu_positions() {
+        let doc = crate::parser::parse_document(
+            "<Master id=\"m\">\n  <Hybrid id=\"h\">\n    <Worker id=\"w\"/>\n  </Hybrid>\n</Master>",
+        )
+        .unwrap();
+        let names: Vec<&str> = doc.root.descendants().map(|e| e.local_name()).collect();
+        assert_eq!(names, ["Master", "Hybrid", "Worker"]);
+        let pos = doc.root.pos_of_pu("w").unwrap();
+        assert_eq!(pos.line, 3);
+        assert!(doc.root.pos_of_pu("nope").is_none());
+    }
 
     fn sample() -> Element {
         Element::new("Master")

@@ -47,9 +47,9 @@ pub mod parser;
 pub mod schema;
 pub mod writer;
 
-pub use decode::{decode_document, decode_unvalidated};
+pub use decode::{decode_document, decode_unchecked, decode_unvalidated};
 pub use encode::{encode_document, encode_master_fragment, to_xml};
-pub use error::{SchemaError, SyntaxError, XmlError};
+pub use error::{Pos, SchemaError, SyntaxError, XmlError};
 pub use parser::{parse_document, parse_fragment};
 pub use schema::{SchemaRegistry, Subschema};
 

@@ -15,7 +15,7 @@
 //! * validation of a parsed document against base schema + registry.
 
 use crate::dom::{Document, Element};
-use crate::error::SchemaError;
+use crate::error::{Pos, SchemaError};
 use pdl_core::version::Version;
 use std::collections::BTreeMap;
 
@@ -201,6 +201,13 @@ impl SchemaRegistry {
     /// Validates a document against the base schema and this registry.
     /// Returns all conformance errors (empty = valid).
     pub fn validate(&self, doc: &Document) -> Vec<SchemaError> {
+        self.validate_at(doc).into_iter().map(|(e, _)| e).collect()
+    }
+
+    /// Like [`SchemaRegistry::validate`], but pairs every conformance error
+    /// with the line/column of the XML element it was detected on, so
+    /// diagnostics can point at the offending source.
+    pub fn validate_at(&self, doc: &Document) -> Vec<(SchemaError, Pos)> {
         let mut errs = Vec::new();
         let root = &doc.root;
         match root.local_name() {
@@ -209,53 +216,71 @@ impl SchemaRegistry {
                     match v.parse::<Version>() {
                         Ok(doc_version) => {
                             if !self.tool_version.can_read(doc_version) {
-                                errs.push(SchemaError::IncompatibleVersion {
-                                    document: v.to_string(),
-                                    tool: self.tool_version.to_string(),
-                                });
+                                errs.push((
+                                    SchemaError::IncompatibleVersion {
+                                        document: v.to_string(),
+                                        tool: self.tool_version.to_string(),
+                                    },
+                                    root.pos,
+                                ));
                             }
                         }
-                        Err(_) => errs.push(SchemaError::BadAttributeValue {
-                            element: "Platform".into(),
-                            attribute: "schemaVersion".into(),
-                            value: v.to_string(),
-                        }),
+                        Err(_) => errs.push((
+                            SchemaError::BadAttributeValue {
+                                element: "Platform".into(),
+                                attribute: "schemaVersion".into(),
+                                value: v.to_string(),
+                            },
+                            root.pos,
+                        )),
                     }
                 }
                 for child in root.elements() {
                     match child.local_name() {
                         "Master" => self.validate_pu(child, &mut errs),
                         "Interconnect" => self.validate_interconnect(child, &mut errs),
-                        other => errs.push(SchemaError::UnexpectedElement {
-                            element: other.to_string(),
-                            parent: "Platform".to_string(),
-                        }),
+                        other => errs.push((
+                            SchemaError::UnexpectedElement {
+                                element: other.to_string(),
+                                parent: "Platform".to_string(),
+                            },
+                            child.pos,
+                        )),
                     }
                 }
             }
             "Master" => self.validate_pu(root, &mut errs),
-            other => errs.push(SchemaError::UnexpectedElement {
-                element: other.to_string(),
-                parent: String::new(),
-            }),
+            other => errs.push((
+                SchemaError::UnexpectedElement {
+                    element: other.to_string(),
+                    parent: String::new(),
+                },
+                root.pos,
+            )),
         }
         errs
     }
 
-    fn validate_pu(&self, e: &Element, errs: &mut Vec<SchemaError>) {
+    fn validate_pu(&self, e: &Element, errs: &mut Vec<(SchemaError, Pos)>) {
         if e.attribute("id").is_none() {
-            errs.push(SchemaError::MissingAttribute {
-                element: e.local_name().to_string(),
-                attribute: "id",
-            });
+            errs.push((
+                SchemaError::MissingAttribute {
+                    element: e.local_name().to_string(),
+                    attribute: "id",
+                },
+                e.pos,
+            ));
         }
         if let Some(q) = e.attribute("quantity") {
             if q.parse::<u32>().is_err() {
-                errs.push(SchemaError::BadAttributeValue {
-                    element: e.local_name().to_string(),
-                    attribute: "quantity".into(),
-                    value: q.to_string(),
-                });
+                errs.push((
+                    SchemaError::BadAttributeValue {
+                        element: e.local_name().to_string(),
+                        attribute: "quantity".into(),
+                        value: q.to_string(),
+                    },
+                    e.pos,
+                ));
             }
         }
         for child in e.elements() {
@@ -263,28 +288,37 @@ impl SchemaRegistry {
                 "PUDescriptor" => self.validate_descriptor(child, errs),
                 "MemoryRegion" => {
                     if child.attribute("id").is_none() {
-                        errs.push(SchemaError::MissingAttribute {
-                            element: "MemoryRegion".to_string(),
-                            attribute: "id",
-                        });
+                        errs.push((
+                            SchemaError::MissingAttribute {
+                                element: "MemoryRegion".to_string(),
+                                attribute: "id",
+                            },
+                            child.pos,
+                        ));
                     }
                     for d in child.elements() {
                         match d.local_name() {
                             "MRDescriptor" => self.validate_descriptor(d, errs),
-                            other => errs.push(SchemaError::UnexpectedElement {
-                                element: other.to_string(),
-                                parent: "MemoryRegion".to_string(),
-                            }),
+                            other => errs.push((
+                                SchemaError::UnexpectedElement {
+                                    element: other.to_string(),
+                                    parent: "MemoryRegion".to_string(),
+                                },
+                                d.pos,
+                            )),
                         }
                     }
                 }
                 "Interconnect" => self.validate_interconnect(child, errs),
                 "LogicGroupAttribute" => {
                     if child.attribute("name").is_none() {
-                        errs.push(SchemaError::MissingAttribute {
-                            element: "LogicGroupAttribute".to_string(),
-                            attribute: "name",
-                        });
+                        errs.push((
+                            SchemaError::MissingAttribute {
+                                element: "LogicGroupAttribute".to_string(),
+                                attribute: "name",
+                            },
+                            child.pos,
+                        ));
                     }
                 }
                 "Worker" | "Hybrid" => self.validate_pu(child, errs),
@@ -292,97 +326,121 @@ impl SchemaRegistry {
                     // Structural nesting of Master is a model-level rule
                     // (validate.rs); the schema rejects it outright since the
                     // XSD forbids Master as PU child.
-                    errs.push(SchemaError::UnexpectedElement {
-                        element: "Master".to_string(),
-                        parent: e.local_name().to_string(),
-                    });
+                    errs.push((
+                        SchemaError::UnexpectedElement {
+                            element: "Master".to_string(),
+                            parent: e.local_name().to_string(),
+                        },
+                        child.pos,
+                    ));
                 }
-                other => errs.push(SchemaError::UnexpectedElement {
-                    element: other.to_string(),
-                    parent: e.local_name().to_string(),
-                }),
+                other => errs.push((
+                    SchemaError::UnexpectedElement {
+                        element: other.to_string(),
+                        parent: e.local_name().to_string(),
+                    },
+                    child.pos,
+                )),
             }
         }
     }
 
-    fn validate_interconnect(&self, e: &Element, errs: &mut Vec<SchemaError>) {
+    fn validate_interconnect(&self, e: &Element, errs: &mut Vec<(SchemaError, Pos)>) {
         for required in ["type", "from", "to"] {
             if e.attribute(required).is_none() {
-                errs.push(SchemaError::MissingAttribute {
-                    element: "Interconnect".to_string(),
-                    attribute: match required {
-                        "type" => "type",
-                        "from" => "from",
-                        _ => "to",
+                errs.push((
+                    SchemaError::MissingAttribute {
+                        element: "Interconnect".to_string(),
+                        attribute: match required {
+                            "type" => "type",
+                            "from" => "from",
+                            _ => "to",
+                        },
                     },
-                });
+                    e.pos,
+                ));
             }
         }
         for child in e.elements() {
             match child.local_name() {
                 "ICDescriptor" => self.validate_descriptor(child, errs),
-                other => errs.push(SchemaError::UnexpectedElement {
-                    element: other.to_string(),
-                    parent: "Interconnect".to_string(),
-                }),
+                other => errs.push((
+                    SchemaError::UnexpectedElement {
+                        element: other.to_string(),
+                        parent: "Interconnect".to_string(),
+                    },
+                    child.pos,
+                )),
             }
         }
     }
 
-    fn validate_descriptor(&self, e: &Element, errs: &mut Vec<SchemaError>) {
+    fn validate_descriptor(&self, e: &Element, errs: &mut Vec<(SchemaError, Pos)>) {
         for child in e.elements() {
             match child.local_name() {
                 "Property" => self.validate_property(child, errs),
-                other => errs.push(SchemaError::UnexpectedElement {
-                    element: other.to_string(),
-                    parent: e.local_name().to_string(),
-                }),
+                other => errs.push((
+                    SchemaError::UnexpectedElement {
+                        element: other.to_string(),
+                        parent: e.local_name().to_string(),
+                    },
+                    child.pos,
+                )),
             }
         }
     }
 
-    fn validate_property(&self, e: &Element, errs: &mut Vec<SchemaError>) {
+    fn validate_property(&self, e: &Element, errs: &mut Vec<(SchemaError, Pos)>) {
         // xsi:type → subschema reference check.
         if let Some(t) = e.attribute("xsi:type") {
             match t.split_once(':') {
                 Some((prefix, type_name)) => match self.subschema(prefix) {
-                    None => errs.push(SchemaError::UnknownSubschema(t.to_string())),
+                    None => errs.push((SchemaError::UnknownSubschema(t.to_string()), e.pos)),
                     Some(sub) => match sub.property_type(type_name) {
-                        None => errs.push(SchemaError::UnknownSubschema(t.to_string())),
+                        None => errs.push((SchemaError::UnknownSubschema(t.to_string()), e.pos)),
                         Some(_) => {
                             if let Some(name_el) = e.first_named("name") {
                                 let prop_name = name_el.text_content();
                                 if !sub.type_accepts(type_name, &prop_name) {
-                                    errs.push(SchemaError::UnknownSubschemaProperty {
-                                        subschema: prefix.to_string(),
-                                        property: prop_name,
-                                    });
+                                    errs.push((
+                                        SchemaError::UnknownSubschemaProperty {
+                                            subschema: prefix.to_string(),
+                                            property: prop_name,
+                                        },
+                                        name_el.pos,
+                                    ));
                                 }
                             }
                         }
                     },
                 },
-                None => errs.push(SchemaError::UnknownSubschema(t.to_string())),
+                None => errs.push((SchemaError::UnknownSubschema(t.to_string()), e.pos)),
             }
         }
         // `fixed` must be boolean when present.
         if let Some(fixed) = e.attribute("fixed") {
             if !matches!(fixed, "true" | "false") {
-                errs.push(SchemaError::BadAttributeValue {
-                    element: "Property".into(),
-                    attribute: "fixed".into(),
-                    value: fixed.to_string(),
-                });
+                errs.push((
+                    SchemaError::BadAttributeValue {
+                        element: "Property".into(),
+                        attribute: "fixed".into(),
+                        value: fixed.to_string(),
+                    },
+                    e.pos,
+                ));
             }
         }
         // Children must be name/value (any prefix).
         for child in e.elements() {
             match child.local_name() {
                 "name" | "value" => {}
-                other => errs.push(SchemaError::UnexpectedElement {
-                    element: other.to_string(),
-                    parent: "Property".to_string(),
-                }),
+                other => errs.push((
+                    SchemaError::UnexpectedElement {
+                        element: other.to_string(),
+                        parent: "Property".to_string(),
+                    },
+                    child.pos,
+                )),
             }
         }
     }
@@ -605,6 +663,24 @@ mod tests {
         assert!(sub.type_accepts("A", "Q")); // via B
         assert!(!sub.type_accepts("A", "Z")); // cycle terminates
         assert!(!sub.type_accepts("missing", "P"));
+    }
+
+    #[test]
+    fn validate_at_reports_positions() {
+        let doc = parse_document(
+            "<Master id=\"0\">\n  <Worker id=\"1\">\n    <Gadget/>\n  </Worker>\n</Master>",
+        )
+        .unwrap();
+        let errs = SchemaRegistry::with_builtins().validate_at(&doc);
+        assert_eq!(errs.len(), 1);
+        let (err, pos) = &errs[0];
+        assert!(
+            matches!(err, SchemaError::UnexpectedElement { element, .. } if element == "Gadget")
+        );
+        assert_eq!(pos.line, 3);
+        assert!(pos.col > 1);
+        // The span-less API sees the same errors.
+        assert_eq!(SchemaRegistry::with_builtins().validate(&doc).len(), 1);
     }
 
     #[test]

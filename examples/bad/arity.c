@@ -1,0 +1,5 @@
+/* expect: C003 */
+#pragma cascabel task : x86 : I_a : a01 : (X: readwrite, Y: read)
+void fa(double *X, double *Y) { }
+#pragma cascabel execute I_a : (X:BLOCK:N)
+fa(X);

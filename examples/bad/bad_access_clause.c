@@ -1,0 +1,3 @@
+/* expect: C010 */
+#pragma cascabel task : x86 : I_a : a01 : (X: readwrite) : access(in: Z)
+void fa(double *X) { }

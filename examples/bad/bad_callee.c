@@ -1,0 +1,7 @@
+/* expect: C002 */
+#pragma cascabel task : x86 : I_a : a01 : (X: readwrite)
+void fa(double *X) { }
+#pragma cascabel task : x86 : I_b : b01 : (X: readwrite)
+void fb(double *X) { }
+#pragma cascabel execute I_b : (X:BLOCK:N)
+fa(X);

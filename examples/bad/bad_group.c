@@ -1,0 +1,5 @@
+/* expect[platform=xeon-x5550-8core]: C005 */
+#pragma cascabel task : x86 : I_a : a01 : (X: readwrite)
+void fa(double *X) { }
+#pragma cascabel execute I_a : @bogus (X:BLOCK:N)
+fa(X);

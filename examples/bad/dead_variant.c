@@ -1,0 +1,7 @@
+/* expect[platform=xeon-x5550-8core]: C006 C007 */
+#pragma cascabel task : x86 : I_a : a01 : (X: readwrite)
+void fa(double *X) { }
+#pragma cascabel task : Cuda : I_a : a02 : (X: readwrite)
+void fa_gpu(double *X) { }
+#pragma cascabel execute I_a : gpus (X:BLOCK:N)
+fa(X);

@@ -1,0 +1,9 @@
+/* expect: C009 */
+#pragma cascabel task : x86 : I_a : a01 : (X: readwrite) : access(out: X)
+void fa(double *X) { }
+#pragma cascabel task : x86 : I_b : b01 : (X: readwrite) : access(out: X)
+void fb(double *X) { }
+#pragma cascabel execute I_a : (X:BLOCK:N)
+fa(A);
+#pragma cascabel execute I_b : (X:BLOCK:N)
+fb(A);

@@ -1,0 +1,2 @@
+/* expect: C100 */
+#pragma cascabel task : : :

@@ -1,0 +1,3 @@
+/* expect: C004 */
+#pragma cascabel task : x86 : I_a : a01 : (X: readwrite, Y: read)
+void fa(double *X) { }

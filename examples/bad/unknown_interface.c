@@ -1,0 +1,3 @@
+/* expect: C001 */
+#pragma cascabel execute I_nope : (A:BLOCK:N)
+f(A);

@@ -1,0 +1,8 @@
+/* Annotated tiled DGEMM: the Figure 5 input program. */
+#include <cblas.h>
+
+#pragma cascabel task : x86 : I_dgemm : dgemm_serial : (A: read, B: read, C: readwrite)
+void my_dgemm(double *A, double *B, double *C) { }
+
+#pragma cascabel execute I_dgemm : (A:BLOCK:N, B:BLOCK:N, C:BLOCK:N)
+my_dgemm(A, B, C);

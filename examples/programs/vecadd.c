@@ -1,0 +1,6 @@
+/* Annotated vector-add: one input-program variant for I_vecadd. */
+#pragma cascabel task : x86 : I_vecadd : vecadd01 : (A: readwrite, B: read) : access(inout: A, in: B)
+void vector_add(double *A, double *B) { }
+
+#pragma cascabel execute I_vecadd : (A:BLOCK:N, B:BLOCK:N)
+vector_add(A, B);

@@ -10,6 +10,8 @@
 //! pdl route <file> <from> <to> <MB>   derive the data path between two PUs
 //! pdl diff <old> <new>                compare two descriptor snapshots
 //! pdl simulate <file> [N] [TILE]      simulate a tiled DGEMM on the platform
+//! pdl check [--json] [--platform P]... <file>...
+//!                                     run all static-analysis passes
 //! ```
 
 use hetero_rt::prelude::*;
@@ -29,6 +31,7 @@ fn main() -> ExitCode {
         Some("route") => cmd_route(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -58,6 +61,9 @@ USAGE:
   pdl route <file> <from> <to> <MB>   derive a data path
   pdl diff <old> <new>                compare two descriptors
   pdl simulate <file> [N] [TILE]      simulate a tiled DGEMM on the platform
+  pdl check [--json] [--platform P]... <file>...
+                                      run all static-analysis passes (see
+                                      docs/ANALYSIS.md for diagnostic codes)
 
 Builtin platform names (xeon-x5550-8core, xeon-x5550-gtx480-gtx285,
 cell-be, …) are accepted wherever a <file> is expected."
@@ -199,6 +205,46 @@ fn cmd_diff(args: &[String]) -> Result<(), String> {
         println!("({} change(s))", changes.len());
     }
     Ok(())
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let mut json = false;
+    let mut platforms = Vec::new();
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--platform" => {
+                platforms.push(load(it.next().ok_or("--platform needs a value")?.as_str())?)
+            }
+            other => files.push(other.to_string()),
+        }
+    }
+    if files.is_empty() {
+        return Err("missing argument: <file>".into());
+    }
+    let mut errors = 0;
+    let mut warnings = 0;
+    for file in &files {
+        let contents =
+            std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+        let report = pdl_analyze::analyze_source_file(file, &contents, &platforms)?;
+        errors += report.error_count();
+        warnings += report.warning_count();
+        if json {
+            println!("{}", pdl_analyze::render_json(&report));
+        } else if report.is_empty() {
+            println!("{file}: clean");
+        } else {
+            println!("{}", report.render());
+        }
+    }
+    if errors > 0 {
+        Err(format!("{errors} error(s), {warnings} warning(s)"))
+    } else {
+        Ok(())
+    }
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
