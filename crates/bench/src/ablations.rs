@@ -130,6 +130,79 @@ pub fn bus_contention(n: usize, tile: usize) -> (f64, f64) {
     (independent, shared)
 }
 
+/// One configuration of the transfer-pipeline ablation (Abl. I).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineRow {
+    /// Configuration label.
+    pub config: &'static str,
+    /// Modeled makespan in seconds.
+    pub makespan_s: f64,
+    /// Bytes staged host → device.
+    pub bytes_to_devices: f64,
+    /// Bytes staged device → host.
+    pub bytes_to_host: f64,
+    /// Bytes moved directly device → device over declared peer links.
+    pub bytes_peer: f64,
+}
+
+/// Transfer-pipeline ablation (Abl. I): the Fig. 5 DGEMM on the NVLink
+/// variant of the 2-GPU testbed under progressively richer transfer
+/// modeling. `baseline` is the legacy synchronous host-staged path
+/// (transfers serialize on the device lane); `overlap` moves transfers
+/// onto FIFO link lanes (compute/transfer overlap + link contention);
+/// `overlap+p2p` routes device→device traffic over the declared NVLink;
+/// `full` adds input prefetch at scheduling time; `full+dmda` swaps HEFT
+/// for the transfer-cost-aware `dmda` policy.
+pub fn transfer_pipeline_ablation(n: usize, tile: usize) -> Vec<PipelineRow> {
+    let machine = SimMachine::from_platform(&synthetic::xeon_2gpu_nvlink_testbed());
+    let configs: [(&'static str, &'static str, TransferPipeline); 5] = [
+        ("baseline", "heft", TransferPipeline::default()),
+        (
+            "overlap",
+            "heft",
+            TransferPipeline {
+                link_contention: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "overlap+p2p",
+            "heft",
+            TransferPipeline {
+                link_contention: true,
+                peer_to_peer: true,
+                ..Default::default()
+            },
+        ),
+        ("full", "heft", TransferPipeline::full()),
+        ("full+dmda", "dmda", TransferPipeline::full()),
+    ];
+    configs
+        .into_iter()
+        .map(|(config, policy, pipeline)| {
+            let graph = kernels::graphs::dgemm_graph(n, tile, None);
+            let mut policy = by_name(policy).expect("known policy");
+            let report = simulate(
+                &graph,
+                &machine,
+                policy.as_mut(),
+                &SimOptions {
+                    pipeline,
+                    ..Default::default()
+                },
+            )
+            .expect("runnable");
+            PipelineRow {
+                config,
+                makespan_s: report.makespan.seconds(),
+                bytes_to_devices: report.bytes_to_devices,
+                bytes_to_host: report.bytes_to_host,
+                bytes_peer: report.bytes_peer,
+            }
+        })
+        .collect()
+}
+
 /// GPU-configuration speedup over CPU-only for the Fig. 5 graph under a
 /// given PCIe bandwidth. Used to locate the offload break-even point.
 pub fn speedup_vs_pcie(n: usize, tile: usize, pcie_gbs: f64) -> f64 {
@@ -216,6 +289,38 @@ mod tests {
 
         let (independent, shared) = bus_contention(4096, 1024);
         assert!(shared >= independent, "shared {shared} !>= {independent}");
+    }
+
+    #[test]
+    fn pipeline_ablation_meets_acceptance_ratio() {
+        // The Fig. 5 heterogeneous DGEMM with prefetch + P2P +
+        // contention-aware scheduling must beat the synchronous host-staged
+        // baseline by ≥ 1.3× in modeled makespan (DESIGN.md Abl. I).
+        let rows = transfer_pipeline_ablation(2048, 256);
+        let get = |c: &str| rows.iter().find(|r| r.config == c).unwrap();
+        let baseline = get("baseline").makespan_s;
+        let best = rows
+            .iter()
+            .filter(|r| r.config != "baseline")
+            .map(|r| r.makespan_s)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            baseline / best >= 1.3,
+            "pipeline speedup {:.2}x < 1.3x (baseline {baseline}, best {best})",
+            baseline / best
+        );
+        // Pipelining never hurts, and P2P actually moves peer bytes.
+        for row in &rows {
+            assert!(
+                row.makespan_s <= baseline * 1.001,
+                "{} {} > baseline {baseline}",
+                row.config,
+                row.makespan_s
+            );
+        }
+        assert_eq!(get("baseline").bytes_peer, 0.0);
+        assert!(get("overlap+p2p").bytes_peer > 0.0);
+        assert!(get("full").bytes_peer > 0.0);
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub fn sweep_platforms() -> Vec<Platform> {
                 cpu_cores: 8,
                 gpus: vec!["GeForce GTX 480"],
                 dedicate_driver_cores: true,
+                nvlink_gpus: false,
             },
         ),
         synthetic::xeon_2gpu_testbed(),

@@ -8,10 +8,77 @@
 //! the transfers that make `D`'s copy valid; a write invalidates all other
 //! copies (MSI-style, write-invalidate).
 
+use simhw::link::LinkId;
 use simhw::machine::{DeviceId, SimMachine};
 use simhw::time::Duration;
 use std::collections::BTreeSet;
 use std::fmt;
+
+/// How accelerator↔accelerator transfers are routed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Routing {
+    /// Every move stages through host memory (PCIe-era default: src→host,
+    /// then host→dst).
+    #[default]
+    HostStaged,
+    /// Use a direct device↔device interconnect (e.g. NVLink) whenever the
+    /// platform declares one and it is cheaper than staging through host.
+    PeerToPeer,
+}
+
+/// One physical data movement of a [`TransferPlan`]: a copy between two
+/// memory spaces over zero or more physical links.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferHop {
+    /// Memory space the copy departs from ([`HOST`] or a device id).
+    pub from: DeviceId,
+    /// Memory space the copy arrives at; gains a valid copy on commit.
+    pub to: DeviceId,
+    /// Links the copy occupies, in order. Empty when both endpoints share
+    /// an address space (the hop only records validity, it moves nothing).
+    pub links: Vec<LinkId>,
+    /// Modeled duration of the copy.
+    pub duration: Duration,
+    /// Bytes physically moved: the datum size when `links` is non-empty,
+    /// zero otherwise.
+    pub bytes: f64,
+}
+
+/// The ordered transfers required before one access, produced by
+/// [`DataRegistry::plan_acquire`] / [`DataRegistry::plan_flush`].
+///
+/// A plan is a pure description: it charges nothing until
+/// [`DataRegistry::commit`] applies it. Engines use the hop structure to
+/// place each copy on the link timelines it occupies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferPlan {
+    /// Handle the plan moves.
+    pub handle: HandleId,
+    /// Hops in dependency order (a later hop needs the earlier one done).
+    pub hops: Vec<TransferHop>,
+}
+
+impl TransferPlan {
+    /// An empty plan (data already where it needs to be).
+    pub fn empty(handle: HandleId) -> Self {
+        TransferPlan {
+            handle,
+            hops: Vec::new(),
+        }
+    }
+
+    /// Total modeled time when hops run back-to-back without contention.
+    pub fn total(&self) -> Duration {
+        self.hops
+            .iter()
+            .fold(Duration::ZERO, |acc, hop| acc + hop.duration)
+    }
+
+    /// Whether the plan moves no data.
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+}
 
 /// Identifier of a data handle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -91,9 +158,11 @@ pub struct DataRegistry {
     metas: Vec<DataMeta>,
     /// Per handle: devices holding a valid copy.
     valid: Vec<BTreeSet<DeviceId>>,
-    /// Bytes transferred per (from-host/to-host) direction, for statistics.
+    /// Bytes transferred per direction, for statistics.
     bytes_to_devices: f64,
     bytes_to_host: f64,
+    /// Bytes moved directly device→device over peer interconnects.
+    bytes_peer: f64,
 }
 
 impl DataRegistry {
@@ -142,12 +211,145 @@ impl DataRegistry {
     }
 
     /// Plans the transfers needed before accessing `h` on `device` with
-    /// `mode`, updates coherence state, and returns the modeled transfer
-    /// time (possibly zero).
+    /// `mode`, without changing any state.
     ///
-    /// Transfer routing is host-mediated, as on PCIe systems of the paper's
-    /// era: accelerator→accelerator moves staging through host memory
-    /// (src→host, then host→dst).
+    /// Under [`Routing::HostStaged`] the plan is at most two hops:
+    /// owner→host (when no host copy exists), then host→device. Under
+    /// [`Routing::PeerToPeer`] a direct owner→device hop over a declared
+    /// peer interconnect is used instead whenever one exists and is cheaper.
+    pub fn plan_acquire(
+        &self,
+        machine: &SimMachine,
+        h: HandleId,
+        device: DeviceId,
+        mode: AccessMode,
+        routing: Routing,
+    ) -> TransferPlan {
+        let mut plan = TransferPlan::empty(h);
+        if !mode.reads() || self.valid[h.0].contains(&device) {
+            return plan;
+        }
+        let size = self.metas[h.0].size_bytes;
+
+        // Host-staged route: stage to host first when needed.
+        if !self.valid[h.0].contains(&HOST) {
+            let owner = *self.valid[h.0]
+                .iter()
+                .next()
+                .expect("a datum is always valid somewhere");
+            plan.hops.push(hop(machine, owner, HOST, size));
+        }
+        if device != HOST {
+            if let Some(path) = machine.host_route(device) {
+                plan.hops.push(TransferHop {
+                    from: HOST,
+                    to: device,
+                    links: path.links.clone(),
+                    duration: path.transfer_time(size),
+                    bytes: size,
+                });
+            }
+            // No host route: the device shares the host address space and
+            // the (possibly staged) host copy already serves it.
+        }
+
+        if routing == Routing::PeerToPeer && device != HOST {
+            // Cheapest direct route from any current owner, if one beats
+            // the staged plan.
+            let mut best: Option<TransferHop> = None;
+            for &owner in &self.valid[h.0] {
+                if owner == HOST || owner == device {
+                    continue;
+                }
+                let Some(path) = machine.peer_route(owner, device) else {
+                    continue;
+                };
+                let duration = path.transfer_time(size);
+                if best.as_ref().is_none_or(|b| duration < b.duration) {
+                    best = Some(TransferHop {
+                        from: owner,
+                        to: device,
+                        links: path.links.clone(),
+                        duration,
+                        bytes: size,
+                    });
+                }
+            }
+            if let Some(peer) = best {
+                if peer.duration < plan.total() {
+                    plan.hops = vec![peer];
+                }
+            }
+        }
+        plan
+    }
+
+    /// Plans the transfer bringing `h` back to host memory (end of run /
+    /// result collection), without changing any state.
+    pub fn plan_flush(&self, machine: &SimMachine, h: HandleId) -> TransferPlan {
+        let mut plan = TransferPlan::empty(h);
+        if self.valid[h.0].contains(&HOST) {
+            return plan;
+        }
+        // Prefer an owner sharing the host address space (free flush);
+        // otherwise the first owner pays its host route.
+        let owner = self.valid[h.0]
+            .iter()
+            .copied()
+            .find(|&d| machine.host_route(d).is_none())
+            .or_else(|| self.valid[h.0].iter().next().copied())
+            .expect("a datum is always valid somewhere");
+        plan.hops
+            .push(hop(machine, owner, HOST, self.metas[h.0].size_bytes));
+        plan
+    }
+
+    /// Applies a plan's coherence and byte-accounting effects: every hop
+    /// destination gains a valid copy, and each physically moved hop is
+    /// counted exactly once in the matching direction counter.
+    pub fn commit(&mut self, plan: &TransferPlan) {
+        for hop in &plan.hops {
+            self.valid[plan.handle.0].insert(hop.to);
+            if hop.to == HOST {
+                self.bytes_to_host += hop.bytes;
+            } else if hop.from == HOST {
+                self.bytes_to_devices += hop.bytes;
+            } else {
+                self.bytes_peer += hop.bytes;
+            }
+        }
+    }
+
+    /// Records the access itself after its transfers committed: a write
+    /// invalidates every other copy (MSI write-invalidate), a read leaves
+    /// the reader holding a valid copy.
+    pub fn finish_access(&mut self, h: HandleId, device: DeviceId, mode: AccessMode) {
+        if mode.writes() {
+            self.valid[h.0].clear();
+            self.valid[h.0].insert(device);
+        } else if mode.reads() {
+            self.valid[h.0].insert(device);
+        }
+    }
+
+    /// Plans, commits and completes one access under the given routing,
+    /// returning the modeled uncontended transfer time.
+    pub fn acquire_via(
+        &mut self,
+        machine: &SimMachine,
+        h: HandleId,
+        device: DeviceId,
+        mode: AccessMode,
+        routing: Routing,
+    ) -> Duration {
+        let plan = self.plan_acquire(machine, h, device, mode, routing);
+        self.commit(&plan);
+        self.finish_access(h, device, mode);
+        plan.total()
+    }
+
+    /// [`acquire_via`](Self::acquire_via) with host-staged routing — the
+    /// behaviour of PCIe-era systems the paper targets.
     pub fn acquire(
         &mut self,
         machine: &SimMachine,
@@ -155,44 +357,25 @@ impl DataRegistry {
         device: DeviceId,
         mode: AccessMode,
     ) -> Duration {
-        let size = self.metas[h.0].size_bytes;
-        let mut time = Duration::ZERO;
-
-        if mode.reads() && !self.valid[h.0].contains(&device) {
-            // Need a valid copy on `device`.
-            let dev_link = link_of(machine, device);
-            if !self.valid[h.0].contains(&HOST) {
-                // Stage back to host from some current owner first.
-                let owner = *self.valid[h.0]
-                    .iter()
-                    .next()
-                    .expect("a datum is always valid somewhere");
-                let owner_link = link_of(machine, owner);
-                time = time + transfer(owner_link, size);
-                self.bytes_to_host += size;
-                self.valid[h.0].insert(HOST);
-            }
-            time = time + transfer(dev_link, size);
-            if transfer(dev_link, size) > Duration::ZERO {
-                self.bytes_to_devices += size;
-            }
-            self.valid[h.0].insert(device);
-        }
-
-        if mode.writes() {
-            // Write-invalidate: the writer becomes the only valid copy.
-            self.valid[h.0].clear();
-            self.valid[h.0].insert(device);
-        } else if mode.reads() {
-            self.valid[h.0].insert(device);
-        }
-
-        time
+        self.acquire_via(machine, h, device, mode, Routing::HostStaged)
     }
 
-    /// Estimates the transfer time [`acquire`](Self::acquire) would charge,
-    /// **without** changing coherence state. Schedulers use this to compare
-    /// candidate devices.
+    /// Estimates the transfer time [`acquire_via`](Self::acquire_via) would
+    /// charge, **without** changing coherence state. Equal by construction:
+    /// both price the same [`plan_acquire`](Self::plan_acquire) plan.
+    pub fn probe_acquire_via(
+        &self,
+        machine: &SimMachine,
+        h: HandleId,
+        device: DeviceId,
+        mode: AccessMode,
+        routing: Routing,
+    ) -> Duration {
+        self.plan_acquire(machine, h, device, mode, routing).total()
+    }
+
+    /// [`probe_acquire_via`](Self::probe_acquire_via) with host-staged
+    /// routing. Schedulers use this to compare candidate devices.
     pub fn probe_acquire(
         &self,
         machine: &SimMachine,
@@ -200,35 +383,15 @@ impl DataRegistry {
         device: DeviceId,
         mode: AccessMode,
     ) -> Duration {
-        let size = self.metas[h.0].size_bytes;
-        let mut time = Duration::ZERO;
-        if mode.reads() && !self.valid[h.0].contains(&device) {
-            if !self.valid[h.0].contains(&HOST) {
-                let owner = *self.valid[h.0]
-                    .iter()
-                    .next()
-                    .expect("a datum is always valid somewhere");
-                time = time + transfer(link_of(machine, owner), size);
-            }
-            time = time + transfer(link_of(machine, device), size);
-        }
-        time
+        self.probe_acquire_via(machine, h, device, mode, Routing::HostStaged)
     }
 
-    /// Plans the transfer bringing `h` back to host memory (end of run /
-    /// result collection). Returns the modeled time.
+    /// Plans and commits the transfer bringing `h` back to host memory.
+    /// Returns the modeled time.
     pub fn flush_to_host(&mut self, machine: &SimMachine, h: HandleId) -> Duration {
-        if self.valid[h.0].contains(&HOST) {
-            return Duration::ZERO;
-        }
-        let owner = *self.valid[h.0]
-            .iter()
-            .next()
-            .expect("a datum is always valid somewhere");
-        let t = transfer(link_of(machine, owner), self.metas[h.0].size_bytes);
-        self.bytes_to_host += self.metas[h.0].size_bytes;
-        self.valid[h.0].insert(HOST);
-        t
+        let plan = self.plan_flush(machine, h);
+        self.commit(&plan);
+        plan.total()
     }
 
     /// Total bytes moved host→device so far.
@@ -240,20 +403,36 @@ impl DataRegistry {
     pub fn bytes_to_host(&self) -> f64 {
         self.bytes_to_host
     }
-}
 
-/// The link of a device, or `None` for host / shared-address-space devices.
-fn link_of(machine: &SimMachine, device: DeviceId) -> Option<simhw::machine::LinkParams> {
-    if device == HOST {
-        return None;
+    /// Total bytes moved directly device→device over peer interconnects.
+    pub fn bytes_peer(&self) -> f64 {
+        self.bytes_peer
     }
-    machine.devices.get(device.0).and_then(|d| d.link)
 }
 
-fn transfer(link: Option<simhw::machine::LinkParams>, size: f64) -> Duration {
-    match link {
-        None => Duration::ZERO, // same address space
-        Some(l) => l.transfer_time(size),
+/// A hop from `from`'s memory into `to`'s, where `to` is [`HOST`] or shares
+/// the host address space with `from` routed over its host route. Collapses
+/// to a free bookkeeping hop when the source shares the host address space.
+fn hop(machine: &SimMachine, from: DeviceId, to: DeviceId, size: f64) -> TransferHop {
+    let endpoint = if to == HOST { from } else { to };
+    match (endpoint != HOST)
+        .then(|| machine.host_route(endpoint))
+        .flatten()
+    {
+        Some(path) => TransferHop {
+            from,
+            to,
+            links: path.links.clone(),
+            duration: path.transfer_time(size),
+            bytes: size,
+        },
+        None => TransferHop {
+            from,
+            to,
+            links: Vec::new(),
+            duration: Duration::ZERO,
+            bytes: 0.0,
+        },
     }
 }
 
@@ -371,6 +550,75 @@ mod tests {
         reg.acquire(&m, h, gpu0(&m), AccessMode::Write);
         let t = reg.acquire(&m, h, gpu0(&m), AccessMode::ReadWrite);
         assert_eq!(t, Duration::ZERO);
+    }
+
+    fn nvlink_machine() -> SimMachine {
+        SimMachine::from_platform(&synthetic::xeon_2gpu_nvlink_testbed())
+    }
+
+    #[test]
+    fn peer_read_uses_nvlink_when_declared() {
+        let m = nvlink_machine();
+        let mut reg = DataRegistry::new();
+        let h = reg.register("A", 600e6);
+        reg.acquire_via(&m, h, gpu0(&m), AccessMode::Write, Routing::PeerToPeer);
+        let probe = reg.probe_acquire_via(&m, h, gpu1(&m), AccessMode::Read, Routing::PeerToPeer);
+        let t = reg.acquire_via(&m, h, gpu1(&m), AccessMode::Read, Routing::PeerToPeer);
+        // One NVLink hop: 600 MB over 25 GB/s + 2 µs — not two PCIe hops.
+        assert!((t.seconds() - 0.024002).abs() < 1e-6, "{t}");
+        assert_eq!(probe, t);
+        assert_eq!(reg.bytes_peer(), 600e6);
+        assert_eq!(reg.bytes_to_host(), 0.0);
+        assert_eq!(reg.bytes_to_devices(), 0.0);
+        // A peer copy does not create a host copy.
+        assert!(!reg.is_valid_on(h, HOST));
+        assert!(reg.is_valid_on(h, gpu0(&m)));
+        assert!(reg.is_valid_on(h, gpu1(&m)));
+    }
+
+    #[test]
+    fn p2p_routing_falls_back_to_staging_without_peer_link() {
+        let m = machine(); // plain testbed: no NVLink declared
+        let mut reg = DataRegistry::new();
+        let h = reg.register("A", 600e6);
+        reg.acquire_via(&m, h, gpu0(&m), AccessMode::Write, Routing::PeerToPeer);
+        let t = reg.acquire_via(&m, h, gpu1(&m), AccessMode::Read, Routing::PeerToPeer);
+        assert!((t.seconds() - 2.0 * 0.100015).abs() < 1e-5, "{t}");
+        assert_eq!(reg.bytes_peer(), 0.0);
+        assert_eq!(reg.bytes_to_host(), 600e6);
+        assert_eq!(reg.bytes_to_devices(), 600e6);
+    }
+
+    #[test]
+    fn shared_space_staging_counts_no_host_bytes() {
+        let m = machine();
+        let mut reg = DataRegistry::new();
+        let h = reg.register("A", 600e6);
+        // Data written on a CPU core: it lives in the host address space,
+        // so "staging" it back to host is free and moves zero bytes.
+        reg.acquire(&m, h, cpu0(&m), AccessMode::Write);
+        let t = reg.acquire(&m, h, gpu0(&m), AccessMode::Read);
+        assert!((t.seconds() - 0.100015).abs() < 1e-6, "{t}");
+        assert_eq!(reg.bytes_to_host(), 0.0);
+        assert_eq!(reg.bytes_to_devices(), 600e6);
+    }
+
+    #[test]
+    fn acquire_charges_each_hop_once() {
+        let m = machine();
+        let mut reg = DataRegistry::new();
+        let h = reg.register("A", 600e6);
+        reg.acquire(&m, h, gpu0(&m), AccessMode::Write);
+        let plan = reg.plan_acquire(&m, h, gpu1(&m), AccessMode::Read, Routing::HostStaged);
+        assert_eq!(plan.hops.len(), 2);
+        assert_eq!(plan.hops[0].to, HOST);
+        assert_eq!(plan.hops[1].from, HOST);
+        // Both hops carry bytes over one PCIe link each — disjoint links.
+        assert_eq!(plan.hops[0].bytes, 600e6);
+        assert_eq!(plan.hops[1].bytes, 600e6);
+        assert_eq!(plan.hops[0].links.len(), 1);
+        assert_eq!(plan.hops[1].links.len(), 1);
+        assert_ne!(plan.hops[0].links, plan.hops[1].links);
     }
 
     #[test]

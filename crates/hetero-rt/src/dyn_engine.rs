@@ -17,10 +17,10 @@
 //! the same graphs, machines, coherence and cost models are used — which is
 //! exactly what the list-vs-online ablation isolates.
 
-use crate::data::DataRegistry;
+use crate::data::{DataRegistry, HandleId};
 use crate::graph::TaskGraph;
 use crate::scheduler::{ScheduleContext, Scheduler};
-use crate::sim_engine::{RtError, SimOptions, SimReport};
+use crate::sim_engine::{run_plan_on_links, RtError, SimOptions, SimReport};
 use crate::task::TaskId;
 use simhw::energy::energy;
 use simhw::events::EventQueue;
@@ -28,6 +28,7 @@ use simhw::machine::{DeviceId, SimMachine};
 use simhw::resource::Timeline;
 use simhw::time::{Duration, SimTime};
 use simhw::trace::{SpanKind, Trace};
+use std::collections::BTreeMap;
 
 /// Simulates the graph with online (event-driven) scheduling.
 ///
@@ -50,6 +51,12 @@ pub fn simulate_dynamic(
     let mut data: DataRegistry = graph.data.clone();
     let mut trace = Trace::new();
     let mut assignments: Vec<(TaskId, DeviceId)> = Vec::with_capacity(n);
+
+    let pipeline = options.pipeline;
+    let routing = pipeline.routing();
+    let mut link_timelines: Vec<Timeline> = vec![Timeline::new(); machine.links.len()];
+    let mut link_trace = Trace::new();
+    let mut handle_ready: BTreeMap<HandleId, SimTime> = BTreeMap::new();
 
     // Readiness bookkeeping.
     let mut pending_deps: Vec<usize> = (0..n)
@@ -137,6 +144,21 @@ pub fn simulate_dynamic(
                 let (_, end) = timelines[d.0].probe(now, transfer + compute);
                 end
             };
+            let transfer_cost = |d: DeviceId| {
+                let mut t = Duration::ZERO;
+                for a in &task.accesses {
+                    t = t + data.probe_acquire_via(machine, a.handle, d, a.mode, routing);
+                }
+                t
+            };
+            let est_compute = |d: DeviceId| {
+                let dev = &machine.devices[d.0];
+                let sw: Vec<&str> = dev.software_platforms.iter().map(String::as_str).collect();
+                let variant = codelet
+                    .variant_for(&dev.arch, &sw)
+                    .expect("candidate implies variant");
+                Duration::new(task.flops / (dev.flops_dp * variant.speedup))
+            };
             let ctx = ScheduleContext {
                 machine,
                 task,
@@ -145,6 +167,8 @@ pub fn simulate_dynamic(
                 candidates: &candidates,
                 free_at: &free_at,
                 est_finish: &est_finish,
+                transfer_cost: &transfer_cost,
+                est_compute: &est_compute,
             };
             let chosen = scheduler.pick(&ctx);
 
@@ -154,36 +178,71 @@ pub fn simulate_dynamic(
             let variant = codelet
                 .variant_for(&dev.arch, &sw)
                 .expect("candidate implies variant");
-            let mut transfer = Duration::ZERO;
-            for a in &task.accesses {
-                transfer = transfer + data.acquire(machine, a.handle, chosen, a.mode);
-            }
             let compute = Duration::new(task.flops / (dev.flops_dp * variant.speedup));
-            let dispatch_ready = if options.shared_host_bus && transfer > Duration::ZERO {
-                now.max(host_bus.free_at())
+            let end = if pipeline.is_active() {
+                let mut arrival = SimTime::ZERO;
+                for a in &task.accesses {
+                    let plan = data.plan_acquire(machine, a.handle, chosen, a.mode, routing);
+                    let floor = if pipeline.prefetch {
+                        handle_ready
+                            .get(&a.handle)
+                            .copied()
+                            .unwrap_or(SimTime::ZERO)
+                    } else {
+                        now
+                    };
+                    let done = run_plan_on_links(
+                        &plan,
+                        floor,
+                        pipeline.link_contention,
+                        &mut link_timelines,
+                        &mut link_trace,
+                        &format!("{}:{}:in", task.label, data.meta(a.handle).label),
+                    );
+                    data.commit(&plan);
+                    data.finish_access(a.handle, chosen, a.mode);
+                    arrival = arrival.max(done);
+                }
+                let (start, end) = timelines[chosen.0].reserve(now.max(arrival), compute);
+                trace.record(chosen, task.label.clone(), SpanKind::Compute, start, end);
+                end
             } else {
-                now
-            };
-            let (start, end) = timelines[chosen.0].reserve(dispatch_ready, transfer + compute);
-            if transfer > Duration::ZERO {
-                if options.shared_host_bus {
-                    host_bus.reserve(start, transfer);
+                let mut transfer = Duration::ZERO;
+                for a in &task.accesses {
+                    transfer = transfer + data.acquire(machine, a.handle, chosen, a.mode);
+                }
+                let dispatch_ready = if options.shared_host_bus && transfer > Duration::ZERO {
+                    now.max(host_bus.free_at())
+                } else {
+                    now
+                };
+                let (start, end) = timelines[chosen.0].reserve(dispatch_ready, transfer + compute);
+                if transfer > Duration::ZERO {
+                    if options.shared_host_bus {
+                        host_bus.reserve(start, transfer);
+                    }
+                    trace.record(
+                        chosen,
+                        format!("{}:in", task.label),
+                        SpanKind::Transfer,
+                        start,
+                        start + transfer,
+                    );
                 }
                 trace.record(
                     chosen,
-                    format!("{}:in", task.label),
-                    SpanKind::Transfer,
-                    start,
+                    task.label.clone(),
+                    SpanKind::Compute,
                     start + transfer,
+                    end,
                 );
+                end
+            };
+            for a in &task.accesses {
+                if a.mode.writes() {
+                    handle_ready.insert(a.handle, end);
+                }
             }
-            trace.record(
-                chosen,
-                task.label.clone(),
-                SpanKind::Compute,
-                start + transfer,
-                end,
-            );
             assignments.push((tid, chosen));
             events.schedule(end, Completion(tid));
             ready.remove(i);
@@ -209,7 +268,7 @@ pub fn simulate_dynamic(
 
     // Flush outputs, as in the list engine.
     if options.flush_outputs {
-        let mut written: Vec<crate::data::HandleId> = graph
+        let mut written: Vec<HandleId> = graph
             .tasks
             .iter()
             .flat_map(|t| t.accesses.iter())
@@ -219,7 +278,19 @@ pub fn simulate_dynamic(
         written.sort_unstable();
         written.dedup();
         for h in written {
-            if let Some(owner) = data
+            if pipeline.is_active() {
+                let plan = data.plan_flush(machine, h);
+                let floor = handle_ready.get(&h).copied().unwrap_or(SimTime::ZERO);
+                run_plan_on_links(
+                    &plan,
+                    floor,
+                    pipeline.link_contention,
+                    &mut link_timelines,
+                    &mut link_trace,
+                    &format!("{}:out", data.meta(h).label),
+                );
+                data.commit(&plan);
+            } else if let Some(owner) = data
                 .valid_on(h)
                 .iter()
                 .find(|d| **d != crate::data::HOST)
@@ -240,7 +311,7 @@ pub fn simulate_dynamic(
         }
     }
 
-    let makespan = trace.makespan();
+    let makespan = trace.makespan().max(link_trace.makespan());
     let energy = energy(machine, &trace);
     Ok(SimReport {
         makespan,
@@ -249,8 +320,11 @@ pub fn simulate_dynamic(
         energy,
         bytes_to_devices: data.bytes_to_devices(),
         bytes_to_host: data.bytes_to_host(),
+        bytes_peer: data.bytes_peer(),
         perfmodel: crate::perfmodel::PerfModel::new(),
         policy: scheduler.name(),
+        link_names: machine.links.iter().map(|l| l.name.clone()).collect(),
+        link_trace,
         trace,
     })
 }

@@ -48,15 +48,15 @@ pub mod trace_bridge;
 
 /// Commonly used items.
 pub mod prelude {
-    pub use crate::data::{AccessMode, DataRegistry, HandleId};
+    pub use crate::data::{AccessMode, DataRegistry, HandleId, Routing, TransferHop, TransferPlan};
     pub use crate::dyn_engine::simulate_dynamic;
     pub use crate::graph::TaskGraph;
     pub use crate::perfmodel::PerfModel;
     pub use crate::scheduler::{
-        by_name, EagerScheduler, EnergyAwareScheduler, HeftScheduler, RandomScheduler,
-        RoundRobinScheduler, ScheduleContext, Scheduler,
+        by_name, DmdaScheduler, EagerScheduler, EnergyAwareScheduler, HeftScheduler,
+        RandomScheduler, RoundRobinScheduler, ScheduleContext, Scheduler,
     };
-    pub use crate::sim_engine::{simulate, RtError, SimOptions, SimReport};
+    pub use crate::sim_engine::{simulate, RtError, SimOptions, SimReport, TransferPipeline};
     pub use crate::task::{Codelet, DataAccess, Task, TaskId, Variant};
     pub use crate::thread_engine::{
         from_graph, ExecReport, Placement, PlacementGroup, SingleQueueExecutor, ThreadTask,

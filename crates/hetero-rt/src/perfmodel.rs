@@ -10,14 +10,6 @@
 use simhw::time::Duration;
 use std::collections::BTreeMap;
 
-/// Key of one history bucket.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
-struct BucketKey {
-    codelet: String,
-    arch: String,
-    size_bucket: u32,
-}
-
 /// Running statistics of a bucket.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct BucketStats {
@@ -49,9 +41,13 @@ impl BucketStats {
 }
 
 /// A history-based performance model.
+///
+/// Buckets are stored codelet → arch → size-bucket so the hot scheduler
+/// lookup path ([`estimate`](Self::estimate)) works entirely on borrowed
+/// `&str` keys, without allocating.
 #[derive(Debug, Clone, Default)]
 pub struct PerfModel {
-    buckets: BTreeMap<BucketKey, BucketStats>,
+    buckets: BTreeMap<String, BTreeMap<String, BTreeMap<u32, BucketStats>>>,
 }
 
 /// Buckets sizes by floor(log2): tasks within 2× of each other share a
@@ -72,49 +68,60 @@ impl PerfModel {
 
     /// Records an observed execution.
     pub fn record(&mut self, codelet: &str, arch: &str, size: f64, duration: Duration) {
-        let key = BucketKey {
-            codelet: codelet.to_string(),
-            arch: arch.to_string(),
-            size_bucket: size_bucket(size),
-        };
+        // Allocation only on the cold path: a bucket's first observation.
+        if let Some(archs) = self.buckets.get_mut(codelet) {
+            if let Some(sizes) = archs.get_mut(arch) {
+                sizes
+                    .entry(size_bucket(size))
+                    .or_default()
+                    .record(duration.seconds());
+                return;
+            }
+        }
         self.buckets
-            .entry(key)
+            .entry(codelet.to_string())
+            .or_default()
+            .entry(arch.to_string())
+            .or_default()
+            .entry(size_bucket(size))
             .or_default()
             .record(duration.seconds());
+    }
+
+    /// The bucket for a (codelet, arch, size) triple, looked up without
+    /// allocating — this sits on the hot scheduler path.
+    fn bucket(&self, codelet: &str, arch: &str, size: f64) -> Option<&BucketStats> {
+        self.buckets
+            .get(codelet)?
+            .get(arch)?
+            .get(&size_bucket(size))
     }
 
     /// Estimated duration, if the model has seen this (codelet, arch, size
     /// bucket) before.
     pub fn estimate(&self, codelet: &str, arch: &str, size: f64) -> Option<Duration> {
-        let key = BucketKey {
-            codelet: codelet.to_string(),
-            arch: arch.to_string(),
-            size_bucket: size_bucket(size),
-        };
-        self.buckets
-            .get(&key)
+        self.bucket(codelet, arch, size)
             .filter(|s| s.count > 0)
             .map(|s| Duration::new(s.mean_s))
     }
 
     /// Statistics of a bucket, if present.
     pub fn stats(&self, codelet: &str, arch: &str, size: f64) -> Option<BucketStats> {
-        let key = BucketKey {
-            codelet: codelet.to_string(),
-            arch: arch.to_string(),
-            size_bucket: size_bucket(size),
-        };
-        self.buckets.get(&key).copied()
+        self.bucket(codelet, arch, size).copied()
     }
 
     /// Number of populated buckets.
     pub fn len(&self) -> usize {
-        self.buckets.len()
+        self.buckets
+            .values()
+            .flat_map(|archs| archs.values())
+            .map(|sizes| sizes.len())
+            .sum()
     }
 
     /// Whether the model is empty.
     pub fn is_empty(&self) -> bool {
-        self.buckets.is_empty()
+        self.len() == 0
     }
 }
 

@@ -8,7 +8,12 @@
 //! * [`EagerScheduler`] — first-come-first-served onto the earliest-free
 //!   device, ignoring transfer costs (StarPU `eager`);
 //! * [`HeftScheduler`] — minimizes estimated finish time including data
-//!   transfers (StarPU `dmda`, HEFT-style);
+//!   transfers (HEFT-style);
+//! * [`DmdaScheduler`] — StarPU's `dmda` (deque model data aware):
+//!   minimizes begin + routed transfer cost + modeled compute, where the
+//!   transfer term prices the actual transfer plan (peer-to-peer when the
+//!   engine routes that way) and the compute term prefers learned
+//!   [`crate::perfmodel::PerfModel`] history over the analytic estimate;
 //! * [`RandomScheduler`] — seeded uniform choice (StarPU `random`), a lower
 //!   bound for ablations;
 //! * [`RoundRobinScheduler`] — cycles through candidates;
@@ -17,7 +22,7 @@
 
 use crate::task::Task;
 use simhw::machine::{DeviceId, SimMachine};
-use simhw::time::SimTime;
+use simhw::time::{Duration, SimTime};
 
 /// Information a scheduler sees when placing one task.
 pub struct ScheduleContext<'a> {
@@ -37,6 +42,12 @@ pub struct ScheduleContext<'a> {
     /// Estimated finish time on each candidate: max(ready, free) +
     /// transfers + compute.
     pub est_finish: &'a dyn Fn(DeviceId) -> SimTime,
+    /// Uncontended cost of the transfers the engine would actually route
+    /// for this task on each candidate (peer-to-peer priced when active).
+    pub transfer_cost: &'a dyn Fn(DeviceId) -> Duration,
+    /// Modeled compute duration on each candidate: learned perf-model
+    /// history when available, analytic `flops / rate` otherwise.
+    pub est_compute: &'a dyn Fn(DeviceId) -> Duration,
 }
 
 /// A task-placement policy.
@@ -79,6 +90,31 @@ impl Scheduler for HeftScheduler {
         *ctx.candidates
             .iter()
             .min_by_key(|&&d| ((ctx.est_finish)(d), d))
+            .expect("candidates never empty")
+    }
+}
+
+/// StarPU's `dmda` (deque model data aware): minimizes
+/// `max(ready, free) + transfer_cost + est_compute`, pricing transfers
+/// along the route the engine will actually take (peer-to-peer links
+/// included) and preferring learned perf-model history for the compute
+/// term. Differs from [`HeftScheduler`] in both cost oracles: HEFT prices
+/// host-staged transfers and analytic compute only.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DmdaScheduler;
+
+impl Scheduler for DmdaScheduler {
+    fn name(&self) -> &'static str {
+        "dmda"
+    }
+
+    fn pick(&mut self, ctx: &ScheduleContext<'_>) -> DeviceId {
+        *ctx.candidates
+            .iter()
+            .min_by_key(|&&d| {
+                let begin = ctx.ready.max((ctx.free_at)(d));
+                (begin + (ctx.transfer_cost)(d) + (ctx.est_compute)(d), d)
+            })
             .expect("candidates never empty")
     }
 }
@@ -169,11 +205,12 @@ impl Scheduler for EnergyAwareScheduler {
 }
 
 /// Constructs a scheduler by StarPU-style policy name
-/// (`eager`, `heft`/`dmda`, `random`, `round-robin`, `energy`).
+/// (`eager`, `heft`, `dmda`, `random`, `round-robin`, `energy`).
 pub fn by_name(name: &str) -> Option<Box<dyn Scheduler>> {
     match name {
         "eager" => Some(Box::new(EagerScheduler)),
-        "heft" | "dmda" => Some(Box::new(HeftScheduler)),
+        "heft" => Some(Box::new(HeftScheduler)),
+        "dmda" => Some(Box::new(DmdaScheduler)),
         "random" => Some(Box::new(RandomScheduler::new(42))),
         "energy" => Some(Box::new(EnergyAwareScheduler)),
         "round-robin" | "rr" => Some(Box::new(RoundRobinScheduler::default())),
@@ -202,6 +239,10 @@ mod tests {
         SimMachine::from_platform(&pdl_core::patterns::master_worker_pool(4))
     }
 
+    fn zero_cost(_d: DeviceId) -> Duration {
+        Duration::ZERO
+    }
+
     fn ctx<'a>(
         machine: &'a SimMachine,
         task: &'a Task,
@@ -217,6 +258,8 @@ mod tests {
             candidates,
             free_at,
             est_finish,
+            transfer_cost: &zero_cost,
+            est_compute: &zero_cost,
         }
     }
 
@@ -339,9 +382,32 @@ mod tests {
     }
 
     #[test]
+    fn dmda_weighs_routed_transfers_and_learned_compute() {
+        let machine = test_machine();
+        let task = dummy_task();
+        let candidates = [DeviceId(0), DeviceId(1)];
+        let free = |_d: DeviceId| SimTime::ZERO;
+        let est = |_d: DeviceId| SimTime::ZERO; // dmda ignores est_finish
+                                                // Device 0 computes faster but pays a large routed transfer;
+                                                // device 1 holds the data already.
+        let transfer = |d: DeviceId| Duration::new([10.0, 0.0][d.0]);
+        let compute = |d: DeviceId| Duration::new([1.0, 4.0][d.0]);
+        let mut c = ctx(&machine, &task, &candidates, &free, &est);
+        c.transfer_cost = &transfer;
+        c.est_compute = &compute;
+        let mut s = DmdaScheduler;
+        assert_eq!(s.pick(&c), DeviceId(1));
+        assert_eq!(s.name(), "dmda");
+        // With the transfer gap removed, the faster device wins.
+        let flat = |_d: DeviceId| Duration::ZERO;
+        c.transfer_cost = &flat;
+        assert_eq!(s.pick(&c), DeviceId(0));
+    }
+
+    #[test]
     fn by_name_lookup() {
         assert_eq!(by_name("eager").unwrap().name(), "eager");
-        assert_eq!(by_name("dmda").unwrap().name(), "heft");
+        assert_eq!(by_name("dmda").unwrap().name(), "dmda");
         assert_eq!(by_name("heft").unwrap().name(), "heft");
         assert_eq!(by_name("random").unwrap().name(), "random");
         assert_eq!(by_name("rr").unwrap().name(), "round-robin");

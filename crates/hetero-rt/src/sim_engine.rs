@@ -15,7 +15,7 @@
 //! the last task, written data is flushed back to host memory (the paper's
 //! vertical data-movement requirement).
 
-use crate::data::DataRegistry;
+use crate::data::{DataRegistry, HandleId, Routing};
 use crate::graph::TaskGraph;
 use crate::perfmodel::PerfModel;
 use crate::scheduler::{ScheduleContext, Scheduler};
@@ -25,7 +25,53 @@ use simhw::machine::{DeviceId, SimMachine};
 use simhw::resource::Timeline;
 use simhw::time::{Duration, SimTime};
 use simhw::trace::{SpanKind, Trace};
+use std::collections::BTreeMap;
 use std::fmt;
+
+/// Which mechanisms of the interconnect-aware transfer pipeline are active.
+///
+/// All off (the [`Default`]) reproduces the legacy synchronous model:
+/// transfers charged on the destination device's own timeline, host-staged
+/// routing, no link occupancy. Each flag can be ablated independently —
+/// `bench`'s transfer-pipeline ablation quantifies exactly these switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransferPipeline {
+    /// Route device↔device moves over a declared peer interconnect
+    /// (e.g. NVLink) instead of staging through host memory, when cheaper.
+    pub peer_to_peer: bool,
+    /// Model each physical link as a FIFO resource: concurrent transfers
+    /// sharing a link serialize; transfers on disjoint links overlap.
+    pub link_contention: bool,
+    /// Start a task's input transfers as soon as each input value exists
+    /// (its producer finished), overlapping them with predecessor compute,
+    /// instead of waiting until every dependency has finished.
+    pub prefetch: bool,
+}
+
+impl TransferPipeline {
+    /// Every mechanism on.
+    pub fn full() -> Self {
+        TransferPipeline {
+            peer_to_peer: true,
+            link_contention: true,
+            prefetch: true,
+        }
+    }
+
+    /// Whether any mechanism is on (off means the legacy synchronous path).
+    pub fn is_active(self) -> bool {
+        self.peer_to_peer || self.link_contention || self.prefetch
+    }
+
+    /// The data-routing policy this configuration implies.
+    pub fn routing(self) -> Routing {
+        if self.peer_to_peer {
+            Routing::PeerToPeer
+        } else {
+            Routing::HostStaged
+        }
+    }
+}
 
 /// Options for one simulation run.
 #[derive(Debug, Clone)]
@@ -38,8 +84,12 @@ pub struct SimOptions {
     /// Model host-memory bus contention: all host↔device transfers
     /// serialize on one shared bus resource (in addition to occupying the
     /// destination device). Default off — each device's link is independent,
-    /// as on point-to-point PCIe.
+    /// as on point-to-point PCIe. Ignored when `pipeline` is active, which
+    /// models contention per physical link instead.
     pub shared_host_bus: bool,
+    /// Transfer-pipeline mechanisms (peer-to-peer routing, per-link
+    /// contention, input prefetch). Default: all off (legacy model).
+    pub pipeline: TransferPipeline,
 }
 
 impl Default for SimOptions {
@@ -48,6 +98,7 @@ impl Default for SimOptions {
             flush_outputs: true,
             learn_perfmodel: false,
             shared_host_bus: false,
+            pipeline: TransferPipeline::default(),
         }
     }
 }
@@ -107,10 +158,18 @@ pub struct SimReport {
     pub bytes_to_devices: f64,
     /// Bytes moved device→host.
     pub bytes_to_host: f64,
+    /// Bytes moved directly device→device over peer interconnects.
+    pub bytes_peer: f64,
     /// History model learned during the run (empty unless enabled).
     pub perfmodel: PerfModel,
     /// Scheduling policy used.
     pub policy: &'static str,
+    /// Physical link names, indexed like the device ids of `link_trace`.
+    pub link_names: Vec<String>,
+    /// Transfer spans on physical links (separate id space from `trace`:
+    /// span device ids index `link_names`). Empty unless the transfer
+    /// pipeline was active.
+    pub link_trace: Trace,
 }
 
 impl SimReport {
@@ -152,6 +211,16 @@ pub fn simulate(
     let mut finish: Vec<SimTime> = vec![SimTime::ZERO; graph.len()];
     let mut assignments = Vec::with_capacity(graph.len());
     let mut perfmodel = PerfModel::new();
+
+    let pipeline = options.pipeline;
+    let routing = pipeline.routing();
+    // One FIFO timeline per physical link (pipeline mode), plus a separate
+    // trace whose "device" ids index machine.links.
+    let mut link_timelines: Vec<Timeline> = vec![Timeline::new(); machine.links.len()];
+    let mut link_trace = Trace::new();
+    // When each handle's current value came into existence (its last
+    // writer's finish time) — the earliest a prefetched transfer may start.
+    let mut handle_ready: BTreeMap<HandleId, SimTime> = BTreeMap::new();
 
     for &tid in &graph.topological_order() {
         let task = &graph.tasks[tid.0];
@@ -203,6 +272,30 @@ pub fn simulate(
             let (_, end) = timelines[d.0].probe(ready, transfer + compute);
             end
         };
+        let transfer_cost = |d: DeviceId| {
+            let mut t = Duration::ZERO;
+            for a in &task.accesses {
+                t = t + data.probe_acquire_via(machine, a.handle, d, a.mode, routing);
+            }
+            t
+        };
+        let est_compute = |d: DeviceId| {
+            let dev = &machine.devices[d.0];
+            let size: f64 = task
+                .accesses
+                .iter()
+                .map(|a| data.meta(a.handle).size_bytes)
+                .sum();
+            perfmodel
+                .estimate(&codelet.name, &dev.arch, size)
+                .unwrap_or_else(|| {
+                    let sw: Vec<&str> = dev.software_platforms.iter().map(String::as_str).collect();
+                    let variant = codelet
+                        .variant_for(&dev.arch, &sw)
+                        .expect("candidate implies variant");
+                    Duration::new(task.flops / (dev.flops_dp * variant.speedup))
+                })
+        };
 
         let ctx = ScheduleContext {
             machine,
@@ -212,50 +305,91 @@ pub fn simulate(
             candidates: &candidates,
             free_at: &free_at,
             est_finish: &est_finish,
+            transfer_cost: &transfer_cost,
+            est_compute: &est_compute,
         };
         let chosen = scheduler.pick(&ctx);
         debug_assert!(candidates.contains(&chosen), "policy must pick a candidate");
 
-        // Charge transfers (mutating coherence) and compute.
         let dev = &machine.devices[chosen.0];
         let sw: Vec<&str> = dev.software_platforms.iter().map(String::as_str).collect();
         let variant = codelet
             .variant_for(&dev.arch, &sw)
             .expect("candidate implies variant");
-        let mut transfer = Duration::ZERO;
-        for a in &task.accesses {
-            transfer = transfer + data.acquire(machine, a.handle, chosen, a.mode);
-        }
         let compute = Duration::new(task.flops / (dev.flops_dp * variant.speedup));
 
-        // With bus contention on, the transfer additionally occupies the
-        // shared host bus; the task cannot start before the bus is free.
-        let ready = if options.shared_host_bus && transfer > Duration::ZERO {
-            ready.max(host_bus.free_at())
+        let end = if pipeline.is_active() {
+            // Pipelined path: every input copy runs on the physical links
+            // its route occupies, concurrently with device compute. The
+            // compute span alone occupies the device.
+            let mut arrival = SimTime::ZERO;
+            for a in &task.accesses {
+                let plan = data.plan_acquire(machine, a.handle, chosen, a.mode, routing);
+                let floor = if pipeline.prefetch {
+                    handle_ready
+                        .get(&a.handle)
+                        .copied()
+                        .unwrap_or(SimTime::ZERO)
+                } else {
+                    ready
+                };
+                let done = run_plan_on_links(
+                    &plan,
+                    floor,
+                    pipeline.link_contention,
+                    &mut link_timelines,
+                    &mut link_trace,
+                    &format!("{}:{}:in", task.label, data.meta(a.handle).label),
+                );
+                data.commit(&plan);
+                data.finish_access(a.handle, chosen, a.mode);
+                arrival = arrival.max(done);
+            }
+            let (start, end) = timelines[chosen.0].reserve(ready.max(arrival), compute);
+            trace.record(chosen, task.label.clone(), SpanKind::Compute, start, end);
+            end
         } else {
-            ready
-        };
-        let (start, end) = timelines[chosen.0].reserve(ready, transfer + compute);
-        if transfer > Duration::ZERO {
-            if options.shared_host_bus {
-                host_bus.reserve(start, transfer);
+            // Legacy synchronous path: transfers charged on the destination
+            // device's own timeline, host-staged routing.
+            let mut transfer = Duration::ZERO;
+            for a in &task.accesses {
+                transfer = transfer + data.acquire(machine, a.handle, chosen, a.mode);
+            }
+            // With bus contention on, the transfer additionally occupies
+            // the shared host bus; the task cannot start before it is free.
+            let ready = if options.shared_host_bus && transfer > Duration::ZERO {
+                ready.max(host_bus.free_at())
+            } else {
+                ready
+            };
+            let (start, end) = timelines[chosen.0].reserve(ready, transfer + compute);
+            if transfer > Duration::ZERO {
+                if options.shared_host_bus {
+                    host_bus.reserve(start, transfer);
+                }
+                trace.record(
+                    chosen,
+                    format!("{}:in", task.label),
+                    SpanKind::Transfer,
+                    start,
+                    start + transfer,
+                );
             }
             trace.record(
                 chosen,
-                format!("{}:in", task.label),
-                SpanKind::Transfer,
-                start,
+                task.label.clone(),
+                SpanKind::Compute,
                 start + transfer,
+                end,
             );
-        }
-        trace.record(
-            chosen,
-            task.label.clone(),
-            SpanKind::Compute,
-            start + transfer,
-            end,
-        );
+            end
+        };
         finish[tid.0] = end;
+        for a in &task.accesses {
+            if a.mode.writes() {
+                handle_ready.insert(a.handle, end);
+            }
+        }
         assignments.push((tid, chosen));
 
         if options.learn_perfmodel {
@@ -270,7 +404,7 @@ pub fn simulate(
 
     // Flush outputs home: every handle written by some task returns to host.
     if options.flush_outputs {
-        let mut written: Vec<crate::data::HandleId> = graph
+        let mut written: Vec<HandleId> = graph
             .tasks
             .iter()
             .flat_map(|t| t.accesses.iter())
@@ -280,7 +414,19 @@ pub fn simulate(
         written.sort_unstable();
         written.dedup();
         for h in written {
-            if let Some(owner) = data
+            if pipeline.is_active() {
+                let plan = data.plan_flush(machine, h);
+                let floor = handle_ready.get(&h).copied().unwrap_or(SimTime::ZERO);
+                run_plan_on_links(
+                    &plan,
+                    floor,
+                    pipeline.link_contention,
+                    &mut link_timelines,
+                    &mut link_trace,
+                    &format!("{}:out", data.meta(h).label),
+                );
+                data.commit(&plan);
+            } else if let Some(owner) = data
                 .valid_on(h)
                 .iter()
                 .find(|d| **d != crate::data::HOST)
@@ -301,7 +447,7 @@ pub fn simulate(
         }
     }
 
-    let makespan = trace.makespan();
+    let makespan = trace.makespan().max(link_trace.makespan());
     let energy = energy(machine, &trace);
     Ok(SimReport {
         makespan,
@@ -310,10 +456,56 @@ pub fn simulate(
         energy,
         bytes_to_devices: data.bytes_to_devices(),
         bytes_to_host: data.bytes_to_host(),
+        bytes_peer: data.bytes_peer(),
         perfmodel,
         policy: scheduler.name(),
+        link_names: machine.links.iter().map(|l| l.name.clone()).collect(),
+        link_trace,
         trace,
     })
+}
+
+/// Places one [`TransferPlan`]'s hops onto the physical-link timelines,
+/// starting no earlier than `floor`, and records a span per (hop, link) in
+/// `link_trace`. With `contention` each hop additionally waits for (and
+/// then occupies) every link it crosses; without, links are treated as
+/// infinitely wide and the spans only document occupancy. Returns when the
+/// last hop completes (`floor` for plans that move nothing).
+pub(crate) fn run_plan_on_links(
+    plan: &crate::data::TransferPlan,
+    floor: SimTime,
+    contention: bool,
+    link_timelines: &mut [Timeline],
+    link_trace: &mut Trace,
+    label: &str,
+) -> SimTime {
+    let mut t = floor;
+    for hop in &plan.hops {
+        if hop.links.is_empty() {
+            continue; // shared address space: bookkeeping only
+        }
+        let mut start = t;
+        if contention {
+            for &l in &hop.links {
+                start = start.max(link_timelines[l.0].free_at());
+            }
+        }
+        let end = start + hop.duration;
+        for &l in &hop.links {
+            if contention {
+                link_timelines[l.0].reserve(start, hop.duration);
+            }
+            link_trace.record(
+                DeviceId(l.0),
+                label.to_string(),
+                SpanKind::Transfer,
+                start,
+                end,
+            );
+        }
+        t = end;
+    }
+    t
 }
 
 #[cfg(test)]
@@ -594,6 +786,205 @@ mod tests {
             shared.makespan,
             independent.makespan
         );
+    }
+
+    /// Single-GPU testbed: placement is forced, pipeline effects isolated.
+    fn one_gpu_machine() -> SimMachine {
+        SimMachine::from_platform(&synthetic::build_testbed(
+            "one-gpu",
+            &synthetic::TestbedOptions {
+                cpu_cores: 2,
+                gpus: vec!["GeForce GTX 480"],
+                dedicate_driver_cores: true,
+                nvlink_gpus: false,
+            },
+        ))
+    }
+
+    fn gpu_codelet(g: &mut TaskGraph) -> usize {
+        g.add_codelet(Codelet::new("k").with_variant(Variant::new("gpu").requiring("Cuda")))
+    }
+
+    #[test]
+    fn pipeline_moves_transfers_off_the_device_lane() {
+        let machine = one_gpu_machine();
+        let mut g = TaskGraph::new();
+        let c = gpu_codelet(&mut g);
+        for i in 0..2 {
+            let h = g.register_data(format!("in{i}"), 1.2e9);
+            g.submit(
+                c,
+                format!("t{i}"),
+                10e9,
+                vec![acc(h, AccessMode::Read)],
+                None,
+            );
+        }
+        let legacy = simulate(&g, &machine, &mut EagerScheduler, &SimOptions::default()).unwrap();
+        let piped = simulate(
+            &g,
+            &machine,
+            &mut EagerScheduler,
+            &SimOptions {
+                pipeline: TransferPipeline {
+                    link_contention: true,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Legacy: transfers on the device lane, nothing on links.
+        assert_eq!(legacy.trace.count(SpanKind::Transfer), 2);
+        assert!(legacy.link_trace.spans().is_empty());
+        // Pipelined: device lane holds compute only; links hold transfers.
+        assert_eq!(piped.trace.count(SpanKind::Transfer), 0);
+        assert_eq!(piped.link_trace.count(SpanKind::Transfer), 2);
+        assert_eq!(piped.link_names.len(), 1); // one PCIe link
+                                               // Overlap: the second task's transfer hides under the first's
+                                               // compute, so the pipelined makespan is strictly smaller.
+        assert!(
+            piped.makespan < legacy.makespan,
+            "piped {} !< legacy {}",
+            piped.makespan,
+            legacy.makespan
+        );
+    }
+
+    #[test]
+    fn link_contention_serializes_shared_link() {
+        let machine = one_gpu_machine();
+        let mut g = TaskGraph::new();
+        let c = gpu_codelet(&mut g);
+        for i in 0..2 {
+            let h = g.register_data(format!("in{i}"), 1.2e9); // 0.2 s each
+            g.submit(
+                c,
+                format!("t{i}"),
+                10e9,
+                vec![acc(h, AccessMode::Read)],
+                None,
+            );
+        }
+        let opts = |contention| SimOptions {
+            pipeline: TransferPipeline {
+                link_contention: contention,
+                prefetch: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let free = simulate(&g, &machine, &mut EagerScheduler, &opts(false)).unwrap();
+        let fifo = simulate(&g, &machine, &mut EagerScheduler, &opts(true)).unwrap();
+        // Both 0.2 s loads cross the single PCIe link: FIFO occupancy must
+        // push the second one out, growing the makespan.
+        assert!(
+            fifo.makespan > free.makespan,
+            "fifo {} !> free {}",
+            fifo.makespan,
+            free.makespan
+        );
+        // The two spans on the link do not overlap under contention.
+        let spans = fifo.link_trace.spans();
+        assert_eq!(spans.len(), 2);
+        let (a, b) = (&spans[0], &spans[1]);
+        assert!(a.end <= b.start || b.end <= a.start);
+    }
+
+    #[test]
+    fn prefetch_overlaps_predecessor_compute() {
+        let machine = one_gpu_machine();
+        let mut g = TaskGraph::new();
+        let c = gpu_codelet(&mut g);
+        let chain = g.register_data("chain", 8.0);
+        let input = g.register_data("input", 600e6); // 0.1 s on PCIe
+        g.submit(
+            c,
+            "producer",
+            100e9,
+            vec![acc(chain, AccessMode::Write)],
+            None,
+        );
+        g.submit(
+            c,
+            "consumer",
+            1e9,
+            vec![acc(chain, AccessMode::Read), acc(input, AccessMode::Read)],
+            None,
+        );
+        let opts = |prefetch| SimOptions {
+            flush_outputs: false,
+            pipeline: TransferPipeline {
+                link_contention: true,
+                prefetch,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let without = simulate(&g, &machine, &mut EagerScheduler, &opts(false)).unwrap();
+        let with = simulate(&g, &machine, &mut EagerScheduler, &opts(true)).unwrap();
+        // Prefetch starts `input`'s load at t=0, fully hiding it under the
+        // producer's ~1 s compute instead of serializing after it.
+        let gain = without.makespan.seconds() - with.makespan.seconds();
+        assert!((gain - 0.100015).abs() < 1e-6, "gain {gain}");
+    }
+
+    #[test]
+    fn p2p_pipeline_transfers_over_nvlink() {
+        use crate::scheduler::RoundRobinScheduler;
+        let machine = SimMachine::from_platform(&synthetic::xeon_2gpu_nvlink_testbed());
+        let mut g = TaskGraph::new();
+        let c = gpu_codelet(&mut g);
+        let h = g.register_data("A", 600e6);
+        // Round-robin over the two GPU candidates: producer on gpu0,
+        // consumer on gpu1.
+        g.submit(c, "produce", 10e9, vec![acc(h, AccessMode::Write)], None);
+        g.submit(c, "consume", 10e9, vec![acc(h, AccessMode::Read)], None);
+        let opts = |p2p| SimOptions {
+            flush_outputs: false,
+            pipeline: TransferPipeline {
+                peer_to_peer: p2p,
+                link_contention: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let staged = simulate(
+            &g,
+            &machine,
+            &mut RoundRobinScheduler::default(),
+            &opts(false),
+        )
+        .unwrap();
+        let p2p = simulate(
+            &g,
+            &machine,
+            &mut RoundRobinScheduler::default(),
+            &opts(true),
+        )
+        .unwrap();
+        assert_eq!(staged.bytes_peer, 0.0);
+        assert_eq!(staged.bytes_to_host, 600e6);
+        assert_eq!(p2p.bytes_peer, 600e6);
+        assert_eq!(p2p.bytes_to_host, 0.0);
+        // NVLink hop (0.024 s) replaces two PCIe hops (0.2 s).
+        assert!(
+            p2p.makespan < staged.makespan,
+            "p2p {} !< staged {}",
+            p2p.makespan,
+            staged.makespan
+        );
+        // The NVLink lane carries the peer transfer.
+        let nv_link = machine
+            .links
+            .iter()
+            .position(|l| l.name.starts_with("NVLink"))
+            .unwrap();
+        assert!(p2p
+            .link_trace
+            .spans()
+            .iter()
+            .any(|s| s.device == DeviceId(nv_link)));
     }
 
     #[test]

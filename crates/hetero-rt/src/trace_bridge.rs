@@ -8,6 +8,14 @@
 //! and first logic group, timestamps in **virtual nanoseconds**
 //! ([`TimeUnit::VirtualNanos`]) — so the same Chrome-trace and run-summary
 //! exporters serve real and simulated runs alike.
+//!
+//! When the report carries a link trace (pipelined transfer mode, see
+//! [`TransferPipeline`](crate::sim_engine::TransferPipeline)), each
+//! interconnect link gets its own lane in the `"links"` group, so the
+//! Chrome export shows transfers overlapping compute on separate rows.
+//! Lanes serialize occupancy, so a link whose transfers overlap (the
+//! contention-free model lets them) is split into numbered channels
+//! (`"PCIe:host-gpu0 #2"`, …) by greedy interval coloring.
 
 use crate::sim_engine::SimReport;
 use hetero_trace::{
@@ -28,7 +36,7 @@ fn virtual_ns(seconds: f64) -> u64 {
 /// the machine's devices (PU id + first logic group). The prelude holds a
 /// single `simulate` phase spanning the whole makespan.
 pub fn sim_report_to_trace(report: &SimReport, machine: &SimMachine) -> RunTrace {
-    let lanes: Vec<LaneLabel> = machine
+    let mut lanes: Vec<LaneLabel> = machine
         .devices
         .iter()
         .map(|d| LaneLabel {
@@ -63,6 +71,63 @@ pub fn sim_report_to_trace(report: &SimReport, machine: &SimMachine) -> RunTrace
             ts: virtual_ns(span.end.seconds()),
             kind: EventKind::TaskEnd { task: idx },
         });
+    }
+
+    // Link lanes follow the device lanes. The link trace indexes a
+    // separate device-id space (machine.links), and — unlike device
+    // timelines — its spans may overlap when link contention is off, so
+    // each link is split into as few serialized channels as cover its
+    // spans (greedy interval coloring over start-sorted spans).
+    let mut by_link: std::collections::BTreeMap<usize, Vec<&simhw::trace::Span>> =
+        std::collections::BTreeMap::new();
+    for span in report.link_trace.spans() {
+        by_link.entry(span.device.0).or_default().push(span);
+    }
+    for (link, mut spans) in by_link {
+        spans.sort_by_key(|s| (s.start, s.end));
+        let mut channels: Vec<(simhw::time::SimTime, Vec<&simhw::trace::Span>)> = Vec::new();
+        for span in spans {
+            match channels.iter_mut().find(|(end, _)| *end <= span.start) {
+                Some((end, ch)) => {
+                    *end = span.end;
+                    ch.push(span);
+                }
+                None => channels.push((span.end, vec![span])),
+            }
+        }
+        let name = report
+            .link_names
+            .get(link)
+            .cloned()
+            .unwrap_or_else(|| format!("link{link}"));
+        for (channel, (_, ch)) in channels.into_iter().enumerate() {
+            lanes.push(LaneLabel {
+                name: if channel == 0 {
+                    name.clone()
+                } else {
+                    format!("{name} #{}", channel + 1)
+                },
+                group: Some("links".to_string()),
+            });
+            let mut events = Vec::with_capacity(ch.len() * 2);
+            for span in ch {
+                let idx = tasks.len() as u32;
+                tasks.push(TaskInfo {
+                    label: span.label.clone(),
+                    category: "transfer".to_string(),
+                    group: Some("links".to_string()),
+                });
+                events.push(TraceEvent {
+                    ts: virtual_ns(span.start.seconds()),
+                    kind: EventKind::TaskStart { task: idx },
+                });
+                events.push(TraceEvent {
+                    ts: virtual_ns(span.end.seconds()),
+                    kind: EventKind::TaskEnd { task: idx },
+                });
+            }
+            per_lane.push(events);
+        }
     }
 
     // Device timelines serialize occupancy, so sorting by timestamp with
@@ -120,7 +185,7 @@ mod tests {
     use crate::data::AccessMode;
     use crate::graph::TaskGraph;
     use crate::scheduler::HeftScheduler;
-    use crate::sim_engine::{simulate, SimOptions};
+    use crate::sim_engine::{simulate, SimOptions, TransferPipeline};
     use crate::task::{Codelet, DataAccess, Variant};
 
     #[test]
@@ -170,5 +235,62 @@ mod tests {
                 .unwrap_or(0);
             assert_eq!(*ns, expected, "device {d} busy mismatch");
         }
+    }
+
+    #[test]
+    fn link_lanes_split_into_channels_and_validate() {
+        let platform = pdl_discover::synthetic::xeon_2gpu_testbed();
+        let machine = SimMachine::from_platform(&platform);
+        let mut graph = TaskGraph::new();
+        let k = graph
+            .add_codelet(Codelet::new("k").with_variant(Variant::new("gpu").requiring("Cuda")));
+        for i in 0..3 {
+            let h = graph.register_data(format!("in{i}"), 600e6);
+            graph.submit(
+                k,
+                format!("t{i}"),
+                1e10,
+                vec![DataAccess {
+                    handle: h,
+                    mode: AccessMode::Read,
+                }],
+                None,
+            );
+        }
+        // Contention off: transfers on one link may overlap, forcing the
+        // bridge to split that link into numbered channels.
+        let report = simulate(
+            &graph,
+            &machine,
+            &mut HeftScheduler,
+            &SimOptions {
+                pipeline: TransferPipeline {
+                    prefetch: true,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .expect("simulation runs");
+        assert!(!report.link_trace.spans().is_empty());
+
+        let trace = sim_report_to_trace(&report, &machine);
+        let link_lanes: Vec<&LaneLabel> = trace
+            .meta
+            .lanes
+            .iter()
+            .filter(|l| l.group.as_deref() == Some("links"))
+            .collect();
+        assert!(!link_lanes.is_empty());
+        // Link lanes are named after PDL interconnects.
+        assert!(link_lanes.iter().any(|l| l.name.starts_with("PCIe:")));
+        // Every lane — devices and link channels — survives validation,
+        // i.e. channel splitting serialized the overlapping spans.
+        assert_eq!(trace.meta.lanes.len(), trace.workers.len());
+        let stats = trace.validate().expect("link lanes are well-formed");
+        assert_eq!(
+            stats.tasks as usize,
+            report.trace.spans().len() + report.link_trace.spans().len()
+        );
     }
 }

@@ -11,7 +11,8 @@
 //!   ([`analyze_program`], [`analyze_program_source`]),
 //! * `T0xx` — trace-replay findings from comparing a recorded
 //!   [`hetero_trace::RunTrace`] against the declared task graph
-//!   ([`check_trace`]).
+//!   ([`check_trace`]) and its transfer lanes against the declared
+//!   platform interconnects ([`check_trace_links`]).
 //!
 //! Every code is documented, with a minimal triggering example, in
 //! `docs/ANALYSIS.md`.  The `pdl-lint` binary (and `pdl check`) drive all the
@@ -35,7 +36,7 @@ pub use pdl_core::diag::{Diagnostic, Report, Severity, Span};
 pub use platform::{analyze_platform, analyze_platform_source};
 pub use program::{analyze_program, analyze_program_source};
 pub use render::{render_json, report_to_json};
-pub use trace::check_trace;
+pub use trace::{check_trace, check_trace_links};
 
 use pdl_core::platform::Platform;
 

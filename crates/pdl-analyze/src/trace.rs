@@ -16,6 +16,9 @@
 //!   happens-before relation of the observed schedule, established with
 //!   vector clocks over per-lane program order plus time-respected
 //!   dependency edges.
+//! * `T006` — every transfer lane (group `"links"`, produced by the
+//!   virtual-time bridge's pipelined mode) corresponds to an interconnect
+//!   the platform actually declares ([`check_trace_links`]).
 //!
 //! Trace task indices are correlated to graph tasks **by label** when the
 //! trace carries a task table (the virtual-time bridge renumbers every span,
@@ -194,6 +197,75 @@ pub fn check_trace(trace: &RunTrace, graph: &TaskGraph) -> Report {
         }
     }
 
+    let mut report: Report = out.into_iter().collect();
+    report.sort();
+    report
+}
+
+/// Checks a trace's transfer lanes against the platform declaration.
+///
+/// The virtual-time bridge names every link lane
+/// `"<ic_type>:<from>-<to>"` (with an optional `" #k"` channel suffix) and
+/// puts it in the `"links"` group. A transfer shown on a lane whose
+/// interconnect the (quantity-expanded) platform does not declare — in
+/// either orientation — means the simulated schedule moved data over
+/// hardware the description says does not exist: `T006`. Unparseable link
+/// lane names are reported under the same code. Traces without link lanes
+/// are vacuously clean.
+pub fn check_trace_links(trace: &RunTrace, platform: &pdl_core::platform::Platform) -> Report {
+    use pdl_core::id::PuId;
+    let expanded = platform.expand_quantities();
+    let mut out: Vec<Diagnostic> = Vec::new();
+    for lane in &trace.meta.lanes {
+        if lane.group.as_deref() != Some("links") {
+            continue;
+        }
+        // Strip a channel suffix (`" #2"`) appended when overlapping
+        // transfers were split across serialized lanes.
+        let base = match lane.name.rsplit_once(" #") {
+            Some((base, k)) if k.chars().all(|c| c.is_ascii_digit()) => base,
+            _ => lane.name.as_str(),
+        };
+        let parsed = base.split_once(':').and_then(|(ic_type, endpoints)| {
+            endpoints
+                .rsplit_once('-')
+                .map(|(from, to)| (ic_type, from, to))
+        });
+        let Some((ic_type, from, to)) = parsed else {
+            out.push(
+                Diagnostic::error(
+                    "T006",
+                    format!(
+                        "link lane \"{}\" does not name an interconnect (expected \"type:from-to\")",
+                        lane.name
+                    ),
+                )
+                .with_subject(lane.name.clone()),
+            );
+            continue;
+        };
+        let (a, b) = (PuId::new(from), PuId::new(to));
+        let declared = expanded
+            .interconnects()
+            .iter()
+            .any(|ic| ic.ic_type == ic_type && ic.connects(&a, &b));
+        if !declared {
+            out.push(
+                Diagnostic::error(
+                    "T006",
+                    format!(
+                        "trace shows transfers over link \"{}\" but platform \"{}\" declares no {} interconnect between {} and {}",
+                        lane.name, expanded.name, ic_type, from, to
+                    ),
+                )
+                .with_note(
+                    "the simulated schedule moved data over hardware the description omits — \
+                     fix the platform description or the routing",
+                )
+                .with_subject(lane.name.clone()),
+            );
+        }
+    }
     let mut report: Report = out.into_iter().collect();
     report.sort();
     report
@@ -465,5 +537,101 @@ mod tests {
         };
         let report = check_trace(&trace, &g);
         assert!(report.is_empty(), "{}", report.render());
+    }
+
+    fn links_trace(lane_names: &[&str]) -> RunTrace {
+        RunTrace {
+            meta: TraceMeta {
+                platform: None,
+                lanes: lane_names
+                    .iter()
+                    .map(|n| LaneLabel {
+                        name: (*n).to_string(),
+                        group: Some("links".into()),
+                    })
+                    .collect(),
+                tasks: Vec::new(),
+                time_unit: hetero_trace::TimeUnit::default(),
+            },
+            prelude: Vec::new(),
+            workers: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn declared_link_lanes_are_clean() {
+        let platform = pdl_discover::synthetic::xeon_2gpu_nvlink_testbed();
+        // Declared PCIe host links (both orientations), a channel-split
+        // lane, and the declared GPU peer link.
+        let trace = links_trace(&[
+            "PCIe:host-gpu0",
+            "PCIe:gpu1-host",
+            "PCIe:host-gpu0 #2",
+            "NVLink:gpu0-gpu1",
+        ]);
+        let report = check_trace_links(&trace, &platform);
+        assert!(report.is_empty(), "{}", report.render());
+    }
+
+    #[test]
+    fn undeclared_or_malformed_link_lanes_are_t006() {
+        let platform = pdl_discover::synthetic::xeon_2gpu_testbed();
+        // No NVLink on the plain testbed; "bogus" parses as no interconnect.
+        let trace = links_trace(&["NVLink:gpu0-gpu1", "bogus"]);
+        let report = check_trace_links(&trace, &platform);
+        assert_eq!(report.codes(), ["T006", "T006"]);
+    }
+
+    #[test]
+    fn bridged_pipeline_trace_has_only_declared_links() {
+        use hetero_rt::prelude::*;
+        let platform = pdl_discover::synthetic::xeon_2gpu_nvlink_testbed();
+        let machine = simhw::machine::SimMachine::from_platform(&platform);
+        let mut g = TaskGraph::new();
+        let k = g.add_codelet(
+            Codelet::new("k").with_variant(hetero_rt::task::Variant::new("gpu").requiring("Cuda")),
+        );
+        let h = g.register_data("A", 600e6);
+        g.submit(
+            k,
+            "produce",
+            1e10,
+            vec![DataAccess {
+                handle: h,
+                mode: AccessMode::Write,
+            }],
+            None,
+        );
+        g.submit(
+            k,
+            "consume",
+            1e10,
+            vec![DataAccess {
+                handle: h,
+                mode: AccessMode::Read,
+            }],
+            None,
+        );
+        let report = simulate(
+            &g,
+            &machine,
+            &mut RoundRobinScheduler::default(),
+            &SimOptions {
+                pipeline: TransferPipeline::full(),
+                ..Default::default()
+            },
+        )
+        .expect("simulation runs");
+        let trace = sim_report_to_trace(&report, &machine);
+        assert!(trace
+            .meta
+            .lanes
+            .iter()
+            .any(|l| l.group.as_deref() == Some("links")));
+        let links = check_trace_links(&trace, &platform);
+        assert!(links.is_empty(), "{}", links.render());
+        // The replay checks still pass on the pipelined trace.
+        let replay = check_trace(&trace, &g);
+        assert!(replay.is_empty(), "{}", replay.render());
     }
 }

@@ -32,6 +32,10 @@ pub struct TestbedOptions {
     /// Whether each attached GPU consumes one CPU core as its driver
     /// thread, as StarPU does by default.
     pub dedicate_driver_cores: bool,
+    /// Whether to declare a direct NVLink-style interconnect between every
+    /// pair of attached GPUs, enabling peer-to-peer transfers that bypass
+    /// host staging.
+    pub nvlink_gpus: bool,
 }
 
 impl Default for TestbedOptions {
@@ -40,6 +44,7 @@ impl Default for TestbedOptions {
             cpu_cores: 8,
             gpus: vec![],
             dedicate_driver_cores: true,
+            nvlink_gpus: false,
         }
     }
 }
@@ -57,6 +62,26 @@ pub fn xeon_2gpu_testbed() -> Platform {
         "xeon-x5550-gtx480-gtx285",
         &TestbedOptions {
             gpus: vec!["GeForce GTX 480", "GeForce GTX 285"],
+            ..TestbedOptions::default()
+        },
+    )
+}
+
+/// Effective NVLink-style peer bandwidth between the two GPUs (GB/s).
+pub const NVLINK_EFFECTIVE_GBS: f64 = 25.0;
+
+/// NVLink peer latency (µs).
+pub const NVLINK_LATENCY_US: f64 = 2.0;
+
+/// The 2-GPU testbed with a direct NVLink-style GPU↔GPU interconnect
+/// declared in addition to the per-GPU PCIe links — a what-if variant for
+/// studying peer-to-peer routing and host-staging avoidance.
+pub fn xeon_2gpu_nvlink_testbed() -> Platform {
+    build_testbed(
+        "xeon-x5550-gtx480-gtx285-nvlink",
+        &TestbedOptions {
+            gpus: vec!["GeForce GTX 480", "GeForce GTX 285"],
+            nvlink_gpus: true,
             ..TestbedOptions::default()
         },
     )
@@ -161,6 +186,34 @@ pub fn build_testbed(name: &str, opts: &TestbedOptions) -> Platform {
                         ),
                 ),
         );
+    }
+
+    if opts.nvlink_gpus {
+        for i in 0..opts.gpus.len() {
+            for j in (i + 1)..opts.gpus.len() {
+                b.interconnect(
+                    Interconnect::new("NVLink", format!("gpu{i}"), format!("gpu{j}"))
+                        .with_scheme("p2p")
+                        .with_descriptor(
+                            Descriptor::new()
+                                .with(
+                                    Property::fixed(
+                                        wellknown::BANDWIDTH,
+                                        NVLINK_EFFECTIVE_GBS.to_string(),
+                                    )
+                                    .with_unit(Unit::GigaBytePerSec),
+                                )
+                                .with(
+                                    Property::fixed(
+                                        wellknown::LATENCY,
+                                        NVLINK_LATENCY_US.to_string(),
+                                    )
+                                    .with_unit(Unit::MicroSecond),
+                                ),
+                        ),
+                );
+            }
+        }
     }
 
     b.build().expect("synthetic testbed is structurally valid")
@@ -409,6 +462,7 @@ mod tests {
                 cpu_cores: 8,
                 gpus: vec!["GeForce GTX 480"],
                 dedicate_driver_cores: false,
+                nvlink_gpus: false,
             },
         );
         assert_eq!(p.group_members("cpus").len(), 8);
@@ -468,8 +522,35 @@ mod tests {
     }
 
     #[test]
+    fn nvlink_testbed_declares_peer_interconnect() {
+        let p = xeon_2gpu_nvlink_testbed();
+        let nv: Vec<_> = p
+            .interconnects()
+            .iter()
+            .filter(|ic| ic.ic_type == "NVLink")
+            .collect();
+        assert_eq!(nv.len(), 1);
+        assert_eq!(nv[0].bandwidth_bps(), Some(25e9));
+        assert_eq!(nv[0].scheme, "p2p");
+        // PCIe host links unchanged.
+        assert_eq!(
+            p.interconnects()
+                .iter()
+                .filter(|ic| ic.ic_type == "PCIe")
+                .count(),
+            2
+        );
+        p.validate().unwrap();
+    }
+
+    #[test]
     fn testbeds_round_trip_through_xml() {
-        for p in [xeon_x5550_host(), xeon_2gpu_testbed(), cell_be()] {
+        for p in [
+            xeon_x5550_host(),
+            xeon_2gpu_testbed(),
+            xeon_2gpu_nvlink_testbed(),
+            cell_be(),
+        ] {
             let xml = pdl_xml::to_xml(&p);
             let back = pdl_xml::from_xml(&xml).unwrap();
             assert_eq!(p, back);

@@ -11,6 +11,8 @@
 //! * [`time`] — virtual time ([`time::SimTime`], [`time::Duration`]);
 //! * [`machine`] — [`machine::SimMachine`] instantiated from a
 //!   [`pdl_core::platform::Platform`];
+//! * [`link`] — physical links ([`link::SimLink`]) and routed transfer
+//!   paths ([`link::TransferPath`]) derived from interconnect entities;
 //! * [`resource`] — serializing occupancy timelines for devices and links;
 //! * [`trace`] — execution spans, makespan/utilization, text Gantt charts;
 //! * [`energy`] — energy accounting from PDL `TDP`/`IDLE_POWER` properties.
@@ -27,6 +29,7 @@
 
 pub mod energy;
 pub mod events;
+pub mod link;
 pub mod machine;
 pub mod resource;
 pub mod time;
@@ -34,6 +37,7 @@ pub mod trace;
 
 pub use energy::{energy, EnergyReport};
 pub use events::EventQueue;
+pub use link::{LinkId, SimLink, TransferPath};
 pub use machine::{DeviceId, LinkParams, SimDevice, SimMachine};
 pub use resource::Timeline;
 pub use time::{Duration, SimTime};

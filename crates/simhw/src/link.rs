@@ -1,0 +1,87 @@
+//! Physical links and routed transfer paths.
+//!
+//! The paper's PDL declares Interconnect entities explicitly so tools can
+//! exploit the machine's real topology. This module gives each non-trivial
+//! interconnect of a platform an identity — a [`SimLink`] — and expresses
+//! every data movement as a [`TransferPath`]: the ordered set of physical
+//! links the transfer occupies plus its collapsed cost model. Link identity
+//! is what makes *contention* modelable: two transfers whose paths share a
+//! [`LinkId`] serialize on that link, transfers on disjoint links overlap.
+
+use crate::machine::LinkParams;
+use crate::time::Duration;
+use std::fmt;
+
+/// Index of a physical link within a [`crate::machine::SimMachine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub usize);
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "link{}", self.0)
+    }
+}
+
+/// One physical link of the simulated machine, derived from a single PDL
+/// interconnect entity. Shared-memory interconnects do not become links:
+/// they model a common address space, where no copies (and hence no
+/// occupancy) ever happen.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimLink {
+    /// Stable link index.
+    pub id: LinkId,
+    /// Display name, `type:from-to` (e.g. `PCIe:host-gpu0`) — also the
+    /// lane-naming convention trace consumers parse endpoints back from.
+    pub name: String,
+    /// Bandwidth/latency read from the interconnect descriptor.
+    pub params: LinkParams,
+}
+
+/// A routed transfer path between two memory spaces: the physical links it
+/// occupies (in order) and the collapsed end-to-end cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferPath {
+    /// Links the transfer occupies, in hop order. Empty for paths that
+    /// collapse to a shared address space (no copy, no occupancy).
+    pub links: Vec<LinkId>,
+    /// Bottleneck bandwidth along the path (bytes/second).
+    pub bandwidth_bps: f64,
+    /// Total latency along the path (seconds).
+    pub latency_s: f64,
+}
+
+impl TransferPath {
+    /// Modeled time to move `bytes` along this path.
+    pub fn transfer_time(&self, bytes: f64) -> Duration {
+        if self.bandwidth_bps.is_infinite() {
+            return Duration::new(self.latency_s);
+        }
+        Duration::new(self.latency_s + bytes / self.bandwidth_bps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_model() {
+        let p = TransferPath {
+            links: vec![LinkId(0)],
+            bandwidth_bps: 6e9,
+            latency_s: 15e-6,
+        };
+        assert!((p.transfer_time(600e6).seconds() - 0.100015).abs() < 1e-9);
+        let free = TransferPath {
+            links: Vec::new(),
+            bandwidth_bps: f64::INFINITY,
+            latency_s: 0.0,
+        };
+        assert_eq!(free.transfer_time(1e12), Duration::ZERO);
+    }
+
+    #[test]
+    fn link_id_displays() {
+        assert_eq!(LinkId(3).to_string(), "link3");
+    }
+}

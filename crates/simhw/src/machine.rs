@@ -7,6 +7,7 @@
 //! fall back to conservative defaults, and [`SimMachine::from_platform`]
 //! reports which PUs needed them.
 
+use crate::link::{LinkId, SimLink, TransferPath};
 use crate::time::Duration;
 use pdl_core::platform::Platform;
 use pdl_core::pu::PuClass;
@@ -14,6 +15,11 @@ use pdl_core::wellknown;
 use pdl_query::paths;
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// Interconnect type conventionally denoting a common address space: it
+/// never becomes a physical [`SimLink`] and routes made entirely of it
+/// collapse to "no transfer needed".
+pub const SHARED_MEM_IC: &str = "shared-mem";
 
 /// Default effective compute rate when a PU declares no `PEAK_GFLOPS_DP`:
 /// one conservative GFLOP/s.
@@ -100,6 +106,14 @@ pub struct SimMachine {
     index: BTreeMap<String, DeviceId>,
     /// PUs that lacked performance properties and got defaults.
     pub defaulted_pus: Vec<String>,
+    /// Physical links, indexed by [`LinkId`] — one per non-shared-mem
+    /// interconnect of the expanded platform, in declaration order.
+    pub links: Vec<SimLink>,
+    /// Per-device route from host memory (`None` = shared address space).
+    host_routes: Vec<Option<TransferPath>>,
+    /// Direct device↔device routes over a declared peer interconnect,
+    /// keyed by `(from, to)` device index.
+    peer_routes: BTreeMap<(usize, usize), TransferPath>,
 }
 
 impl SimMachine {
@@ -120,6 +134,29 @@ impl SimMachine {
         let mut devices = Vec::new();
         let mut index = BTreeMap::new();
         let mut defaulted = Vec::new();
+
+        // Every non-shared-mem interconnect becomes one physical link; the
+        // parallel `ic_to_link` table maps interconnect index → link id so
+        // route hops can be resolved onto links.
+        let mut links = Vec::new();
+        let mut ic_to_link: Vec<Option<LinkId>> = Vec::new();
+        for ic in expanded.interconnects() {
+            if ic.ic_type == SHARED_MEM_IC {
+                ic_to_link.push(None);
+                continue;
+            }
+            let id = LinkId(links.len());
+            ic_to_link.push(Some(id));
+            links.push(SimLink {
+                id,
+                name: format!("{}:{}-{}", ic.ic_type, ic.from, ic.to),
+                params: LinkParams {
+                    bandwidth_bps: ic.bandwidth_bps().unwrap_or(paths::DEFAULT_BANDWIDTH_BPS),
+                    latency_s: ic.latency_s().unwrap_or(paths::DEFAULT_LATENCY_S),
+                },
+            });
+        }
+        let mut host_routes: Vec<Option<TransferPath>> = Vec::new();
 
         let host_id: Option<String> = expanded
             .roots()
@@ -145,17 +182,21 @@ impl SimMachine {
             // A route made entirely of `shared-mem` interconnects means the
             // device lives in the host address space: no copies are ever
             // needed, so the link collapses to `None`.
-            let link = match (&host_id, pu.class) {
+            let route = match (&host_id, pu.class) {
                 (Some(h), PuClass::Worker | PuClass::Hybrid) if *h != pu.id.as_str() => {
                     match paths::route(&expanded, h, pu.id.as_str(), 1.0) {
                         Some(r) if !r.hops.is_empty() => {
-                            let all_shared = r.hops.iter().all(|hop| {
-                                expanded.interconnects()[hop.ic_index].ic_type == "shared-mem"
-                            });
-                            if all_shared {
+                            let hop_links: Vec<LinkId> = r
+                                .hops
+                                .iter()
+                                .filter_map(|hop| ic_to_link[hop.ic_index])
+                                .collect();
+                            if hop_links.is_empty() {
+                                // All hops shared-mem: common address space.
                                 None
                             } else {
-                                Some(LinkParams {
+                                Some(TransferPath {
+                                    links: hop_links,
                                     bandwidth_bps: r.bottleneck_bps,
                                     latency_s: r.latency_s,
                                 })
@@ -166,6 +207,11 @@ impl SimMachine {
                 }
                 _ => None,
             };
+            let link = route.as_ref().map(|r| LinkParams {
+                bandwidth_bps: r.bandwidth_bps,
+                latency_s: r.latency_s,
+            });
+            host_routes.push(route);
 
             let active_power_w = pu.descriptor.value_base(wellknown::TDP).unwrap_or(0.0);
             let idle_power_w = pu
@@ -192,12 +238,67 @@ impl SimMachine {
             });
         }
 
+        // Direct device↔device routes: a single declared interconnect whose
+        // endpoints are both devices (e.g. NVLink between two GPUs). When
+        // several connect the same pair, the cheapest for a nominal 1 MB
+        // transfer wins; ties resolve to the first declared.
+        let mut peer_routes: BTreeMap<(usize, usize), TransferPath> = BTreeMap::new();
+        for (a, da) in devices.iter().enumerate() {
+            for (b, db) in devices.iter().enumerate() {
+                if a == b {
+                    continue;
+                }
+                let pa = pdl_core::id::PuId::new(da.pu_id.as_str());
+                let pb = pdl_core::id::PuId::new(db.pu_id.as_str());
+                for (idx, ic) in expanded.interconnects().iter().enumerate() {
+                    if ic.ic_type == SHARED_MEM_IC || !ic.connects(&pa, &pb) {
+                        continue;
+                    }
+                    let cand = TransferPath {
+                        links: vec![ic_to_link[idx].expect("non-shared-mem ic has a link")],
+                        bandwidth_bps: ic.bandwidth_bps().unwrap_or(paths::DEFAULT_BANDWIDTH_BPS),
+                        latency_s: ic.latency_s().unwrap_or(paths::DEFAULT_LATENCY_S),
+                    };
+                    let better = match peer_routes.get(&(a, b)) {
+                        Some(cur) => {
+                            cand.transfer_time(1e6).seconds() < cur.transfer_time(1e6).seconds()
+                        }
+                        None => true,
+                    };
+                    if better {
+                        peer_routes.insert((a, b), cand);
+                    }
+                }
+            }
+        }
+
         SimMachine {
             name: expanded.name.clone(),
             devices,
             index,
             defaulted_pus: defaulted,
+            links,
+            host_routes,
+            peer_routes,
         }
+    }
+
+    /// Route between host memory and a device's memory, or `None` when the
+    /// device shares the host address space (no copy needed). The sentinel
+    /// host "device" and out-of-range ids also yield `None`.
+    pub fn host_route(&self, device: DeviceId) -> Option<&TransferPath> {
+        self.host_routes.get(device.0).and_then(|r| r.as_ref())
+    }
+
+    /// Direct peer route between two devices over a declared interconnect
+    /// (e.g. NVLink), or `None` when transfers must stage through the host.
+    pub fn peer_route(&self, from: DeviceId, to: DeviceId) -> Option<&TransferPath> {
+        self.peer_routes.get(&(from.0, to.0))
+    }
+
+    /// Physical link by id.
+    pub fn link(&self, id: LinkId) -> &SimLink {
+        &self.links[id.0]
     }
 
     /// Number of devices.
@@ -321,6 +422,67 @@ mod tests {
         let m = SimMachine::from_platform(&synthetic::xeon_x5550_host());
         // 8 × 9.576 GF/s.
         assert!((m.total_flops_dp() - 8.0 * 9.576e9).abs() < 1e8);
+    }
+
+    #[test]
+    fn links_and_host_routes_derived() {
+        let p = synthetic::xeon_2gpu_testbed();
+        let m = SimMachine::from_platform(&p);
+        // Only the two PCIe interconnects become physical links; shared-mem
+        // edges model the common address space.
+        assert_eq!(m.links.len(), 2);
+        assert!(m.links.iter().all(|l| l.name.starts_with("PCIe:")));
+        let gpu0 = m.device_by_pu("gpu0").unwrap().id;
+        let gpu1 = m.device_by_pu("gpu1").unwrap().id;
+        let cpu0 = m.device_by_pu("cpu0").unwrap().id;
+        let r0 = m.host_route(gpu0).expect("gpu0 routed over PCIe");
+        assert_eq!(r0.links.len(), 1);
+        assert_eq!(r0.bandwidth_bps, 6e9);
+        let r1 = m.host_route(gpu1).expect("gpu1 routed over PCIe");
+        // The two GPUs sit on distinct PCIe links.
+        assert_ne!(r0.links[0], r1.links[0]);
+        // CPUs share the host address space: no route, no links occupied.
+        assert!(m.host_route(cpu0).is_none());
+        // Out-of-range (e.g. a HOST sentinel id) is not routed.
+        assert!(m.host_route(DeviceId(usize::MAX)).is_none());
+        // No direct GPU↔GPU interconnect is declared on the plain testbed.
+        assert!(m.peer_route(gpu0, gpu1).is_none());
+    }
+
+    #[test]
+    fn peer_routes_from_direct_interconnects() {
+        use pdl_core::interconnect::Interconnect;
+        // Two workers joined by a direct link, plus asymmetric declaration.
+        let mut b = pdl_core::platform::Platform::builder("peers");
+        let host = b.master("host");
+        b.prop(
+            host,
+            pdl_core::property::Property::fixed(wellknown::PEAK_GFLOPS_DP, "10")
+                .with_unit(pdl_core::units::Unit::GigaFlopPerSec),
+        );
+        for id in ["acc0", "acc1"] {
+            let w = b.worker(host, id.to_string()).expect("master controls");
+            b.prop(
+                w,
+                pdl_core::property::Property::fixed(wellknown::PEAK_GFLOPS_DP, "100")
+                    .with_unit(pdl_core::units::Unit::GigaFlopPerSec),
+            );
+            b.interconnect(Interconnect::new("PCIe", "host", id));
+        }
+        b.interconnect(Interconnect::new("NVLink", "acc0", "acc1"));
+        let p = b.build().unwrap();
+        let m = SimMachine::from_platform(&p);
+        let a0 = m.device_by_pu("acc0").unwrap().id;
+        let a1 = m.device_by_pu("acc1").unwrap().id;
+        let fwd = m.peer_route(a0, a1).expect("direct NVLink route");
+        assert_eq!(fwd.links.len(), 1);
+        assert_eq!(m.link(fwd.links[0]).name, "NVLink:acc0-acc1");
+        // Bidirectional by default: reverse direction routes too.
+        let rev = m.peer_route(a1, a0).expect("reverse NVLink route");
+        assert_eq!(rev.links, fwd.links);
+        // Peer link is disjoint from both host routes.
+        let h0 = m.host_route(a0).unwrap();
+        assert!(!h0.links.contains(&fwd.links[0]));
     }
 
     #[test]

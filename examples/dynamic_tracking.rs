@@ -30,6 +30,7 @@ fn main() {
                     cpu_cores: 8,
                     gpus: vec!["GeForce GTX 480", "GeForce GTX 285"],
                     dedicate_driver_cores: true,
+                    nvlink_gpus: false,
                 },
             ),
         ),
@@ -41,6 +42,7 @@ fn main() {
                     cpu_cores: 8,
                     gpus: vec!["GeForce GTX 480"],
                     dedicate_driver_cores: true,
+                    nvlink_gpus: false,
                 },
             ),
         ),
@@ -52,6 +54,7 @@ fn main() {
                     cpu_cores: 8,
                     gpus: vec![],
                     dedicate_driver_cores: true,
+                    nvlink_gpus: false,
                 },
             ),
         ),

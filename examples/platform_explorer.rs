@@ -62,6 +62,7 @@ fn main() {
             cpu_cores: 8,
             gpus: vec!["GeForce GTX 480"], // GTX 285 vanished
             dedicate_driver_cores: true,
+            nvlink_gpus: false,
         },
     );
     for change in diff(&before, &after) {
