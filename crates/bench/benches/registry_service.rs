@@ -1,0 +1,277 @@
+//! Registry service throughput: concurrent snapshot reads under publish.
+//!
+//! Builds a ≥200-platform synthetic catalog (testbed / NUMA / cluster /
+//! Cell variants), publishes it into a `pdl-registry::Registry`, revises
+//! half the series so version history and diffs exist, then drives ≥10k
+//! concurrent resolve/select/diff requests from reader threads while a
+//! publisher keeps revising series behind their backs — the registry's
+//! central claim: reads are snapshot-isolated and never blocked by
+//! publishes beyond the pointer swap.
+//!
+//! The one-shot summary reports request throughput and writes
+//! `BENCH_registry_service.json` (higher-is-better `*_per_sec` metrics —
+//! the bench-regression CI gate keys on those).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetero_trace::json::Json;
+use pdl_core::platform::Platform;
+use pdl_core::property::Property;
+use pdl_discover::synthetic::{self, TestbedOptions};
+use pdl_query::capability::{Requirement, RequirementSet};
+use pdl_registry::{compose, Layer, LayerKind, Registry, Target, VersionReq};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+/// Series in the synthetic catalog (the issue floor is 200).
+const PLATFORMS: usize = 224;
+/// Reader threads driving the request mix.
+const READERS: usize = 8;
+/// Request rounds per reader; each round issues 2–3 requests
+/// (8 readers x 800 rounds x 1.75 requests/round = 11,200 requests).
+const ROUNDS: usize = 800;
+/// Series revised by the concurrent publisher during the read phase.
+const LIVE_PUBLISHES: usize = 128;
+
+/// One synthetic catalog member; `i` selects shape and parameters.
+fn base_platform(i: usize) -> Platform {
+    let name = format!("rs-node-{i:03}");
+    let mut p = match i % 4 {
+        0 => synthetic::build_testbed(
+            &name,
+            &TestbedOptions {
+                cpu_cores: 2 + (i as u32 % 8),
+                gpus: match i % 3 {
+                    0 => vec![],
+                    1 => vec!["GeForce GTX 480"],
+                    _ => vec!["GeForce GTX 480", "GeForce GTX 285"],
+                },
+                dedicate_driver_cores: false,
+                nvlink_gpus: i % 6 == 5,
+            },
+        ),
+        1 => synthetic::numa_host(1 + (i as u32 % 4), 2 + (i as u32 % 6)),
+        2 => synthetic::gpgpu_cluster(2 + (i as u32 % 3), 1 + (i as u32 % 2)),
+        _ => synthetic::cell_be(),
+    };
+    p.name = name;
+    p
+}
+
+/// Revision `rev` of series `i`: the base refined by an environment layer
+/// (additive → a minor bump per revision).
+fn revision(i: usize, rev: u32) -> Platform {
+    let base = base_platform(i);
+    if rev == 0 {
+        return base;
+    }
+    let layer = Layer::new(LayerKind::Environment, "bench-rev")
+        .set(Target::All, Property::fixed("BENCH_REV", rev.to_string()));
+    compose(&base, &[layer])
+}
+
+fn seeded_registry() -> Arc<Registry> {
+    let reg = Arc::new(Registry::new());
+    for i in 0..PLATFORMS {
+        reg.publish(&base_platform(i));
+    }
+    // Revise every even series so multi-version resolve/diff paths exist.
+    for i in (0..PLATFORMS).step_by(2) {
+        reg.publish(&revision(i, 1));
+    }
+    reg
+}
+
+/// The concurrent read phase; returns (total requests, wall seconds).
+fn drive_requests(reg: &Arc<Registry>) -> (u64, f64) {
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Publisher: keeps revising a rotating subset of series while readers
+    // run, so snapshots are taken against a moving catalog.
+    let publisher = {
+        let reg = Arc::clone(reg);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut published = 0usize;
+            while !stop.load(Ordering::Relaxed) && published < LIVE_PUBLISHES {
+                // (published * 7) mod 224 cycles through 32 series; bump
+                // the revision each lap so every publish creates a release.
+                let i = (published * 7) % PLATFORMS;
+                let rev = 2 + (published / 32) as u32;
+                reg.publish(&revision(i, rev));
+                published += 1;
+            }
+            published
+        })
+    };
+
+    let gpu_reqs = RequirementSet::new().with(Requirement::Architecture("gpu".into()));
+    let t0 = Instant::now();
+    let readers: Vec<_> = (0..READERS)
+        .map(|r| {
+            let reg = Arc::clone(reg);
+            let gpu_reqs = gpu_reqs.clone();
+            thread::spawn(move || {
+                let latest = VersionReq::Latest;
+                let v1 = VersionReq::parse("=1.0.0").unwrap();
+                let mut requests = 0u64;
+                for round in 0..ROUNDS {
+                    let snap = reg.snapshot();
+                    let i = (r * ROUNDS + round) % PLATFORMS;
+                    let name = format!("rs-node-{i:03}");
+                    // Resolve: always.
+                    let res = snap.resolve(&name, &latest).unwrap();
+                    black_box(res.platform.hash());
+                    requests += 1;
+                    // Diff two requirements: every other round.
+                    if round % 2 == 0 {
+                        let d = snap.diff(&name, &v1, &latest).unwrap();
+                        black_box(d.len());
+                        requests += 1;
+                    }
+                    // Whole-catalog capability selection: every 4th round.
+                    if round % 4 == 0 {
+                        let hits = snap.select(&gpu_reqs);
+                        assert!(!hits.is_empty());
+                        black_box(hits.len());
+                        requests += 1;
+                    }
+                }
+                requests
+            })
+        })
+        .collect();
+
+    let total: u64 = readers.into_iter().map(|h| h.join().unwrap()).sum();
+    let wall = t0.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    let published = publisher.join().unwrap();
+    assert!(published > 0, "publisher never ran");
+    (total, wall)
+}
+
+fn print_summary() {
+    println!(
+        "\nregistry_service: {PLATFORMS}-platform catalog, {READERS} readers x {ROUNDS} rounds"
+    );
+
+    let t0 = Instant::now();
+    let reg = seeded_registry();
+    let publish_secs = t0.elapsed().as_secs_f64();
+    let seeded = reg.snapshot();
+    let publishes = seeded.total_releases() as f64;
+    println!(
+        "  seed: {} series, {} releases, {} distinct contents in {:.1} ms ({:.0} publishes/s)",
+        seeded.len(),
+        seeded.total_releases(),
+        seeded.distinct_contents(),
+        publish_secs * 1e3,
+        publishes / publish_secs,
+    );
+
+    let (requests, wall) = drive_requests(&reg);
+    let per_sec = requests as f64 / wall;
+    let final_snap = reg.snapshot();
+    println!(
+        "  served {requests} concurrent requests in {:.1} ms ({per_sec:.0} req/s), epoch {} -> {}",
+        wall * 1e3,
+        seeded.epoch(),
+        final_snap.epoch(),
+    );
+    assert!(requests >= 10_000, "workload must drive >=10k requests");
+    println!();
+
+    let doc = Json::obj([
+        (
+            "schema",
+            Json::Num(hetero_trace::summary::SCHEMA_VERSION as f64),
+        ),
+        ("kind", Json::str("registry-service")),
+        (
+            "catalog",
+            Json::obj([
+                ("platforms", Json::Num(seeded.len() as f64)),
+                ("releases", Json::Num(seeded.total_releases() as f64)),
+                (
+                    "distinct_contents",
+                    Json::Num(seeded.distinct_contents() as f64),
+                ),
+            ]),
+        ),
+        (
+            "publish",
+            Json::obj([
+                ("publishes", Json::Num(publishes)),
+                ("wall_ms", Json::Num(publish_secs * 1e3)),
+                ("publishes_per_sec", Json::Num(publishes / publish_secs)),
+            ]),
+        ),
+        (
+            "service",
+            Json::obj([
+                ("readers", Json::Num(READERS as f64)),
+                ("requests", Json::Num(requests as f64)),
+                ("wall_ms", Json::Num(wall * 1e3)),
+                ("requests_per_sec", Json::Num(per_sec)),
+                ("final_epoch", Json::Num(final_snap.epoch() as f64)),
+            ]),
+        ),
+    ]);
+    let dir = std::path::PathBuf::from(std::env::var("BENCH_OUT_DIR").unwrap_or_default());
+    if !dir.as_os_str().is_empty() {
+        let _ = std::fs::create_dir_all(&dir);
+    }
+    let out = dir.join("BENCH_registry_service.json");
+    match std::fs::write(&out, doc.to_pretty()) {
+        Ok(()) => println!("  wrote {}\n", out.display()),
+        Err(e) => println!("  could not write {}: {e}\n", out.display()),
+    }
+}
+
+fn registry_service(c: &mut Criterion) {
+    print_summary();
+
+    let reg = seeded_registry();
+    let snap = reg.snapshot();
+    let gpu_reqs = RequirementSet::new().with(Requirement::Architecture("gpu".into()));
+
+    let mut group = c.benchmark_group("registry_service");
+    group.sample_size(10);
+    group.bench_function("snapshot_clone", |b| b.iter(|| black_box(reg.snapshot())));
+    group.bench_function("resolve_latest", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % PLATFORMS;
+            snap.resolve(&format!("rs-node-{i:03}"), &VersionReq::Latest)
+                .unwrap()
+        })
+    });
+    group.bench_function("select_gpu_catalog", |b| b.iter(|| snap.select(&gpu_reqs)));
+    group.bench_function("diff_revisions", |b| {
+        let v1 = VersionReq::parse("^1.0").unwrap();
+        b.iter(|| snap.diff("rs-node-000", &v1, &VersionReq::Latest).unwrap())
+    });
+    group.bench_function("publish_revision", |b| {
+        let mut rev = 100u32;
+        b.iter(|| {
+            rev += 1;
+            reg.publish(&revision(1, rev))
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("registry_concurrent");
+    group.sample_size(3);
+    group.bench_function("mixed_requests_under_publish", |b| {
+        b.iter(|| {
+            let reg = seeded_registry();
+            drive_requests(&reg)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, registry_service);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Bench-regression gate (CI).
+//!
+//! Compares every `BENCH_*.json` in a head directory against the same
+//! file in a base directory and fails on any higher-is-better metric
+//! dropping by more than the threshold (default 15%). Reusable across
+//! every bench that emits the `BENCH_*.json` convention — the metric walk
+//! is structure-generic (see `bench::regression`).
+//!
+//! Usage:
+//! `cargo run -p bench --bin bench_regression -- --base DIR --head DIR [--threshold 0.15]`
+//!
+//! Files present only in head are reported as new (not gated); files
+//! present only in base are reported as removed (not gated) so benches
+//! can be retired without a two-step dance.
+
+use bench::regression::compare;
+use hetero_trace::json::Json;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn bench_files(dir: &Path) -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok()?.file_name().into_string().ok())
+                .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+                .collect()
+        })
+        .unwrap_or_default();
+    names.sort();
+    names
+}
+
+fn load(path: &Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("parse {path:?}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let mut base_dir: Option<PathBuf> = None;
+    let mut head_dir: Option<PathBuf> = None;
+    let mut threshold = 0.15f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--base" => base_dir = args.next().map(Into::into),
+            "--head" => head_dir = args.next().map(Into::into),
+            "--threshold" => {
+                threshold = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(t) => t,
+                    None => {
+                        eprintln!("--threshold needs a number (fraction, e.g. 0.15)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other:?}; usage: bench_regression --base DIR --head DIR [--threshold 0.15]"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (Some(base_dir), Some(head_dir)) = (base_dir, head_dir) else {
+        eprintln!("usage: bench_regression --base DIR --head DIR [--threshold 0.15]");
+        return ExitCode::FAILURE;
+    };
+
+    let base_files = bench_files(&base_dir);
+    let head_files = bench_files(&head_dir);
+    println!(
+        "bench_regression: {} base file(s), {} head file(s), threshold {:.0}%",
+        base_files.len(),
+        head_files.len(),
+        threshold * 100.0
+    );
+
+    let mut regressions = 0u32;
+    let mut compared = 0u32;
+    for name in &head_files {
+        if !base_files.contains(name) {
+            println!("  new  {name} (no base counterpart; not gated)");
+            continue;
+        }
+        let (base, head) = match (load(&base_dir.join(name)), load(&head_dir.join(name))) {
+            (Ok(b), Ok(h)) => (b, h),
+            (Err(e), _) | (_, Err(e)) => {
+                println!("  FAIL {name}: {e}");
+                regressions += 1;
+                continue;
+            }
+        };
+        let comparisons = compare(&base, &head, threshold);
+        if comparisons.is_empty() {
+            println!("  --   {name}: no shared gated metrics");
+            continue;
+        }
+        for c in comparisons {
+            compared += 1;
+            let verdict = if c.regressed {
+                regressions += 1;
+                "FAIL"
+            } else {
+                "ok  "
+            };
+            println!(
+                "  {verdict} {name}: {} {:.4} -> {:.4} ({:+.1}%)",
+                c.metric,
+                c.base,
+                c.head,
+                (c.ratio - 1.0) * 100.0
+            );
+        }
+    }
+    for name in &base_files {
+        if !head_files.contains(name) {
+            println!("  gone {name} (removed in head; not gated)");
+        }
+    }
+
+    if regressions == 0 {
+        println!("bench_regression: {compared} metric(s) compared, no regressions");
+        ExitCode::SUCCESS
+    } else {
+        println!("bench_regression: {regressions} regression(s) beyond {threshold:.2} threshold");
+        ExitCode::FAILURE
+    }
+}

@@ -7,7 +7,9 @@
 //! * [`portability`] — the Abl. E sweep: one input program over several PDL
 //!   descriptors;
 //! * [`ablations`] — scheduler/transfer ablation helpers shared by the
-//!   Criterion benches.
+//!   Criterion benches;
+//! * [`regression`] — the base-vs-head `BENCH_*.json` comparison behind
+//!   the `bench_regression` CI gate.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -15,3 +17,4 @@
 pub mod ablations;
 pub mod fig5;
 pub mod portability;
+pub mod regression;

@@ -1,0 +1,230 @@
+//! Bench-regression comparison: the logic behind the `bench_regression`
+//! CI gate.
+//!
+//! Compares the `BENCH_*.json` files of a head build against the same
+//! files from the base branch. Only **higher-is-better** metrics are
+//! gated (throughputs, rates, speedups — see [`higher_is_better`]);
+//! everything else in the files (raw nanosecond timings, byte counters,
+//! workload shapes) is descriptive and ignored, so adding detail to a
+//! bench report never trips the gate. A metric regresses when
+//! `head < base * (1 - threshold)`.
+//!
+//! The walk is generic over the JSON structure: nested objects become
+//! dotted paths, and array elements are labeled by their identifying
+//! member (`config`, `name`, `workers`, …) when they have one —
+//! `rows[config=overlap].speedup_vs_baseline` — so reordering or
+//! inserting rows in a report does not misalign the comparison.
+
+use hetero_trace::json::Json;
+
+/// Whether a metric key is a gated, higher-is-better quantity.
+pub fn higher_is_better(key: &str) -> bool {
+    key.ends_with("per_sec")
+        || key.ends_with("per_second")
+        || key == "speedup"
+        || key.ends_with("_speedup")
+        || key.starts_with("speedup_")
+        || key.contains("throughput")
+        || key.ends_with("gflops")
+}
+
+/// Array-element members used (in order) to label elements in metric paths.
+const LABEL_KEYS: [&str; 5] = ["config", "name", "kind", "workers", "shape"];
+
+fn element_label(e: &Json, index: usize) -> String {
+    for k in LABEL_KEYS {
+        match e.get(k) {
+            Some(Json::Str(s)) => return format!("{k}={s}"),
+            Some(Json::Num(n)) => return format!("{k}={n}"),
+            _ => {}
+        }
+    }
+    index.to_string()
+}
+
+fn walk(node: &Json, path: &str, out: &mut Vec<(String, f64)>) {
+    match node {
+        Json::Obj(members) => {
+            for (k, v) in members {
+                let sub = if path.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{path}.{k}")
+                };
+                if let Json::Num(n) = v {
+                    if higher_is_better(k) {
+                        out.push((sub, *n));
+                    }
+                } else {
+                    walk(v, &sub, out);
+                }
+            }
+        }
+        Json::Arr(items) => {
+            for (i, e) in items.iter().enumerate() {
+                walk(e, &format!("{path}[{}]", element_label(e, i)), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Extracts every gated metric from a bench report as `(path, value)`,
+/// sorted by path.
+pub fn collect_metrics(doc: &Json) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    walk(doc, "", &mut out);
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// One base-vs-head metric comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Dotted metric path inside the report.
+    pub metric: String,
+    /// Base-branch value.
+    pub base: f64,
+    /// Head value.
+    pub head: f64,
+    /// `head / base` (1.0 when base is zero).
+    pub ratio: f64,
+    /// Whether the head value fell below the allowed threshold.
+    pub regressed: bool,
+}
+
+/// Compares two bench reports; `threshold` is the allowed fractional drop
+/// (0.15 = fail on >15% regression). Metrics present on only one side are
+/// skipped — a renamed or new metric is not a regression.
+pub fn compare(base: &Json, head: &Json, threshold: f64) -> Vec<Comparison> {
+    let base_metrics = collect_metrics(base);
+    let head_metrics = collect_metrics(head);
+    base_metrics
+        .iter()
+        .filter_map(|(path, b)| {
+            let h = head_metrics
+                .iter()
+                .find(|(p, _)| p == path)
+                .map(|(_, v)| *v)?;
+            let ratio = if *b == 0.0 { 1.0 } else { h / b };
+            Some(Comparison {
+                metric: path.clone(),
+                base: *b,
+                head: h,
+                ratio,
+                regressed: h < b * (1.0 - threshold),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(speedup: f64, rps: f64) -> Json {
+        Json::obj([
+            ("kind", Json::str("demo")),
+            ("wall_ns", Json::Num(1e9)), // not gated
+            (
+                "rows",
+                Json::Arr(vec![
+                    Json::obj([
+                        ("config", Json::str("baseline")),
+                        ("speedup_vs_baseline", Json::Num(1.0)),
+                    ]),
+                    Json::obj([
+                        ("config", Json::str("tuned")),
+                        ("speedup_vs_baseline", Json::Num(speedup)),
+                    ]),
+                ]),
+            ),
+            ("service", Json::obj([("requests_per_sec", Json::Num(rps))])),
+        ])
+    }
+
+    #[test]
+    fn collects_only_higher_is_better_metrics() {
+        let m = collect_metrics(&report(1.5, 10_000.0));
+        let paths: Vec<&str> = m.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(
+            paths,
+            [
+                "rows[config=baseline].speedup_vs_baseline",
+                "rows[config=tuned].speedup_vs_baseline",
+                "service.requests_per_sec",
+            ]
+        );
+    }
+
+    #[test]
+    fn within_threshold_passes() {
+        let cmp = compare(&report(1.5, 10_000.0), &report(1.4, 9_000.0), 0.15);
+        assert_eq!(cmp.len(), 3);
+        assert!(cmp.iter().all(|c| !c.regressed));
+    }
+
+    #[test]
+    fn beyond_threshold_fails() {
+        let cmp = compare(&report(1.5, 10_000.0), &report(1.5, 8_000.0), 0.15);
+        let bad: Vec<&str> = cmp
+            .iter()
+            .filter(|c| c.regressed)
+            .map(|c| c.metric.as_str())
+            .collect();
+        assert_eq!(bad, ["service.requests_per_sec"]);
+    }
+
+    #[test]
+    fn improvements_and_reordered_rows_are_fine() {
+        let head = Json::obj([
+            (
+                "rows",
+                Json::Arr(vec![
+                    // Rows reordered vs the base report; labels keep the
+                    // pairing straight.
+                    Json::obj([
+                        ("config", Json::str("tuned")),
+                        ("speedup_vs_baseline", Json::Num(2.0)),
+                    ]),
+                    Json::obj([
+                        ("config", Json::str("baseline")),
+                        ("speedup_vs_baseline", Json::Num(1.0)),
+                    ]),
+                ]),
+            ),
+            (
+                "service",
+                Json::obj([("requests_per_sec", Json::Num(20_000.0))]),
+            ),
+        ]);
+        let cmp = compare(&report(1.5, 10_000.0), &head, 0.15);
+        assert!(cmp.iter().all(|c| !c.regressed));
+        let tuned = cmp
+            .iter()
+            .find(|c| c.metric.contains("tuned"))
+            .expect("tuned row compared");
+        assert!((tuned.ratio - 2.0 / 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_metrics_are_skipped_not_failed() {
+        let head = Json::obj([("service", Json::obj([("other_per_sec", Json::Num(1.0))]))]);
+        let cmp = compare(&report(1.5, 10_000.0), &head, 0.15);
+        assert!(cmp.is_empty());
+    }
+
+    #[test]
+    fn key_classification() {
+        assert!(higher_is_better("requests_per_sec"));
+        assert!(higher_is_better("publishes_per_sec"));
+        assert!(higher_is_better("speedup"));
+        assert!(higher_is_better("speedup_vs_baseline"));
+        assert!(higher_is_better("best_speedup"));
+        assert!(higher_is_better("throughput_mbs"));
+        assert!(!higher_is_better("wall_ns"));
+        assert!(!higher_is_better("makespan_s"));
+        assert!(!higher_is_better("bytes_to_host"));
+        assert!(!higher_is_better("overhead_pct"));
+    }
+}

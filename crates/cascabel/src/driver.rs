@@ -146,6 +146,7 @@ impl CompileResult {
 pub struct Cascabel {
     platform: Platform,
     repository: TaskRepository,
+    provenance: Option<String>,
 }
 
 impl Cascabel {
@@ -155,6 +156,7 @@ impl Cascabel {
         Cascabel {
             platform,
             repository: TaskRepository::with_builtin_expert_variants(),
+            provenance: None,
         }
     }
 
@@ -164,12 +166,36 @@ impl Cascabel {
         Cascabel {
             platform,
             repository: TaskRepository::new(),
+            provenance: None,
         }
+    }
+
+    /// A compiler whose target platform is resolved through a registry
+    /// snapshot (`req` is a version requirement such as `"latest"`,
+    /// `"^1.2"` or `"=1.0.0"`). The resolved pin — name, version and
+    /// content address — is recorded as [`Cascabel::provenance`], so a
+    /// compilation can always be traced back to the exact descriptor
+    /// revision that drove it.
+    pub fn from_registry(
+        snapshot: &pdl_registry::Snapshot,
+        name: &str,
+        req: &str,
+    ) -> Result<Self, pdl_registry::RegistryError> {
+        let resolved = snapshot.resolve_str(name, req)?;
+        let mut c = Cascabel::new(resolved.platform.platform().clone());
+        c.provenance = Some(resolved.pin());
+        Ok(c)
     }
 
     /// The target platform.
     pub fn platform(&self) -> &Platform {
         &self.platform
+    }
+
+    /// The registry pin (`name@version (hash)`) the platform was resolved
+    /// from, if [`Cascabel::from_registry`] was used.
+    pub fn provenance(&self) -> Option<&str> {
+        self.provenance.as_deref()
     }
 
     /// Mutable repository access (register expert variants).
@@ -393,5 +419,24 @@ my_dgemm(A, B, C);
         let r = c.compile(DGEMM_INPUT, &spec).unwrap();
         let x86 = r.plan.compiles.iter().find(|s| s.arch == "x86").unwrap();
         assert!(x86.sources.contains(&"cascabel_main.c".to_string()));
+    }
+
+    #[test]
+    fn from_registry_pins_the_resolved_revision() {
+        let reg = pdl_registry::Registry::new();
+        reg.publish(&synthetic::xeon_2gpu_testbed());
+        let snap = reg.snapshot();
+        let mut c = Cascabel::from_registry(&snap, "xeon-x5550-gtx480-gtx285", "latest").unwrap();
+        let pin = c.provenance().unwrap().to_string();
+        assert!(pin.starts_with("xeon-x5550-gtx480-gtx285@1.0.0"));
+        // The resolved (canonicalized) platform compiles like the direct one.
+        let r = c
+            .compile(DGEMM_INPUT, &ProblemSpec::with_size("N", 1024))
+            .unwrap();
+        assert!(!r.output.mappings.is_empty());
+        assert!(matches!(
+            Cascabel::from_registry(&snap, "nope", "latest"),
+            Err(pdl_registry::RegistryError::UnknownPlatform(_))
+        ));
     }
 }

@@ -33,7 +33,7 @@ pub mod trace;
 
 pub use pdl_core::diag::{Diagnostic, Report, Severity, Span};
 
-pub use platform::{analyze_platform, analyze_platform_source};
+pub use platform::{analyze_pinned, analyze_platform, analyze_platform_source};
 pub use program::{analyze_program, analyze_program_source};
 pub use render::{render_json, report_to_json};
 pub use trace::{check_trace, check_trace_links};

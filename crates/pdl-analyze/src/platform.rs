@@ -31,6 +31,22 @@ pub fn analyze_platform(platform: &Platform) -> Report {
     finish(model_diagnostics(platform, true), None, None)
 }
 
+/// Analyzes a platform resolved from a registry snapshot at a pinned
+/// version requirement (`"latest"`, `"^1.2"`, `"=1.0.0"`, …).
+///
+/// Returns the resolved pin string (`name@version (hash)`) alongside the
+/// report, so lint results can be attributed to one immutable descriptor
+/// revision rather than to whatever the name happens to point at later.
+pub fn analyze_pinned(
+    snapshot: &pdl_registry::Snapshot,
+    name: &str,
+    req: &str,
+) -> Result<(String, Report), pdl_registry::RegistryError> {
+    let resolved = snapshot.resolve_str(name, req)?;
+    let report = analyze_platform(resolved.platform.platform());
+    Ok((resolved.pin(), report))
+}
+
 /// Analyzes PDL XML source text.
 ///
 /// Returns the decoded platform (when the text was decodable at all,
@@ -454,6 +470,19 @@ mod tests {
             let report = analyze_platform(&platform);
             assert!(report.is_empty(), "{}: {}", platform.name, report.render());
         }
+    }
+
+    #[test]
+    fn pinned_analysis_resolves_through_the_registry() {
+        let reg = pdl_discover::catalog::builtin_registry();
+        let snap = reg.snapshot();
+        let (pin, report) = analyze_pinned(&snap, "cell-be", "^1").unwrap();
+        assert!(pin.starts_with("cell-be@1.0.0"));
+        assert!(report.is_empty(), "{}", report.render());
+        assert!(matches!(
+            analyze_pinned(&snap, "cell-be", "^9"),
+            Err(pdl_registry::RegistryError::NoMatchingVersion { .. })
+        ));
     }
 
     #[test]

@@ -135,6 +135,16 @@ impl Catalog {
         self.iter().filter(|(_, p)| requirements.supported_by(p))
     }
 
+    /// Publishes every entry into a registry (sorted by name, so version
+    /// assignment is deterministic), returning the publish outcomes.
+    /// Re-publishing an unchanged catalog is a no-op for every entry.
+    pub fn publish_into(
+        &self,
+        registry: &pdl_registry::Registry,
+    ) -> Vec<pdl_registry::PublishOutcome> {
+        self.entries.values().map(|p| registry.publish(p)).collect()
+    }
+
     /// Persists every entry as `<dir>/<name>.pdl.xml`.
     pub fn save_to_dir(&self, dir: &Path) -> Result<(), CatalogError> {
         std::fs::create_dir_all(dir)?;
@@ -169,6 +179,14 @@ impl Catalog {
         }
         Ok(c)
     }
+}
+
+/// A registry seeded with the synthetic platform library, each builtin at
+/// version `1.0.0`.
+pub fn builtin_registry() -> pdl_registry::Registry {
+    let registry = pdl_registry::Registry::new();
+    Catalog::with_builtin_platforms().publish_into(&registry);
+    registry
 }
 
 /// Makes a platform name filesystem-safe.
@@ -264,6 +282,36 @@ mod tests {
         let c = Catalog::load_from_dir(&dir).unwrap();
         assert!(c.is_empty());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn publish_into_registry_is_deterministic_and_idempotent() {
+        let c = Catalog::with_builtin_platforms();
+        let reg = pdl_registry::Registry::new();
+        let first = c.publish_into(&reg);
+        assert_eq!(first.len(), c.len());
+        assert!(first.iter().all(|o| o.created));
+        assert!(first
+            .iter()
+            .all(|o| o.version == pdl_registry::SemVer::INITIAL));
+        // Publishing the same catalog again creates nothing new.
+        let second = c.publish_into(&reg);
+        assert!(second.iter().all(|o| !o.created));
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), c.len());
+        assert_eq!(snap.total_releases(), c.len());
+        for name in c.names() {
+            assert!(snap.resolve_str(name, "latest").is_ok(), "{name}");
+        }
+    }
+
+    #[test]
+    fn builtin_registry_matches_builtin_catalog() {
+        let reg = builtin_registry();
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), Catalog::with_builtin_platforms().len());
+        let cell = snap.resolve_str("cell-be", "^1").unwrap();
+        assert_eq!(cell.name, "cell-be");
     }
 
     #[test]

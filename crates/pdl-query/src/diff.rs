@@ -151,7 +151,10 @@ pub fn diff(old: &Platform, new: &Platform) -> Vec<Change> {
                 new: new_parent,
             });
         }
-        // Property-level diff (first occurrence per name).
+        // Property-level diff over the canonicalized value multiset per
+        // name: values are trimmed and order-independent, so attribute
+        // reordering (including among duplicate names) and whitespace
+        // padding never register as changes.
         let mut names: Vec<&str> = old_pu
             .descriptor
             .iter()
@@ -161,14 +164,14 @@ pub fn diff(old: &Platform, new: &Platform) -> Vec<Change> {
         names.sort_unstable();
         names.dedup();
         for name in names {
-            let ov = old_pu.descriptor.value(name);
-            let nv = new_pu.descriptor.value(name);
+            let ov = canonical_values(old_pu, name);
+            let nv = canonical_values(new_pu, name);
             if ov != nv {
                 changes.push(Change::PropertyChanged {
                     id: id.to_string(),
                     property: name.to_string(),
-                    old: ov.map(str::to_string),
-                    new: nv.map(str::to_string),
+                    old: render_values(&ov),
+                    new: render_values(&nv),
                 });
             }
         }
@@ -208,6 +211,30 @@ pub fn diff(old: &Platform, new: &Platform) -> Vec<Change> {
 
 fn parent_id(p: &Platform, pu: &ProcessingUnit) -> Option<String> {
     pu.parent().map(|i| p.pu(i).id.as_str().to_string())
+}
+
+/// The sorted multiset of trimmed values a PU carries under one property
+/// name — the canonical form document order cannot influence.
+fn canonical_values(pu: &ProcessingUnit, name: &str) -> Vec<String> {
+    let mut vs: Vec<String> = pu
+        .descriptor
+        .iter()
+        .filter(|p| p.name == name)
+        .map(|p| p.value.text.trim().to_string())
+        .collect();
+    vs.sort_unstable();
+    vs
+}
+
+/// Renders a value multiset for a [`Change::PropertyChanged`] report:
+/// `None` when absent, the bare value when single, `|`-joined when a name
+/// occurs multiple times.
+fn render_values(vs: &[String]) -> Option<String> {
+    match vs {
+        [] => None,
+        [one] => Some(one.clone()),
+        many => Some(many.join(" | ")),
+    }
 }
 
 #[cfg(test)]
@@ -300,6 +327,65 @@ mod tests {
             old: Some("h".into()),
             new: Some("m".into()),
         }));
+    }
+
+    #[test]
+    fn attribute_reordering_is_not_a_change() {
+        // Duplicate property names: the first-match lookup used to make
+        // reordering look like a value change.
+        let mut b = Platform::builder("v1");
+        let m = b.master("cpu");
+        b.prop(m, Property::fixed("SOFTWARE_PLATFORM", "OpenCL"));
+        b.prop(m, Property::fixed("SOFTWARE_PLATFORM", "Cuda"));
+        let old = b.build().unwrap();
+
+        let mut b = Platform::builder("v2");
+        let m = b.master("cpu");
+        b.prop(m, Property::fixed("SOFTWARE_PLATFORM", "Cuda"));
+        b.prop(m, Property::fixed("SOFTWARE_PLATFORM", "OpenCL"));
+        let new = b.build().unwrap();
+
+        assert!(diff(&old, &new).is_empty());
+    }
+
+    #[test]
+    fn whitespace_padding_is_not_a_change() {
+        let mut b = Platform::builder("v1");
+        let m = b.master("cpu");
+        b.prop(m, Property::fixed("ARCHITECTURE", "x86"));
+        let old = b.build().unwrap();
+
+        let mut b = Platform::builder("v2");
+        let m = b.master("cpu");
+        b.prop(m, Property::fixed("ARCHITECTURE", "  x86 "));
+        let new = b.build().unwrap();
+
+        assert!(diff(&old, &new).is_empty());
+    }
+
+    #[test]
+    fn duplicate_value_multiset_changes_are_reported() {
+        let mut b = Platform::builder("v1");
+        let m = b.master("cpu");
+        b.prop(m, Property::fixed("SOFTWARE_PLATFORM", "OpenCL"));
+        b.prop(m, Property::fixed("SOFTWARE_PLATFORM", "Cuda"));
+        let old = b.build().unwrap();
+
+        let mut b = Platform::builder("v2");
+        let m = b.master("cpu");
+        b.prop(m, Property::fixed("SOFTWARE_PLATFORM", "OpenCL"));
+        let new = b.build().unwrap();
+
+        let d = diff(&old, &new);
+        assert_eq!(
+            d,
+            vec![Change::PropertyChanged {
+                id: "cpu".into(),
+                property: "SOFTWARE_PLATFORM".into(),
+                old: Some("Cuda | OpenCL".into()),
+                new: Some("OpenCL".into()),
+            }]
+        );
     }
 
     #[test]

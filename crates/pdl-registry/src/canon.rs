@@ -1,0 +1,350 @@
+//! Canonical platform encoding — the byte form that gets content-hashed.
+//!
+//! The PDL is XML, and XML admits many spellings of the same description:
+//! attribute/property order is arbitrary, values carry incidental
+//! whitespace, and composed layers can be listed in any order. The
+//! registry must give all those spellings one address, so hashing goes
+//! through a *canonical encoding* with the following normalization rules:
+//!
+//! * **Order independence** — PUs sort by id, properties sort by
+//!   `(name, value, unit, fixedness, subschema)`, groups sort
+//!   lexicographically, memory regions sort by id, interconnect edges sort
+//!   by their own encoded record (bidirectional edges additionally
+//!   normalize endpoint order). Duplicates are kept — the encoding is a
+//!   sorted multiset, not a set.
+//! * **Value normalization** — property values are trimmed; values that
+//!   parse as finite numbers are re-rendered through Rust's shortest
+//!   round-trip float formatting, so `" 42 "`, `"42"` and `"42.0"` agree.
+//!   Units are *not* converted (a value in `MHz` stays distinct from the
+//!   equivalent `GHz` value; unit conversion is a lossy judgement call that
+//!   does not belong in an address).
+//! * **Unambiguous framing** — every string is length-prefixed, so no
+//!   separator collision can make two different platforms encode equally.
+//!
+//! [`canonicalize`] additionally materializes the same ordering as a new
+//! [`Platform`] value, which `pdl-query::diff`-based compatibility checks
+//! use to avoid reporting presentation differences as changes.
+
+use crate::hash::ContentHash;
+use pdl_core::interconnect::{Directionality, Interconnect};
+use pdl_core::platform::{Platform, PlatformBuilder, PuHandle};
+use pdl_core::property::Property;
+use pdl_core::pu::ProcessingUnit;
+
+/// Version tag of the canonical encoding; bump when the rules change, so
+/// old and new addresses can never be confused.
+pub const CANON_VERSION: &str = "pdl-canon-v1";
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Normalized textual form of a property value: trimmed, numbers
+/// re-rendered canonically.
+pub fn norm_value(text: &str) -> String {
+    let t = text.trim();
+    match t.parse::<f64>() {
+        Ok(n) if n.is_finite() => {
+            // Shortest round-trip rendering collapses "42", " 42 ", "42.0".
+            format!("{n}")
+        }
+        _ => t.to_string(),
+    }
+}
+
+/// Stable sort key of one property (used both for encoding and for the
+/// canonical rebuild).
+fn prop_key(p: &Property) -> (String, String, String, bool, String) {
+    (
+        p.name.clone(),
+        norm_value(&p.value.text),
+        p.value.unit.map(|u| u.to_string()).unwrap_or_default(),
+        p.fixed,
+        p.subschema
+            .as_ref()
+            .map(pdl_core::property::SubschemaRef::qualified)
+            .unwrap_or_default(),
+    )
+}
+
+fn sorted_props(props: impl Iterator<Item = Property>) -> Vec<Property> {
+    let mut v: Vec<Property> = props.collect();
+    v.sort_by_cached_key(prop_key);
+    v
+}
+
+fn encode_descriptor(buf: &mut Vec<u8>, props: &[Property]) {
+    put_u32(buf, props.len() as u32);
+    for p in props {
+        let (name, value, unit, fixed, sub) = prop_key(p);
+        put_str(buf, &name);
+        put_str(buf, &value);
+        put_str(buf, &unit);
+        buf.push(u8::from(fixed));
+        put_str(buf, &sub);
+    }
+}
+
+fn encode_pu(buf: &mut Vec<u8>, platform: &Platform, pu: &ProcessingUnit) {
+    put_str(buf, pu.id.as_str());
+    put_str(buf, pu.class.element_name());
+    put_u32(buf, pu.quantity);
+    let parent = pu
+        .parent()
+        .map(|i| platform.pu(i).id.as_str().to_string())
+        .unwrap_or_default();
+    put_str(buf, &parent);
+
+    let mut groups: Vec<&str> = pu
+        .groups
+        .iter()
+        .map(pdl_core::id::GroupId::as_str)
+        .collect();
+    groups.sort_unstable();
+    put_u32(buf, groups.len() as u32);
+    for g in groups {
+        put_str(buf, g);
+    }
+
+    encode_descriptor(buf, &sorted_props(pu.descriptor.iter().cloned()));
+
+    let mut mrs: Vec<_> = pu.memory_regions.clone();
+    mrs.sort_by(|a, b| a.id.cmp(&b.id));
+    put_u32(buf, mrs.len() as u32);
+    for mr in &mrs {
+        put_str(buf, mr.id.as_str());
+        encode_descriptor(buf, &sorted_props(mr.descriptor.iter().cloned()));
+    }
+}
+
+fn encode_interconnect(ic: &Interconnect) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let bidi = ic.directionality == Directionality::Bidirectional;
+    let (a, b) = if bidi && ic.to < ic.from {
+        (ic.to.as_str(), ic.from.as_str())
+    } else {
+        (ic.from.as_str(), ic.to.as_str())
+    };
+    put_str(&mut buf, &ic.ic_type);
+    put_str(&mut buf, a);
+    put_str(&mut buf, b);
+    put_str(&mut buf, &ic.scheme);
+    buf.push(u8::from(bidi));
+    encode_descriptor(&mut buf, &sorted_props(ic.descriptor.iter().cloned()));
+    buf
+}
+
+/// The canonical byte encoding of a platform.
+pub fn canonical_bytes(platform: &Platform) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(1024);
+    put_str(&mut buf, CANON_VERSION);
+    put_str(&mut buf, &platform.name);
+    put_str(&mut buf, &platform.schema_version.to_string());
+
+    let mut pus: Vec<&ProcessingUnit> = platform.iter().map(|(_, pu)| pu).collect();
+    pus.sort_by(|a, b| a.id.cmp(&b.id));
+    put_u32(&mut buf, pus.len() as u32);
+    for pu in pus {
+        encode_pu(&mut buf, platform, pu);
+    }
+
+    let mut edges: Vec<Vec<u8>> = platform
+        .interconnects()
+        .iter()
+        .map(encode_interconnect)
+        .collect();
+    edges.sort_unstable();
+    put_u32(&mut buf, edges.len() as u32);
+    for e in edges {
+        buf.extend_from_slice(&e);
+    }
+    buf
+}
+
+/// The content address of a platform: SHA-256 over [`canonical_bytes`].
+pub fn content_hash(platform: &Platform) -> ContentHash {
+    ContentHash::of(&canonical_bytes(platform))
+}
+
+/// Rebuilds the platform in canonical order: descriptors, groups, memory
+/// regions and interconnect lists sorted as in the canonical encoding (the
+/// PU tree keeps its declaration structure — only per-node payload order
+/// and the edge list are normalized).
+pub fn canonicalize(platform: &Platform) -> Platform {
+    let mut b = PlatformBuilder::new(platform.name.clone());
+    b.schema_version(platform.schema_version);
+
+    fn copy(
+        src: &Platform,
+        b: &mut PlatformBuilder,
+        idx: pdl_core::id::PuIdx,
+        parent: Option<PuHandle>,
+    ) {
+        let pu = src.pu(idx);
+        let h = match parent {
+            None => b.root(pu.id.as_str(), pu.class),
+            Some(p) => b
+                .child(p, pu.id.as_str(), pu.class)
+                .expect("source tree is well-formed"),
+        };
+        b.quantity(h, pu.quantity);
+        b.descriptor(
+            h,
+            sorted_props(pu.descriptor.iter().cloned())
+                .into_iter()
+                .collect(),
+        );
+        let mut mrs = pu.memory_regions.clone();
+        mrs.sort_by(|a, b| a.id.cmp(&b.id));
+        for mr in mrs {
+            let canon = mr.clone().with_descriptor(
+                sorted_props(mr.descriptor.iter().cloned())
+                    .into_iter()
+                    .collect(),
+            );
+            b.memory(h, canon);
+        }
+        let mut groups = pu.groups.clone();
+        groups.sort();
+        for g in groups {
+            b.group(h, g);
+        }
+        for &c in pu.children() {
+            copy(src, b, c, Some(h));
+        }
+    }
+    for &r in platform.roots() {
+        copy(platform, &mut b, r, None);
+    }
+
+    let mut edges: Vec<(Vec<u8>, Interconnect)> = platform
+        .interconnects()
+        .iter()
+        .map(|ic| {
+            let mut c = ic.clone();
+            if c.directionality == Directionality::Bidirectional && c.to < c.from {
+                std::mem::swap(&mut c.from, &mut c.to);
+            }
+            c.descriptor = sorted_props(c.descriptor.iter().cloned())
+                .into_iter()
+                .collect();
+            (encode_interconnect(&c), c)
+        })
+        .collect();
+    edges.sort_by(|a, b| a.0.cmp(&b.0));
+    for (_, ic) in edges {
+        b.interconnect(ic);
+    }
+    b.build_unchecked()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(prop_order_flipped: bool) -> Platform {
+        let mut b = Platform::builder("canon-test");
+        let m = b.master("cpu");
+        if prop_order_flipped {
+            b.prop(m, Property::fixed("CORES", " 8 "));
+            b.prop(m, Property::fixed("ARCHITECTURE", "x86"));
+        } else {
+            b.prop(m, Property::fixed("ARCHITECTURE", "x86"));
+            b.prop(m, Property::fixed("CORES", "8.0"));
+        }
+        let w = b.worker(m, "gpu0").unwrap();
+        b.prop(w, Property::fixed("ARCHITECTURE", "gpu"));
+        b.group(w, "gpus");
+        b.interconnect(Interconnect::new("PCIe", "cpu", "gpu0"));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn property_order_and_whitespace_do_not_change_hash() {
+        assert_eq!(content_hash(&sample(false)), content_hash(&sample(true)));
+    }
+
+    #[test]
+    fn bidirectional_endpoint_order_normalized() {
+        let mk = |flip: bool| {
+            let mut b = Platform::builder("e");
+            let m = b.master("a");
+            b.worker(m, "b").unwrap();
+            let ic = if flip {
+                Interconnect::new("PCIe", "b", "a")
+            } else {
+                Interconnect::new("PCIe", "a", "b")
+            };
+            b.interconnect(ic);
+            b.build().unwrap()
+        };
+        assert_eq!(content_hash(&mk(false)), content_hash(&mk(true)));
+    }
+
+    #[test]
+    fn unidirectional_endpoint_order_is_semantic() {
+        let mk = |flip: bool| {
+            let mut b = Platform::builder("e");
+            let m = b.master("a");
+            b.worker(m, "b").unwrap();
+            let ic = if flip {
+                Interconnect::new("dma", "b", "a")
+            } else {
+                Interconnect::new("dma", "a", "b")
+            };
+            b.interconnect(ic.unidirectional());
+            b.build_unchecked()
+        };
+        assert_ne!(content_hash(&mk(false)), content_hash(&mk(true)));
+    }
+
+    #[test]
+    fn value_changes_change_hash() {
+        let a = sample(false);
+        let mut b = Platform::builder("canon-test");
+        let m = b.master("cpu");
+        b.prop(m, Property::fixed("ARCHITECTURE", "arm"));
+        b.prop(m, Property::fixed("CORES", "8"));
+        let w = b.worker(m, "gpu0").unwrap();
+        b.prop(w, Property::fixed("ARCHITECTURE", "gpu"));
+        b.group(w, "gpus");
+        b.interconnect(Interconnect::new("PCIe", "cpu", "gpu0"));
+        let other = b.build().unwrap();
+        assert_ne!(content_hash(&a), content_hash(&other));
+    }
+
+    #[test]
+    fn name_is_part_of_the_address() {
+        let a = sample(false);
+        let mut renamed = sample(false);
+        renamed.name = "other-name".into();
+        assert_ne!(content_hash(&a), content_hash(&renamed));
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent_and_hash_preserving() {
+        let p = sample(true);
+        let c = canonicalize(&p);
+        assert_eq!(content_hash(&p), content_hash(&c));
+        let cc = canonicalize(&c);
+        assert_eq!(c, cc);
+        // Canonical form has sorted properties.
+        let (_, cpu) = c.pu_by_id("cpu").unwrap();
+        let names: Vec<_> = cpu.descriptor.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, ["ARCHITECTURE", "CORES"]);
+    }
+
+    #[test]
+    fn norm_value_rules() {
+        assert_eq!(norm_value(" 42 "), "42");
+        assert_eq!(norm_value("42.0"), "42");
+        assert_eq!(norm_value("1.50"), "1.5");
+        assert_eq!(norm_value("  x86  "), "x86");
+        assert_eq!(norm_value("NaN"), "NaN"); // non-finite stays textual
+    }
+}

@@ -1,0 +1,153 @@
+//! Property tests for the canonicality of interning: semantically equal
+//! documents must hash to the same content address, regardless of
+//! attribute order, surrounding whitespace, or layer composition order —
+//! and a registry's self-diff must always be empty.
+
+use pdl_core::prelude::*;
+use pdl_registry::{
+    canonicalize, compose, content_hash, Layer, LayerKind, Registry, Target, VersionReq,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Tiny deterministic LCG for shuffles, seeded from a drawn `u64`.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        self.0 >> 33
+    }
+
+    fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = (self.next() as usize) % (i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+type PropSpec = (String, String);
+type WorkerSpec = (String, Vec<PropSpec>);
+
+/// Builds a platform from worker specs, with controllable presentation:
+/// worker insertion order, per-descriptor property order, and whitespace
+/// padding around values.
+fn build(name: &str, workers: &[WorkerSpec], seed: Option<u64>, pad: bool) -> Platform {
+    let mut order: Vec<usize> = (0..workers.len()).collect();
+    if let Some(s) = seed {
+        Lcg(s).shuffle(&mut order);
+    }
+    let mut b = Platform::builder(name);
+    let m = b.master("host");
+    b.prop(m, Property::fixed("ARCHITECTURE", "x86"));
+    for &wi in &order {
+        let (id, props) = &workers[wi];
+        let w = b.worker(m, format!("w-{id}")).unwrap();
+        let mut props: Vec<&PropSpec> = props.iter().collect();
+        if let Some(s) = seed {
+            Lcg(s ^ wi as u64).shuffle(&mut props);
+        }
+        for (pname, pval) in props {
+            let val = if pad {
+                format!("  {pval} ")
+            } else {
+                pval.clone()
+            };
+            b.prop(w, Property::fixed(pname.clone(), val));
+        }
+        b.interconnect(if wi % 2 == 0 {
+            Interconnect::new("PCIe", "host", format!("w-{id}"))
+        } else {
+            // Bidirectional edges may be written in either direction.
+            Interconnect::new("PCIe", format!("w-{id}"), "host")
+        });
+    }
+    b.build_unchecked()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn presentation_does_not_change_the_address(
+        workers in vec(("[a-z][a-z0-9]{0,4}", vec(("[A-Z]{3,8}", "[a-z0-9]{1,6}"), 1..4)), 1..5),
+        seed in any::<u64>(),
+    ) {
+        // De-duplicate worker ids: equal ids would merge differently
+        // depending on insertion order, which is a semantic difference.
+        let mut workers = workers;
+        workers.sort_by(|a, b| a.0.cmp(&b.0));
+        workers.dedup_by(|a, b| a.0 == b.0);
+
+        let plain = build("prop-node", &workers, None, false);
+        let shuffled = build("prop-node", &workers, Some(seed), true);
+        prop_assert_eq!(content_hash(&plain), content_hash(&shuffled));
+        // Canonicalization is a fixpoint and preserves the address.
+        let canon = canonicalize(&shuffled);
+        prop_assert_eq!(content_hash(&canon), content_hash(&plain));
+        prop_assert_eq!(canonicalize(&canon), canon.clone());
+    }
+
+    #[test]
+    fn layer_composition_order_is_immaterial(
+        freqs in vec("[0-9]\\.[0-9]{1,2}", 2..5),
+        seed in any::<u64>(),
+    ) {
+        let base = build(
+            "layered-node",
+            &[("a".into(), vec![("KIND".into(), "gpu".into())])],
+            None,
+            false,
+        );
+        let kinds = [
+            LayerKind::Isa,
+            LayerKind::Microarchitecture,
+            LayerKind::Environment,
+        ];
+        let layers: Vec<Layer> = freqs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                Layer::new(kinds[i % 3], format!("layer-{i}"))
+                    .set(Target::All, Property::fixed(format!("P{i}"), f.clone()))
+                    .set(
+                        Target::Pu("host".into()),
+                        Property::fixed("FREQUENCY", f.clone()),
+                    )
+            })
+            .collect();
+        let mut shuffled = layers.clone();
+        Lcg(seed).shuffle(&mut shuffled);
+        let a = compose(&base, &layers);
+        let b = compose(&base, &shuffled);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(content_hash(&a), content_hash(&b));
+    }
+
+    #[test]
+    fn registry_self_diff_is_always_empty(
+        workers in vec(("[a-z][a-z0-9]{0,4}", vec(("[A-Z]{3,8}", "[a-z0-9]{1,6}"), 1..4)), 1..4),
+        seed in any::<u64>(),
+    ) {
+        let mut workers = workers;
+        workers.sort_by(|a, b| a.0.cmp(&b.0));
+        workers.dedup_by(|a, b| a.0 == b.0);
+
+        let reg = Registry::new();
+        reg.publish(&build("self-diff", &workers, None, false));
+        // Republishing a different presentation of the same content must
+        // neither create a release nor produce a diff.
+        let out = reg.publish(&build("self-diff", &workers, Some(seed), true));
+        prop_assert!(!out.created);
+        let snap = reg.snapshot();
+        prop_assert_eq!(snap.total_releases(), 1);
+        let d = snap
+            .diff("self-diff", &VersionReq::Latest, &VersionReq::Latest)
+            .unwrap();
+        prop_assert!(d.is_empty(), "self-diff produced changes: {d:?}");
+    }
+}

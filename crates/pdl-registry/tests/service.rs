@@ -1,0 +1,155 @@
+//! Concurrency tests: readers running resolve/select/diff against
+//! snapshots must always observe a consistent catalog while publishers
+//! advance it, and epochs must be monotonic.
+
+use pdl_core::prelude::*;
+use pdl_query::capability::{Requirement, RequirementSet};
+use pdl_registry::{Registry, SemVer, VersionReq};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+fn node(name: &str, cores: u32, gpus: usize) -> Platform {
+    let mut b = Platform::builder(name);
+    let m = b.master("cpu");
+    b.prop(m, Property::fixed("ARCHITECTURE", "x86"));
+    b.prop(m, Property::fixed("CORES", cores.to_string()));
+    for g in 0..gpus {
+        let w = b.worker(m, format!("gpu{g}")).unwrap();
+        b.prop(w, Property::fixed("ARCHITECTURE", "gpu"));
+        b.interconnect(Interconnect::new("PCIe", "cpu", format!("gpu{g}")));
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn readers_see_consistent_snapshots_during_publishes() {
+    const NAMES: usize = 8;
+    const REVISIONS: u32 = 24;
+    const READERS: usize = 6;
+
+    let reg = Arc::new(Registry::new());
+    for n in 0..NAMES {
+        reg.publish(&node(&format!("node-{n}"), 4, 1));
+    }
+    let done = Arc::new(AtomicBool::new(false));
+
+    let mut handles = Vec::new();
+    for r in 0..READERS {
+        let reg = Arc::clone(&reg);
+        let done = Arc::clone(&done);
+        handles.push(thread::spawn(move || {
+            let gpus = RequirementSet::new().with(Requirement::Architecture("gpu".into()));
+            let mut last_epoch = 0;
+            let mut reads = 0u64;
+            while !done.load(Ordering::Relaxed) {
+                let snap = reg.snapshot();
+                // Epochs only move forward.
+                assert!(snap.epoch() >= last_epoch, "epoch went backwards");
+                last_epoch = snap.epoch();
+                // Every seeded series stays resolvable, and the resolved
+                // platform is internally consistent (the CORES property
+                // always matches what that revision published).
+                let name = format!("node-{}", reads as usize % NAMES);
+                let res = snap.resolve(&name, &VersionReq::Latest).unwrap();
+                let p = res.platform.platform();
+                let (_, cpu) = p.pu_by_id("cpu").unwrap();
+                let cores = cpu.cores().unwrap();
+                assert!(cores >= 4, "saw torn revision with CORES={cores}");
+                // Versions within a series are strictly ascending.
+                let series = snap.series(&name).unwrap();
+                let vs = series.versions();
+                assert!(vs.windows(2).all(|w| w[0] < w[1]));
+                // Selection and diff run lock-free on the same snapshot.
+                assert_eq!(snap.select(&gpus).len(), snap.len());
+                if vs.len() > 1 {
+                    let d = snap
+                        .diff(
+                            &name,
+                            &VersionReq::Exact(vs[0]),
+                            &VersionReq::Exact(*vs.last().unwrap()),
+                        )
+                        .unwrap();
+                    assert!(!d.is_empty(), "distinct revisions must diff");
+                }
+                reads += 1;
+                let _ = r;
+            }
+            assert!(reads > 0);
+            reads
+        }));
+    }
+
+    // Publisher: keep growing every series while readers hammer snapshots.
+    for rev in 1..=REVISIONS {
+        for n in 0..NAMES {
+            reg.publish(&node(&format!("node-{n}"), 4 + rev, 1 + (rev as usize % 3)));
+        }
+    }
+    done.store(true, Ordering::Relaxed);
+
+    let total_reads: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(total_reads > 0);
+
+    let snap = reg.snapshot();
+    assert_eq!(snap.len(), NAMES);
+    assert_eq!(snap.epoch(), reg.epoch());
+    assert_eq!(snap.total_releases(), NAMES * (1 + REVISIONS as usize));
+    for n in 0..NAMES {
+        let res = snap
+            .resolve(&format!("node-{n}"), &VersionReq::Latest)
+            .unwrap();
+        let (_, cpu) = res.platform.platform().pu_by_id("cpu").unwrap();
+        assert_eq!(cpu.cores(), Some(i64::from(4 + REVISIONS)));
+    }
+}
+
+#[test]
+fn concurrent_publishers_serialize_cleanly() {
+    const PUBLISHERS: usize = 4;
+    const PER_PUBLISHER: u32 = 8;
+
+    let reg = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..PUBLISHERS)
+        .map(|p| {
+            let reg = Arc::clone(&reg);
+            thread::spawn(move || {
+                for rev in 0..PER_PUBLISHER {
+                    // Each publisher owns one series; all interleave.
+                    reg.publish(&node(&format!("pub-{p}"), 4 + rev, 1));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let snap = reg.snapshot();
+    assert_eq!(snap.len(), PUBLISHERS);
+    assert_eq!(snap.total_releases(), PUBLISHERS * PER_PUBLISHER as usize);
+    // Every publish was a distinct content: epoch counted each one.
+    assert_eq!(reg.epoch(), (PUBLISHERS as u64) * u64::from(PER_PUBLISHER));
+    for p in 0..PUBLISHERS {
+        let series = snap.series(&format!("pub-{p}")).unwrap();
+        assert_eq!(series.releases().len(), PER_PUBLISHER as usize);
+        assert_eq!(series.head().version.major as usize, PER_PUBLISHER as usize);
+    }
+}
+
+#[test]
+fn old_snapshots_remain_fully_usable() {
+    let reg = Registry::new();
+    reg.publish(&node("pinned", 8, 2));
+    let pinned = reg.snapshot();
+    for rev in 0..10 {
+        reg.publish(&node("pinned", 16 + rev, 2));
+    }
+    // The pinned snapshot still answers every query from its own epoch.
+    assert_eq!(pinned.total_releases(), 1);
+    let res = pinned.resolve("pinned", &VersionReq::Latest).unwrap();
+    assert_eq!(res.version, SemVer::new(1, 0, 0));
+    let (_, cpu) = res.platform.platform().pu_by_id("cpu").unwrap();
+    assert_eq!(cpu.cores(), Some(8));
+    assert_eq!(reg.snapshot().total_releases(), 11);
+}
