@@ -8,9 +8,12 @@
 //! central claim: reads are snapshot-isolated and never blocked by
 //! publishes beyond the pointer swap.
 //!
-//! The one-shot summary reports request throughput and writes
-//! `BENCH_registry_service.json` (higher-is-better `*_per_sec` metrics —
-//! the bench-regression CI gate keys on those).
+//! The one-shot summary reports request throughput plus tail latency
+//! (p50/p90/p99 per request kind, from the registry's always-on
+//! `registry_*_ns` telemetry histograms) and writes
+//! `BENCH_registry_service.json`; the bench-regression CI gate keys on
+//! the higher-is-better `*_per_sec` metrics and the lower-is-better
+//! `p*_ns` quantiles.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hetero_trace::json::Json;
@@ -82,6 +85,27 @@ fn seeded_registry() -> Arc<Registry> {
         reg.publish(&revision(i, 1));
     }
     reg
+}
+
+/// One request kind's latency distribution, as recorded by the
+/// registry's always-on telemetry during the drive phase.
+fn latency_json(histogram: &str) -> Json {
+    let snap = hetero_trace::telemetry::global()
+        .histogram(histogram)
+        .snapshot();
+    let q = |p: f64| snap.quantile(p).unwrap_or(0) as f64;
+    let mean = if snap.count() == 0 {
+        0.0
+    } else {
+        snap.sum() as f64 / snap.count() as f64
+    };
+    Json::obj([
+        ("count", Json::Num(snap.count() as f64)),
+        ("mean_ns", Json::Num(mean)),
+        ("p50_ns", Json::Num(q(0.5))),
+        ("p90_ns", Json::Num(q(0.9))),
+        ("p99_ns", Json::Num(q(0.99))),
+    ])
 }
 
 /// The concurrent read phase; returns (total requests, wall seconds).
@@ -171,6 +195,9 @@ fn print_summary() {
         publishes / publish_secs,
     );
 
+    // Isolate the drive phase in the process-global latency histograms
+    // (seeding resolves/diffs internally during publish).
+    hetero_trace::telemetry::global().reset();
     let (requests, wall) = drive_requests(&reg);
     let per_sec = requests as f64 / wall;
     let final_snap = reg.snapshot();
@@ -181,6 +208,25 @@ fn print_summary() {
         final_snap.epoch(),
     );
     assert!(requests >= 10_000, "workload must drive >=10k requests");
+    let latency: Vec<(&str, Json)> = [
+        ("resolve", "registry_resolve_ns"),
+        ("select", "registry_select_ns"),
+        ("diff", "registry_diff_ns"),
+    ]
+    .map(|(op, hist)| (op, latency_json(hist)))
+    .into_iter()
+    .collect();
+    for (op, row) in &latency {
+        let get = |k| row.get(k).and_then(Json::as_u64).unwrap_or(0);
+        println!(
+            "  {op:>8}: {} requests, p50 {} ns, p90 {} ns, p99 {} ns",
+            get("count"),
+            get("p50_ns"),
+            get("p90_ns"),
+            get("p99_ns"),
+        );
+        assert!(get("count") > 0, "{op} latency histogram stayed empty");
+    }
     println!();
 
     let doc = Json::obj([
@@ -217,6 +263,15 @@ fn print_summary() {
                 ("requests_per_sec", Json::Num(per_sec)),
                 ("final_epoch", Json::Num(final_snap.epoch() as f64)),
             ]),
+        ),
+        (
+            "latency",
+            Json::Obj(
+                latency
+                    .into_iter()
+                    .map(|(op, row)| (op.to_string(), row))
+                    .collect(),
+            ),
         ),
     ]);
     let dir = std::path::PathBuf::from(std::env::var("BENCH_OUT_DIR").unwrap_or_default());

@@ -8,7 +8,10 @@
 //! 2. its counters reconcile **exactly** with the engine's own
 //!    [`ExecReport`] numbers;
 //! 3. the Chrome-trace export and the run-summary export both re-parse as
-//!    JSON and carry one lane per worker labeled with its PDL logic group.
+//!    JSON and carry one lane per worker labeled with its PDL logic group;
+//! 4. a virtual-time pipelined simulation bridges to a trace whose link
+//!    lanes all name declared interconnects (the `T006` analyzer pass)
+//!    and whose replay checks come back clean.
 //!
 //! Exits non-zero on any failure. Usage:
 //! `cargo run -p bench --bin trace_smoke [--out DIR]`
@@ -173,6 +176,79 @@ fn main() -> ExitCode {
         }
         Err(e) => check(false, &format!("summary parses ({e})"), &mut failures),
     }
+
+    // 4. Virtual-time pipeline: simulate with link-lane pipelining on the
+    //    NVLink testbed, bridge to a trace, and cross-check its transfer
+    //    lanes against the platform's declared interconnects (T006).
+    let nv_platform = pdl_discover::synthetic::xeon_2gpu_nvlink_testbed();
+    let machine = simhw::machine::SimMachine::from_platform(&nv_platform);
+    let mut pipeline_graph = TaskGraph::new();
+    let k = pipeline_graph.add_codelet(
+        Codelet::new("k").with_variant(hetero_rt::task::Variant::new("gpu").requiring("Cuda")),
+    );
+    let handle = pipeline_graph.register_data("A", 600e6);
+    pipeline_graph.submit(
+        k,
+        "produce",
+        1e10,
+        vec![DataAccess {
+            handle,
+            mode: AccessMode::Write,
+        }],
+        None,
+    );
+    pipeline_graph.submit(
+        k,
+        "consume",
+        1e10,
+        vec![DataAccess {
+            handle,
+            mode: AccessMode::Read,
+        }],
+        None,
+    );
+    let sim = simulate(
+        &pipeline_graph,
+        &machine,
+        &mut RoundRobinScheduler::default(),
+        &SimOptions {
+            pipeline: TransferPipeline::full(),
+            ..Default::default()
+        },
+    )
+    .expect("pipelined simulation runs");
+    let vtrace = sim_report_to_trace(&sim, &machine);
+    check(
+        vtrace.validate().is_ok(),
+        "virtual-time pipeline trace passes invariants",
+        &mut failures,
+    );
+    check(
+        vtrace.meta.time_unit.label() == "virtual-ns",
+        "bridged trace carries the virtual time unit",
+        &mut failures,
+    );
+    let link_lanes = vtrace
+        .meta
+        .lanes
+        .iter()
+        .filter(|l| l.group.as_deref() == Some("links"))
+        .count();
+    check(
+        link_lanes > 0,
+        "pipelined trace has per-link transfer lanes",
+        &mut failures,
+    );
+    check(
+        pdl_analyze::check_trace_links(&vtrace, &nv_platform).is_empty(),
+        "T006: every transfer lane names a declared interconnect",
+        &mut failures,
+    );
+    check(
+        pdl_analyze::check_trace(&vtrace, &pipeline_graph).is_empty(),
+        "replay checks pass on the pipelined trace",
+        &mut failures,
+    );
 
     if let Some(dir) = out_dir {
         if let Err(e) = std::fs::create_dir_all(&dir) {

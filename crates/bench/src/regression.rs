@@ -2,12 +2,15 @@
 //! CI gate.
 //!
 //! Compares the `BENCH_*.json` files of a head build against the same
-//! files from the base branch. Only **higher-is-better** metrics are
-//! gated (throughputs, rates, speedups — see [`higher_is_better`]);
-//! everything else in the files (raw nanosecond timings, byte counters,
-//! workload shapes) is descriptive and ignored, so adding detail to a
-//! bench report never trips the gate. A metric regresses when
-//! `head < base * (1 - threshold)`.
+//! files from the base branch. Two kinds of metric are gated:
+//! **higher-is-better** quantities (throughputs, rates, speedups — see
+//! [`higher_is_better`]), which regress when
+//! `head < base * (1 - threshold)`, and **lower-is-better** tail
+//! latencies (`p50_ns`/`p90_ns`/`p99_ns` quantile keys — see
+//! [`lower_is_better`]), which regress when
+//! `head > base * (1 + threshold)`. Everything else in the files (raw
+//! nanosecond timings, byte counters, workload shapes) is descriptive
+//! and ignored, so adding detail to a bench report never trips the gate.
 //!
 //! The walk is generic over the JSON structure: nested objects become
 //! dotted paths, and array elements are labeled by their identifying
@@ -26,6 +29,12 @@ pub fn higher_is_better(key: &str) -> bool {
         || key.starts_with("speedup_")
         || key.contains("throughput")
         || key.ends_with("gflops")
+}
+
+/// Whether a metric key is a gated, lower-is-better quantity (latency
+/// quantiles as exported by `hetero_trace::Histogram::to_json`).
+pub fn lower_is_better(key: &str) -> bool {
+    key == "p50_ns" || key == "p90_ns" || key == "p99_ns"
 }
 
 /// Array-element members used (in order) to label elements in metric paths.
@@ -52,7 +61,7 @@ fn walk(node: &Json, path: &str, out: &mut Vec<(String, f64)>) {
                     format!("{path}.{k}")
                 };
                 if let Json::Num(n) = v {
-                    if higher_is_better(k) {
+                    if higher_is_better(k) || lower_is_better(k) {
                         out.push((sub, *n));
                     }
                 } else {
@@ -89,13 +98,21 @@ pub struct Comparison {
     pub head: f64,
     /// `head / base` (1.0 when base is zero).
     pub ratio: f64,
-    /// Whether the head value fell below the allowed threshold.
+    /// Whether the head value moved past the allowed threshold in the
+    /// metric's bad direction (down for rates, up for latency quantiles).
     pub regressed: bool,
 }
 
-/// Compares two bench reports; `threshold` is the allowed fractional drop
-/// (0.15 = fail on >15% regression). Metrics present on only one side are
-/// skipped — a renamed or new metric is not a regression.
+/// The gating direction of a metric path, from its final key segment.
+fn path_is_lower_is_better(path: &str) -> bool {
+    let key = path.rsplit('.').next().unwrap_or(path);
+    lower_is_better(key)
+}
+
+/// Compares two bench reports; `threshold` is the allowed fractional
+/// change (0.15 = fail on a >15% drop for rates, or a >15% rise for
+/// latency quantiles). Metrics present on only one side are skipped — a
+/// renamed or new metric is not a regression.
 pub fn compare(base: &Json, head: &Json, threshold: f64) -> Vec<Comparison> {
     let base_metrics = collect_metrics(base);
     let head_metrics = collect_metrics(head);
@@ -107,12 +124,17 @@ pub fn compare(base: &Json, head: &Json, threshold: f64) -> Vec<Comparison> {
                 .find(|(p, _)| p == path)
                 .map(|(_, v)| *v)?;
             let ratio = if *b == 0.0 { 1.0 } else { h / b };
+            let regressed = if path_is_lower_is_better(path) {
+                h > b * (1.0 + threshold)
+            } else {
+                h < b * (1.0 - threshold)
+            };
             Some(Comparison {
                 metric: path.clone(),
                 base: *b,
                 head: h,
                 ratio,
-                regressed: h < b * (1.0 - threshold),
+                regressed,
             })
         })
         .collect()
@@ -226,5 +248,45 @@ mod tests {
         assert!(!higher_is_better("makespan_s"));
         assert!(!higher_is_better("bytes_to_host"));
         assert!(!higher_is_better("overhead_pct"));
+        assert!(lower_is_better("p50_ns"));
+        assert!(lower_is_better("p90_ns"));
+        assert!(lower_is_better("p99_ns"));
+        assert!(!lower_is_better("mean_ns"));
+        assert!(!lower_is_better("wall_ns"));
+    }
+
+    fn latency_report(p99: f64) -> Json {
+        Json::obj([(
+            "latency",
+            Json::obj([(
+                "resolve",
+                Json::obj([
+                    ("count", Json::Num(800.0)), // not gated
+                    ("p50_ns", Json::Num(400.0)),
+                    ("p99_ns", Json::Num(p99)),
+                ]),
+            )]),
+        )])
+    }
+
+    #[test]
+    fn tail_latency_rise_beyond_threshold_fails() {
+        let cmp = compare(&latency_report(1_000.0), &latency_report(1_300.0), 0.15);
+        let bad: Vec<&str> = cmp
+            .iter()
+            .filter(|c| c.regressed)
+            .map(|c| c.metric.as_str())
+            .collect();
+        assert_eq!(bad, ["latency.resolve.p99_ns"]);
+        // p50 unchanged → fine.
+        assert!(cmp
+            .iter()
+            .any(|c| c.metric.ends_with("p50_ns") && !c.regressed));
+    }
+
+    #[test]
+    fn tail_latency_drop_is_an_improvement() {
+        let cmp = compare(&latency_report(1_000.0), &latency_report(200.0), 0.15);
+        assert!(cmp.iter().all(|c| !c.regressed));
     }
 }

@@ -20,7 +20,9 @@
 use crate::data::{DataRegistry, HandleId};
 use crate::graph::TaskGraph;
 use crate::scheduler::{ScheduleContext, Scheduler};
-use crate::sim_engine::{run_plan_on_links, RtError, SimOptions, SimReport};
+use crate::sim_engine::{
+    publish_sim_telemetry, run_plan_on_links, LinkUse, RtError, SimOptions, SimReport,
+};
 use crate::task::TaskId;
 use simhw::energy::energy;
 use simhw::events::EventQueue;
@@ -55,6 +57,7 @@ pub fn simulate_dynamic(
     let pipeline = options.pipeline;
     let routing = pipeline.routing();
     let mut link_timelines: Vec<Timeline> = vec![Timeline::new(); machine.links.len()];
+    let mut link_use: Vec<LinkUse> = vec![LinkUse::default(); machine.links.len()];
     let mut link_trace = Trace::new();
     let mut handle_ready: BTreeMap<HandleId, SimTime> = BTreeMap::new();
 
@@ -196,6 +199,7 @@ pub fn simulate_dynamic(
                         floor,
                         pipeline.link_contention,
                         &mut link_timelines,
+                        &mut link_use,
                         &mut link_trace,
                         &format!("{}:{}:in", task.label, data.meta(a.handle).label),
                     );
@@ -286,6 +290,7 @@ pub fn simulate_dynamic(
                     floor,
                     pipeline.link_contention,
                     &mut link_timelines,
+                    &mut link_use,
                     &mut link_trace,
                     &format!("{}:out", data.meta(h).label),
                 );
@@ -312,6 +317,7 @@ pub fn simulate_dynamic(
     }
 
     let makespan = trace.makespan().max(link_trace.makespan());
+    publish_sim_telemetry("dynamic", machine, &link_use, makespan);
     let energy = energy(machine, &trace);
     Ok(SimReport {
         makespan,

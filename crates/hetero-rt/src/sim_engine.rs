@@ -217,6 +217,7 @@ pub fn simulate(
     // One FIFO timeline per physical link (pipeline mode), plus a separate
     // trace whose "device" ids index machine.links.
     let mut link_timelines: Vec<Timeline> = vec![Timeline::new(); machine.links.len()];
+    let mut link_use: Vec<LinkUse> = vec![LinkUse::default(); machine.links.len()];
     let mut link_trace = Trace::new();
     // When each handle's current value came into existence (its last
     // writer's finish time) — the earliest a prefetched transfer may start.
@@ -338,6 +339,7 @@ pub fn simulate(
                     floor,
                     pipeline.link_contention,
                     &mut link_timelines,
+                    &mut link_use,
                     &mut link_trace,
                     &format!("{}:{}:in", task.label, data.meta(a.handle).label),
                 );
@@ -422,6 +424,7 @@ pub fn simulate(
                     floor,
                     pipeline.link_contention,
                     &mut link_timelines,
+                    &mut link_use,
                     &mut link_trace,
                     &format!("{}:out", data.meta(h).label),
                 );
@@ -448,6 +451,7 @@ pub fn simulate(
     }
 
     let makespan = trace.makespan().max(link_trace.makespan());
+    publish_sim_telemetry("list", machine, &link_use, makespan);
     let energy = energy(machine, &trace);
     Ok(SimReport {
         makespan,
@@ -476,6 +480,7 @@ pub(crate) fn run_plan_on_links(
     floor: SimTime,
     contention: bool,
     link_timelines: &mut [Timeline],
+    link_use: &mut [LinkUse],
     link_trace: &mut Trace,
     label: &str,
 ) -> SimTime {
@@ -495,6 +500,11 @@ pub(crate) fn run_plan_on_links(
             if contention {
                 link_timelines[l.0].reserve(start, hop.duration);
             }
+            if let Some(u) = link_use.get_mut(l.0) {
+                u.busy = u.busy + hop.duration;
+                u.bytes += hop.bytes;
+                u.transfers += 1;
+            }
             link_trace.record(
                 DeviceId(l.0),
                 label.to_string(),
@@ -506,6 +516,45 @@ pub(crate) fn run_plan_on_links(
         t = end;
     }
     t
+}
+
+/// Per-physical-link usage accumulated while placing transfer plans,
+/// indexed like `machine.links`. Feeds the always-on telemetry without
+/// touching the global registry inside the scheduling loop.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct LinkUse {
+    pub busy: Duration,
+    pub bytes: f64,
+    pub transfers: u64,
+}
+
+/// Publishes one simulated run into the process-wide telemetry registry
+/// (cold path, called once per `simulate`/`simulate_dynamic`): run
+/// counter, virtual-makespan histogram, and per-PDL-link bytes /
+/// occupancy / transfer counters labeled with the link name.
+pub(crate) fn publish_sim_telemetry(
+    engine: &str,
+    machine: &SimMachine,
+    link_use: &[LinkUse],
+    makespan: SimTime,
+) {
+    let tel = hetero_trace::telemetry::global();
+    tel.counter(&format!("sim_runs_total{{engine=\"{engine}\"}}"))
+        .inc();
+    tel.histogram("sim_makespan_ns")
+        .observe((makespan.seconds() * 1e9).round().max(0.0) as u64);
+    for (i, u) in link_use.iter().enumerate() {
+        if u.transfers == 0 {
+            continue;
+        }
+        let name = &machine.links[i].name;
+        tel.counter(&format!("sim_link_transfers_total{{link=\"{name}\"}}"))
+            .add(u.transfers);
+        tel.counter(&format!("sim_link_bytes_total{{link=\"{name}\"}}"))
+            .add(u.bytes.round().max(0.0) as u64);
+        tel.counter(&format!("sim_link_busy_ns_total{{link=\"{name}\"}}"))
+            .add((u.busy.seconds() * 1e9).round().max(0.0) as u64);
+    }
 }
 
 #[cfg(test)]

@@ -40,6 +40,7 @@ use crate::graph::TaskGraph;
 use crate::task::Task;
 use crossbeam::channel;
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use hetero_trace::telemetry::{self, AtomicHistogram, Counter, LocalHistogram};
 use hetero_trace::{
     EventKind, LaneLabel, Provenance, RunTrace, TaskInfo, TimeUnit, TraceClock, TraceMeta,
     TraceSink, WorkerTrace, WorkerTracer,
@@ -47,7 +48,7 @@ use hetero_trace::{
 use parking_lot::Mutex;
 use pdl_core::platform::Platform;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Condvar;
+use std::sync::{Arc, Condvar};
 use std::time::Duration as StdDuration;
 
 /// One executable task.
@@ -508,6 +509,36 @@ pub struct ThreadedExecutor {
     workers: usize,
     placement: Option<Placement>,
     sink: TraceSink,
+    telemetry: bool,
+}
+
+/// Always-on instrument handles for the executor, resolved once per run
+/// from the process-wide [`telemetry::global`] registry and then used
+/// lock-free by the workers.
+#[derive(Debug)]
+struct ExecutorTelemetry {
+    tasks: Arc<Counter>,
+    dequeues: Arc<Counter>,
+    steals: Arc<Counter>,
+    cross_group_steals: Arc<Counter>,
+    failed_steals: Arc<Counter>,
+    parks: Arc<Counter>,
+    task_latency: Arc<AtomicHistogram>,
+}
+
+impl ExecutorTelemetry {
+    fn handles() -> Self {
+        let t = telemetry::global();
+        ExecutorTelemetry {
+            tasks: t.counter("executor_tasks_total"),
+            dequeues: t.counter("executor_dequeues_total"),
+            steals: t.counter("executor_steals_total"),
+            cross_group_steals: t.counter("executor_cross_group_steals_total"),
+            failed_steals: t.counter("executor_failed_steals_total"),
+            parks: t.counter("executor_parks_total"),
+            task_latency: t.histogram("executor_task_latency_ns"),
+        }
+    }
 }
 
 impl ThreadedExecutor {
@@ -518,6 +549,7 @@ impl ThreadedExecutor {
             workers: workers.max(1),
             placement: None,
             sink: TraceSink::Null,
+            telemetry: true,
         }
     }
 
@@ -537,6 +569,7 @@ impl ThreadedExecutor {
             workers,
             placement: (placement.total_workers() > 0).then_some(placement),
             sink: TraceSink::Null,
+            telemetry: true,
         }
     }
 
@@ -547,6 +580,17 @@ impl ThreadedExecutor {
     /// placement.
     pub fn with_trace(mut self, sink: TraceSink) -> Self {
         self.sink = sink;
+        self
+    }
+
+    /// Enables or disables always-on telemetry (default **on**). The
+    /// instruments are sharded atomics fed from values the engine measures
+    /// anyway (no extra clock reads, no locks on the hot path), so leaving
+    /// this on costs a few relaxed atomic ops per task — the
+    /// `telemetry_overhead` bench gates the delta. Off exists for that
+    /// bench's baseline and for embedders that want a silent pool.
+    pub fn with_telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
         self
     }
 
@@ -685,6 +729,7 @@ impl ThreadedExecutor {
         let completed = AtomicUsize::new(0);
         let park = std::sync::Mutex::new(());
         let wake = Condvar::new();
+        let tel = self.telemetry.then(ExecutorTelemetry::handles);
 
         let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(self.workers);
         let mut records: Vec<(usize, usize, StdDuration)> = Vec::with_capacity(n);
@@ -714,6 +759,7 @@ impl ThreadedExecutor {
                     n,
                     clock,
                     tracer: self.sink.worker_tracer(),
+                    tel: tel.as_ref(),
                 };
                 handles.push(scope.spawn(move || ctx.run()));
             }
@@ -781,6 +827,7 @@ struct WorkerCtx<'a> {
     n: usize,
     clock: TraceClock,
     tracer: WorkerTracer,
+    tel: Option<&'a ExecutorTelemetry>,
 }
 
 /// Where a claimed task came from, for the steal counters and the trace's
@@ -819,6 +866,7 @@ impl WorkerCtx<'_> {
             ..WorkerStats::default()
         };
         let mut records: Vec<(usize, StdDuration)> = Vec::new();
+        let mut parks = 0u64;
         let mut tracer = std::mem::replace(&mut self.tracer, WorkerTracer::Null);
         loop {
             if self.completed.load(Ordering::Acquire) >= self.n {
@@ -855,6 +903,7 @@ impl WorkerCtx<'_> {
                     // PARK_TIMEOUT, so no wake-up protocol bug can hang the
                     // pool.
                     tracer.record(&self.clock, EventKind::Park);
+                    parks += 1;
                     let _ = self
                         .wake
                         .wait_timeout(guard, PARK_TIMEOUT)
@@ -862,6 +911,24 @@ impl WorkerCtx<'_> {
                     tracer.record(&self.clock, EventKind::Unpark);
                 }
             }
+        }
+        // Telemetry flush: one batched add per counter per worker, and
+        // the per-task latencies (already recorded for the worker's own
+        // stats) pre-aggregated locally and merged with one atomic add
+        // per bucket — the hot loop does **no** telemetry work at all,
+        // and the flush itself cannot contend across workers.
+        if let Some(t) = self.tel {
+            t.tasks.add(out.executed as u64);
+            t.dequeues.add(out.executed as u64);
+            t.steals.add(out.steals as u64);
+            t.cross_group_steals.add(out.cross_group_steals as u64);
+            t.failed_steals.add(out.failed_steals as u64);
+            t.parks.add(parks);
+            let mut latencies = LocalHistogram::new();
+            for &(_, dt) in &records {
+                latencies.observe(dt.as_nanos() as u64);
+            }
+            t.task_latency.merge(&latencies);
         }
         let trace = tracer.finish(self.me);
         (out, records, trace)

@@ -1,0 +1,425 @@
+//! Full-fidelity JSON round-trip for a [`RunTrace`] — the on-disk format
+//! consumed by `pdl profile` and the `T00x` trace analyzers.
+//!
+//! Unlike the Chrome export (lossy, viewer-oriented) and the run summary
+//! (aggregated), this codec preserves every event, so a trace written by
+//! one tool can be re-analyzed by another. The document may carry an
+//! optional top-level `"deps"` array of `[from, to]` task-index pairs
+//! (task `to` depends on task `from`); the critical-path profiler uses
+//! those edges when the task graph is not available in-process.
+//!
+//! [`parse`] skips leading `//` comment lines, so fixture files can carry
+//! `// expect[...]:` annotation headers for the analyzer corpus.
+
+use crate::event::{EventKind, Provenance, TraceEvent};
+use crate::json::Json;
+use crate::trace::{LaneLabel, RunTrace, TaskInfo, TimeUnit, TraceMeta, WorkerTrace};
+
+/// Encodes a trace (plus optional dependency edges) as a JSON value.
+pub fn to_json(trace: &RunTrace, deps: &[(u32, u32)]) -> Json {
+    let lanes = trace
+        .meta
+        .lanes
+        .iter()
+        .map(|l| {
+            Json::obj([
+                ("name", Json::str(l.name.clone())),
+                (
+                    "group",
+                    l.group.clone().map(Json::Str).unwrap_or(Json::Null),
+                ),
+            ])
+        })
+        .collect();
+    let tasks = trace
+        .meta
+        .tasks
+        .iter()
+        .map(|t| {
+            Json::obj([
+                ("label", Json::str(t.label.clone())),
+                ("category", Json::str(t.category.clone())),
+                (
+                    "group",
+                    t.group.clone().map(Json::Str).unwrap_or(Json::Null),
+                ),
+            ])
+        })
+        .collect();
+    let workers = trace
+        .workers
+        .iter()
+        .map(|w| {
+            Json::obj([
+                ("worker", Json::Num(w.worker as f64)),
+                ("overwritten", Json::Num(w.overwritten as f64)),
+                (
+                    "events",
+                    Json::Arr(w.events.iter().map(event_to_json).collect()),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("kind", Json::str("hetero-trace-run")),
+        (
+            "meta",
+            Json::obj([
+                (
+                    "platform",
+                    trace
+                        .meta
+                        .platform
+                        .clone()
+                        .map(Json::Str)
+                        .unwrap_or(Json::Null),
+                ),
+                ("time_unit", Json::str(trace.meta.time_unit.label())),
+                ("lanes", Json::Arr(lanes)),
+                ("tasks", Json::Arr(tasks)),
+            ]),
+        ),
+        (
+            "deps",
+            Json::Arr(
+                deps.iter()
+                    .map(|(from, to)| {
+                        Json::Arr(vec![Json::Num(*from as f64), Json::Num(*to as f64)])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "prelude",
+            Json::Arr(trace.prelude.iter().map(event_to_json).collect()),
+        ),
+        ("workers", Json::Arr(workers)),
+    ])
+}
+
+/// Encodes a trace as a pretty-printed JSON string.
+pub fn export(trace: &RunTrace, deps: &[(u32, u32)]) -> String {
+    to_json(trace, deps).to_pretty()
+}
+
+fn event_to_json(e: &TraceEvent) -> Json {
+    let mut members: Vec<(String, Json)> = vec![("ts".to_string(), Json::Num(e.ts as f64))];
+    let mut put = |k: &str, v: Json| members.push((k.to_string(), v));
+    match &e.kind {
+        EventKind::TaskReady { task } => {
+            put("ev", Json::str("ready"));
+            put("task", Json::Num(*task as f64));
+        }
+        EventKind::TaskDequeued { task, provenance } => {
+            put("ev", Json::str("dequeue"));
+            put("task", Json::Num(*task as f64));
+            match provenance {
+                Provenance::Local => put("prov", Json::str("local")),
+                Provenance::Queue => put("prov", Json::str("queue")),
+                Provenance::Inject { cross_group } => {
+                    put("prov", Json::str("inject"));
+                    put("cross_group", Json::Bool(*cross_group));
+                }
+                Provenance::Steal {
+                    victim,
+                    cross_group,
+                } => {
+                    put("prov", Json::str("steal"));
+                    put("victim", Json::Num(*victim as f64));
+                    put("cross_group", Json::Bool(*cross_group));
+                }
+            }
+        }
+        EventKind::TaskStart { task } => {
+            put("ev", Json::str("start"));
+            put("task", Json::Num(*task as f64));
+        }
+        EventKind::TaskEnd { task } => {
+            put("ev", Json::str("end"));
+            put("task", Json::Num(*task as f64));
+        }
+        EventKind::Park => put("ev", Json::str("park")),
+        EventKind::Unpark => put("ev", Json::str("unpark")),
+        EventKind::PhaseStart { name } => {
+            put("ev", Json::str("phase_start"));
+            put("name", Json::str(name.clone()));
+        }
+        EventKind::PhaseEnd { name } => {
+            put("ev", Json::str("phase_end"));
+            put("name", Json::str(name.clone()));
+        }
+    }
+    Json::Obj(members)
+}
+
+fn field_u64(v: &Json, key: &str, what: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("{what}: missing numeric \"{key}\""))
+}
+
+fn field_str<'a>(v: &'a Json, key: &str, what: &str) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{what}: missing string \"{key}\""))
+}
+
+fn opt_str(v: &Json, key: &str) -> Option<String> {
+    v.get(key).and_then(Json::as_str).map(str::to_string)
+}
+
+fn event_from_json(v: &Json) -> Result<TraceEvent, String> {
+    let ts = field_u64(v, "ts", "event")?;
+    let ev = field_str(v, "ev", "event")?;
+    let task = || field_u64(v, "task", "event").map(|t| t as u32);
+    let kind = match ev {
+        "ready" => EventKind::TaskReady { task: task()? },
+        "start" => EventKind::TaskStart { task: task()? },
+        "end" => EventKind::TaskEnd { task: task()? },
+        "park" => EventKind::Park,
+        "unpark" => EventKind::Unpark,
+        "phase_start" => EventKind::PhaseStart {
+            name: field_str(v, "name", "phase event")?.to_string(),
+        },
+        "phase_end" => EventKind::PhaseEnd {
+            name: field_str(v, "name", "phase event")?.to_string(),
+        },
+        "dequeue" => {
+            let cross_group = || v.get("cross_group").map(|b| b == &Json::Bool(true));
+            let provenance = match field_str(v, "prov", "dequeue event")? {
+                "local" => Provenance::Local,
+                "queue" => Provenance::Queue,
+                "inject" => Provenance::Inject {
+                    cross_group: cross_group().unwrap_or(false),
+                },
+                "steal" => Provenance::Steal {
+                    victim: field_u64(v, "victim", "steal event")? as u32,
+                    cross_group: cross_group().unwrap_or(false),
+                },
+                other => return Err(format!("unknown provenance {other:?}")),
+            };
+            EventKind::TaskDequeued {
+                task: task()?,
+                provenance,
+            }
+        }
+        other => return Err(format!("unknown event kind {other:?}")),
+    };
+    Ok(TraceEvent { ts, kind })
+}
+
+/// Decodes a trace document produced by [`export`]. Leading `//` comment
+/// lines are skipped. Returns the trace plus the (possibly empty) list of
+/// dependency edges.
+pub fn parse(text: &str) -> Result<(RunTrace, Vec<(u32, u32)>), String> {
+    let mut rest = text;
+    loop {
+        let trimmed = rest.trim_start();
+        if let Some(line) = trimmed.strip_prefix("//") {
+            rest = line.split_once('\n').map(|(_, r)| r).unwrap_or("");
+        } else {
+            rest = trimmed;
+            break;
+        }
+    }
+    let doc = Json::parse(rest).map_err(|e| format!("trace json: {e}"))?;
+    if doc.get("kind").and_then(Json::as_str) != Some("hetero-trace-run") {
+        return Err("not a hetero-trace-run document".to_string());
+    }
+    let meta_v = doc.get("meta").ok_or("missing \"meta\"")?;
+    let time_unit = match meta_v.get("time_unit").and_then(Json::as_str) {
+        Some(label) => {
+            TimeUnit::from_label(label).ok_or_else(|| format!("unknown time unit {label:?}"))?
+        }
+        None => TimeUnit::default(),
+    };
+    let lanes = meta_v
+        .get("lanes")
+        .map(Json::items)
+        .unwrap_or_default()
+        .iter()
+        .map(|l| {
+            Ok(LaneLabel {
+                name: field_str(l, "name", "lane")?.to_string(),
+                group: opt_str(l, "group"),
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let tasks = meta_v
+        .get("tasks")
+        .map(Json::items)
+        .unwrap_or_default()
+        .iter()
+        .map(|t| {
+            Ok(TaskInfo {
+                label: field_str(t, "label", "task")?.to_string(),
+                category: opt_str(t, "category").unwrap_or_else(|| "task".to_string()),
+                group: opt_str(t, "group"),
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let prelude = doc
+        .get("prelude")
+        .map(Json::items)
+        .unwrap_or_default()
+        .iter()
+        .map(event_from_json)
+        .collect::<Result<Vec<_>, String>>()?;
+    let workers = doc
+        .get("workers")
+        .map(Json::items)
+        .unwrap_or_default()
+        .iter()
+        .map(|w| {
+            Ok(WorkerTrace {
+                worker: field_u64(w, "worker", "worker lane")? as usize,
+                overwritten: field_u64(w, "overwritten", "worker lane").unwrap_or(0),
+                events: w
+                    .get("events")
+                    .map(Json::items)
+                    .unwrap_or_default()
+                    .iter()
+                    .map(event_from_json)
+                    .collect::<Result<Vec<_>, String>>()?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let deps = doc
+        .get("deps")
+        .map(Json::items)
+        .unwrap_or_default()
+        .iter()
+        .map(|pair| {
+            let items = pair.items();
+            match (
+                items.first().and_then(|v| v.as_u64()),
+                items.get(1).and_then(|v| v.as_u64()),
+            ) {
+                (Some(from), Some(to)) => Ok((from as u32, to as u32)),
+                _ => Err("deps entries must be [from, to] index pairs".to_string()),
+            }
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let trace = RunTrace {
+        meta: TraceMeta {
+            platform: meta_v
+                .get("platform")
+                .and_then(Json::as_str)
+                .map(str::to_string),
+            lanes,
+            tasks,
+            time_unit,
+        },
+        prelude,
+        workers,
+    };
+    Ok((trace, deps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> RunTrace {
+        RunTrace {
+            meta: TraceMeta {
+                platform: Some("testbed".to_string()),
+                lanes: vec![
+                    LaneLabel {
+                        name: "cpu0".to_string(),
+                        group: Some("cpus".to_string()),
+                    },
+                    LaneLabel {
+                        name: "gpu0".to_string(),
+                        group: None,
+                    },
+                ],
+                tasks: vec![TaskInfo {
+                    label: "k".to_string(),
+                    category: "task".to_string(),
+                    group: Some("cpus".to_string()),
+                }],
+                time_unit: TimeUnit::VirtualNanos,
+            },
+            prelude: vec![TraceEvent {
+                ts: 0,
+                kind: EventKind::TaskReady { task: 0 },
+            }],
+            workers: vec![WorkerTrace {
+                worker: 0,
+                events: vec![
+                    TraceEvent {
+                        ts: 1,
+                        kind: EventKind::TaskDequeued {
+                            task: 0,
+                            provenance: Provenance::Steal {
+                                victim: 1,
+                                cross_group: true,
+                            },
+                        },
+                    },
+                    TraceEvent {
+                        ts: 2,
+                        kind: EventKind::TaskStart { task: 0 },
+                    },
+                    TraceEvent {
+                        ts: 9,
+                        kind: EventKind::TaskEnd { task: 0 },
+                    },
+                    TraceEvent {
+                        ts: 10,
+                        kind: EventKind::Park,
+                    },
+                    TraceEvent {
+                        ts: 12,
+                        kind: EventKind::Unpark,
+                    },
+                    TraceEvent {
+                        ts: 13,
+                        kind: EventKind::PhaseStart {
+                            name: "drain".to_string(),
+                        },
+                    },
+                    TraceEvent {
+                        ts: 14,
+                        kind: EventKind::PhaseEnd {
+                            name: "drain".to_string(),
+                        },
+                    },
+                ],
+                overwritten: 3,
+            }],
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let trace = sample_trace();
+        let deps = vec![(0u32, 1u32), (1, 2)];
+        let text = export(&trace, &deps);
+        let (back, back_deps) = parse(&text).expect("parses");
+        assert_eq!(back, trace);
+        assert_eq!(back_deps, deps);
+        // Round-tripping the round-trip is byte-identical.
+        assert_eq!(export(&back, &back_deps), text);
+    }
+
+    #[test]
+    fn leading_comment_lines_are_skipped() {
+        let text = format!(
+            "// expect: T007\n// a second comment\n{}",
+            export(&sample_trace(), &[])
+        );
+        let (back, deps) = parse(&text).expect("parses with comment header");
+        assert_eq!(back, sample_trace());
+        assert!(deps.is_empty());
+    }
+
+    #[test]
+    fn bad_documents_are_rejected() {
+        assert!(parse("{}").is_err());
+        assert!(parse("not json").is_err());
+        let missing_ev = r#"{"kind":"hetero-trace-run","meta":{"lanes":[],"tasks":[]},"prelude":[{"ts":1}],"workers":[]}"#;
+        assert!(parse(missing_ev).is_err());
+    }
+}

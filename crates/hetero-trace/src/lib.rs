@@ -32,21 +32,36 @@
 //!   worker, task spans colored by logic group.
 //! * [`summary::export`] — compact machine-readable run summary (the
 //!   `BENCH_*.json` format), reconciling exactly with engine reports.
+//! * [`codec::export`] — full-fidelity trace round-trip (every event,
+//!   plus optional task-graph edges), the `pdl profile` input format.
 //!
-//! Both are dependency-free; [`json`] is the tiny writer/parser they and
+//! All are dependency-free; [`json`] is the tiny writer/parser they and
 //! the validation tooling share.
+//!
+//! ## Analysis
+//!
+//! * [`profile`] — the critical-path profiler: longest dependency chain
+//!   through a trace, per-category blame attribution, what-if estimates,
+//!   folded flamegraph stacks.
+//! * [`telemetry`] — always-on process-wide counters/gauges/histograms
+//!   (sharded atomics, no locks on the hot path) with Prometheus-style
+//!   exposition; what the engines and the registry service report even
+//!   with tracing off.
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod chrome;
 mod clock;
+pub mod codec;
 mod event;
 pub mod json;
 mod metrics;
 mod phase;
+pub mod profile;
 mod ring;
 mod sink;
 pub mod summary;
+pub mod telemetry;
 mod trace;
 
 pub use clock::TraceClock;

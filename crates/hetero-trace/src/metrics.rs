@@ -91,6 +91,56 @@ impl Histogram {
             .zip(self.counts.iter().copied())
     }
 
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// inside the containing bucket, clamped to the observed `[min, max]`
+    /// range so coarse buckets never report values outside what was seen.
+    /// `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        let mut lo = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            let hi = self.bounds.get(i).copied().unwrap_or(self.max);
+            if n > 0 && cum + n >= target {
+                let lo = lo.max(self.min).min(hi);
+                let hi = hi.min(self.max).max(lo);
+                let frac = (target - cum) as f64 / n as f64;
+                let v = lo as f64 + frac * (hi - lo) as f64;
+                return Some((v.round() as u64).clamp(self.min, self.max));
+            }
+            cum += n;
+            lo = hi;
+        }
+        Some(self.max)
+    }
+
+    /// Rebuilds a histogram from already-accumulated parts (the snapshot
+    /// path of `telemetry::AtomicHistogram`). `counts` must have
+    /// `bounds.len() + 1` entries; `min`/`max` follow the internal
+    /// convention (`u64::MAX` / `0` when empty).
+    pub(crate) fn from_parts(
+        bounds: Vec<u64>,
+        counts: Vec<u64>,
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+    ) -> Self {
+        debug_assert_eq!(counts.len(), bounds.len() + 1);
+        Histogram {
+            bounds,
+            counts,
+            count,
+            sum,
+            min,
+            max,
+        }
+    }
+
     /// The histogram as JSON.
     pub fn to_json(&self) -> Json {
         Json::obj([
@@ -99,6 +149,9 @@ impl Histogram {
             ("mean", Json::Num(self.mean())),
             ("min", Json::Num(self.min().unwrap_or(0) as f64)),
             ("max", Json::Num(self.max().unwrap_or(0) as f64)),
+            ("p50", Json::Num(self.quantile(0.50).unwrap_or(0) as f64)),
+            ("p90", Json::Num(self.quantile(0.90).unwrap_or(0) as f64)),
+            ("p99", Json::Num(self.quantile(0.99).unwrap_or(0) as f64)),
             (
                 "buckets",
                 Json::Arr(
@@ -300,6 +353,34 @@ mod tests {
         assert_eq!(buckets, vec![(10, 2), (100, 1), (u64::MAX, 1)]);
         let json = h.to_json();
         assert_eq!(json.get("count").and_then(Json::as_u64), Some(4));
+    }
+
+    #[test]
+    fn quantiles_interpolate_and_clamp() {
+        let mut h = Histogram::with_bounds(vec![10, 100, 1000]);
+        assert_eq!(h.quantile(0.5), None);
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        // Uniform 1..=100: p50 lands in the (10, 100] bucket.
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((40..=60).contains(&p50), "p50 = {p50}");
+        // Extremes clamp to the observed range.
+        assert!(h.quantile(0.0).unwrap() <= 2);
+        assert_eq!(h.quantile(1.0), Some(100));
+        // A single observation reports itself at every quantile.
+        let mut one = Histogram::duration_ns();
+        one.observe(5_000);
+        assert_eq!(one.quantile(0.5), Some(5_000));
+        assert_eq!(one.quantile(0.99), Some(5_000));
+        // Overflow-bucket observations are bounded by max.
+        let mut big = Histogram::with_bounds(vec![10]);
+        big.observe(70);
+        big.observe(90);
+        let p99 = big.quantile(0.99).unwrap();
+        assert!((70..=90).contains(&p99), "p99 = {p99}");
+        let json = big.to_json();
+        assert!(json.get("p99").and_then(Json::as_u64).is_some());
     }
 
     #[test]

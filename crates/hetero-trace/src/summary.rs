@@ -12,19 +12,72 @@ use crate::metrics::MetricsRegistry;
 use crate::trace::{RunTrace, TraceStats};
 
 /// Schema version stamped into every summary document.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: added the run-level `"lossy"` flag and switched invalid traces
+/// from zeroed stats to best-effort stats, so lossy ring traces keep
+/// their per-lane numbers instead of silently reporting zeros.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// What [`RunTrace::validate`] refuses to compute on a broken trace,
+/// recovered best-effort: span-derived busy time and counts from the
+/// events that *are* present. Wrong events stay wrong, but a lossy ring
+/// no longer reports all-zero lanes.
+fn best_effort_stats(trace: &RunTrace) -> TraceStats {
+    use crate::event::EventKind;
+    let lane_count = trace.meta.lanes.len().max(
+        trace
+            .workers
+            .iter()
+            .map(|w| w.worker + 1)
+            .max()
+            .unwrap_or(0),
+    );
+    let mut stats = TraceStats {
+        busy_ns: vec![0; lane_count],
+        ..TraceStats::default()
+    };
+    for span in trace.task_spans() {
+        stats.tasks += 1;
+        if let Some(b) = stats.busy_ns.get_mut(span.worker) {
+            *b += span.end - span.start;
+        }
+        if let Some(p) = span.provenance {
+            stats.dequeues += 1;
+            if p.is_steal() {
+                stats.steals += 1;
+            }
+            if p.is_cross_group() {
+                stats.cross_group_steals += 1;
+            }
+        }
+    }
+    for e in trace
+        .prelude
+        .iter()
+        .chain(trace.workers.iter().flat_map(|w| w.events.iter()))
+    {
+        match e.kind {
+            EventKind::Park => stats.parks += 1,
+            EventKind::TaskReady { .. } => stats.readies += 1,
+            _ => {}
+        }
+    }
+    stats
+}
 
 /// Builds the run-summary JSON value for a drained trace.
 ///
 /// `wall_ns` is the engine-reported end-to-end time on the same clock as
 /// the trace; pass the trace's own extent when no external measurement
 /// exists. Validation failures are embedded as `"invariant_error"` rather
-/// than returned — the summary of a broken run is still worth keeping.
+/// than returned — the summary of a broken run is still worth keeping,
+/// with best-effort stats and the `"lossy"` flag telling readers how much
+/// to trust it.
 pub fn to_json(trace: &RunTrace, wall_ns: u64) -> Json {
     let metrics = MetricsRegistry::from_trace(trace);
     let (stats, invariant_error) = match trace.validate() {
         Ok(stats) => (stats, None),
-        Err(e) => (TraceStats::default(), Some(e.to_string())),
+        Err(e) => (best_effort_stats(trace), Some(e.to_string())),
     };
 
     let lanes: Vec<Json> = trace
@@ -83,6 +136,7 @@ pub fn to_json(trace: &RunTrace, wall_ns: u64) -> Json {
         ),
         ("time_unit", Json::str(trace.meta.time_unit.label())),
         ("wall_ns", Json::Num(wall_ns as f64)),
+        ("lossy", Json::Bool(trace.overwritten() > 0)),
         (
             "invariant_error",
             invariant_error.map(Json::Str).unwrap_or(Json::Null),
@@ -165,7 +219,8 @@ mod tests {
         };
         let text = export(&trace, 20);
         let doc = Json::parse(&text).unwrap();
-        assert_eq!(doc.get("schema").and_then(Json::as_u64), Some(1));
+        assert_eq!(doc.get("schema").and_then(Json::as_u64), Some(2));
+        assert_eq!(doc.get("lossy"), Some(&Json::Bool(false)));
         assert_eq!(doc.get("invariant_error"), Some(&Json::Null));
         let totals = doc.get("totals").unwrap();
         assert_eq!(totals.get("tasks_executed").and_then(Json::as_u64), Some(1));
@@ -200,5 +255,54 @@ mod tests {
             .and_then(Json::as_str)
             .unwrap()
             .contains("never ended"));
+    }
+
+    #[test]
+    fn lossy_trace_keeps_best_effort_stats() {
+        let trace = RunTrace {
+            meta: TraceMeta {
+                platform: None,
+                lanes: vec![LaneLabel::default()],
+                tasks: vec![TaskInfo {
+                    label: "t".to_string(),
+                    category: "task".to_string(),
+                    group: None,
+                }],
+                time_unit: Default::default(),
+            },
+            prelude: Vec::new(),
+            workers: vec![WorkerTrace {
+                worker: 0,
+                events: vec![
+                    TraceEvent {
+                        ts: 0,
+                        kind: EventKind::TaskStart { task: 0 },
+                    },
+                    TraceEvent {
+                        ts: 25,
+                        kind: EventKind::TaskEnd { task: 0 },
+                    },
+                    TraceEvent {
+                        ts: 26,
+                        kind: EventKind::Park,
+                    },
+                ],
+                // The ring dropped events: validate() refuses the trace.
+                overwritten: 7,
+            }],
+        };
+        assert!(trace.validate().is_err());
+        let doc = Json::parse(&export(&trace, 30)).unwrap();
+        assert_eq!(doc.get("lossy"), Some(&Json::Bool(true)));
+        assert!(doc.get("invariant_error").unwrap() != &Json::Null);
+        // Best-effort stats survive instead of collapsing to zero.
+        let totals = doc.get("totals").unwrap();
+        assert_eq!(totals.get("tasks_executed").and_then(Json::as_u64), Some(1));
+        assert_eq!(totals.get("busy_ns").and_then(Json::as_u64), Some(25));
+        assert_eq!(totals.get("parks").and_then(Json::as_u64), Some(1));
+        assert_eq!(totals.get("overwritten").and_then(Json::as_u64), Some(7));
+        let lanes = doc.get("lanes").unwrap().items();
+        assert_eq!(lanes[0].get("overwritten").and_then(Json::as_u64), Some(7));
+        assert_eq!(lanes[0].get("busy_ns").and_then(Json::as_u64), Some(25));
     }
 }

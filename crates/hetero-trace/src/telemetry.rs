@@ -1,0 +1,613 @@
+//! Always-on telemetry: sharded atomic counters, gauges and log-bucketed
+//! histograms that are cheap enough to leave enabled in production runs
+//! (including with [`crate::TraceSink::Null`]).
+//!
+//! Design constraints, in order:
+//!
+//! * **No locks on the hot path.** Observations touch only relaxed
+//!   atomics. The registry's `RwLock` is taken once per instrument
+//!   *handle* (cold path); the returned [`Arc`] handles are then used
+//!   lock-free for the lifetime of the process.
+//! * **No cross-core ping-pong.** Counters and histograms are sharded
+//!   into cache-line-padded cells indexed by a per-thread shard id, so
+//!   concurrent writers on different cores do not serialize on one line.
+//! * **No extra clock reads.** Instruments never read a clock; callers
+//!   observe durations they already measured (the thread engine reuses
+//!   the span timestamps it records anyway).
+//!
+//! Reads ([`Counter::get`], [`AtomicHistogram::snapshot`]) merge the
+//! shards; they are racy-but-monotonic, which is what scrapes want.
+//! [`Telemetry::render_prometheus`] emits the classic text exposition
+//! format; instrument names may carry a `{label="value"}` suffix which is
+//! folded into the series labels.
+
+use crate::json::Json;
+use crate::metrics::Histogram;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Number of shards per instrument (power of two).
+const SHARDS: usize = 16;
+
+/// One cache line per shard so concurrent writers don't false-share.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct PaddedAtomic(AtomicU64);
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+/// This thread's shard slot (assigned once, round-robin across threads).
+fn shard_index() -> usize {
+    thread_local! {
+        static SHARD: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed);
+    }
+    SHARD.with(|s| *s) & (SHARDS - 1)
+}
+
+fn shard_cells() -> [PaddedAtomic; SHARDS] {
+    std::array::from_fn(|_| PaddedAtomic::default())
+}
+
+/// A monotonically increasing sharded counter.
+#[derive(Debug)]
+pub struct Counter {
+    shards: [PaddedAtomic; SHARDS],
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Counter {
+            shards: shard_cells(),
+        }
+    }
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total across all shards.
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Zeroes the counter (cold path, for benches and tests).
+    pub fn reset(&self) {
+        for s in &self.shards {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A last-value-wins gauge (e.g. the registry snapshot epoch).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if it is higher than the current value.
+    #[inline]
+    pub fn raise(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Smallest number of power-of-two bucket exponent (2^4 = 16 ns).
+const HIST_MIN_EXP: u32 = 4;
+/// Largest bucket exponent (2^40 ≈ 1100 s); above that is overflow.
+const HIST_MAX_EXP: u32 = 40;
+/// Bounded buckets (one per exponent in `HIST_MIN_EXP..=HIST_MAX_EXP`).
+const HIST_BUCKETS: usize = (HIST_MAX_EXP - HIST_MIN_EXP + 1) as usize;
+
+/// One histogram shard: per-bucket counts plus count/sum/min/max, padded
+/// as a block (the arrays inside share lines, but different shards do
+/// not). min/max live **per shard** so `observe` never touches a cache
+/// line another thread writes — a shared min/max pair measurably showed
+/// up in the `telemetry_overhead` bench under 8 workers.
+#[derive(Debug)]
+#[repr(align(64))]
+struct HistShard {
+    counts: [AtomicU64; HIST_BUCKETS + 1],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistShard {
+    fn default() -> Self {
+        HistShard {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A lock-free log₂-bucketed histogram (16 ns .. ~18 min in powers of
+/// two, plus overflow). [`AtomicHistogram::snapshot`] converts it into a
+/// plain [`Histogram`] so quantile logic lives in one place.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    shards: [HistShard; SHARDS],
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram {
+            shards: std::array::from_fn(|_| HistShard::default()),
+        }
+    }
+}
+
+impl AtomicHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        AtomicHistogram::default()
+    }
+
+    /// Bucket index for a value: smallest `i` with `value <= 2^(4+i)`.
+    #[inline]
+    fn bucket(value: u64) -> usize {
+        if value <= (1 << HIST_MIN_EXP) {
+            return 0;
+        }
+        // ceil(log2(value)) for value > 1.
+        let bits = u64::BITS - (value - 1).leading_zeros();
+        (bits.saturating_sub(HIST_MIN_EXP) as usize).min(HIST_BUCKETS)
+    }
+
+    /// Records one observation — a handful of relaxed atomic RMWs, no
+    /// locks, no clock reads.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        let shard = &self.shards[shard_index()];
+        shard.counts[Self::bucket(value)].fetch_add(1, Ordering::Relaxed);
+        shard.count.fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(value, Ordering::Relaxed);
+        shard.min.fetch_min(value, Ordering::Relaxed);
+        shard.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Total observations across shards.
+    pub fn count(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.count.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Merges the shards into a plain [`Histogram`] (shared bucket math,
+    /// quantiles, JSON export).
+    pub fn snapshot(&self) -> Histogram {
+        let bounds: Vec<u64> = (HIST_MIN_EXP..=HIST_MAX_EXP).map(|e| 1u64 << e).collect();
+        let mut counts = vec![0u64; HIST_BUCKETS + 1];
+        let mut count = 0u64;
+        let mut sum = 0u64;
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        for shard in &self.shards {
+            for (acc, c) in counts.iter_mut().zip(shard.counts.iter()) {
+                *acc += c.load(Ordering::Relaxed);
+            }
+            count += shard.count.load(Ordering::Relaxed);
+            sum = sum.saturating_add(shard.sum.load(Ordering::Relaxed));
+            min = min.min(shard.min.load(Ordering::Relaxed));
+            max = max.max(shard.max.load(Ordering::Relaxed));
+        }
+        Histogram::from_parts(bounds, counts, count, sum, min, max)
+    }
+
+    /// Merges a batch of pre-aggregated observations in one atomic add
+    /// per non-empty bucket — see [`LocalHistogram`].
+    pub fn merge(&self, local: &LocalHistogram) {
+        if local.count == 0 {
+            return;
+        }
+        let shard = &self.shards[shard_index()];
+        for (c, &n) in shard.counts.iter().zip(local.counts.iter()) {
+            if n > 0 {
+                c.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        shard.count.fetch_add(local.count, Ordering::Relaxed);
+        shard.sum.fetch_add(local.sum, Ordering::Relaxed);
+        shard.min.fetch_min(local.min, Ordering::Relaxed);
+        shard.max.fetch_max(local.max, Ordering::Relaxed);
+    }
+
+    /// Zeroes the histogram (cold path, for benches and tests).
+    pub fn reset(&self) {
+        for shard in &self.shards {
+            for c in &shard.counts {
+                c.store(0, Ordering::Relaxed);
+            }
+            shard.count.store(0, Ordering::Relaxed);
+            shard.sum.store(0, Ordering::Relaxed);
+            shard.min.store(u64::MAX, Ordering::Relaxed);
+            shard.max.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A plain single-owner histogram for **batching**: a worker observes
+/// into it with no atomics at all, then merges the whole batch into an
+/// [`AtomicHistogram`] with one atomic add per non-empty bucket
+/// ([`AtomicHistogram::merge`]). This is how the executors flush
+/// per-task latencies at join — thousands of individual `observe` calls
+/// from every worker at once measurably contend on the shared buckets,
+/// a batched merge does not (the `telemetry_overhead` bench gates it).
+#[derive(Debug, Clone)]
+pub struct LocalHistogram {
+    counts: [u64; HIST_BUCKETS + 1],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LocalHistogram {
+    fn default() -> Self {
+        LocalHistogram {
+            counts: [0; HIST_BUCKETS + 1],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl LocalHistogram {
+    /// An empty local histogram.
+    pub fn new() -> Self {
+        LocalHistogram::default()
+    }
+
+    /// Records one observation — pure arithmetic, no atomics.
+    #[inline]
+    pub fn observe(&mut self, value: u64) {
+        self.counts[AtomicHistogram::bucket(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Observations batched so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// The process-wide instrument registry. Handle lookup takes a lock once
+/// (cold); the returned [`Arc`] handles are then lock-free forever.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<AtomicHistogram>>>,
+}
+
+fn get_or_create<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(found) = map.read().expect("telemetry map poisoned").get(name) {
+        return Arc::clone(found);
+    }
+    let mut w = map.write().expect("telemetry map poisoned");
+    Arc::clone(w.entry(name.to_string()).or_default())
+}
+
+impl Telemetry {
+    /// An empty registry (most code uses [`global`]).
+    pub fn new() -> Self {
+        Telemetry::default()
+    }
+
+    /// Gets or creates a counter handle.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_create(&self.counters, name)
+    }
+
+    /// Gets or creates a gauge handle.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_create(&self.gauges, name)
+    }
+
+    /// Gets or creates a histogram handle.
+    pub fn histogram(&self, name: &str) -> Arc<AtomicHistogram> {
+        get_or_create(&self.histograms, name)
+    }
+
+    /// Zeroes every registered instrument (handles stay valid). Benches
+    /// use this to isolate a measurement phase.
+    pub fn reset(&self) {
+        for c in self.counters.read().expect("poisoned").values() {
+            c.reset();
+        }
+        for g in self.gauges.read().expect("poisoned").values() {
+            g.set(0);
+        }
+        for h in self.histograms.read().expect("poisoned").values() {
+            h.reset();
+        }
+    }
+
+    /// Renders every instrument in the Prometheus text exposition format.
+    ///
+    /// An instrument name of the form `base{label="v"}` keeps its labels;
+    /// histogram `le` labels are merged into the existing label set.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, c) in self.counters.read().expect("poisoned").iter() {
+            let (base, _) = split_labels(name);
+            out.push_str(&format!("# TYPE {base} counter\n{name} {}\n", c.get()));
+        }
+        for (name, g) in self.gauges.read().expect("poisoned").iter() {
+            let (base, _) = split_labels(name);
+            out.push_str(&format!("# TYPE {base} gauge\n{name} {}\n", g.get()));
+        }
+        for (name, h) in self.histograms.read().expect("poisoned").iter() {
+            let snap = h.snapshot();
+            let (base, labels) = split_labels(name);
+            out.push_str(&format!("# TYPE {base} histogram\n"));
+            let mut cum = 0u64;
+            for (le, n) in snap.buckets() {
+                cum += n;
+                let le = if le == u64::MAX {
+                    "+Inf".to_string()
+                } else {
+                    le.to_string()
+                };
+                out.push_str(&format!(
+                    "{base}_bucket{{{}le=\"{le}\"}} {cum}\n",
+                    labels.map(|l| format!("{l},")).unwrap_or_default()
+                ));
+            }
+            let tail = labels.map(|l| format!("{{{l}}}")).unwrap_or_default();
+            out.push_str(&format!("{base}_sum{tail} {}\n", snap.sum()));
+            out.push_str(&format!("{base}_count{tail} {}\n", snap.count()));
+        }
+        out
+    }
+
+    /// The registry as JSON: counters/gauges as numbers, histograms via
+    /// [`Histogram::to_json`] (quantiles included).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "counters",
+                Json::Obj(
+                    self.counters
+                        .read()
+                        .expect("poisoned")
+                        .iter()
+                        .map(|(k, c)| (k.clone(), Json::Num(c.get() as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges",
+                Json::Obj(
+                    self.gauges
+                        .read()
+                        .expect("poisoned")
+                        .iter()
+                        .map(|(k, g)| (k.clone(), Json::Num(g.get() as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Json::Obj(
+                    self.histograms
+                        .read()
+                        .expect("poisoned")
+                        .iter()
+                        .map(|(k, h)| (k.clone(), h.snapshot().to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Splits `base{labels}` into `(base, Some(labels))`.
+fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match name.split_once('{') {
+        Some((base, rest)) => (base, rest.strip_suffix('}')),
+        None => (name, None),
+    }
+}
+
+/// The process-wide telemetry registry.
+pub fn global() -> &'static Telemetry {
+    static GLOBAL: OnceLock<Telemetry> = OnceLock::new();
+    GLOBAL.get_or_init(Telemetry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let c = Arc::new(Counter::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 8000);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_set_and_raise() {
+        let g = Gauge::new();
+        g.set(5);
+        g.raise(3);
+        assert_eq!(g.get(), 5);
+        g.raise(9);
+        assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn histogram_bucket_math() {
+        assert_eq!(AtomicHistogram::bucket(0), 0);
+        assert_eq!(AtomicHistogram::bucket(16), 0);
+        assert_eq!(AtomicHistogram::bucket(17), 1);
+        assert_eq!(AtomicHistogram::bucket(32), 1);
+        assert_eq!(AtomicHistogram::bucket(33), 2);
+        assert_eq!(AtomicHistogram::bucket(u64::MAX), HIST_BUCKETS);
+    }
+
+    #[test]
+    fn histogram_snapshot_matches_observations() {
+        let h = AtomicHistogram::new();
+        for v in [100, 200, 400, 100_000] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 4);
+        assert_eq!(snap.sum(), 100_700);
+        assert_eq!(snap.min(), Some(100));
+        assert_eq!(snap.max(), Some(100_000));
+        let p50 = snap.quantile(0.5).unwrap();
+        assert!((100..=400).contains(&p50), "p50 = {p50}");
+        h.reset();
+        assert_eq!(h.snapshot().count(), 0);
+        assert_eq!(h.snapshot().quantile(0.99), None);
+    }
+
+    #[test]
+    fn local_histogram_merge_matches_direct_observes() {
+        let direct = AtomicHistogram::new();
+        let batched = AtomicHistogram::new();
+        let mut local = LocalHistogram::new();
+        let values = [5u64, 16, 17, 300, 4_000, 1 << 41, 77, 77];
+        for &v in &values {
+            direct.observe(v);
+            local.observe(v);
+        }
+        assert_eq!(local.count(), values.len() as u64);
+        batched.merge(&local);
+        let (d, b) = (direct.snapshot(), batched.snapshot());
+        assert_eq!(d.count(), b.count());
+        assert_eq!(d.sum(), b.sum());
+        assert_eq!(d.min(), b.min());
+        assert_eq!(d.max(), b.max());
+        assert_eq!(d.quantile(0.5), b.quantile(0.5));
+        assert_eq!(d.quantile(0.99), b.quantile(0.99));
+        // Merging an empty batch is a no-op.
+        batched.merge(&LocalHistogram::new());
+        assert_eq!(batched.snapshot().count(), d.count());
+    }
+
+    #[test]
+    fn concurrent_histogram_observations_all_land() {
+        let h = Arc::new(AtomicHistogram::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        h.observe(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 2000);
+    }
+
+    #[test]
+    fn registry_handles_are_shared_and_resettable() {
+        let t = Telemetry::new();
+        let a = t.counter("x_total");
+        let b = t.counter("x_total");
+        a.inc();
+        b.inc();
+        assert_eq!(t.counter("x_total").get(), 2);
+        t.histogram("lat_ns").observe(100);
+        t.gauge("epoch").set(7);
+        t.reset();
+        assert_eq!(a.get(), 0);
+        assert_eq!(t.histogram("lat_ns").count(), 0);
+        assert_eq!(t.gauge("epoch").get(), 0);
+    }
+
+    #[test]
+    fn prometheus_exposition_format() {
+        let t = Telemetry::new();
+        t.counter("requests_total").add(3);
+        t.gauge("epoch").set(9);
+        t.histogram("lat_ns{op=\"resolve\"}").observe(20);
+        let text = t.render_prometheus();
+        assert!(text.contains("# TYPE requests_total counter"));
+        assert!(text.contains("requests_total 3"));
+        assert!(text.contains("# TYPE epoch gauge"));
+        assert!(text.contains("epoch 9"));
+        assert!(text.contains("# TYPE lat_ns histogram"));
+        assert!(text.contains("lat_ns_bucket{op=\"resolve\",le=\"32\"} 1"));
+        assert!(text.contains("lat_ns_sum{op=\"resolve\"} 20"));
+        assert!(text.contains("lat_ns_count{op=\"resolve\"} 1"));
+        // Cumulative buckets end at the total count.
+        assert!(text.contains("le=\"+Inf\"} 1"));
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let c = global().counter("telemetry_selftest_total");
+        let before = c.get();
+        global().counter("telemetry_selftest_total").inc();
+        assert_eq!(c.get(), before + 1);
+    }
+}

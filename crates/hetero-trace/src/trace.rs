@@ -23,6 +23,15 @@ impl TimeUnit {
             TimeUnit::VirtualNanos => "virtual-ns",
         }
     }
+
+    /// Inverse of [`TimeUnit::label`] (`None` for unknown labels).
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "real-ns" => Some(TimeUnit::RealNanos),
+            "virtual-ns" => Some(TimeUnit::VirtualNanos),
+            _ => None,
+        }
+    }
 }
 
 /// PDL identity of one lane (worker thread or simulated device).

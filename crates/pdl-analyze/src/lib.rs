@@ -36,7 +36,7 @@ pub use pdl_core::diag::{Diagnostic, Report, Severity, Span};
 pub use platform::{analyze_pinned, analyze_platform, analyze_platform_source};
 pub use program::{analyze_program, analyze_program_source};
 pub use render::{render_json, report_to_json};
-pub use trace::{check_trace, check_trace_links};
+pub use trace::{analyze_trace_source, check_trace, check_trace_links, check_trace_utilization};
 
 use pdl_core::platform::Platform;
 
@@ -44,8 +44,10 @@ use pdl_core::platform::Platform;
 ///
 /// `.xml` and `.pdl` files are treated as platform descriptions; `.c`, `.h`
 /// and `.cascabel` files as annotated task programs (which are additionally
-/// mapping-checked against each platform in `platforms`).  Returns `Err` for
-/// extensions the analyzer does not understand.
+/// mapping-checked against each platform in `platforms`); `.json` files as
+/// exported run traces (checked structurally, for group starvation, and
+/// against each platform's declared links).  Returns `Err` for extensions
+/// the analyzer does not understand.
 pub fn analyze_source_file(
     path: &str,
     contents: &str,
@@ -55,8 +57,9 @@ pub fn analyze_source_file(
     match ext {
         "xml" | "pdl" => Ok(analyze_platform_source(path, contents).1),
         "c" | "h" | "cascabel" => Ok(analyze_program_source(path, contents, platforms)),
+        "json" => Ok(analyze_trace_source(path, contents, platforms)),
         other => Err(format!(
-            "{path}: unsupported file extension {other:?} (expected .xml, .pdl, .c, .h or .cascabel)"
+            "{path}: unsupported file extension {other:?} (expected .xml, .pdl, .c, .h, .cascabel or .json)"
         )),
     }
 }
@@ -70,5 +73,9 @@ mod tests {
         assert!(analyze_source_file("a.xml", "<platform", &[]).is_ok());
         assert!(analyze_source_file("a.c", "int main() { return 0; }", &[]).is_ok());
         assert!(analyze_source_file("a.txt", "", &[]).is_err());
+        // A .json file that is not a trace document still dispatches (and
+        // reports T001 rather than erroring out).
+        let report = analyze_source_file("a.json", "{}", &[]).unwrap();
+        assert_eq!(report.codes(), ["T001"]);
     }
 }

@@ -19,6 +19,9 @@
 //! * `T006` — every transfer lane (group `"links"`, produced by the
 //!   virtual-time bridge's pipelined mode) corresponds to an interconnect
 //!   the platform actually declares ([`check_trace_links`]).
+//! * `T007` — a logic group sat essentially idle while another group was
+//!   saturated: the schedule starves hardware the platform description
+//!   says is available ([`check_trace_utilization`]).
 //!
 //! Trace task indices are correlated to graph tasks **by label** when the
 //! trace carries a task table (the virtual-time bridge renumbers every span,
@@ -267,6 +270,106 @@ pub fn check_trace_links(trace: &RunTrace, platform: &pdl_core::platform::Platfo
         }
     }
     let mut report: Report = out.into_iter().collect();
+    report.sort();
+    report
+}
+
+/// A group is "idle" below this utilization over the run.
+const T007_IDLE_BELOW: f64 = 0.25;
+/// A group is "saturated" at or above this utilization over the run.
+const T007_SATURATED_ABOVE: f64 = 0.75;
+
+/// Flags logic-group starvation in an observed schedule (`T007`).
+///
+/// Utilization is per-group busy time over `lanes × wall` (wall = the last
+/// span end), from [`hetero_trace::MetricsRegistry`]. A group under
+/// 25% while another group runs at 75% or more means the schedule starved
+/// hardware the platform description says is available — usually a missing
+/// codelet variant, an over-tight pin, or disabled cross-group stealing.
+/// Transfer lanes (group `"links"`) are naturally bursty and are skipped.
+/// Broken traces (`T001` territory) and single-group traces are vacuously
+/// clean.
+pub fn check_trace_utilization(trace: &RunTrace) -> Report {
+    let mut out: Vec<Diagnostic> = Vec::new();
+    if trace.validate().is_err() {
+        return out.into_iter().collect();
+    }
+    let wall = trace.task_spans().iter().map(|s| s.end).max().unwrap_or(0);
+    if wall > 0 {
+        let metrics = hetero_trace::MetricsRegistry::from_trace(trace);
+        let util: Vec<(String, f64)> = metrics
+            .group_utilization(trace, wall)
+            .into_iter()
+            .filter(|(g, _)| g != "links")
+            .collect();
+        let saturated = util
+            .iter()
+            .filter(|(_, u)| *u >= T007_SATURATED_ABOVE)
+            .max_by(|a, b| a.1.total_cmp(&b.1));
+        if let Some((busy_group, busy_util)) = saturated {
+            for (group, u) in &util {
+                if *u < T007_IDLE_BELOW {
+                    out.push(
+                        Diagnostic::warning(
+                            "T007",
+                            format!(
+                                "logic group \"{group}\" was only {:.0}% utilized while group \"{busy_group}\" ran at {:.0}%: the schedule starves available hardware",
+                                u * 100.0,
+                                busy_util * 100.0
+                            ),
+                        )
+                        .with_note(
+                            "add a codelet variant for the idle group, relax the execution-group \
+                             pin, or enable cross-group stealing",
+                        )
+                        .with_subject(group.clone()),
+                    );
+                }
+            }
+        }
+    }
+    let mut report: Report = out.into_iter().collect();
+    report.sort();
+    report
+}
+
+/// Analyzes a standalone exported trace file (the `hetero-trace-run` codec
+/// format, `pdl check foo.trace.json`): structural invariants (`T001`),
+/// group starvation (`T007`) and — against each supplied platform — link
+/// declarations (`T006`). Graph-dependent checks (`T002`–`T005`) need the
+/// submitted [`TaskGraph`] and run through [`check_trace`] instead.
+pub fn analyze_trace_source(
+    path: &str,
+    contents: &str,
+    platforms: &[pdl_core::platform::Platform],
+) -> Report {
+    let (trace, _deps) = match hetero_trace::codec::parse(contents) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            return std::iter::once(Diagnostic::error(
+                "T001",
+                format!("{path}: not a trace document: {e}"),
+            ))
+            .collect()
+        }
+    };
+    let mut report = Report::default();
+    if let Err(e) = trace.validate() {
+        report.push(
+            Diagnostic::error(
+                "T001",
+                format!("trace violates its structural invariants: {e}"),
+            )
+            .with_note(
+                "remaining replay checks were skipped — the event stream itself is unreliable",
+            ),
+        );
+    } else {
+        report.merge(check_trace_utilization(&trace));
+    }
+    for platform in platforms {
+        report.merge(check_trace_links(&trace, platform));
+    }
     report.sort();
     report
 }
@@ -537,6 +640,77 @@ mod tests {
         };
         let report = check_trace(&trace, &g);
         assert!(report.is_empty(), "{}", report.render());
+    }
+
+    fn grouped_trace(busy: &[(&str, &str, u64, u64)]) -> RunTrace {
+        // One lane per entry: (pu, group, start, end) of its single task.
+        RunTrace {
+            meta: TraceMeta {
+                platform: None,
+                lanes: busy
+                    .iter()
+                    .map(|(pu, group, _, _)| LaneLabel {
+                        name: (*pu).to_string(),
+                        group: Some((*group).to_string()),
+                    })
+                    .collect(),
+                tasks: (0..busy.len())
+                    .map(|i| TaskInfo {
+                        label: format!("t{i}"),
+                        category: "task".into(),
+                        group: None,
+                    })
+                    .collect(),
+                time_unit: hetero_trace::TimeUnit::default(),
+            },
+            prelude: Vec::new(),
+            workers: busy
+                .iter()
+                .enumerate()
+                .map(|(i, (_, _, s, e))| lane(i, vec![(*s, start(i as u32)), (*e, end(i as u32))]))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn starved_group_is_t007() {
+        // cpus saturated for the whole run, gpu0 does 5% and sits idle.
+        let trace = grouped_trace(&[
+            ("cpu0", "cpus", 0, 1000),
+            ("cpu1", "cpus", 0, 1000),
+            ("gpu0", "gpus", 0, 50),
+        ]);
+        let report = check_trace_utilization(&trace);
+        assert_eq!(report.codes(), ["T007"]);
+        assert!(report.render().contains("\"gpus\""), "{}", report.render());
+    }
+
+    #[test]
+    fn balanced_groups_are_not_t007() {
+        let trace = grouped_trace(&[("cpu0", "cpus", 0, 1000), ("gpu0", "gpus", 100, 900)]);
+        assert!(check_trace_utilization(&trace).is_empty());
+        // No saturated group either → nothing to blame even if one idles.
+        let lazy = grouped_trace(&[("cpu0", "cpus", 0, 500), ("gpu0", "gpus", 900, 1000)]);
+        assert!(check_trace_utilization(&lazy).is_empty());
+    }
+
+    #[test]
+    fn trace_source_analysis_combines_checks() {
+        let trace = grouped_trace(&[
+            ("cpu0", "cpus", 0, 1000),
+            ("cpu1", "cpus", 0, 1000),
+            ("gpu0", "gpus", 0, 50),
+        ]);
+        let text = hetero_trace::codec::export(&trace, &[]);
+        let report = pdl_analyze_trace(&text);
+        assert_eq!(report.codes(), ["T007"]);
+        assert!(super::analyze_trace_source("x.json", "not json", &[])
+            .codes()
+            .contains(&"T001"));
+    }
+
+    fn pdl_analyze_trace(text: &str) -> Report {
+        super::analyze_trace_source("t.json", text, &[])
     }
 
     fn links_trace(lane_names: &[&str]) -> RunTrace {

@@ -23,6 +23,7 @@ use crate::canon::{canonicalize, content_hash};
 use crate::hash::ContentHash;
 use crate::layers::{compose, Layer};
 use crate::semver::{classify, Compatibility, SemVer, VersionReq};
+use crate::telemetry::{metrics, observe_since};
 use parking_lot::{Mutex, RwLock};
 use pdl_core::platform::Platform;
 use pdl_query::capability::RequirementSet;
@@ -213,22 +214,27 @@ impl Snapshot {
 
     /// Resolves `name` at the newest version matching `req`.
     pub fn resolve(&self, name: &str, req: &VersionReq) -> Result<Resolved, RegistryError> {
-        let series = self
-            .by_name
-            .get(name)
-            .ok_or_else(|| RegistryError::UnknownPlatform(name.to_string()))?;
-        let version =
-            req.select(&series.versions())
-                .ok_or_else(|| RegistryError::NoMatchingVersion {
-                    name: name.to_string(),
-                    req: req.to_string(),
-                })?;
-        let release = series.release(version).expect("selected from own versions");
-        Ok(Resolved {
-            name: name.to_string(),
-            version,
-            platform: Arc::clone(&release.platform),
-        })
+        let t0 = std::time::Instant::now();
+        let result = (|| {
+            let series = self
+                .by_name
+                .get(name)
+                .ok_or_else(|| RegistryError::UnknownPlatform(name.to_string()))?;
+            let version =
+                req.select(&series.versions())
+                    .ok_or_else(|| RegistryError::NoMatchingVersion {
+                        name: name.to_string(),
+                        req: req.to_string(),
+                    })?;
+            let release = series.release(version).expect("selected from own versions");
+            Ok(Resolved {
+                name: name.to_string(),
+                version,
+                platform: Arc::clone(&release.platform),
+            })
+        })();
+        observe_since(&metrics().resolve_ns, t0);
+        result
     }
 
     /// Resolves with a textual requirement (`"latest"`, `"^1.2"`, …).
@@ -240,7 +246,9 @@ impl Snapshot {
     /// Capability selection: the newest release of every series whose
     /// platform satisfies the requirement set.
     pub fn select(&self, requirements: &RequirementSet) -> Vec<Resolved> {
-        self.by_name
+        let t0 = std::time::Instant::now();
+        let result = self
+            .by_name
             .iter()
             .filter_map(|(name, series)| {
                 let head = series.head();
@@ -252,7 +260,9 @@ impl Snapshot {
                         platform: Arc::clone(&head.platform),
                     })
             })
-            .collect()
+            .collect();
+        observe_since(&metrics().select_ns, t0);
+        result
     }
 
     /// Structural diff between two releases of one series. Descriptors are
@@ -263,12 +273,17 @@ impl Snapshot {
         from: &VersionReq,
         to: &VersionReq,
     ) -> Result<Vec<Change>, RegistryError> {
-        let a = self.resolve(name, from)?;
-        let b = self.resolve(name, to)?;
-        if a.platform.hash() == b.platform.hash() {
-            return Ok(Vec::new());
-        }
-        Ok(diff(a.platform.platform(), b.platform.platform()))
+        let t0 = std::time::Instant::now();
+        let result = (|| {
+            let a = self.resolve(name, from)?;
+            let b = self.resolve(name, to)?;
+            if a.platform.hash() == b.platform.hash() {
+                return Ok(Vec::new());
+            }
+            Ok(diff(a.platform.platform(), b.platform.platform()))
+        })();
+        observe_since(&metrics().diff_ns, t0);
+        result
     }
 
     /// Compatibility verdict between two releases of one series.
@@ -338,6 +353,7 @@ impl Registry {
         if let Some(series) = prev.by_name.get(&name) {
             let head = series.head();
             if head.platform.hash() == hash {
+                metrics().publish_noops.inc();
                 return PublishOutcome {
                     name,
                     version: head.version,
@@ -388,6 +404,9 @@ impl Registry {
         });
         *self.current.write() = next;
         self.epoch.store(epoch, Ordering::Release);
+        let tel = metrics();
+        tel.publishes.inc();
+        tel.epoch.raise(epoch);
 
         PublishOutcome {
             name,
@@ -620,5 +639,32 @@ mod tests {
         assert_eq!(hits, ["gpu-node"]);
         let all = snap.select(&RequirementSet::new());
         assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn telemetry_tracks_reads_and_publishes() {
+        // Instruments are process-global, so compare deltas, not totals
+        // (other tests in this binary also publish and resolve).
+        let tel = metrics();
+        let resolves0 = tel.resolve_ns.count();
+        let publishes0 = tel.publishes.get();
+        let noops0 = tel.publish_noops.get();
+
+        let reg = Registry::new();
+        assert!(reg.publish(&plat("tel-node", "8")).created);
+        assert!(!reg.publish(&plat("tel-node", "8")).created);
+        let snap = reg.snapshot();
+        snap.resolve_str("tel-node", "latest").unwrap();
+        snap.select(&RequirementSet::new());
+        snap.diff("tel-node", &VersionReq::Latest, &VersionReq::Latest)
+            .unwrap();
+
+        assert_eq!(tel.publishes.get(), publishes0 + 1);
+        assert_eq!(tel.publish_noops.get(), noops0 + 1);
+        // resolve_str delegates to resolve; diff resolves twice more.
+        assert_eq!(tel.resolve_ns.count(), resolves0 + 3);
+        assert!(tel.select_ns.count() >= 1);
+        assert!(tel.diff_ns.count() >= 1);
+        assert!(tel.epoch.get() >= 1);
     }
 }

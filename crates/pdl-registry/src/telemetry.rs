@@ -1,0 +1,54 @@
+//! Registry service telemetry: latency histograms for the read path and
+//! publish/epoch instruments, resolved once from the process-wide
+//! [`hetero_trace::telemetry::global`] registry.
+//!
+//! The handles live in a `OnceLock` so the instrumented methods on
+//! [`crate::Snapshot`] and [`crate::Registry`] pay one pointer load plus
+//! a few relaxed atomics per call — the registry structs themselves stay
+//! untouched and the instruments survive across registries (they describe
+//! the process, not one catalog).
+
+use hetero_trace::telemetry::{self, AtomicHistogram, Counter, Gauge};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Handles for every registry instrument.
+#[derive(Debug)]
+pub(crate) struct RegistryMetrics {
+    /// `Snapshot::resolve` latency (also covers `resolve_str`, which
+    /// delegates — instrumenting only the inner call avoids double counts).
+    pub resolve_ns: Arc<AtomicHistogram>,
+    /// `Snapshot::select` latency.
+    pub select_ns: Arc<AtomicHistogram>,
+    /// `Snapshot::diff` latency.
+    pub diff_ns: Arc<AtomicHistogram>,
+    /// Publishes that created a new release.
+    pub publishes: Arc<Counter>,
+    /// Idempotent republishes of a series head (no epoch advance).
+    pub publish_noops: Arc<Counter>,
+    /// Highest publish epoch observed process-wide.
+    pub epoch: Arc<Gauge>,
+}
+
+/// The process-wide registry instruments.
+pub(crate) fn metrics() -> &'static RegistryMetrics {
+    static METRICS: OnceLock<RegistryMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let t = telemetry::global();
+        RegistryMetrics {
+            resolve_ns: t.histogram("registry_resolve_ns"),
+            select_ns: t.histogram("registry_select_ns"),
+            diff_ns: t.histogram("registry_diff_ns"),
+            publishes: t.counter("registry_publishes_total"),
+            publish_noops: t.counter("registry_publish_noops_total"),
+            epoch: t.gauge("registry_epoch"),
+        }
+    })
+}
+
+/// Observes the elapsed time since `start` into `hist`.
+#[inline]
+pub(crate) fn observe_since(hist: &AtomicHistogram, start: Instant) {
+    let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    hist.observe(ns);
+}

@@ -12,6 +12,8 @@
 //! pdl simulate <file> [N] [TILE]      simulate a tiled DGEMM on the platform
 //! pdl check [--json] [--platform P]... <file>...
 //!                                     run all static-analysis passes
+//! pdl profile [--folded F] [--json F] <trace.json>
+//!                                     critical-path profile of a run trace
 //! ```
 
 use hetero_rt::prelude::*;
@@ -32,6 +34,7 @@ fn main() -> ExitCode {
         Some("diff") => cmd_diff(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -64,6 +67,10 @@ USAGE:
   pdl check [--json] [--platform P]... <file>...
                                       run all static-analysis passes (see
                                       docs/ANALYSIS.md for diagnostic codes)
+  pdl profile [--folded F] [--json F] <trace.json>
+                                      critical-path profile of an exported
+                                      run trace: blame split, what-ifs;
+                                      --folded writes flamegraph stacks
 
 Builtin platform names (xeon-x5550-8core, xeon-x5550-gtx480-gtx285,
 cell-be, …) are accepted wherever a <file> is expected."
@@ -245,6 +252,73 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
     } else {
         Ok(())
     }
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    use hetero_trace::profile;
+
+    let mut folded_out: Option<String> = None;
+    let mut json_out: Option<String> = None;
+    let mut file: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--folded" => {
+                folded_out = Some(it.next().ok_or("--folded needs a path")?.to_string());
+            }
+            "--json" => json_out = Some(it.next().ok_or("--json needs a path")?.to_string()),
+            other => file = Some(other.to_string()),
+        }
+    }
+    let file = file.ok_or("missing argument: <trace.json>")?;
+    let text = std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let (trace, deps) = hetero_trace::codec::parse(&text)?;
+    let p = profile::critical_path(&trace, &deps)?;
+
+    let unit = trace.meta.time_unit.label();
+    println!(
+        "critical path: {} ns ({unit}), makespan {} ns, {} steps",
+        p.critical_path_ns(),
+        p.makespan_ns,
+        p.steps.len()
+    );
+    println!("blame:");
+    for b in &p.blame {
+        println!(
+            "  {:>6.1}%  {:>12} ns  {}",
+            b.share * 100.0,
+            b.ns,
+            b.category
+        );
+    }
+    let chain = p.chain_tasks();
+    let shown = chain.len().min(12);
+    println!(
+        "chain ({} task(s)): {}{}",
+        chain.len(),
+        chain[..shown].join(" -> "),
+        if chain.len() > shown { " -> …" } else { "" }
+    );
+    if !p.what_ifs.is_empty() {
+        println!("what-if (first-order bounds):");
+        for w in &p.what_ifs {
+            println!(
+                "  {:<40} saves {:>10} ns -> est. makespan {} ns",
+                w.description, w.saving_ns, w.estimated_makespan_ns
+            );
+        }
+    }
+    if let Some(path) = folded_out {
+        std::fs::write(&path, profile::folded_stacks(&trace))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("folded stacks written to {path}");
+    }
+    if let Some(path) = json_out {
+        std::fs::write(&path, profile::to_json(&p).to_pretty())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("profile JSON written to {path}");
+    }
+    Ok(())
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
