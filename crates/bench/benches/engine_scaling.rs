@@ -175,14 +175,14 @@ fn engine_scaling(c: &mut Criterion) {
                 SingleQueueExecutor::new(workers)
                     .run(fork_join_tasks())
                     .unwrap()
-            })
+            });
         });
         group.bench_function(BenchmarkId::new("work_stealing", workers), |b| {
             b.iter(|| {
                 ThreadedExecutor::new(workers)
                     .run(fork_join_tasks())
                     .unwrap()
-            })
+            });
         });
     }
     group.finish();
@@ -197,7 +197,7 @@ fn engine_scaling(c: &mut Criterion) {
                 .with_trace(TraceSink::Null)
                 .run(fork_join_tasks())
                 .unwrap()
-        })
+        });
     });
     group.bench_function("on", |b| {
         b.iter(|| {
@@ -205,7 +205,7 @@ fn engine_scaling(c: &mut Criterion) {
                 .with_trace(TraceSink::ring())
                 .run(fork_join_tasks())
                 .unwrap()
-        })
+        });
     });
     group.finish();
 }

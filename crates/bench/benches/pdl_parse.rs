@@ -13,13 +13,13 @@ fn pdl_parse(c: &mut Criterion) {
         group.throughput(Throughput::Bytes(xml.len() as u64));
 
         group.bench_function(BenchmarkId::new("parse_only", pus), |b| {
-            b.iter(|| pdl_xml::parse_document(&xml).unwrap())
+            b.iter(|| pdl_xml::parse_document(&xml).unwrap());
         });
         group.bench_function(BenchmarkId::new("parse_validate_decode", pus), |b| {
-            b.iter(|| pdl_xml::from_xml(&xml).unwrap())
+            b.iter(|| pdl_xml::from_xml(&xml).unwrap());
         });
         group.bench_function(BenchmarkId::new("encode", pus), |b| {
-            b.iter(|| pdl_xml::to_xml(&platform))
+            b.iter(|| pdl_xml::to_xml(&platform));
         });
     }
     group.finish();

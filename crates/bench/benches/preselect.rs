@@ -53,7 +53,7 @@ fn preselect_bench(c: &mut Criterion) {
     for n in [10usize, 100, 1000] {
         let repo = synthetic_repository(n);
         group.bench_function(BenchmarkId::new("interfaces", n), |b| {
-            b.iter(|| preselect(&repo, &platform))
+            b.iter(|| preselect(&repo, &platform));
         });
     }
     group.finish();

@@ -10,17 +10,17 @@ fn query_bench(c: &mut Criterion) {
         let pus = platform.len();
 
         group.bench_function(BenchmarkId::new("selector_arch", pus), |b| {
-            b.iter(|| pdl_query::query(&platform, "//Worker[@ARCHITECTURE='gpu']").unwrap())
+            b.iter(|| pdl_query::query(&platform, "//Worker[@ARCHITECTURE='gpu']").unwrap());
         });
         group.bench_function(BenchmarkId::new("selector_numeric", pus), |b| {
-            b.iter(|| pdl_query::query(&platform, "//Hybrid/Worker[@CORES>=15]").unwrap())
+            b.iter(|| pdl_query::query(&platform, "//Hybrid/Worker[@CORES>=15]").unwrap());
         });
         group.bench_function(BenchmarkId::new("group_expr", pus), |b| {
-            b.iter(|| pdl_query::resolve_groups(&platform, "(gpus+nodes)-@masters").unwrap())
+            b.iter(|| pdl_query::resolve_groups(&platform, "(gpus+nodes)-@masters").unwrap());
         });
         let last_gpu = format!("node{}gpu1", nodes - 1);
         group.bench_function(BenchmarkId::new("route", pus), |b| {
-            b.iter(|| pdl_query::route(&platform, "frontend", &last_gpu, 64e6).unwrap())
+            b.iter(|| pdl_query::route(&platform, "frontend", &last_gpu, 64e6).unwrap());
         });
     }
     group.finish();

@@ -301,19 +301,19 @@ fn registry_service(c: &mut Criterion) {
             i = (i + 1) % PLATFORMS;
             snap.resolve(&format!("rs-node-{i:03}"), &VersionReq::Latest)
                 .unwrap()
-        })
+        });
     });
     group.bench_function("select_gpu_catalog", |b| b.iter(|| snap.select(&gpu_reqs)));
     group.bench_function("diff_revisions", |b| {
         let v1 = VersionReq::parse("^1.0").unwrap();
-        b.iter(|| snap.diff("rs-node-000", &v1, &VersionReq::Latest).unwrap())
+        b.iter(|| snap.diff("rs-node-000", &v1, &VersionReq::Latest).unwrap());
     });
     group.bench_function("publish_revision", |b| {
         let mut rev = 100u32;
         b.iter(|| {
             rev += 1;
             reg.publish(&revision(1, rev))
-        })
+        });
     });
     group.finish();
 
@@ -323,7 +323,7 @@ fn registry_service(c: &mut Criterion) {
         b.iter(|| {
             let reg = seeded_registry();
             drive_requests(&reg)
-        })
+        });
     });
     group.finish();
 }

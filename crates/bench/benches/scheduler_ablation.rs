@@ -26,7 +26,7 @@ fn scheduler_ablation(c: &mut Criterion) {
                 simulate(&graph, &machine, policy.as_mut(), &SimOptions::default())
                     .unwrap()
                     .makespan
-            })
+            });
         });
     }
     group.finish();

@@ -164,7 +164,7 @@ fn telemetry_overhead(c: &mut Criterion) {
                 .with_telemetry(false)
                 .run(fork_join_tasks())
                 .unwrap()
-        })
+        });
     });
     group.bench_function("on", |b| {
         b.iter(|| {
@@ -173,7 +173,7 @@ fn telemetry_overhead(c: &mut Criterion) {
                 .with_telemetry(true)
                 .run(fork_join_tasks())
                 .unwrap()
-        })
+        });
     });
     group.finish();
 }

@@ -15,7 +15,7 @@ fn tile_ablation(c: &mut Criterion) {
     group.sample_size(10);
     for tile in [512usize, 2048, 8192] {
         group.bench_function(BenchmarkId::new("dgemm8192", tile), |b| {
-            b.iter(|| bench::ablations::makespan_vs_tile(8192, tile))
+            b.iter(|| bench::ablations::makespan_vs_tile(8192, tile));
         });
     }
     group.finish();

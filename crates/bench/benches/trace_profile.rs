@@ -53,16 +53,16 @@ fn trace_profile(c: &mut Criterion) {
     let mut group = c.benchmark_group("trace_profile");
     group.sample_size(20);
     group.bench_function("critical_path", |b| {
-        b.iter(|| profile::critical_path(black_box(&trace), black_box(&deps)).unwrap())
+        b.iter(|| profile::critical_path(black_box(&trace), black_box(&deps)).unwrap());
     });
     group.bench_function("folded_stacks", |b| {
-        b.iter(|| profile::folded_stacks(black_box(&trace)))
+        b.iter(|| profile::folded_stacks(black_box(&trace)));
     });
     group.bench_function("codec_export", |b| {
-        b.iter(|| codec::export(black_box(&trace), black_box(&deps)))
+        b.iter(|| codec::export(black_box(&trace), black_box(&deps)));
     });
     group.bench_function("codec_parse", |b| {
-        b.iter(|| codec::parse(black_box(&exported)).unwrap())
+        b.iter(|| codec::parse(black_box(&exported)).unwrap());
     });
     group.finish();
 }

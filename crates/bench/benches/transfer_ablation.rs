@@ -1,5 +1,5 @@
 //! Abl. B — transfer-model ablation: GPU-offload speedup as a function of
-//! PCIe bandwidth (the vertical data-movement sensitivity of §III-A) —
+//! `PCIe` bandwidth (the vertical data-movement sensitivity of §III-A) —
 //! and Abl. I, the transfer-pipeline ablation: what each stage of the
 //! interconnect-aware data pipeline (overlap, link contention, P2P
 //! routing, prefetch, transfer-cost-aware scheduling) buys on the Fig. 5
@@ -106,7 +106,7 @@ fn transfer_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("transfer_pipeline");
     group.sample_size(10);
     group.bench_function("ablation_2048_256", |b| {
-        b.iter(|| bench::ablations::transfer_pipeline_ablation(PIPE_N, PIPE_TILE))
+        b.iter(|| bench::ablations::transfer_pipeline_ablation(PIPE_N, PIPE_TILE));
     });
     group.finish();
 }

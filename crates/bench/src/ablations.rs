@@ -23,7 +23,7 @@ pub fn scheduler_ablation(n: usize, tile: usize) -> Vec<(&'static str, f64)> {
         .collect()
 }
 
-/// Builds the Fig. 5 testbed with PCIe bandwidth overridden to
+/// Builds the Fig. 5 testbed with `PCIe` bandwidth overridden to
 /// `pcie_gbs` GB/s — the transfer-model ablation (Abl. B) showing where
 /// offloading stops paying off.
 pub fn testbed_with_pcie(pcie_gbs: f64) -> Platform {
@@ -107,7 +107,7 @@ pub fn engine_comparison(n: usize, tile: usize) -> (f64, f64) {
 }
 
 /// Host-bus contention cost (Abl. H): Fig. 5 GPU-configuration makespan
-/// with independent PCIe links vs one shared host bus.
+/// with independent `PCIe` links vs one shared host bus.
 pub fn bus_contention(n: usize, tile: usize) -> (f64, f64) {
     let graph = kernels::graphs::dgemm_graph(n, tile, None);
     let machine = SimMachine::from_platform(&synthetic::xeon_2gpu_testbed());
@@ -145,12 +145,12 @@ pub struct PipelineRow {
     pub bytes_peer: f64,
 }
 
-/// Transfer-pipeline ablation (Abl. I): the Fig. 5 DGEMM on the NVLink
+/// Transfer-pipeline ablation (Abl. I): the Fig. 5 DGEMM on the `NVLink`
 /// variant of the 2-GPU testbed under progressively richer transfer
 /// modeling. `baseline` is the legacy synchronous host-staged path
 /// (transfers serialize on the device lane); `overlap` moves transfers
 /// onto FIFO link lanes (compute/transfer overlap + link contention);
-/// `overlap+p2p` routes device→device traffic over the declared NVLink;
+/// `overlap+p2p` routes device→device traffic over the declared `NVLink`;
 /// `full` adds input prefetch at scheduling time; `full+dmda` swaps HEFT
 /// for the transfer-cost-aware `dmda` policy.
 pub fn transfer_pipeline_ablation(n: usize, tile: usize) -> Vec<PipelineRow> {
@@ -204,7 +204,7 @@ pub fn transfer_pipeline_ablation(n: usize, tile: usize) -> Vec<PipelineRow> {
 }
 
 /// GPU-configuration speedup over CPU-only for the Fig. 5 graph under a
-/// given PCIe bandwidth. Used to locate the offload break-even point.
+/// given `PCIe` bandwidth. Used to locate the offload break-even point.
 pub fn speedup_vs_pcie(n: usize, tile: usize, pcie_gbs: f64) -> f64 {
     let graph = kernels::graphs::dgemm_graph(n, tile, None);
     let cpu_machine = SimMachine::from_platform(&synthetic::xeon_x5550_host());

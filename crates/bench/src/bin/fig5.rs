@@ -4,7 +4,7 @@
 //! Usage: `cargo run -p bench --bin fig5 [N] [TILE] [--json [PATH]] [--trace [PATH]]`
 //! Defaults to the paper's 8192 with tile 2048. `--json` writes the
 //! machine-readable run summary (default `BENCH_fig5.json`); `--trace`
-//! writes a chrome://tracing view of the `starpu+2gpu` row (default
+//! writes a <chrome://tracing> view of the `starpu+2gpu` row (default
 //! `fig5_trace.json`).
 
 fn main() {
@@ -23,7 +23,7 @@ fn main() {
                         args.next().unwrap()
                     }
                     _ => "BENCH_fig5.json".to_string(),
-                })
+                });
             }
             "--trace" => {
                 trace_path = Some(match args.peek() {
@@ -31,7 +31,7 @@ fn main() {
                         args.next().unwrap()
                     }
                     _ => "fig5_trace.json".to_string(),
-                })
+                });
             }
             other => match (positional, other.parse::<usize>()) {
                 (0, Ok(v)) => {

@@ -1,0 +1,186 @@
+//! Coherence model-check smoke test (CI gate).
+//!
+//! Runs the exhaustive state-space explorer over the bounded
+//! platform-derived configurations (3 devices × 2 handles, `PCIe` and
+//! `NVLink` topologies) and enforces three things:
+//!
+//! 1. **Invariants** — the full `max_pending = 2` interleaving space
+//!    explores completely with zero violations of the five M-series
+//!    invariants;
+//! 2. **No drift** — reached-state and transition counts match the pinned
+//!    numbers below exactly: any protocol change that alters the explored
+//!    space must update the pins consciously, in this file, under review;
+//! 3. **The gate works** — every named mutation (deliberately injected
+//!    protocol bug) is caught, as its expected M-code, with a minimized
+//!    counterexample that replays, no longer than the known minimum.
+//!
+//! Exits non-zero on any failure. Usage:
+//! `cargo run -p bench --bin model_check_smoke [--out DIR]`
+//! With `--out`, writes `BENCH_model_check.json` into DIR (CI uploads it
+//! as an artifact).
+
+use hetero_model::explore::{explore, replay_violates, Bounds};
+use hetero_model::model::Mutation;
+use hetero_trace::json::Json;
+use pdl_analyze::{bounded_configs, check_configs, model_check_json};
+use std::process::ExitCode;
+
+/// Pinned exploration sizes of the full `max_pending = 2` space, per
+/// config. These counts are exact and deterministic; a mismatch means the
+/// protocol's reachable state space changed and the pins need a reviewed
+/// update.
+const PINNED: [(&str, usize, usize); 2] = [
+    ("xeon-2gpu-pcie", 393_129, 4_997_190),
+    ("xeon-2gpu-nvlink", 487_204, 6_131_232),
+];
+
+/// Known-minimal counterexample lengths per mutation: transfer-side bugs
+/// surface on the first acquire, write-side bugs need acquire + finish.
+const MINIMAL_TRACE: [(Mutation, usize); 5] = [
+    (Mutation::SkipWriteInvalidate, 2),
+    (Mutation::DropWriteUpdate, 2),
+    (Mutation::VanishOnWrite, 2),
+    (Mutation::UnderCharge, 1),
+    (Mutation::MoveNotCopy, 1),
+];
+
+fn check(ok: bool, what: &str, failures: &mut u32) {
+    if ok {
+        println!("  ok   {what}");
+    } else {
+        println!("  FAIL {what}");
+        *failures += 1;
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut out_dir: Option<std::path::PathBuf> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_dir = args.next().map(Into::into),
+            other => {
+                eprintln!("unknown argument {other:?}; usage: model_check_smoke [--out DIR]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut failures = 0u32;
+    let configs = bounded_configs();
+    let start = std::time::Instant::now();
+
+    // 1 + 2. Full exploration, invariants + pinned counts.
+    let full = Bounds {
+        max_pending: 2,
+        max_states: 4_000_000,
+    };
+    let (report, outcomes) = check_configs(&configs, &full, Mutation::None);
+    check(
+        report.is_empty(),
+        "faithful protocol explores with zero violations",
+        &mut failures,
+    );
+    if !report.is_empty() {
+        println!("{}", report.render());
+    }
+    for o in &outcomes {
+        let ex = &o.exploration;
+        check(
+            ex.complete,
+            &format!("{}: bounded space fully enumerated", o.config),
+            &mut failures,
+        );
+        match PINNED.iter().find(|(name, _, _)| *name == o.config) {
+            None => check(
+                false,
+                &format!("{}: config has a pin", o.config),
+                &mut failures,
+            ),
+            Some((_, states, transitions)) => check(
+                ex.states == *states && ex.transitions == *transitions,
+                &format!(
+                    "{}: {} states / {} transitions match pins ({states} / {transitions})",
+                    o.config, ex.states, ex.transitions
+                ),
+                &mut failures,
+            ),
+        }
+    }
+
+    // 3. Gate validation: every injected bug is caught, correctly coded,
+    // with a minimal, replayable counterexample. pending = 1 suffices:
+    // all five bugs surface in sequential traces.
+    let quick = Bounds {
+        max_pending: 1,
+        max_states: 1 << 21,
+    };
+    for (mutation, min_len) in MINIMAL_TRACE {
+        for config in &configs {
+            let model = config.model.clone().with_mutation(mutation);
+            let ex = explore(&model, &quick);
+            let caught = ex.violation.as_ref().is_some_and(|v| {
+                v.invariant.code() == mutation.expected_code().unwrap()
+                    && v.trace.len() <= min_len
+                    && replay_violates(&model, &quick, &v.trace, v.invariant).is_some()
+            });
+            check(
+                caught,
+                &format!(
+                    "{}: {} caught as {} with ≤{min_len}-action replayable trace",
+                    config.name,
+                    mutation.name(),
+                    mutation.expected_code().unwrap()
+                ),
+                &mut failures,
+            );
+        }
+    }
+
+    let elapsed = start.elapsed().as_secs_f64();
+    println!(
+        "model_check_smoke: {} check groups, {:.1}s",
+        2 + MINIMAL_TRACE.len() * configs.len(),
+        elapsed
+    );
+
+    if let Some(dir) = out_dir {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        let mut json = model_check_json(&outcomes, elapsed);
+        if let Json::Obj(members) = &mut json {
+            members.push(("failures".into(), Json::Num(f64::from(failures))));
+            members.push((
+                "pins".into(),
+                Json::Arr(
+                    PINNED
+                        .iter()
+                        .map(|(name, states, transitions)| {
+                            Json::Obj(vec![
+                                ("name".into(), Json::str(*name)),
+                                ("states".into(), Json::Num(*states as f64)),
+                                ("transitions".into(), Json::Num(*transitions as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        let path = dir.join("BENCH_model_check.json");
+        if let Err(e) = std::fs::write(&path, json.to_pretty()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
+    }
+
+    if failures == 0 {
+        println!("model_check_smoke: PASS");
+        ExitCode::SUCCESS
+    } else {
+        println!("model_check_smoke: FAIL ({failures} failed check(s))");
+        ExitCode::FAILURE
+    }
+}

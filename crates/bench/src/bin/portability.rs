@@ -14,7 +14,7 @@ fn main() {
                 json_path = Some(match args.peek() {
                     Some(p) if !p.starts_with("--") => args.next().unwrap(),
                     _ => "BENCH_portability.json".to_string(),
-                })
+                });
             }
             other => {
                 eprintln!("unknown argument {other:?}; usage: portability [--json [PATH]]");

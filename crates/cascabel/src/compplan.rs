@@ -159,7 +159,12 @@ mod tests {
     fn sources(pairs: &[(&str, &[&str])]) -> BTreeMap<String, Vec<String>> {
         pairs
             .iter()
-            .map(|(a, s)| (a.to_string(), s.iter().map(|x| x.to_string()).collect()))
+            .map(|(a, s)| {
+                (
+                    a.to_string(),
+                    s.iter().map(std::string::ToString::to_string).collect(),
+                )
+            })
             .collect()
     }
 

@@ -1,6 +1,6 @@
 //! Task mapping: execution groups → processing-unit subsets (paper §IV-B).
 //!
-//! "The execute annotation enables via the LogicGroupAttribute the
+//! "The execute annotation enables via the `LogicGroupAttribute` the
 //! specification of execution groups for denoting sub-parts of a
 //! heterogeneous platform where specific tasks are intended to execute."
 //! The mapper resolves each call-site's execution group against the target

@@ -383,6 +383,28 @@ mod tests {
     }
 
     #[test]
+    fn parameterlist_accepts_separator_mode_spellings() {
+        // Access modes normalize case and internal separators the same way
+        // distribution kinds do (BLOCK-CYCLIC == BLOCKCYCLIC); these forms
+        // were rejected before.
+        let p = parse_pragma(
+            "#pragma cascabel task : x86 : I_t : t01 : (A: Read-Write, B: IN, C: READ_WRITE)",
+        )
+        .unwrap();
+        match p {
+            Pragma::Task(t) => assert_eq!(
+                t.params,
+                vec![
+                    ("A".to_string(), AccessMode::ReadWrite),
+                    ("B".to_string(), AccessMode::Read),
+                    ("C".to_string(), AccessMode::ReadWrite)
+                ]
+            ),
+            _ => panic!("expected task"),
+        }
+    }
+
+    #[test]
     fn paper_execute_example() {
         let p = parse_pragma(
             "#pragma cascabel execute I_vecadd : executionset01 (A:BLOCK:N, B:BLOCK:N)",

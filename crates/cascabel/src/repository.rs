@@ -6,7 +6,7 @@
 //!
 //! The repository also holds *expert-provided* implementations (Figure 1:
 //! "Expert programmers provide implementation variants for specific
-//! platforms") — e.g. the CuBLAS DGEMM the paper's experiment selects,
+//! platforms") — e.g. the `CuBLAS` DGEMM the paper's experiment selects,
 //! which is not present in the serial input program.
 
 use crate::ast::TaskFunction;
@@ -25,7 +25,7 @@ pub enum ImplOrigin {
 }
 
 /// Maps an annotation target platform (`x86`, `OpenCL`, `Cuda`, `CellSDK`)
-/// to the PDL vocabulary: (ARCHITECTURE, required SOFTWARE_PLATFORM).
+/// to the PDL vocabulary: (ARCHITECTURE, required `SOFTWARE_PLATFORM`).
 pub fn platform_to_arch(platform: &str) -> (&'static str, Option<&'static str>) {
     match platform.to_ascii_lowercase().as_str() {
         "x86" | "cpu" | "serial" => ("x86", None),
@@ -134,7 +134,7 @@ impl TaskRepository {
     }
 
     /// A repository preloaded with the expert implementations used by the
-    /// paper's experiment: multithreaded + CuBLAS + OpenCL DGEMM, GPU
+    /// paper's experiment: multithreaded + `CuBLAS` + `OpenCL` DGEMM, GPU
     /// vecadd.
     pub fn with_builtin_expert_variants() -> Self {
         let mut repo = Self::new();

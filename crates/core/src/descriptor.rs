@@ -14,7 +14,7 @@ use std::fmt;
 pub enum DescriptorKind {
     /// `<PUDescriptor>` on Master/Hybrid/Worker elements.
     Pu,
-    /// `<MRDescriptor>` on MemoryRegion elements.
+    /// `<MRDescriptor>` on `MemoryRegion` elements.
     Mr,
     /// `<ICDescriptor>` on Interconnect elements.
     Ic,

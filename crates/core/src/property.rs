@@ -15,7 +15,7 @@
 use crate::units::{to_base, Unit};
 use std::fmt;
 
-/// Reference to a registered property subschema, e.g. the OpenCL device
+/// Reference to a registered property subschema, e.g. the `OpenCL` device
 /// property type of Listing 2. The `namespace` is the XML prefix ("ocl"),
 /// `type_name` the local type name ("oclDevicePropertyType").
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]

@@ -108,7 +108,10 @@ pub fn check(platform: &Platform) -> Vec<ValidationIssue> {
 /// truth; this is the diagnostics-facing view used by `pdl-analyze` and
 /// `pdl-lint`.
 pub fn diagnostics(platform: &Platform) -> crate::diag::Report {
-    check(platform).iter().map(|i| i.to_diagnostic()).collect()
+    check(platform)
+        .iter()
+        .map(super::error::ValidationIssue::to_diagnostic)
+        .collect()
 }
 
 #[cfg(test)]

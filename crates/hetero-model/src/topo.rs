@@ -1,0 +1,65 @@
+//! Concrete bounded topologies the model checker explores.
+//!
+//! A [`Topo`] is the pure image of one platform description for one datum:
+//! per-device host-route costs and declared peer-route costs. The runtime
+//! derives them from real PDL descriptions (`hetero_rt::data::model_topo`);
+//! the builders here construct the same shapes synthetically for in-crate
+//! tests.
+
+use crate::proto::CostView;
+use std::collections::BTreeMap;
+
+/// Transfer costs of one datum over a small, explicit device topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topo {
+    /// Human-readable topology name (platform + datum it was drawn from).
+    pub name: String,
+    /// Per device: cost of its host route, `None` when it shares the host
+    /// address space.
+    pub host_cost: Vec<Option<f64>>,
+    /// Declared direct peer routes, keyed by `(from, to)` device index.
+    pub peer_cost: BTreeMap<(usize, usize), f64>,
+}
+
+impl Topo {
+    /// A topology where every device is `cost` away from host memory over
+    /// its own link, with no peer interconnects (the PCIe-era default).
+    pub fn star(name: impl Into<String>, devices: usize, cost: f64) -> Self {
+        Topo {
+            name: name.into(),
+            host_cost: vec![Some(cost); devices],
+            peer_cost: BTreeMap::new(),
+        }
+    }
+
+    /// Marks `dev` as sharing the host address space (free, zero-byte
+    /// staging — a CPU core next to accelerators).
+    #[must_use]
+    pub fn with_shared(mut self, dev: usize) -> Self {
+        self.host_cost[dev] = None;
+        self
+    }
+
+    /// Declares a bidirectional peer interconnect between `a` and `b`.
+    #[must_use]
+    pub fn with_peer(mut self, a: usize, b: usize, cost: f64) -> Self {
+        self.peer_cost.insert((a, b), cost);
+        self.peer_cost.insert((b, a), cost);
+        self
+    }
+
+    /// Number of devices in the topology.
+    pub fn devices(&self) -> usize {
+        self.host_cost.len()
+    }
+}
+
+impl CostView for Topo {
+    fn host_cost(&self, dev: usize) -> Option<f64> {
+        self.host_cost[dev]
+    }
+
+    fn peer_cost(&self, from: usize, to: usize) -> Option<f64> {
+        self.peer_cost.get(&(from, to)).copied()
+    }
+}

@@ -2,29 +2,28 @@
 //!
 //! Paper §IV-A: "High-level task parallel work distribution eases handling
 //! of distinct, non-coherent memory spaces often present in heterogeneous
-//! systems." Like StarPU, the runtime tracks data through opaque handles:
+//! systems." Like `StarPU`, the runtime tracks data through opaque handles:
 //! each handle has a size and a set of devices currently holding a **valid
 //! copy**. Before a task reads a handle on device `D`, the runtime inserts
 //! the transfers that make `D`'s copy valid; a write invalidates all other
 //! copies (MSI-style, write-invalidate).
+//!
+//! The protocol itself — which hops a plan contains, how commits and
+//! accesses mutate valid sets, which counter each hop charges — lives in
+//! the pure, model-checked [`hetero_model::proto`] module. This module
+//! only *decorates* the pure plans with physical links and modeled
+//! durations drawn from the [`SimMachine`], so the exhaustively explored
+//! model and the shipping implementation cannot drift apart (see
+//! `docs/MODEL.md` and `pdl model-check`).
 
+use hetero_model::proto::{self, HopKind, Node};
 use simhw::link::LinkId;
 use simhw::machine::{DeviceId, SimMachine};
 use simhw::time::Duration;
 use std::collections::BTreeSet;
 use std::fmt;
 
-/// How accelerator↔accelerator transfers are routed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Routing {
-    /// Every move stages through host memory (PCIe-era default: src→host,
-    /// then host→dst).
-    #[default]
-    HostStaged,
-    /// Use a direct device↔device interconnect (e.g. NVLink) whenever the
-    /// platform declares one and it is cheaper than staging through host.
-    PeerToPeer,
-}
+pub use hetero_model::proto::{AccessMode, Routing};
 
 /// One physical data movement of a [`TransferPlan`]: a copy between two
 /// memory spaces over zero or more physical links.
@@ -90,52 +89,6 @@ impl fmt::Display for HandleId {
     }
 }
 
-/// How a task accesses a handle — the paper's parameter access-specifiers
-/// (`read`, `write`, `readwrite`, §IV-A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum AccessMode {
-    /// Input only.
-    Read,
-    /// Output only (no transfer-in required).
-    Write,
-    /// In-out.
-    ReadWrite,
-}
-
-impl AccessMode {
-    /// Whether the access observes the previous value.
-    pub fn reads(self) -> bool {
-        matches!(self, AccessMode::Read | AccessMode::ReadWrite)
-    }
-
-    /// Whether the access produces a new value.
-    pub fn writes(self) -> bool {
-        matches!(self, AccessMode::Write | AccessMode::ReadWrite)
-    }
-
-    /// Parses the annotation spelling: `read`/`write`/`readwrite` from the
-    /// parameterlist, or the dataflow spelling `in`/`out`/`inout` used by
-    /// `access(…)` clauses.
-    pub fn parse(s: &str) -> Option<Self> {
-        match s.trim().to_ascii_lowercase().as_str() {
-            "read" | "r" | "in" => Some(AccessMode::Read),
-            "write" | "w" | "out" => Some(AccessMode::Write),
-            "readwrite" | "rw" | "inout" => Some(AccessMode::ReadWrite),
-            _ => None,
-        }
-    }
-}
-
-impl fmt::Display for AccessMode {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            AccessMode::Read => "read",
-            AccessMode::Write => "write",
-            AccessMode::ReadWrite => "readwrite",
-        })
-    }
-}
-
 /// Metadata for one registered datum.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DataMeta {
@@ -151,6 +104,135 @@ pub struct DataMeta {
 /// is where registered data initially lives; it is not a schedulable device,
 /// so it gets a sentinel outside the machine's device range.
 pub const HOST: DeviceId = DeviceId(usize::MAX);
+
+/// The protocol-level [`Node`] for a runtime device id.
+fn node_of(d: DeviceId) -> Node {
+    if d == HOST {
+        Node::Host
+    } else {
+        Node::Dev(d.0)
+    }
+}
+
+/// The runtime device id for a protocol-level [`Node`].
+fn device_of(n: Node) -> DeviceId {
+    match n {
+        Node::Host => HOST,
+        Node::Dev(i) => DeviceId(i),
+    }
+}
+
+/// One handle's valid set as the pure protocol sees it. `Node`'s variant
+/// order mirrors `DeviceId` ordering (the host sentinel is `usize::MAX`),
+/// so owner selection picks the same element on both sides.
+fn nodes_of(valid: &BTreeSet<DeviceId>) -> BTreeSet<Node> {
+    valid.iter().copied().map(node_of).collect()
+}
+
+/// The machine's transfer costs for one datum, as the pure planner sees
+/// them: modeled seconds per route, `None` where an address space is
+/// shared. Costs come from the exact `transfer_time` computation the
+/// decorated hops carry, so pure totals and decorated totals are
+/// bit-identical floats.
+struct MachineCosts<'a> {
+    machine: &'a SimMachine,
+    size: f64,
+}
+
+impl proto::CostView for MachineCosts<'_> {
+    fn host_cost(&self, dev: usize) -> Option<f64> {
+        self.machine
+            .host_route(DeviceId(dev))
+            .map(|path| path.transfer_time(self.size).seconds())
+    }
+
+    fn peer_cost(&self, from: usize, to: usize) -> Option<f64> {
+        self.machine
+            .peer_route(DeviceId(from), DeviceId(to))
+            .map(|path| path.transfer_time(self.size).seconds())
+    }
+}
+
+/// Projects the machine's transfer costs for a datum of `size_bytes` onto
+/// the bounded [`hetero_model::Topo`] the model checker explores: device
+/// `i` of the topology is `devices[i]`, host-route and declared peer-route
+/// costs are the modeled transfer times. This is the bridge `pdl
+/// model-check` uses to explore real PDL-derived platforms.
+pub fn model_topo(
+    machine: &SimMachine,
+    name: impl Into<String>,
+    devices: &[DeviceId],
+    size_bytes: f64,
+) -> hetero_model::Topo {
+    let costs = MachineCosts {
+        machine,
+        size: size_bytes,
+    };
+    use proto::CostView as _;
+    let mut topo = hetero_model::Topo {
+        name: name.into(),
+        host_cost: devices.iter().map(|d| costs.host_cost(d.0)).collect(),
+        peer_cost: std::collections::BTreeMap::new(),
+    };
+    for (i, a) in devices.iter().enumerate() {
+        for (j, b) in devices.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            if let Some(cost) = costs.peer_cost(a.0, b.0) {
+                topo.peer_cost.insert((i, j), cost);
+            }
+        }
+    }
+    topo
+}
+
+/// Rebuilds the pure skeleton of a decorated plan, for delegating commit
+/// classification to the protocol.
+fn pure_plan(plan: &TransferPlan) -> proto::Plan {
+    proto::Plan {
+        hops: plan
+            .hops
+            .iter()
+            .map(|hop| proto::Hop {
+                from: node_of(hop.from),
+                to: node_of(hop.to),
+                cost: hop.duration.seconds(),
+                moves_bytes: !hop.links.is_empty() || hop.bytes > 0.0,
+            })
+            .collect(),
+    }
+}
+
+/// Decorates one pure hop with the physical links and modeled duration of
+/// the route it crosses. Free bookkeeping hops stay free.
+fn decorate_hop(machine: &SimMachine, size: f64, hop: &proto::Hop) -> TransferHop {
+    let from = device_of(hop.from);
+    let to = device_of(hop.to);
+    if !hop.moves_bytes {
+        return TransferHop {
+            from,
+            to,
+            links: Vec::new(),
+            duration: Duration::ZERO,
+            bytes: 0.0,
+        };
+    }
+    let path = match (hop.from, hop.to) {
+        (Node::Dev(o), Node::Host) => machine.host_route(DeviceId(o)),
+        (Node::Host, Node::Dev(d)) => machine.host_route(DeviceId(d)),
+        (Node::Dev(o), Node::Dev(d)) => machine.peer_route(DeviceId(o), DeviceId(d)),
+        (Node::Host, Node::Host) => None,
+    }
+    .expect("the protocol only plans physical hops over declared routes");
+    TransferHop {
+        from,
+        to,
+        links: path.links.clone(),
+        duration: path.transfer_time(size),
+        bytes: size,
+    }
+}
 
 /// Registry of data handles plus their coherence state.
 #[derive(Debug, Clone, Default)]
@@ -225,97 +307,55 @@ impl DataRegistry {
         mode: AccessMode,
         routing: Routing,
     ) -> TransferPlan {
-        let mut plan = TransferPlan::empty(h);
-        if !mode.reads() || self.valid[h.0].contains(&device) {
-            return plan;
-        }
         let size = self.metas[h.0].size_bytes;
-
-        // Host-staged route: stage to host first when needed.
-        if !self.valid[h.0].contains(&HOST) {
-            let owner = *self.valid[h.0]
+        let pure = proto::plan_acquire(
+            &nodes_of(&self.valid[h.0]),
+            node_of(device),
+            mode,
+            routing,
+            &MachineCosts { machine, size },
+        );
+        TransferPlan {
+            handle: h,
+            hops: pure
+                .hops
                 .iter()
-                .next()
-                .expect("a datum is always valid somewhere");
-            plan.hops.push(hop(machine, owner, HOST, size));
+                .map(|hop| decorate_hop(machine, size, hop))
+                .collect(),
         }
-        if device != HOST {
-            if let Some(path) = machine.host_route(device) {
-                plan.hops.push(TransferHop {
-                    from: HOST,
-                    to: device,
-                    links: path.links.clone(),
-                    duration: path.transfer_time(size),
-                    bytes: size,
-                });
-            }
-            // No host route: the device shares the host address space and
-            // the (possibly staged) host copy already serves it.
-        }
-
-        if routing == Routing::PeerToPeer && device != HOST {
-            // Cheapest direct route from any current owner, if one beats
-            // the staged plan.
-            let mut best: Option<TransferHop> = None;
-            for &owner in &self.valid[h.0] {
-                if owner == HOST || owner == device {
-                    continue;
-                }
-                let Some(path) = machine.peer_route(owner, device) else {
-                    continue;
-                };
-                let duration = path.transfer_time(size);
-                if best.as_ref().is_none_or(|b| duration < b.duration) {
-                    best = Some(TransferHop {
-                        from: owner,
-                        to: device,
-                        links: path.links.clone(),
-                        duration,
-                        bytes: size,
-                    });
-                }
-            }
-            if let Some(peer) = best {
-                if peer.duration < plan.total() {
-                    plan.hops = vec![peer];
-                }
-            }
-        }
-        plan
     }
 
     /// Plans the transfer bringing `h` back to host memory (end of run /
-    /// result collection), without changing any state.
+    /// result collection), without changing any state. Prefers an owner
+    /// sharing the host address space (free flush); otherwise the first
+    /// owner pays its host route.
     pub fn plan_flush(&self, machine: &SimMachine, h: HandleId) -> TransferPlan {
-        let mut plan = TransferPlan::empty(h);
-        if self.valid[h.0].contains(&HOST) {
-            return plan;
+        let size = self.metas[h.0].size_bytes;
+        let pure = proto::plan_flush(&nodes_of(&self.valid[h.0]), &MachineCosts { machine, size });
+        TransferPlan {
+            handle: h,
+            hops: pure
+                .hops
+                .iter()
+                .map(|hop| decorate_hop(machine, size, hop))
+                .collect(),
         }
-        // Prefer an owner sharing the host address space (free flush);
-        // otherwise the first owner pays its host route.
-        let owner = self.valid[h.0]
-            .iter()
-            .copied()
-            .find(|&d| machine.host_route(d).is_none())
-            .or_else(|| self.valid[h.0].iter().next().copied())
-            .expect("a datum is always valid somewhere");
-        plan.hops
-            .push(hop(machine, owner, HOST, self.metas[h.0].size_bytes));
-        plan
     }
 
     /// Applies a plan's coherence and byte-accounting effects: every hop
     /// destination gains a valid copy, and each physically moved hop is
     /// counted exactly once in the matching direction counter.
     pub fn commit(&mut self, plan: &TransferPlan) {
-        for hop in &plan.hops {
-            self.valid[plan.handle.0].insert(hop.to);
-            if hop.to == HOST {
-                self.bytes_to_host += hop.bytes;
-            } else if hop.from == HOST {
-                self.bytes_to_devices += hop.bytes;
-            } else {
-                self.bytes_peer += hop.bytes;
+        let pure = pure_plan(plan);
+        let mut valid = nodes_of(&self.valid[plan.handle.0]);
+        proto::commit(&mut valid, &pure);
+        self.valid[plan.handle.0] = valid.iter().copied().map(device_of).collect();
+        for (hop, pure_hop) in plan.hops.iter().zip(&pure.hops) {
+            match pure_hop.kind() {
+                HopKind::ToHost => self.bytes_to_host += hop.bytes,
+                HopKind::ToDevice => self.bytes_to_devices += hop.bytes,
+                HopKind::Peer => self.bytes_peer += hop.bytes,
+                HopKind::Local => {}
             }
         }
     }
@@ -324,12 +364,9 @@ impl DataRegistry {
     /// invalidates every other copy (MSI write-invalidate), a read leaves
     /// the reader holding a valid copy.
     pub fn finish_access(&mut self, h: HandleId, device: DeviceId, mode: AccessMode) {
-        if mode.writes() {
-            self.valid[h.0].clear();
-            self.valid[h.0].insert(device);
-        } else if mode.reads() {
-            self.valid[h.0].insert(device);
-        }
+        let mut valid = nodes_of(&self.valid[h.0]);
+        proto::finish_access(&mut valid, node_of(device), mode);
+        self.valid[h.0] = valid.iter().copied().map(device_of).collect();
     }
 
     /// Plans, commits and completes one access under the given routing,
@@ -410,32 +447,6 @@ impl DataRegistry {
     }
 }
 
-/// A hop from `from`'s memory into `to`'s, where `to` is [`HOST`] or shares
-/// the host address space with `from` routed over its host route. Collapses
-/// to a free bookkeeping hop when the source shares the host address space.
-fn hop(machine: &SimMachine, from: DeviceId, to: DeviceId, size: f64) -> TransferHop {
-    let endpoint = if to == HOST { from } else { to };
-    match (endpoint != HOST)
-        .then(|| machine.host_route(endpoint))
-        .flatten()
-    {
-        Some(path) => TransferHop {
-            from,
-            to,
-            links: path.links.clone(),
-            duration: path.transfer_time(size),
-            bytes: size,
-        },
-        None => TransferHop {
-            from,
-            to,
-            links: Vec::new(),
-            duration: Duration::ZERO,
-            bytes: 0.0,
-        },
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -465,6 +476,40 @@ mod tests {
         assert_eq!(AccessMode::parse("readwrite"), Some(AccessMode::ReadWrite));
         assert_eq!(AccessMode::parse(" READ "), Some(AccessMode::Read));
         assert_eq!(AccessMode::parse("x"), None);
+    }
+
+    #[test]
+    fn access_mode_parse_ignores_case_and_separators() {
+        // These spellings were rejected before parse normalized internal
+        // separators; pragma keywords elsewhere already did (BLOCK-CYCLIC).
+        assert_eq!(AccessMode::parse("Read-Write"), Some(AccessMode::ReadWrite));
+        assert_eq!(AccessMode::parse("READ_WRITE"), Some(AccessMode::ReadWrite));
+        assert_eq!(AccessMode::parse("in out"), Some(AccessMode::ReadWrite));
+        assert_eq!(AccessMode::parse("\tOut "), Some(AccessMode::Write));
+        assert_eq!(AccessMode::parse("not-a-mode"), None);
+    }
+
+    #[test]
+    fn model_topo_mirrors_machine_routes() {
+        use hetero_model::proto::CostView as _;
+        let m = nvlink_machine();
+        let devices = [cpu0(&m), gpu0(&m), gpu1(&m)];
+        let size = 600e6;
+        let topo = model_topo(&m, "nvlink", &devices, size);
+        assert_eq!(topo.devices(), 3);
+        // cpu0 shares the host address space; the GPUs pay their PCIe route.
+        assert_eq!(topo.host_cost(0), None);
+        let pcie = m.host_route(gpu0(&m)).unwrap().transfer_time(size);
+        assert_eq!(topo.host_cost(1), Some(pcie.seconds()));
+        // The declared NVLink pair appears in both directions, and nowhere
+        // else.
+        let nv = m
+            .peer_route(gpu0(&m), gpu1(&m))
+            .unwrap()
+            .transfer_time(size);
+        assert_eq!(topo.peer_cost(1, 2), Some(nv.seconds()));
+        assert_eq!(topo.peer_cost(2, 1), Some(nv.seconds()));
+        assert_eq!(topo.peer_cost(0, 1), None);
     }
 
     #[test]

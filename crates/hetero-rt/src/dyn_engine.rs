@@ -1,7 +1,7 @@
 //! The event-driven execution engine: online scheduling in virtual time.
 //!
 //! The list engine ([`crate::sim_engine`]) places tasks in submission order,
-//! which is how static schedules are constructed. Real runtimes like StarPU
+//! which is how static schedules are constructed. Real runtimes like `StarPU`
 //! work *online*: a task becomes schedulable the moment its last dependency
 //! completes, and the scheduler chooses among all currently-ready tasks and
 //! idle devices. This engine models that loop with a discrete-event queue

@@ -1,7 +1,7 @@
 //! Task graphs with implicit data-driven dependencies.
 //!
 //! Tasks are submitted in program order; the graph derives dependencies
-//! from their data accesses exactly like StarPU's sequential-consistency
+//! from their data accesses exactly like `StarPU`'s sequential-consistency
 //! mode: a task depends on the last writer of everything it reads (RAW) and
 //! on all previous readers/writers of everything it writes (WAR/WAW).
 //! "Explicit task outlining with parameter access-specifiers helps compilers

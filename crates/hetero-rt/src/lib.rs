@@ -1,6 +1,6 @@
 //! # hetero-rt — a StarPU-style heterogeneous task runtime
 //!
-//! The paper's Cascabel compiler generates programs for the StarPU
+//! The paper's Cascabel compiler generates programs for the `StarPU`
 //! runtime-system (§IV-D). This crate is the reproduction's substitute: the
 //! same concepts — codelets with per-architecture implementation variants,
 //! data handles managed across distinct memory spaces, pluggable scheduling

@@ -1,6 +1,6 @@
 //! History-based performance models.
 //!
-//! StarPU (which the paper's generated code targets) estimates task
+//! `StarPU` (which the paper's generated code targets) estimates task
 //! execution times from per-(codelet, architecture, size) execution
 //! histories. This module implements that mechanism: observations are
 //! bucketed by size (powers of two), and the model answers with the running
@@ -51,7 +51,7 @@ pub struct PerfModel {
 }
 
 /// Buckets sizes by floor(log2): tasks within 2× of each other share a
-/// bucket, as StarPU's history models do.
+/// bucket, as `StarPU`'s history models do.
 fn size_bucket(size: f64) -> u32 {
     if size <= 1.0 {
         0
@@ -115,7 +115,7 @@ impl PerfModel {
         self.buckets
             .values()
             .flat_map(|archs| archs.values())
-            .map(|sizes| sizes.len())
+            .map(std::collections::BTreeMap::len)
             .sum()
     }
 

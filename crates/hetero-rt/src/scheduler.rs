@@ -3,18 +3,18 @@
 //! The runtime separates *mechanism* (the simulation engine in
 //! [`crate::sim_engine`]) from *policy*: a [`Scheduler`] picks the device a
 //! ready task runs on, given candidate devices and a cost oracle. Policies
-//! mirror StarPU's families:
+//! mirror `StarPU`'s families:
 //!
 //! * [`EagerScheduler`] — first-come-first-served onto the earliest-free
-//!   device, ignoring transfer costs (StarPU `eager`);
+//!   device, ignoring transfer costs (`StarPU` `eager`);
 //! * [`HeftScheduler`] — minimizes estimated finish time including data
 //!   transfers (HEFT-style);
-//! * [`DmdaScheduler`] — StarPU's `dmda` (deque model data aware):
+//! * [`DmdaScheduler`] — `StarPU`'s `dmda` (deque model data aware):
 //!   minimizes begin + routed transfer cost + modeled compute, where the
 //!   transfer term prices the actual transfer plan (peer-to-peer when the
 //!   engine routes that way) and the compute term prefers learned
 //!   [`crate::perfmodel::PerfModel`] history over the analytic estimate;
-//! * [`RandomScheduler`] — seeded uniform choice (StarPU `random`), a lower
+//! * [`RandomScheduler`] — seeded uniform choice (`StarPU` `random`), a lower
 //!   bound for ablations;
 //! * [`RoundRobinScheduler`] — cycles through candidates;
 //! * [`EnergyAwareScheduler`] — greedy energy-delay policy driven by the
@@ -77,7 +77,7 @@ impl Scheduler for EagerScheduler {
 }
 
 /// Minimizes estimated finish time, transfer costs included
-/// (HEFT-style; StarPU's `dmda`).
+/// (HEFT-style; `StarPU`'s `dmda`).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct HeftScheduler;
 
@@ -94,7 +94,7 @@ impl Scheduler for HeftScheduler {
     }
 }
 
-/// StarPU's `dmda` (deque model data aware): minimizes
+/// `StarPU`'s `dmda` (deque model data aware): minimizes
 /// `max(ready, free) + transfer_cost + est_compute`, pricing transfers
 /// along the route the engine will actually take (peer-to-peer links
 /// included) and preferring learned perf-model history for the compute

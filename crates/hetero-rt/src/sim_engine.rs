@@ -1,7 +1,7 @@
 //! The simulated execution engine: list-scheduling a task graph onto a
 //! [`SimMachine`] in virtual time.
 //!
-//! Combines everything the paper's generated programs rely on StarPU for:
+//! Combines everything the paper's generated programs rely on `StarPU` for:
 //! variant selection per device, data management across memory spaces and
 //! scheduling — but in virtual time over the PDL-derived machine, which is
 //! how this reproduction regenerates Figure 5 without the authors' hardware
@@ -37,7 +37,7 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TransferPipeline {
     /// Route device↔device moves over a declared peer interconnect
-    /// (e.g. NVLink) instead of staging through host memory, when cheaper.
+    /// (e.g. `NVLink`) instead of staging through host memory, when cheaper.
     pub peer_to_peer: bool,
     /// Model each physical link as a FIFO resource: concurrent transfers
     /// sharing a link serialize; transfers on disjoint links overlap.
@@ -84,7 +84,7 @@ pub struct SimOptions {
     /// Model host-memory bus contention: all host↔device transfers
     /// serialize on one shared bus resource (in addition to occupying the
     /// destination device). Default off — each device's link is independent,
-    /// as on point-to-point PCIe. Ignored when `pipeline` is active, which
+    /// as on point-to-point `PCIe`. Ignored when `pipeline` is active, which
     /// models contention per physical link instead.
     pub shared_host_bus: bool,
     /// Transfer-pipeline mechanisms (peer-to-peer routing, per-link

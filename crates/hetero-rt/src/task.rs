@@ -1,6 +1,6 @@
 //! Codelets, implementation variants and tasks.
 //!
-//! Mirrors StarPU's model, which the paper's generated code targets: a
+//! Mirrors `StarPU`'s model, which the paper's generated code targets: a
 //! **codelet** names an operation and bundles **implementation variants**
 //! for different architectures ("A task can have multiple task
 //! implementations for different heterogeneous platforms but offers same

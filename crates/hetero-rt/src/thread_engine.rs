@@ -556,7 +556,7 @@ impl ThreadedExecutor {
     /// A pool sized to the machine's available parallelism.
     pub fn with_available_parallelism() -> Self {
         let n = std::thread::available_parallelism()
-            .map(|n| n.get())
+            .map(std::num::NonZero::get)
             .unwrap_or(1);
         Self::new(n)
     }
@@ -689,7 +689,10 @@ impl ThreadedExecutor {
 
         // Deques, stealers, per-group injectors.
         let locals: Vec<Worker<usize>> = (0..self.workers).map(|_| Worker::new_lifo()).collect();
-        let stealers: Vec<Stealer<usize>> = locals.iter().map(|l| l.stealer()).collect();
+        let stealers: Vec<Stealer<usize>> = locals
+            .iter()
+            .map(crossbeam::deque::Worker::stealer)
+            .collect();
         let injectors: Vec<Injector<usize>> = (0..group_count).map(|_| Injector::new()).collect();
 
         // Seed initially-ready tasks round-robin across their group's
@@ -895,7 +898,10 @@ impl WorkerCtx<'_> {
                 }
                 None => {
                     out.failed_steals += 1;
-                    let guard = self.park.lock().unwrap_or_else(|e| e.into_inner());
+                    let guard = self
+                        .park
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                     if self.completed.load(Ordering::Acquire) >= self.n {
                         break;
                     }
@@ -907,7 +913,7 @@ impl WorkerCtx<'_> {
                     let _ = self
                         .wake
                         .wait_timeout(guard, PARK_TIMEOUT)
-                        .unwrap_or_else(|e| e.into_inner());
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                     tracer.record(&self.clock, EventKind::Unpark);
                 }
             }

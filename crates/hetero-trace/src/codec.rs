@@ -292,8 +292,8 @@ pub fn parse(text: &str) -> Result<(RunTrace, Vec<(u32, u32)>), String> {
         .map(|pair| {
             let items = pair.items();
             match (
-                items.first().and_then(|v| v.as_u64()),
-                items.get(1).and_then(|v| v.as_u64()),
+                items.first().and_then(super::json::Json::as_u64),
+                items.get(1).and_then(super::json::Json::as_u64),
             ) {
                 (Some(from), Some(to)) => Ok((from as u32, to as u32)),
                 _ => Err("deps entries must be [from, to] index pairs".to_string()),

@@ -29,8 +29,8 @@ fn rw(handle: HandleId) -> DataAccess {
 }
 
 /// The DGEMM codelet with the paper's three implementations:
-/// the serial input task (GotoBLAS, `x86`), the CuBLAS GPU variant and an
-/// OpenCL variant.
+/// the serial input task (`GotoBLAS`, `x86`), the `CuBLAS` GPU variant and an
+/// `OpenCL` variant.
 pub fn dgemm_codelet() -> Codelet {
     Codelet::new("I_dgemm")
         .with_variant(Variant::new("x86"))
@@ -92,7 +92,7 @@ pub fn dgemm_graph(n: usize, tile: usize, execution_group: Option<String>) -> Ta
 }
 
 /// Builds the single-task DGEMM graph: the *serial input program* of the
-/// paper's experiment — one 8192×8192 GotoBLAS call, CPU-only.
+/// paper's experiment — one 8192×8192 `GotoBLAS` call, CPU-only.
 pub fn dgemm_serial_graph(n: usize) -> TaskGraph {
     let mut g = TaskGraph::new();
     // The serial input program has only the CPU implementation.
@@ -189,7 +189,7 @@ pub fn stencil_graph(n: usize, strips: usize, sweeps: usize) -> TaskGraph {
     g
 }
 
-/// Builds a row-strip SpMV graph over a 1D Poisson matrix: `strips`
+/// Builds a row-strip `SpMV` graph over a 1D Poisson matrix: `strips`
 /// independent tasks with *non-uniform* costs (boundary strips have fewer
 /// non-zeros), exercising load balancing in the scheduler ablations.
 pub fn spmv_graph(n: usize, strips: usize) -> TaskGraph {

@@ -91,7 +91,7 @@ impl CsrMatrix {
         }
     }
 
-    /// FLOPs of one SpMV (2 per stored non-zero).
+    /// FLOPs of one `SpMV` (2 per stored non-zero).
     pub fn spmv_flops(&self) -> f64 {
         2.0 * self.nnz() as f64
     }

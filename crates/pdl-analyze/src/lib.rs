@@ -12,7 +12,11 @@
 //! * `T0xx` — trace-replay findings from comparing a recorded
 //!   [`hetero_trace::RunTrace`] against the declared task graph
 //!   ([`check_trace`]) and its transfer lanes against the declared
-//!   platform interconnects ([`check_trace_links`]).
+//!   platform interconnects ([`check_trace_links`]),
+//! * `M0xx` — coherence-model findings from exhaustively exploring the
+//!   data layer's protocol over bounded platform configurations
+//!   ([`check_configs`]), each violation carrying a minimized
+//!   counterexample trace.
 //!
 //! Every code is documented, with a minimal triggering example, in
 //! `docs/ANALYSIS.md`.  The `pdl-lint` binary (and `pdl check`) drive all the
@@ -26,6 +30,7 @@
 //! ```
 
 pub mod expect;
+pub mod model;
 pub mod platform;
 pub mod program;
 pub mod render;
@@ -33,6 +38,7 @@ pub mod trace;
 
 pub use pdl_core::diag::{Diagnostic, Report, Severity, Span};
 
+pub use model::{bounded_configs, check_configs, model_check_json, violation_to_diagnostic};
 pub use platform::{analyze_pinned, analyze_platform, analyze_platform_source};
 pub use program::{analyze_program, analyze_program_source};
 pub use render::{render_json, report_to_json};

@@ -1,12 +1,12 @@
 //! # pdl-discover — automatic generation of PDL descriptors
 //!
 //! The paper anticipates "manual as well as automatic generation of PDL
-//! descriptors" (§II) and names hwloc and OpenCL platform queries as
+//! descriptors" (§II) and names hwloc and `OpenCL` platform queries as
 //! complementary discovery mechanisms (§V). This crate implements those
 //! generators:
 //!
 //! * [`linux`] — hwloc-analogue discovery of the host from `/proc`;
-//! * [`opencl_sim`] — a simulated OpenCL device query producing the
+//! * [`opencl_sim`] — a simulated `OpenCL` device query producing the
 //!   Listing-2 style `ocl:`-typed properties (the machine this reproduction
 //!   runs on has no GPU — see DESIGN.md for the substitution note);
 //! * [`synthetic`] — fully-annotated descriptors for the paper's evaluation

@@ -1,9 +1,9 @@
-//! Simulated OpenCL platform query.
+//! Simulated `OpenCL` platform query.
 //!
 //! Listing 2 of the paper shows concrete GPU properties "generated from
-//! OpenCL run-time libraries". Without GPUs we substitute a device database
+//! `OpenCL` run-time libraries". Without GPUs we substitute a device database
 //! covering the paper's hardware (GTX 480, GTX 285) and a few contemporaries,
-//! producing the same `ocl:`-typed property lists an OpenCL query would.
+//! producing the same `ocl:`-typed property lists an `OpenCL` query would.
 //! The database also carries the performance figures (peak DP rate, memory
 //! bandwidth, sustained efficiency) that the simulator reads from the PDL.
 
@@ -40,7 +40,7 @@ pub struct DeviceSpec {
 ///
 /// Figures are the published specs for each board; `dgemm_efficiency`
 /// reflects vendor-BLAS DGEMM results reported in the literature of the
-/// paper's era (CuBLAS 3.x).
+/// paper's era (`CuBLAS` 3.x).
 pub fn device_database() -> Vec<DeviceSpec> {
     vec![
         DeviceSpec {

@@ -15,10 +15,10 @@ use pdl_core::prelude::*;
 /// (4 DP FLOP/cycle × 2.66 GHz).
 pub const XEON_X5550_CORE_GFLOPS_DP: f64 = 10.64;
 
-/// Sustained fraction of peak for GotoBLAS2 DGEMM on Nehalem.
+/// Sustained fraction of peak for `GotoBLAS2` DGEMM on Nehalem.
 pub const GOTOBLAS_EFFICIENCY: f64 = 0.90;
 
-/// Effective PCIe 2.0 ×16 bandwidth (GB/s) — ~6 of the theoretical 8.
+/// Effective `PCIe` 2.0 ×16 bandwidth (GB/s) — ~6 of the theoretical 8.
 pub const PCIE2_X16_EFFECTIVE_GBS: f64 = 6.0;
 
 /// Options controlling the testbed descriptor generation.
@@ -26,11 +26,11 @@ pub const PCIE2_X16_EFFECTIVE_GBS: f64 = 6.0;
 pub struct TestbedOptions {
     /// Number of CPU cores exposed as workers (the machine has 8).
     pub cpu_cores: u32,
-    /// GPU device names to attach (resolved via the simulated OpenCL
+    /// GPU device names to attach (resolved via the simulated `OpenCL`
     /// database).
     pub gpus: Vec<&'static str>,
     /// Whether each attached GPU consumes one CPU core as its driver
-    /// thread, as StarPU does by default.
+    /// thread, as `StarPU` does by default.
     pub dedicate_driver_cores: bool,
     /// Whether to declare a direct NVLink-style interconnect between every
     /// pair of attached GPUs, enabling peer-to-peer transfers that bypass
@@ -70,11 +70,11 @@ pub fn xeon_2gpu_testbed() -> Platform {
 /// Effective NVLink-style peer bandwidth between the two GPUs (GB/s).
 pub const NVLINK_EFFECTIVE_GBS: f64 = 25.0;
 
-/// NVLink peer latency (µs).
+/// `NVLink` peer latency (µs).
 pub const NVLINK_LATENCY_US: f64 = 2.0;
 
 /// The 2-GPU testbed with a direct NVLink-style GPU↔GPU interconnect
-/// declared in addition to the per-GPU PCIe links — a what-if variant for
+/// declared in addition to the per-GPU `PCIe` links — a what-if variant for
 /// studying peer-to-peer routing and host-staging avoidance.
 pub fn xeon_2gpu_nvlink_testbed() -> Platform {
     build_testbed(

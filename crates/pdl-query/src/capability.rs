@@ -67,7 +67,7 @@ impl Requirement {
             Requirement::MinMemoryBytes(min) => pu
                 .memory_regions
                 .iter()
-                .filter_map(|mr| mr.size_bytes())
+                .filter_map(pdl_core::memory::MemoryRegion::size_bytes)
                 .any(|s| s >= *min),
             Requirement::InGroup(g) => pu.in_group(g),
         }
@@ -178,7 +178,7 @@ pub fn detected_patterns(platform: &Platform) -> Vec<PatternKind> {
     .collect()
 }
 
-/// Convenience: requirement set for "a GPU worker programmable via OpenCL
+/// Convenience: requirement set for "a GPU worker programmable via `OpenCL`
 /// with at least `min_mem` bytes of device memory" — the shape Cascabel's
 /// GPU variants use.
 pub fn opencl_gpu_requirements(min_mem_bytes: f64) -> RequirementSet {

@@ -27,7 +27,7 @@ pub fn select(platform: &Platform, selector: &Selector) -> Vec<PuIdx> {
                     Axis::Child => out.extend(platform.pu(c).children().iter().copied()),
                     Axis::Descendant => {
                         // descendants, excluding the context node itself
-                        out.extend(platform.dfs_from(c).skip(1).map(|(i, _)| i))
+                        out.extend(platform.dfs_from(c).skip(1).map(|(i, _)| i));
                     }
                 }
             }
@@ -109,7 +109,7 @@ fn attr_value(pu: &ProcessingUnit, name: &str) -> Option<String> {
         "group" => (!pu.groups.is_empty()).then(|| {
             pu.groups
                 .iter()
-                .map(|g| g.as_str())
+                .map(pdl_core::id::GroupId::as_str)
                 .collect::<Vec<_>>()
                 .join(",")
         }),

@@ -137,7 +137,7 @@ impl<'a> ExprParser<'a> {
                 let name = self.take_name();
                 Ok(p.group_members(&name)
                     .into_iter()
-                    .map(|i| i.index())
+                    .map(pdl_core::id::PuIdx::index)
                     .collect())
             }
             other => Err(GroupExprError(format!(

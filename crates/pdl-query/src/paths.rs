@@ -256,7 +256,7 @@ mod tests {
         )
     }
 
-    /// cpu --QPI--> node --PCIe--> gpu, plus a slow direct link cpu->gpu.
+    /// cpu --QPI--> node --`PCIe`--> gpu, plus a slow direct link cpu->gpu.
     fn mesh() -> Platform {
         let mut b = Platform::builder("mesh");
         let m = b.master("cpu");

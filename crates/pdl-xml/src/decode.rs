@@ -225,7 +225,7 @@ fn decode_property(e: &Element, lenient: bool) -> Result<Property, XmlError> {
 
     let name = e
         .first_named("name")
-        .map(|n| n.text_content())
+        .map(super::dom::Element::text_content)
         .unwrap_or_default();
 
     let (text, unit) = match e.first_named("value") {

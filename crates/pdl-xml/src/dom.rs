@@ -233,7 +233,11 @@ mod tests {
             "<Master id=\"m\">\n  <Hybrid id=\"h\">\n    <Worker id=\"w\"/>\n  </Hybrid>\n</Master>",
         )
         .unwrap();
-        let names: Vec<&str> = doc.root.descendants().map(|e| e.local_name()).collect();
+        let names: Vec<&str> = doc
+            .root
+            .descendants()
+            .map(super::Element::local_name)
+            .collect();
         assert_eq!(names, ["Master", "Hybrid", "Worker"]);
         let pos = doc.root.pos_of_pu("w").unwrap();
         assert_eq!(pos.line, 3);

@@ -41,7 +41,7 @@ impl PropertyTypeDecl {
     pub fn closed(type_name: impl Into<String>, props: &[&str]) -> Self {
         PropertyTypeDecl {
             type_name: type_name.into(),
-            known_properties: props.iter().map(|s| s.to_string()).collect(),
+            known_properties: props.iter().map(std::string::ToString::to_string).collect(),
             open: false,
             extends: None,
         }
@@ -113,7 +113,7 @@ impl Subschema {
     }
 }
 
-/// The OpenCL device-property subschema of Listing 2, shipped as a built-in.
+/// The `OpenCL` device-property subschema of Listing 2, shipped as a built-in.
 pub fn ocl_subschema() -> Subschema {
     Subschema {
         prefix: "ocl".to_string(),

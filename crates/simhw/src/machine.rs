@@ -233,7 +233,7 @@ impl SimMachine {
                 software_platforms: pu
                     .software_platforms()
                     .iter()
-                    .map(|s| s.to_string())
+                    .map(std::string::ToString::to_string)
                     .collect(),
             });
         }
@@ -291,7 +291,7 @@ impl SimMachine {
     }
 
     /// Direct peer route between two devices over a declared interconnect
-    /// (e.g. NVLink), or `None` when transfers must stage through the host.
+    /// (e.g. `NVLink`), or `None` when transfers must stage through the host.
     pub fn peer_route(&self, from: DeviceId, to: DeviceId) -> Option<&TransferPath> {
         self.peer_routes.get(&(from.0, to.0))
     }

@@ -1,5 +1,5 @@
 //! Targeting the IBM Cell B.E. — the heterogeneous architecture the paper's
-//! introduction leads with. An expert registers a CellSDK task variant, the
+//! introduction leads with. An expert registers a `CellSDK` task variant, the
 //! same annotated program maps onto the 8 SPE workers, and the compilation
 //! plan switches to `xlc`/`gcc-spu`, all driven by swapping the PDL
 //! descriptor.

@@ -14,6 +14,9 @@
 //!                                     run all static-analysis passes
 //! pdl profile [--folded F] [--json F] <trace.json>
 //!                                     critical-path profile of a run trace
+//! pdl model-check [--json F] [--pending N] [--mutate M]
+//!                                     exhaustively explore the coherence
+//!                                     protocol over bounded platforms
 //! ```
 
 use hetero_rt::prelude::*;
@@ -35,6 +38,7 @@ fn main() -> ExitCode {
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
+        Some("model-check") => cmd_model_check(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -71,6 +75,13 @@ USAGE:
                                       critical-path profile of an exported
                                       run trace: blame split, what-ifs;
                                       --folded writes flamegraph stacks
+  pdl model-check [--json F] [--pending N] [--mutate M]
+                                      exhaustively explore the data layer's
+                                      coherence protocol over bounded
+                                      platform configs, checking the five
+                                      M-series invariants (docs/MODEL.md);
+                                      --mutate injects a named bug to
+                                      validate the gate (m001..m005)
 
 Builtin platform names (xeon-x5550-8core, xeon-x5550-gtx480-gtx285,
 cell-be, …) are accepted wherever a <file> is expected."
@@ -223,7 +234,7 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
         match arg.as_str() {
             "--json" => json = true,
             "--platform" => {
-                platforms.push(load(it.next().ok_or("--platform needs a value")?.as_str())?)
+                platforms.push(load(it.next().ok_or("--platform needs a value")?.as_str())?);
             }
             other => files.push(other.to_string()),
         }
@@ -317,6 +328,79 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
         std::fs::write(&path, profile::to_json(&p).to_pretty())
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("profile JSON written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_model_check(args: &[String]) -> Result<(), String> {
+    use hetero_model::explore::Bounds;
+    use hetero_model::model::Mutation;
+
+    let mut json_out: Option<String> = None;
+    let mut mutation = Mutation::None;
+    let mut bounds = Bounds::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json_out = Some(it.next().ok_or("--json needs a path")?.to_string()),
+            "--pending" => {
+                bounds.max_pending = it
+                    .next()
+                    .ok_or("--pending needs a value")?
+                    .parse()
+                    .map_err(|_| "--pending must be a number".to_string())?;
+            }
+            "--mutate" => {
+                let name = it.next().ok_or("--mutate needs a value")?;
+                mutation = Mutation::parse(name)
+                    .ok_or_else(|| format!("unknown mutation {name:?} (try m001..m005)"))?;
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+
+    let configs = pdl_analyze::bounded_configs();
+    let start = std::time::Instant::now();
+    let (report, outcomes) = pdl_analyze::check_configs(&configs, &bounds, mutation);
+    let elapsed = start.elapsed().as_secs_f64();
+
+    for o in &outcomes {
+        println!(
+            "{:<20} {:>9} states  {:>10} transitions  {}",
+            o.config,
+            o.exploration.states,
+            o.exploration.transitions,
+            if o.exploration.violation.is_some() {
+                "VIOLATION"
+            } else if o.exploration.complete {
+                "complete, all invariants hold"
+            } else {
+                "state cap hit (incomplete)"
+            }
+        );
+    }
+    println!(
+        "explored {} states / {} transitions in {elapsed:.2}s (pending bound {}{})",
+        outcomes.iter().map(|o| o.exploration.states).sum::<usize>(),
+        outcomes
+            .iter()
+            .map(|o| o.exploration.transitions)
+            .sum::<usize>(),
+        bounds.max_pending,
+        if mutation == Mutation::None {
+            String::new()
+        } else {
+            format!(", mutation {}", mutation.name())
+        }
+    );
+    if let Some(path) = json_out {
+        let json = pdl_analyze::model_check_json(&outcomes, elapsed);
+        std::fs::write(&path, json.to_pretty()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("model-check JSON written to {path}");
+    }
+    if !report.is_empty() {
+        println!("{}", report.render());
+        return Err(format!("{} invariant violation(s)", report.error_count()));
     }
     Ok(())
 }

@@ -1,5 +1,13 @@
+//! Umbrella crate of the PDL suite: re-exports every workspace crate so
+//! examples, integration tests and downstream experiments can reach the
+//! whole stack — platform model, XML codec, queries, discovery, registry,
+//! diagnostics, simulated hardware, runtime, kernels and the Cascabel
+//! front end — through one dependency.
+
 pub use cascabel;
+pub use hetero_model;
 pub use hetero_rt;
+pub use hetero_trace;
 pub use kernels;
 pub use pdl_analyze;
 pub use pdl_core;

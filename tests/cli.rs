@@ -121,3 +121,51 @@ fn missing_arguments_reported() {
     assert!(!ok);
     assert!(stderr.contains("missing argument"));
 }
+
+#[test]
+fn model_check_clean_run_succeeds() {
+    let (ok, stdout, stderr) = pdl(&["model-check", "--pending", "1"]);
+    assert!(ok, "{stdout}\n{stderr}");
+    assert!(stdout.contains("all invariants hold"), "{stdout}");
+    assert!(stdout.contains("xeon-2gpu-pcie"), "{stdout}");
+    assert!(stdout.contains("xeon-2gpu-nvlink"), "{stdout}");
+}
+
+#[test]
+fn model_check_catches_injected_single_writer_bug() {
+    let (ok, stdout, stderr) = pdl(&["model-check", "--pending", "1", "--mutate", "m001"]);
+    assert!(!ok, "an injected bug must fail the run");
+    assert!(stdout.contains("error[M001]"), "{stdout}");
+    assert!(
+        stdout.contains("minimized counterexample (2 actions)"),
+        "{stdout}"
+    );
+    assert!(stderr.contains("invariant violation"), "{stderr}");
+}
+
+#[test]
+fn model_check_writes_schema_versioned_json() {
+    let dir = std::env::temp_dir().join(format!("pdl-mc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("model-check.json");
+    let (ok, stdout, stderr) = pdl(&[
+        "model-check",
+        "--pending",
+        "1",
+        "--json",
+        file.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stdout}\n{stderr}");
+    let text = std::fs::read_to_string(&file).unwrap();
+    assert!(text.contains("\"schema\": \"pdl-model-check/1\""), "{text}");
+    assert!(text.contains("\"invariants\""), "{text}");
+    assert!(text.contains("\"elapsed_seconds\""), "{text}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn model_check_rejects_unknown_mutation() {
+    let (ok, _, stderr) = pdl(&["model-check", "--mutate", "m999"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown mutation"), "{stderr}");
+}

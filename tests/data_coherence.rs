@@ -1,6 +1,6 @@
 //! Property-based coherence invariants for the transfer-planning data
 //! layer, driven by random access sequences (many handles, every device,
-//! all access modes) on both the plain 2-GPU testbed and its NVLink
+//! all access modes) on both the plain 2-GPU testbed and its `NVLink`
 //! variant, under host-staged *and* peer-to-peer routing:
 //!
 //! * after every acquire the handle is valid somewhere;

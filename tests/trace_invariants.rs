@@ -118,7 +118,11 @@ proptest! {
         let cross = trace
             .task_spans()
             .iter()
-            .filter(|s| s.provenance.as_ref().is_some_and(|p| p.is_cross_group()))
+            .filter(|s| {
+                s.provenance
+                    .as_ref()
+                    .is_some_and(hetero_trace::Provenance::is_cross_group)
+            })
             .count();
         prop_assert_eq!(cross, report.total_cross_group_steals());
     }

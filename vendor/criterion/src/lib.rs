@@ -260,6 +260,7 @@ impl BenchmarkGroup<'_> {
 #[macro_export]
 macro_rules! criterion_group {
     ($group:ident, $($target:path),+ $(,)?) => {
+        /// Runs this group's benchmark functions in order.
         pub fn $group() {
             let mut criterion = $crate::Criterion::default();
             $($target(&mut criterion);)+
