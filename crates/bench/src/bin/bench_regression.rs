@@ -12,6 +12,11 @@
 //! Files present only in head are reported as new (not gated); files
 //! present only in base are reported as removed (not gated) so benches
 //! can be retired without a two-step dance.
+//!
+//! With `--attr-base-trace F --attr-head-trace F`, a failing gate also
+//! prints the `hetero_trace::diff` attribution table for the given trace
+//! pair, so the CI log says *where* the slowdown went (compute, transfer,
+//! queue-wait, ...) instead of just *that* a metric dropped.
 
 use bench::regression::compare;
 use hetero_trace::json::Json;
@@ -36,15 +41,44 @@ fn load(path: &Path) -> Result<Json, String> {
     Json::parse(&text).map_err(|e| format!("parse {path:?}: {e}"))
 }
 
+/// Load a trace file and render the perf-diff attribution table for the
+/// pair. Best-effort: any error becomes a note, never a gate failure.
+fn print_attribution(base_trace: &Path, head_trace: &Path) {
+    let load = |path: &Path| -> Result<_, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+        hetero_trace::codec::parse(&text).map_err(|e| format!("parse {path:?}: {e}"))
+    };
+    match load(base_trace).and_then(|(base, base_deps)| {
+        let (head, head_deps) = load(head_trace)?;
+        hetero_trace::diff::perf_diff(&base, &base_deps, &head, &head_deps)
+    }) {
+        Ok(diff) => {
+            println!(
+                "attribution ({} vs {}):",
+                base_trace.display(),
+                head_trace.display()
+            );
+            for line in diff.render_table().lines() {
+                println!("  {line}");
+            }
+        }
+        Err(e) => println!("  note: attribution unavailable: {e}"),
+    }
+}
+
 fn main() -> ExitCode {
     let mut base_dir: Option<PathBuf> = None;
     let mut head_dir: Option<PathBuf> = None;
+    let mut attr_base: Option<PathBuf> = None;
+    let mut attr_head: Option<PathBuf> = None;
     let mut threshold = 0.15f64;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--base" => base_dir = args.next().map(Into::into),
             "--head" => head_dir = args.next().map(Into::into),
+            "--attr-base-trace" => attr_base = args.next().map(Into::into),
+            "--attr-head-trace" => attr_head = args.next().map(Into::into),
             "--threshold" => {
                 threshold = match args.next().and_then(|v| v.parse().ok()) {
                     Some(t) => t,
@@ -56,14 +90,18 @@ fn main() -> ExitCode {
             }
             other => {
                 eprintln!(
-                    "unknown argument {other:?}; usage: bench_regression --base DIR --head DIR [--threshold 0.15]"
+                    "unknown argument {other:?}; usage: bench_regression --base DIR --head DIR \
+                     [--threshold 0.15] [--attr-base-trace F --attr-head-trace F]"
                 );
                 return ExitCode::FAILURE;
             }
         }
     }
     let (Some(base_dir), Some(head_dir)) = (base_dir, head_dir) else {
-        eprintln!("usage: bench_regression --base DIR --head DIR [--threshold 0.15]");
+        eprintln!(
+            "usage: bench_regression --base DIR --head DIR [--threshold 0.15] \
+             [--attr-base-trace F --attr-head-trace F]"
+        );
         return ExitCode::FAILURE;
     };
 
@@ -124,6 +162,9 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         println!("bench_regression: {regressions} regression(s) beyond {threshold:.2} threshold");
+        if let (Some(base_trace), Some(head_trace)) = (attr_base, attr_head) {
+            print_attribution(&base_trace, &head_trace);
+        }
         ExitCode::FAILURE
     }
 }

@@ -1,0 +1,608 @@
+//! Single-trace anomaly detection — the runtime pathologies behind the
+//! pdl-analyze `A` diagnostic family.
+//!
+//! [`detect`] scans one drained [`RunTrace`] for scheduling pathologies
+//! that a human would otherwise have to eyeball out of a timeline:
+//!
+//! * **A001 straggler worker** — one lane of a group finishes far later
+//!   than the group's median lane, holding the makespan hostage;
+//! * **A002 group load imbalance** — one lane of a group does a large
+//!   multiple of the group's average work;
+//! * **A003 steal storm** — a group obtains most of its work by
+//!   stealing, meaning placement is fighting affinity;
+//! * **A004 saturated link** — a transfer lane (group `"links"`) is busy
+//!   for almost the whole run window, making the interconnect the
+//!   bottleneck;
+//! * **A005 lossy trace window** — a worker's ring overflowed, so any
+//!   analysis of that lane only covers the retained suffix.
+//!
+//! Every threshold is configurable per check through [`AnomalyConfig`];
+//! every finding carries a span into the trace timeline
+//! ([`Anomaly::start_ns`] / [`Anomaly::end_ns`]) so it can be projected
+//! onto the same axis as the Chrome export or the critical-path profile.
+//! Detection is intentionally tolerant of lossy traces: A005 reports the
+//! loss, and the remaining checks run over the retained events.
+
+use crate::event::EventKind;
+use crate::profile::{lane_infos, link_base, LaneInfo};
+use crate::trace::RunTrace;
+use std::collections::BTreeMap;
+
+/// Per-check detection thresholds. [`AnomalyConfig::default`] gives the
+/// values the CLI and the fixture corpus are calibrated against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnomalyConfig {
+    /// A001: a lane is a straggler when it finishes more than this
+    /// fraction of the run window after its group's median lane.
+    pub straggler_tail_fraction: f64,
+    /// A002: flag a group when its busiest lane carries at least this
+    /// multiple of the group's mean per-lane busy time…
+    pub imbalance_factor: f64,
+    /// A002: …and the busiest-to-idlest spread is at least this fraction
+    /// of the run window (filters out noise on tiny runs).
+    pub imbalance_min_spread_fraction: f64,
+    /// A003: flag a group when at least this fraction of its dequeues
+    /// were steals…
+    pub steal_ratio: f64,
+    /// A003: …and the group dequeued at least this many tasks.
+    pub steal_min_dequeues: u64,
+    /// A004: flag a link when its busy time covers at least this
+    /// fraction of the run window.
+    pub link_busy_fraction: f64,
+}
+
+impl Default for AnomalyConfig {
+    fn default() -> Self {
+        AnomalyConfig {
+            straggler_tail_fraction: 0.25,
+            imbalance_factor: 2.0,
+            imbalance_min_spread_fraction: 0.10,
+            steal_ratio: 0.5,
+            steal_min_dequeues: 16,
+            link_busy_fraction: 0.9,
+        }
+    }
+}
+
+/// One detected anomaly, with a stable code and a timeline span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Anomaly {
+    /// Stable code (`"A001"` … `"A005"`).
+    pub code: &'static str,
+    /// What the finding is about: a lane name (A001, A005), a logic
+    /// group (A002, A003) or a link base name (A004).
+    pub subject: String,
+    /// Human-readable explanation with the measured numbers.
+    pub message: String,
+    /// Start of the affected window on the trace clock.
+    pub start_ns: u64,
+    /// End of the affected window.
+    pub end_ns: u64,
+}
+
+/// Per-lane span aggregates used by several detectors.
+#[derive(Debug, Clone, Copy)]
+struct LaneAgg {
+    busy: u64,
+    first: u64,
+    last: u64,
+    spans: usize,
+}
+
+impl Default for LaneAgg {
+    fn default() -> Self {
+        LaneAgg {
+            busy: 0,
+            first: u64::MAX,
+            last: 0,
+            spans: 0,
+        }
+    }
+}
+
+/// Scans `trace` for the A-series pathologies under `config`. Findings
+/// come back sorted by (code, subject) for deterministic reporting.
+pub fn detect(trace: &RunTrace, config: &AnomalyConfig) -> Vec<Anomaly> {
+    let lanes = lane_infos(trace);
+    let spans = trace.task_spans();
+    let makespan = spans.iter().map(|s| s.end).max().unwrap_or(0);
+    let start_ns = trace
+        .prelude
+        .iter()
+        .chain(trace.workers.iter().flat_map(|w| w.events.iter()))
+        .map(|e| e.ts)
+        .min()
+        .unwrap_or(0);
+    let window = makespan.saturating_sub(start_ns);
+
+    let mut agg: Vec<LaneAgg> = vec![LaneAgg::default(); lanes.len()];
+    for s in &spans {
+        if let Some(a) = agg.get_mut(s.worker) {
+            a.busy += s.end - s.start;
+            a.first = a.first.min(s.start);
+            a.last = a.last.max(s.end);
+            a.spans += 1;
+        }
+    }
+
+    // Lane indices per non-link group, in lane order.
+    let mut groups: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, lane) in lanes.iter().enumerate() {
+        if !lane.is_link {
+            groups.entry(lane.group.as_str()).or_default().push(i);
+        }
+    }
+
+    let mut out = Vec::new();
+    detect_lossy(trace, &lanes, start_ns, makespan, &mut out);
+    if window > 0 {
+        detect_stragglers(config, &lanes, &agg, &groups, window, &mut out);
+        detect_imbalance(config, &lanes, &agg, &groups, window, &mut out);
+        detect_steal_storms(trace, config, &lanes, &mut out);
+        detect_saturated_links(config, &lanes, &agg, window, &mut out);
+    }
+    out.sort_by(|a, b| (a.code, &a.subject).cmp(&(b.code, &b.subject)));
+    out
+}
+
+/// A005: ring overflow means the lane's history has a hole at the front.
+fn detect_lossy(
+    trace: &RunTrace,
+    lanes: &[LaneInfo],
+    start_ns: u64,
+    makespan: u64,
+    out: &mut Vec<Anomaly>,
+) {
+    for w in &trace.workers {
+        if w.overwritten == 0 {
+            continue;
+        }
+        let name = lanes
+            .get(w.worker)
+            .map_or_else(|| format!("worker{}", w.worker), |l| l.name.clone());
+        let first_retained = w.events.first().map_or(start_ns, |e| e.ts);
+        out.push(Anomaly {
+            code: "A005",
+            message: format!(
+                "lane \"{name}\" ring overflowed: {} events were overwritten; \
+                 analysis of this lane only covers the retained window",
+                w.overwritten
+            ),
+            subject: name,
+            start_ns: first_retained,
+            end_ns: makespan.max(first_retained),
+        });
+    }
+}
+
+/// A001: one lane of a group finishes far later than the group median.
+fn detect_stragglers(
+    config: &AnomalyConfig,
+    lanes: &[LaneInfo],
+    agg: &[LaneAgg],
+    groups: &BTreeMap<&str, Vec<usize>>,
+    window: u64,
+    out: &mut Vec<Anomaly>,
+) {
+    for (group, members) in groups {
+        let active: Vec<usize> = members
+            .iter()
+            .copied()
+            .filter(|&i| agg[i].spans > 0)
+            .collect();
+        if active.len() < 2 {
+            continue;
+        }
+        let mut ends: Vec<u64> = active.iter().map(|&i| agg[i].last).collect();
+        ends.sort_unstable();
+        let median = ends[(ends.len() - 1) / 2];
+        let threshold = ((config.straggler_tail_fraction * window as f64) as u64).max(1);
+        for &i in &active {
+            let tail = agg[i].last.saturating_sub(median);
+            if tail >= threshold {
+                out.push(Anomaly {
+                    code: "A001",
+                    subject: lanes[i].name.clone(),
+                    message: format!(
+                        "lane \"{}\" of group \"{group}\" finished {tail} ns after the \
+                         group's median lane ({:.0}% of the run window): a straggler \
+                         holding the makespan",
+                        lanes[i].name,
+                        tail as f64 / window as f64 * 100.0
+                    ),
+                    start_ns: median,
+                    end_ns: agg[i].last,
+                });
+            }
+        }
+    }
+}
+
+/// A002: one lane of a group does a large multiple of the mean work.
+fn detect_imbalance(
+    config: &AnomalyConfig,
+    lanes: &[LaneInfo],
+    agg: &[LaneAgg],
+    groups: &BTreeMap<&str, Vec<usize>>,
+    window: u64,
+    out: &mut Vec<Anomaly>,
+) {
+    for (group, members) in groups {
+        if members.len() < 2 {
+            continue;
+        }
+        let total: u64 = members.iter().map(|&i| agg[i].busy).sum();
+        if total == 0 {
+            continue;
+        }
+        let busiest = *members
+            .iter()
+            .max_by_key(|&&i| agg[i].busy)
+            .expect("non-empty group");
+        let max_busy = agg[busiest].busy;
+        let min_busy = members.iter().map(|&i| agg[i].busy).min().unwrap_or(0);
+        let mean = total as f64 / members.len() as f64;
+        let spread = max_busy - min_busy;
+        if max_busy as f64 >= config.imbalance_factor * mean
+            && spread as f64 >= config.imbalance_min_spread_fraction * window as f64
+        {
+            out.push(Anomaly {
+                code: "A002",
+                subject: (*group).to_string(),
+                message: format!(
+                    "group \"{group}\" is load-imbalanced: lane \"{}\" did {max_busy} ns \
+                     of work, {:.1}x the group's per-lane mean of {mean:.0} ns",
+                    lanes[busiest].name,
+                    max_busy as f64 / mean.max(1.0)
+                ),
+                start_ns: agg[busiest].first.min(agg[busiest].last),
+                end_ns: agg[busiest].last,
+            });
+        }
+    }
+}
+
+/// A003: a group obtains most of its work by stealing.
+fn detect_steal_storms(
+    trace: &RunTrace,
+    config: &AnomalyConfig,
+    lanes: &[LaneInfo],
+    out: &mut Vec<Anomaly>,
+) {
+    #[derive(Default)]
+    struct StealAgg {
+        dequeues: u64,
+        steals: u64,
+        first_steal: u64,
+        last_steal: u64,
+    }
+    let mut per_group: BTreeMap<&str, StealAgg> = BTreeMap::new();
+    for w in &trace.workers {
+        let Some(lane) = lanes.get(w.worker) else {
+            continue;
+        };
+        if lane.is_link {
+            continue;
+        }
+        for e in &w.events {
+            if let EventKind::TaskDequeued { provenance, .. } = &e.kind {
+                let a = per_group.entry(lane.group.as_str()).or_default();
+                a.dequeues += 1;
+                if provenance.is_steal() {
+                    if a.steals == 0 {
+                        a.first_steal = e.ts;
+                    }
+                    a.steals += 1;
+                    a.last_steal = e.ts;
+                }
+            }
+        }
+    }
+    for (group, a) in per_group {
+        if a.dequeues < config.steal_min_dequeues || a.steals == 0 {
+            continue;
+        }
+        let ratio = a.steals as f64 / a.dequeues as f64;
+        if ratio >= config.steal_ratio {
+            out.push(Anomaly {
+                code: "A003",
+                subject: group.to_string(),
+                message: format!(
+                    "group \"{group}\" stole {} of its {} dequeues ({:.0}%): a steal \
+                     storm — initial placement is fighting the group's affinity",
+                    a.steals,
+                    a.dequeues,
+                    ratio * 100.0
+                ),
+                start_ns: a.first_steal,
+                end_ns: a.last_steal.max(a.first_steal),
+            });
+        }
+    }
+}
+
+/// A004: a link's busy time covers almost the whole run window.
+fn detect_saturated_links(
+    config: &AnomalyConfig,
+    lanes: &[LaneInfo],
+    agg: &[LaneAgg],
+    window: u64,
+    out: &mut Vec<Anomaly>,
+) {
+    #[derive(Default)]
+    struct LinkAgg {
+        busy: u64,
+        first: u64,
+        last: u64,
+    }
+    let mut per_link: BTreeMap<&str, LinkAgg> = BTreeMap::new();
+    for (i, lane) in lanes.iter().enumerate() {
+        if !lane.is_link || agg[i].spans == 0 {
+            continue;
+        }
+        let a = per_link.entry(link_base(&lane.name)).or_default();
+        if a.busy == 0 {
+            a.first = agg[i].first;
+        }
+        a.busy += agg[i].busy;
+        a.first = a.first.min(agg[i].first);
+        a.last = a.last.max(agg[i].last);
+    }
+    for (link, a) in per_link {
+        let utilization = a.busy as f64 / window as f64;
+        if utilization >= config.link_busy_fraction {
+            out.push(Anomaly {
+                code: "A004",
+                subject: link.to_string(),
+                message: format!(
+                    "link \"{link}\" was busy {:.0}% of the run window ({} of {window} ns): \
+                     the interconnect is saturated and transfers are the bottleneck",
+                    utilization * 100.0,
+                    a.busy
+                ),
+                start_ns: a.first,
+                end_ns: a.last,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Provenance, TraceEvent};
+    use crate::trace::{LaneLabel, RunTrace, TaskInfo, TraceMeta, WorkerTrace};
+
+    fn ev(ts: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent { ts, kind }
+    }
+
+    fn lane_label(name: &str, group: &str) -> LaneLabel {
+        LaneLabel {
+            name: name.to_string(),
+            group: Some(group.to_string()),
+        }
+    }
+
+    fn task_infos(n: usize) -> Vec<TaskInfo> {
+        (0..n)
+            .map(|i| TaskInfo {
+                label: format!("t{i}"),
+                category: "task".to_string(),
+                group: None,
+            })
+            .collect()
+    }
+
+    fn span_events(task: u32, start: u64, end: u64) -> Vec<TraceEvent> {
+        vec![
+            ev(start, EventKind::TaskStart { task }),
+            ev(end, EventKind::TaskEnd { task }),
+        ]
+    }
+
+    fn worker(i: usize, events: Vec<TraceEvent>) -> WorkerTrace {
+        WorkerTrace {
+            worker: i,
+            events,
+            overwritten: 0,
+        }
+    }
+
+    fn codes(anomalies: &[Anomaly]) -> Vec<&'static str> {
+        anomalies.iter().map(|a| a.code).collect()
+    }
+
+    #[test]
+    fn straggler_lane_is_a001() {
+        // Three cpu lanes with equal busy time, but cpu2's work ends at
+        // 2000 while the median lane ends at 1000.
+        let trace = RunTrace {
+            meta: TraceMeta {
+                platform: None,
+                lanes: vec![
+                    lane_label("cpu0", "cpus"),
+                    lane_label("cpu1", "cpus"),
+                    lane_label("cpu2", "cpus"),
+                ],
+                tasks: task_infos(4),
+                time_unit: Default::default(),
+            },
+            prelude: Vec::new(),
+            workers: vec![
+                worker(0, span_events(0, 0, 1000)),
+                worker(1, span_events(1, 0, 1000)),
+                worker(2, {
+                    let mut e = span_events(2, 0, 500);
+                    e.extend(span_events(3, 1500, 2000));
+                    e
+                }),
+            ],
+        };
+        let found = detect(&trace, &AnomalyConfig::default());
+        assert_eq!(codes(&found), ["A001"]);
+        assert_eq!(found[0].subject, "cpu2");
+        assert_eq!(found[0].start_ns, 1000);
+        assert_eq!(found[0].end_ns, 2000);
+    }
+
+    #[test]
+    fn imbalanced_group_is_a002() {
+        // cpu0 does 900 ns, cpu1 does 50 ns: 1.9x the mean of 475 falls
+        // short of 2.0 — then cpu1 at 0 pushes the factor over.
+        let imbalanced = RunTrace {
+            meta: TraceMeta {
+                platform: None,
+                lanes: vec![lane_label("cpu0", "cpus"), lane_label("cpu1", "cpus")],
+                tasks: task_infos(1),
+                time_unit: Default::default(),
+            },
+            prelude: vec![ev(0, EventKind::TaskReady { task: 0 })],
+            workers: vec![worker(0, span_events(0, 0, 900)), worker(1, Vec::new())],
+        };
+        let found = detect(&imbalanced, &AnomalyConfig::default());
+        assert_eq!(codes(&found), ["A002"]);
+        assert_eq!(found[0].subject, "cpus");
+
+        // Balanced lanes: clean.
+        let balanced = RunTrace {
+            meta: TraceMeta {
+                platform: None,
+                lanes: vec![lane_label("cpu0", "cpus"), lane_label("cpu1", "cpus")],
+                tasks: task_infos(2),
+                time_unit: Default::default(),
+            },
+            prelude: Vec::new(),
+            workers: vec![
+                worker(0, span_events(0, 0, 900)),
+                worker(1, span_events(1, 0, 880)),
+            ],
+        };
+        assert!(detect(&balanced, &AnomalyConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn steal_heavy_group_is_a003() {
+        let n = 20u32;
+        let mut events = Vec::new();
+        for t in 0..n {
+            let prov = if t % 2 == 0 {
+                Provenance::Steal {
+                    victim: 1,
+                    cross_group: false,
+                }
+            } else {
+                Provenance::Local
+            };
+            let ts = u64::from(t) * 10;
+            events.push(ev(
+                ts,
+                EventKind::TaskDequeued {
+                    task: t,
+                    provenance: prov,
+                },
+            ));
+            events.push(ev(ts, EventKind::TaskStart { task: t }));
+            events.push(ev(ts + 5, EventKind::TaskEnd { task: t }));
+        }
+        let trace = RunTrace {
+            meta: TraceMeta {
+                platform: None,
+                lanes: vec![lane_label("cpu0", "cpus")],
+                tasks: task_infos(n as usize),
+                time_unit: Default::default(),
+            },
+            prelude: Vec::new(),
+            workers: vec![worker(0, events)],
+        };
+        let found = detect(&trace, &AnomalyConfig::default());
+        assert_eq!(codes(&found), ["A003"]);
+        assert_eq!(found[0].subject, "cpus");
+        // Raising the minimum dequeue count silences the check.
+        let strict = AnomalyConfig {
+            steal_min_dequeues: 1000,
+            ..AnomalyConfig::default()
+        };
+        assert!(detect(&trace, &strict).is_empty());
+    }
+
+    #[test]
+    fn saturated_link_is_a004() {
+        // The PCIe link (split over two channel lanes) is busy 95% of the
+        // 1000 ns window; the GPU computes only 40%.
+        let trace = RunTrace {
+            meta: TraceMeta {
+                platform: None,
+                lanes: vec![
+                    lane_label("gpu0", "gpus"),
+                    lane_label("PCIe:host-gpu0 #1", "links"),
+                    lane_label("PCIe:host-gpu0 #2", "links"),
+                ],
+                tasks: task_infos(4),
+                time_unit: Default::default(),
+            },
+            prelude: Vec::new(),
+            workers: vec![
+                worker(0, span_events(0, 600, 1000)),
+                worker(1, span_events(1, 0, 600)),
+                worker(2, span_events(2, 250, 600)),
+            ],
+        };
+        let found = detect(&trace, &AnomalyConfig::default());
+        assert_eq!(codes(&found), ["A004"]);
+        assert_eq!(found[0].subject, "PCIe:host-gpu0");
+        assert_eq!(found[0].start_ns, 0);
+        assert_eq!(found[0].end_ns, 600);
+        // A lazier link stays clean.
+        let relaxed = AnomalyConfig {
+            link_busy_fraction: 0.96,
+            ..AnomalyConfig::default()
+        };
+        assert!(detect(&trace, &relaxed).is_empty());
+    }
+
+    #[test]
+    fn overflowed_ring_is_a005() {
+        let trace = RunTrace {
+            meta: TraceMeta {
+                platform: None,
+                lanes: vec![lane_label("cpu0", "cpus")],
+                tasks: task_infos(1),
+                time_unit: Default::default(),
+            },
+            prelude: Vec::new(),
+            workers: vec![WorkerTrace {
+                worker: 0,
+                events: span_events(0, 500, 900),
+                overwritten: 42,
+            }],
+        };
+        let found = detect(&trace, &AnomalyConfig::default());
+        assert_eq!(codes(&found), ["A005"]);
+        assert_eq!(found[0].subject, "cpu0");
+        assert!(found[0].message.contains("42 events"));
+        // The window begins at the first retained event.
+        assert_eq!(found[0].start_ns, 500);
+        assert_eq!(found[0].end_ns, 900);
+    }
+
+    #[test]
+    fn healthy_trace_is_clean() {
+        let trace = RunTrace {
+            meta: TraceMeta {
+                platform: None,
+                lanes: vec![lane_label("cpu0", "cpus"), lane_label("cpu1", "cpus")],
+                tasks: task_infos(2),
+                time_unit: Default::default(),
+            },
+            prelude: Vec::new(),
+            workers: vec![
+                worker(0, span_events(0, 0, 1000)),
+                worker(1, span_events(1, 10, 990)),
+            ],
+        };
+        assert!(detect(&trace, &AnomalyConfig::default()).is_empty());
+        // Empty traces are vacuously clean too.
+        assert!(detect(&RunTrace::default(), &AnomalyConfig::default()).is_empty());
+    }
+}

@@ -43,6 +43,13 @@
 //! * [`profile`] — the critical-path profiler: longest dependency chain
 //!   through a trace, per-category blame attribution, what-if estimates,
 //!   folded flamegraph stacks.
+//! * [`diff`] — differential profiling: decomposes the wall-time delta
+//!   between two runs into the profiler's blame categories (summing
+//!   exactly to the measured delta) plus telemetry counter/quantile
+//!   shifts; the `pdl perf-diff` engine.
+//! * [`anomaly`] — single-trace pathology detection (straggler lanes,
+//!   group imbalance, steal storms, saturated links, lossy windows),
+//!   surfaced as the pdl-analyze `A` diagnostic family.
 //! * [`telemetry`] — always-on process-wide counters/gauges/histograms
 //!   (sharded atomics, no locks on the hot path) with Prometheus-style
 //!   exposition; what the engines and the registry service report even
@@ -50,9 +57,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod anomaly;
 pub mod chrome;
 mod clock;
 pub mod codec;
+pub mod diff;
 mod event;
 pub mod json;
 mod metrics;

@@ -94,10 +94,17 @@ impl Histogram {
     /// Estimates the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
     /// inside the containing bucket, clamped to the observed `[min, max]`
     /// range so coarse buckets never report values outside what was seen.
-    /// `None` when empty.
+    /// `None` when empty. The edges are exact, not interpolated:
+    /// `q <= 0` returns the observed minimum and `q >= 1` the maximum.
     pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
             return None;
+        }
+        if q <= 0.0 {
+            return Some(self.min);
+        }
+        if q >= 1.0 {
+            return Some(self.max);
         }
         let q = q.clamp(0.0, 1.0);
         let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
@@ -226,6 +233,11 @@ impl MetricsRegistry {
     /// All counters in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
         self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, h)| (k.as_str(), h))
     }
 
     /// Derives the standard metric set from a trace:
@@ -365,8 +377,8 @@ mod tests {
         // Uniform 1..=100: p50 lands in the (10, 100] bucket.
         let p50 = h.quantile(0.5).unwrap();
         assert!((40..=60).contains(&p50), "p50 = {p50}");
-        // Extremes clamp to the observed range.
-        assert!(h.quantile(0.0).unwrap() <= 2);
+        // Extremes are exact, not interpolated.
+        assert_eq!(h.quantile(0.0), Some(1));
         assert_eq!(h.quantile(1.0), Some(100));
         // A single observation reports itself at every quantile.
         let mut one = Histogram::duration_ns();
@@ -381,6 +393,28 @@ mod tests {
         assert!((70..=90).contains(&p99), "p99 = {p99}");
         let json = big.to_json();
         assert!(json.get("p99").and_then(Json::as_u64).is_some());
+    }
+
+    #[test]
+    fn quantile_edges_return_min_max_and_none() {
+        // Empty histogram: every quantile is None, including the edges.
+        let empty = Histogram::duration_ns();
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(empty.quantile(q), None);
+        }
+        // q=0 / q=1 return the exact observed extremes even when both
+        // land inside a wide bucket that interpolation would smear.
+        let mut h = Histogram::with_bounds(vec![1_000_000]);
+        h.observe(37);
+        h.observe(999_999);
+        assert_eq!(h.quantile(0.0), Some(37));
+        assert_eq!(h.quantile(1.0), Some(999_999));
+        // Out-of-range q clamps to the same exact edges.
+        assert_eq!(h.quantile(-3.0), Some(37));
+        assert_eq!(h.quantile(7.0), Some(999_999));
+        // Interior quantiles stay within the observed range.
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((37..=999_999).contains(&p50));
     }
 
     #[test]

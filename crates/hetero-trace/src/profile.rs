@@ -109,14 +109,15 @@ impl Profile {
     }
 }
 
-/// Lane name / group / link-ness resolved once per lane.
-struct LaneInfo {
-    name: String,
-    group: String,
-    is_link: bool,
+/// Lane name / group / link-ness resolved once per lane (shared with the
+/// anomaly detectors).
+pub(crate) struct LaneInfo {
+    pub(crate) name: String,
+    pub(crate) group: String,
+    pub(crate) is_link: bool,
 }
 
-fn lane_infos(trace: &RunTrace) -> Vec<LaneInfo> {
+pub(crate) fn lane_infos(trace: &RunTrace) -> Vec<LaneInfo> {
     let lane_count = trace.meta.lanes.len().max(
         trace
             .workers
@@ -145,7 +146,7 @@ fn lane_infos(trace: &RunTrace) -> Vec<LaneInfo> {
 }
 
 /// Strips a `" #k"` channel suffix from a link lane name.
-fn link_base(name: &str) -> &str {
+pub(crate) fn link_base(name: &str) -> &str {
     match name.rsplit_once(" #") {
         Some((base, k)) if !k.is_empty() && k.chars().all(|c| c.is_ascii_digit()) => base,
         _ => name,

@@ -373,36 +373,82 @@ impl Telemetry {
     ///
     /// An instrument name of the form `base{label="v"}` keeps its labels;
     /// histogram `le` labels are merged into the existing label set.
+    /// Series sharing a base name are grouped into one metric family with
+    /// a single `# HELP` / `# TYPE` header (the exposition format forbids
+    /// repeating them), and label values are escaped per the spec
+    /// (backslash, double quote and newline).
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
-        for (name, c) in self.counters.read().expect("poisoned").iter() {
-            let (base, _) = split_labels(name);
-            out.push_str(&format!("# TYPE {base} counter\n{name} {}\n", c.get()));
-        }
-        for (name, g) in self.gauges.read().expect("poisoned").iter() {
-            let (base, _) = split_labels(name);
-            out.push_str(&format!("# TYPE {base} gauge\n{name} {}\n", g.get()));
-        }
-        for (name, h) in self.histograms.read().expect("poisoned").iter() {
-            let snap = h.snapshot();
+
+        let counters = self.counters.read().expect("poisoned");
+        let mut families: BTreeMap<&str, Vec<(Option<&str>, u64)>> = BTreeMap::new();
+        for (name, c) in counters.iter() {
             let (base, labels) = split_labels(name);
-            out.push_str(&format!("# TYPE {base} histogram\n"));
-            let mut cum = 0u64;
-            for (le, n) in snap.buckets() {
-                cum += n;
-                let le = if le == u64::MAX {
-                    "+Inf".to_string()
-                } else {
-                    le.to_string()
-                };
-                out.push_str(&format!(
-                    "{base}_bucket{{{}le=\"{le}\"}} {cum}\n",
-                    labels.map(|l| format!("{l},")).unwrap_or_default()
-                ));
+            families.entry(base).or_default().push((labels, c.get()));
+        }
+        for (base, series) in families {
+            out.push_str(&format!(
+                "# HELP {base} hetero-trace telemetry counter.\n# TYPE {base} counter\n"
+            ));
+            for (labels, value) in series {
+                out.push_str(&format!("{base}{} {value}\n", label_tail(labels)));
             }
-            let tail = labels.map(|l| format!("{{{l}}}")).unwrap_or_default();
-            out.push_str(&format!("{base}_sum{tail} {}\n", snap.sum()));
-            out.push_str(&format!("{base}_count{tail} {}\n", snap.count()));
+        }
+
+        let gauges = self.gauges.read().expect("poisoned");
+        let mut families: BTreeMap<&str, Vec<(Option<&str>, u64)>> = BTreeMap::new();
+        for (name, g) in gauges.iter() {
+            let (base, labels) = split_labels(name);
+            families.entry(base).or_default().push((labels, g.get()));
+        }
+        for (base, series) in families {
+            out.push_str(&format!(
+                "# HELP {base} hetero-trace telemetry gauge.\n# TYPE {base} gauge\n"
+            ));
+            for (labels, value) in series {
+                out.push_str(&format!("{base}{} {value}\n", label_tail(labels)));
+            }
+        }
+
+        let histograms = self.histograms.read().expect("poisoned");
+        let mut families: BTreeMap<&str, Vec<(Option<&str>, Histogram)>> = BTreeMap::new();
+        for (name, h) in histograms.iter() {
+            let (base, labels) = split_labels(name);
+            families
+                .entry(base)
+                .or_default()
+                .push((labels, h.snapshot()));
+        }
+        for (base, series) in families {
+            out.push_str(&format!(
+                "# HELP {base} hetero-trace telemetry histogram (log2 buckets).\n\
+                 # TYPE {base} histogram\n"
+            ));
+            for (labels, snap) in series {
+                let escaped = labels.map(rewrite_labels);
+                let mut cum = 0u64;
+                for (le, n) in snap.buckets() {
+                    cum += n;
+                    let le = if le == u64::MAX {
+                        "+Inf".to_string()
+                    } else {
+                        le.to_string()
+                    };
+                    out.push_str(&format!(
+                        "{base}_bucket{{{}le=\"{le}\"}} {cum}\n",
+                        escaped
+                            .as_ref()
+                            .map(|l| format!("{l},"))
+                            .unwrap_or_default()
+                    ));
+                }
+                let tail = escaped
+                    .as_ref()
+                    .map(|l| format!("{{{l}}}"))
+                    .unwrap_or_default();
+                out.push_str(&format!("{base}_sum{tail} {}\n", snap.sum()));
+                out.push_str(&format!("{base}_count{tail} {}\n", snap.count()));
+            }
         }
         out
     }
@@ -454,6 +500,59 @@ fn split_labels(name: &str) -> (&str, Option<&str>) {
         Some((base, rest)) => (base, rest.strip_suffix('}')),
         None => (name, None),
     }
+}
+
+/// Renders an optional raw label set as a `{k="v",…}` suffix with the
+/// values escaped.
+fn label_tail(labels: Option<&str>) -> String {
+    labels.map_or_else(String::new, |l| format!("{{{}}}", rewrite_labels(l)))
+}
+
+/// Re-emits a raw `k="v",k2="v2"` label set with every value escaped per
+/// the exposition format: `\` → `\\`, `"` → `\"`, newline → `\n`. A
+/// value is taken to end at the first `",` pair boundary (or the final
+/// closing quote), so quotes inside values survive as long as they are
+/// not immediately followed by a comma.
+fn rewrite_labels(raw: &str) -> String {
+    let mut out = String::new();
+    let mut rest = raw;
+    let mut first = true;
+    while !rest.is_empty() {
+        let Some(eq) = rest.find("=\"") else {
+            out.push_str(rest);
+            break;
+        };
+        let key = &rest[..eq];
+        let after = &rest[eq + 2..];
+        let (value, next) = match after.find("\",") {
+            Some(i) => (&after[..i], &after[i + 2..]),
+            None => (after.strip_suffix('"').unwrap_or(after), ""),
+        };
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(key);
+        out.push_str("=\"");
+        out.push_str(&escape_label_value(value));
+        out.push('"');
+        rest = next;
+    }
+    out
+}
+
+/// Escapes one label value per the Prometheus text exposition format.
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// The process-wide telemetry registry.
@@ -520,9 +619,15 @@ mod tests {
         assert_eq!(snap.max(), Some(100_000));
         let p50 = snap.quantile(0.5).unwrap();
         assert!((100..=400).contains(&p50), "p50 = {p50}");
+        // Quantile edges are exact observed extremes, never interpolated
+        // out of the bucket range.
+        assert_eq!(snap.quantile(0.0), Some(100));
+        assert_eq!(snap.quantile(1.0), Some(100_000));
         h.reset();
         assert_eq!(h.snapshot().count(), 0);
+        assert_eq!(h.snapshot().quantile(0.0), None);
         assert_eq!(h.snapshot().quantile(0.99), None);
+        assert_eq!(h.snapshot().quantile(1.0), None);
     }
 
     #[test]
@@ -601,6 +706,44 @@ mod tests {
         assert!(text.contains("lat_ns_count{op=\"resolve\"} 1"));
         // Cumulative buckets end at the total count.
         assert!(text.contains("le=\"+Inf\"} 1"));
+        // Every family carries a HELP line ahead of its TYPE line.
+        assert!(text.contains("# HELP requests_total "));
+        assert!(text.contains("# HELP epoch "));
+        assert!(text.contains("# HELP lat_ns "));
+    }
+
+    #[test]
+    fn families_share_one_help_and_type_header() {
+        let t = Telemetry::new();
+        t.counter("requests_total{code=\"200\"}").add(5);
+        t.counter("requests_total{code=\"500\"}").add(1);
+        let text = t.render_prometheus();
+        assert_eq!(text.matches("# TYPE requests_total counter").count(), 1);
+        assert_eq!(text.matches("# HELP requests_total ").count(), 1);
+        assert!(text.contains("requests_total{code=\"200\"} 5"));
+        assert!(text.contains("requests_total{code=\"500\"} 1"));
+        // Headers precede every sample of the family.
+        let type_at = text.find("# TYPE requests_total").unwrap();
+        let sample_at = text.find("requests_total{").unwrap();
+        assert!(type_at < sample_at);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let t = Telemetry::new();
+        t.counter("io_total{path=\"C:\\temp\"}").add(1);
+        t.gauge("state{msg=\"line1\nline2\"}").set(2);
+        t.counter("odd_total{q=\"say \"hi\"\"}").add(3);
+        let text = t.render_prometheus();
+        assert!(text.contains("io_total{path=\"C:\\\\temp\"} 1"));
+        assert!(text.contains("state{msg=\"line1\\nline2\"} 2"));
+        assert!(text.contains("odd_total{q=\"say \\\"hi\\\"\"} 3"));
+        // No raw newline survives inside any sample line.
+        for line in text.lines() {
+            assert!(!line.is_empty() || text.ends_with('\n'));
+        }
+        assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+        assert_eq!(rewrite_labels("a=\"x\\y\",b=\"z\""), "a=\"x\\\\y\",b=\"z\"");
     }
 
     #[test]

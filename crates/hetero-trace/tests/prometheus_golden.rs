@@ -1,0 +1,25 @@
+//! Golden-file conformance test for the Prometheus text exposition
+//! format: `# HELP` / `# TYPE` headers emitted once per metric family,
+//! label sets preserved, and label values escaped (backslash, double
+//! quote, newline) exactly as the spec requires.
+
+use hetero_trace::telemetry::Telemetry;
+
+#[test]
+fn prometheus_exposition_matches_golden() {
+    let t = Telemetry::new();
+    // Two series of one counter family: headers must appear once.
+    t.counter("requests_total").add(3);
+    t.counter("requests_total{code=\"500\"}").add(2);
+    t.gauge("epoch").set(9);
+    // The label value carries a backslash, a quote and a newline.
+    let h = t.histogram("lat_ns{op=\"re\\solve \"fast\"\nagain\"}");
+    h.observe(20);
+    h.observe(100);
+    let actual = t.render_prometheus();
+    let expected = include_str!("golden/prometheus.txt");
+    assert_eq!(
+        actual, expected,
+        "\n--- actual exposition ---\n{actual}--- end ---"
+    );
+}

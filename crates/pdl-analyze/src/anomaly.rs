@@ -1,0 +1,156 @@
+//! Runtime anomaly diagnostics (`A` codes): scheduling pathologies
+//! detected from a single recorded trace.
+//!
+//! The detection logic lives in [`hetero_trace::anomaly`]; this module
+//! maps its findings onto the workspace's rustc-style report model with
+//! stable codes:
+//!
+//! * `A001` — straggler worker: one lane of a group finishes far later
+//!   than the group's median lane, holding the makespan.
+//! * `A002` — group load imbalance: one lane of a group carries a large
+//!   multiple of the group's mean per-lane busy time.
+//! * `A003` — steal storm: a group obtains most of its work by stealing
+//!   rather than from its own queues.
+//! * `A004` — saturated link: a transfer lane is busy for almost the
+//!   entire run window, making the interconnect the bottleneck.
+//! * `A005` — lossy trace window: a worker's ring overflowed, so the
+//!   lane's analysis only covers the retained suffix of events.
+//!
+//! All A codes are warnings — they describe *performance* pathologies,
+//! not correctness violations (those are the `T` family). Every
+//! diagnostic carries the anomaly's timeline span as a note so it can be
+//! correlated with the Chrome export or the critical-path profile.
+
+use hetero_trace::anomaly::{detect, Anomaly, AnomalyConfig};
+use hetero_trace::RunTrace;
+use pdl_core::diag::{Diagnostic, Report};
+
+/// Runs the A-series anomaly detectors with default thresholds.
+pub fn check_trace_anomalies(trace: &RunTrace) -> Report {
+    check_trace_anomalies_with(trace, &AnomalyConfig::default())
+}
+
+/// Runs the A-series anomaly detectors with caller-supplied thresholds.
+pub fn check_trace_anomalies_with(trace: &RunTrace, config: &AnomalyConfig) -> Report {
+    let mut report: Report = detect(trace, config)
+        .into_iter()
+        .map(to_diagnostic)
+        .collect();
+    report.sort();
+    report
+}
+
+fn to_diagnostic(a: Anomaly) -> Diagnostic {
+    Diagnostic::warning(a.code, a.message)
+        .with_subject(a.subject)
+        .with_note(format!("trace window [{}, {}] ns", a.start_ns, a.end_ns))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetero_trace::{EventKind, LaneLabel, TaskInfo, TraceEvent, TraceMeta, WorkerTrace};
+
+    fn lane_label(name: &str, group: &str) -> LaneLabel {
+        LaneLabel {
+            name: name.to_string(),
+            group: Some(group.to_string()),
+        }
+    }
+
+    fn span(task: u32, start: u64, end: u64) -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                ts: start,
+                kind: EventKind::TaskStart { task },
+            },
+            TraceEvent {
+                ts: end,
+                kind: EventKind::TaskEnd { task },
+            },
+        ]
+    }
+
+    fn tasks(n: usize) -> Vec<TaskInfo> {
+        (0..n)
+            .map(|i| TaskInfo {
+                label: format!("t{i}"),
+                category: "task".into(),
+                group: None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn straggler_trace_reports_a001() {
+        let trace = RunTrace {
+            meta: TraceMeta {
+                platform: None,
+                lanes: vec![
+                    lane_label("cpu0", "cpus"),
+                    lane_label("cpu1", "cpus"),
+                    lane_label("cpu2", "cpus"),
+                ],
+                tasks: tasks(4),
+                time_unit: hetero_trace::TimeUnit::default(),
+            },
+            prelude: Vec::new(),
+            workers: vec![
+                WorkerTrace {
+                    worker: 0,
+                    events: span(0, 0, 1000),
+                    overwritten: 0,
+                },
+                WorkerTrace {
+                    worker: 1,
+                    events: span(1, 0, 1000),
+                    overwritten: 0,
+                },
+                WorkerTrace {
+                    worker: 2,
+                    events: {
+                        let mut e = span(2, 0, 500);
+                        e.extend(span(3, 1500, 2000));
+                        e
+                    },
+                    overwritten: 0,
+                },
+            ],
+        };
+        let report = check_trace_anomalies(&trace);
+        assert_eq!(report.codes(), ["A001"]);
+        let rendered = report.render();
+        assert!(rendered.contains("cpu2"), "{rendered}");
+        assert!(
+            rendered.contains("trace window [1000, 2000] ns"),
+            "{rendered}"
+        );
+        // A permissive config silences the finding.
+        let relaxed = AnomalyConfig {
+            straggler_tail_fraction: 0.9,
+            ..AnomalyConfig::default()
+        };
+        assert!(check_trace_anomalies_with(&trace, &relaxed).is_empty());
+    }
+
+    #[test]
+    fn lossy_trace_reports_a005() {
+        let trace = RunTrace {
+            meta: TraceMeta {
+                platform: None,
+                lanes: vec![lane_label("cpu0", "cpus")],
+                tasks: tasks(1),
+                time_unit: hetero_trace::TimeUnit::default(),
+            },
+            prelude: Vec::new(),
+            workers: vec![WorkerTrace {
+                worker: 0,
+                events: span(0, 100, 300),
+                overwritten: 9,
+            }],
+        };
+        let report = check_trace_anomalies(&trace);
+        assert_eq!(report.codes(), ["A005"]);
+        assert!(report.render().contains("9 events"), "{}", report.render());
+    }
+}

@@ -13,6 +13,9 @@
 //!   [`hetero_trace::RunTrace`] against the declared task graph
 //!   ([`check_trace`]) and its transfer lanes against the declared
 //!   platform interconnects ([`check_trace_links`]),
+//! * `A0xx` — runtime anomaly findings from a single trace: stragglers,
+//!   load imbalance, steal storms, saturated links and lossy trace
+//!   windows ([`check_trace_anomalies`]),
 //! * `M0xx` — coherence-model findings from exhaustively exploring the
 //!   data layer's protocol over bounded platform configurations
 //!   ([`check_configs`]), each violation carrying a minimized
@@ -29,6 +32,7 @@
 //! assert!(report.is_empty());
 //! ```
 
+pub mod anomaly;
 pub mod expect;
 pub mod model;
 pub mod platform;
@@ -38,6 +42,7 @@ pub mod trace;
 
 pub use pdl_core::diag::{Diagnostic, Report, Severity, Span};
 
+pub use anomaly::{check_trace_anomalies, check_trace_anomalies_with};
 pub use model::{bounded_configs, check_configs, model_check_json, violation_to_diagnostic};
 pub use platform::{analyze_pinned, analyze_platform, analyze_platform_source};
 pub use program::{analyze_program, analyze_program_source};

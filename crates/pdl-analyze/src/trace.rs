@@ -335,9 +335,13 @@ pub fn check_trace_utilization(trace: &RunTrace) -> Report {
 
 /// Analyzes a standalone exported trace file (the `hetero-trace-run` codec
 /// format, `pdl check foo.trace.json`): structural invariants (`T001`),
-/// group starvation (`T007`) and — against each supplied platform — link
+/// group starvation (`T007`), runtime anomalies (`A001`–`A005`, see
+/// [`crate::anomaly`]) and — against each supplied platform — link
 /// declarations (`T006`). Graph-dependent checks (`T002`–`T005`) need the
 /// submitted [`TaskGraph`] and run through [`check_trace`] instead.
+///
+/// A lossy trace (ring overflow) still runs the anomaly detectors over
+/// its retained window — `A005` reports the loss next to the `T001`.
 pub fn analyze_trace_source(
     path: &str,
     contents: &str,
@@ -354,18 +358,25 @@ pub fn analyze_trace_source(
         }
     };
     let mut report = Report::default();
-    if let Err(e) = trace.validate() {
-        report.push(
-            Diagnostic::error(
-                "T001",
-                format!("trace violates its structural invariants: {e}"),
-            )
-            .with_note(
-                "remaining replay checks were skipped — the event stream itself is unreliable",
-            ),
-        );
-    } else {
-        report.merge(check_trace_utilization(&trace));
+    match trace.validate() {
+        Ok(_) => {
+            report.merge(check_trace_utilization(&trace));
+            report.merge(crate::anomaly::check_trace_anomalies(&trace));
+        }
+        Err(e) => {
+            report.push(
+                Diagnostic::error(
+                    "T001",
+                    format!("trace violates its structural invariants: {e}"),
+                )
+                .with_note(
+                    "remaining replay checks were skipped — the event stream itself is unreliable",
+                ),
+            );
+            if matches!(e, hetero_trace::TraceError::Lossy { .. }) {
+                report.merge(crate::anomaly::check_trace_anomalies(&trace));
+            }
+        }
     }
     for platform in platforms {
         report.merge(check_trace_links(&trace, platform));

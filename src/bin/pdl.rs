@@ -14,6 +14,9 @@
 //!                                     run all static-analysis passes
 //! pdl profile [--folded F] [--json F] <trace.json>
 //!                                     critical-path profile of a run trace
+//! pdl perf-diff [--json F] <base.trace.json> <head.trace.json>
+//!                                     attribute the wall-time delta between
+//!                                     two runs to blame categories
 //! pdl model-check [--json F] [--pending N] [--mutate M]
 //!                                     exhaustively explore the coherence
 //!                                     protocol over bounded platforms
@@ -38,6 +41,7 @@ fn main() -> ExitCode {
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
+        Some("perf-diff") => cmd_perf_diff(&args[1..]),
         Some("model-check") => cmd_model_check(&args[1..]),
         Some("help") | None => {
             print_usage();
@@ -75,6 +79,13 @@ USAGE:
                                       critical-path profile of an exported
                                       run trace: blame split, what-ifs;
                                       --folded writes flamegraph stacks
+  pdl perf-diff [--json F] [--telemetry-base F --telemetry-head F]
+                <base.trace.json> <head.trace.json>
+                                      decompose the wall-time delta between
+                                      two runs into blame categories (sums
+                                      exactly to the measured delta), plus
+                                      telemetry shifts and head-run
+                                      anomalies (A-series, docs/ANALYSIS.md)
   pdl model-check [--json F] [--pending N] [--mutate M]
                                       exhaustively explore the data layer's
                                       coherence protocol over bounded
@@ -328,6 +339,76 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
         std::fs::write(&path, profile::to_json(&p).to_pretty())
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("profile JSON written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_perf_diff(args: &[String]) -> Result<(), String> {
+    use hetero_trace::anomaly::{detect, AnomalyConfig};
+    use hetero_trace::json::Json;
+
+    let mut json_out: Option<String> = None;
+    let mut telemetry_base: Option<String> = None;
+    let mut telemetry_head: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json_out = Some(it.next().ok_or("--json needs a path")?.to_string()),
+            "--telemetry-base" => {
+                telemetry_base = Some(
+                    it.next()
+                        .ok_or("--telemetry-base needs a path")?
+                        .to_string(),
+                );
+            }
+            "--telemetry-head" => {
+                telemetry_head = Some(
+                    it.next()
+                        .ok_or("--telemetry-head needs a path")?
+                        .to_string(),
+                );
+            }
+            other => files.push(other.to_string()),
+        }
+    }
+    let [base_path, head_path] = files.as_slice() else {
+        return Err(
+            "perf-diff needs exactly two traces: <base.trace.json> <head.trace.json>".into(),
+        );
+    };
+    let load_trace = |path: &str| {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        hetero_trace::codec::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (base, base_deps) = load_trace(base_path)?;
+    let (head, head_deps) = load_trace(head_path)?;
+    let mut diff = hetero_trace::diff::perf_diff(&base, &base_deps, &head, &head_deps)?;
+
+    if telemetry_base.is_some() || telemetry_head.is_some() {
+        let load_json = |path: &Option<String>| match path {
+            Some(path) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+            }
+            None => Ok(Json::Obj(Vec::new())),
+        };
+        diff.merge_telemetry_json(&load_json(&telemetry_base)?, &load_json(&telemetry_head)?);
+    }
+
+    print!("{}", diff.render_table());
+    let anomalies = detect(&head, &AnomalyConfig::default());
+    if !anomalies.is_empty() {
+        println!("head-run anomalies:");
+        for a in &anomalies {
+            println!("  {} [{}]: {}", a.code, a.subject, a.message);
+        }
+    }
+    if let Some(path) = json_out {
+        std::fs::write(&path, diff.to_json().to_pretty())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("perf-diff JSON written to {path}");
     }
     Ok(())
 }

@@ -19,7 +19,15 @@ fn pdl(args: &[&str]) -> (bool, String, String) {
 fn help_lists_commands() {
     let (ok, stdout, _) = pdl(&["help"]);
     assert!(ok);
-    for cmd in ["validate", "discover", "query", "route", "diff", "simulate"] {
+    for cmd in [
+        "validate",
+        "discover",
+        "query",
+        "route",
+        "diff",
+        "simulate",
+        "perf-diff",
+    ] {
         assert!(stdout.contains(cmd), "missing {cmd}");
     }
 }
@@ -168,4 +176,34 @@ fn model_check_rejects_unknown_mutation() {
     let (ok, _, stderr) = pdl(&["model-check", "--mutate", "m999"]);
     assert!(!ok);
     assert!(stderr.contains("unknown mutation"), "{stderr}");
+}
+
+#[test]
+fn perf_diff_attributes_fixture_regression() {
+    let dir = std::env::temp_dir().join(format!("pdl-pd-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let json = dir.join("diff.json");
+    let (ok, stdout, stderr) = pdl(&[
+        "perf-diff",
+        "examples/traces/perf_diff_base.trace.json",
+        "examples/traces/perf_diff_regressed.trace.json",
+        "--json",
+        json.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stdout}\n{stderr}");
+    assert!(
+        stdout.contains("top regression: transfer/PCIe:host-gpu0"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("A004 [PCIe:host-gpu0]"), "{stdout}");
+    let text = std::fs::read_to_string(&json).unwrap();
+    assert!(text.contains("\"schema\": \"pdl-perf-diff/1\""), "{text}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn perf_diff_requires_two_traces() {
+    let (ok, _, stderr) = pdl(&["perf-diff", "examples/traces/perf_diff_base.trace.json"]);
+    assert!(!ok);
+    assert!(stderr.contains("two traces"), "{stderr}");
 }

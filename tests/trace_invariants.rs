@@ -139,4 +139,71 @@ proptest! {
             .unwrap();
         check_trace(&report, n);
     }
+
+    /// The codec is lossless even on *lossy* traces: whatever spans, ring
+    /// overflow counts, and dependency edges a trace carries, export →
+    /// parse must reproduce the trace verbatim — including each worker's
+    /// `overwritten` tally (the analyzer's `A005` input) and every dep
+    /// edge (the profiler's critical-path input).
+    #[test]
+    fn codec_round_trips_lossy_traces_and_deps(
+        worker_spans in proptest::collection::vec(
+            (0u64..1000, proptest::collection::vec((1u64..50, 1u64..50), 0..6)),
+            1..4,
+        ),
+        dep_seeds in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..8),
+    ) {
+        use hetero_trace::{codec, EventKind, TraceEvent};
+        use hetero_trace::{LaneLabel, RunTrace, TaskInfo, TraceMeta, WorkerTrace};
+
+        let mut tasks = Vec::new();
+        let mut workers = Vec::new();
+        let mut lanes = Vec::new();
+        for (w, (overwritten, spans)) in worker_spans.iter().enumerate() {
+            lanes.push(LaneLabel {
+                name: format!("cpu{w}"),
+                group: (w % 2 == 0).then(|| "cpus".to_string()),
+            });
+            let mut events = Vec::new();
+            let mut ts = 0u64;
+            for &(gap, dur) in spans {
+                let task = tasks.len() as u32;
+                tasks.push(TaskInfo {
+                    label: format!("t{task}"),
+                    category: "task".to_string(),
+                    group: None,
+                });
+                ts += gap;
+                events.push(TraceEvent { ts, kind: EventKind::TaskStart { task } });
+                ts += dur;
+                events.push(TraceEvent { ts, kind: EventKind::TaskEnd { task } });
+            }
+            workers.push(WorkerTrace { worker: w, events, overwritten: *overwritten });
+        }
+        let n = tasks.len() as u32;
+        let deps: Vec<(u32, u32)> = dep_seeds
+            .iter()
+            .filter(|_| n > 0)
+            .map(|&(a, b)| (a % n, b % n))
+            .collect();
+        let trace = RunTrace {
+            meta: TraceMeta {
+                platform: Some("prop-machine".to_string()),
+                lanes,
+                tasks,
+                ..Default::default()
+            },
+            prelude: Vec::new(),
+            workers,
+        };
+
+        let exported = codec::export(&trace, &deps);
+        let (parsed, parsed_deps) = codec::parse(&exported)
+            .unwrap_or_else(|e| panic!("round-trip parse failed: {e}"));
+        prop_assert_eq!(&parsed, &trace, "trace must survive the codec verbatim");
+        prop_assert_eq!(parsed_deps, deps, "dep edges must survive the codec");
+        for (orig, back) in trace.workers.iter().zip(&parsed.workers) {
+            prop_assert_eq!(orig.overwritten, back.overwritten);
+        }
+    }
 }
