@@ -106,7 +106,7 @@ pub struct DataMeta {
 pub const HOST: DeviceId = DeviceId(usize::MAX);
 
 /// The protocol-level [`Node`] for a runtime device id.
-fn node_of(d: DeviceId) -> Node {
+pub(crate) fn node_of(d: DeviceId) -> Node {
     if d == HOST {
         Node::Host
     } else {
@@ -115,7 +115,7 @@ fn node_of(d: DeviceId) -> Node {
 }
 
 /// The runtime device id for a protocol-level [`Node`].
-fn device_of(n: Node) -> DeviceId {
+pub(crate) fn device_of(n: Node) -> DeviceId {
     match n {
         Node::Host => HOST,
         Node::Dev(i) => DeviceId(i),
@@ -125,7 +125,7 @@ fn device_of(n: Node) -> DeviceId {
 /// One handle's valid set as the pure protocol sees it. `Node`'s variant
 /// order mirrors `DeviceId` ordering (the host sentinel is `usize::MAX`),
 /// so owner selection picks the same element on both sides.
-fn nodes_of(valid: &BTreeSet<DeviceId>) -> BTreeSet<Node> {
+pub(crate) fn nodes_of(valid: &BTreeSet<DeviceId>) -> BTreeSet<Node> {
     valid.iter().copied().map(node_of).collect()
 }
 
@@ -134,9 +134,9 @@ fn nodes_of(valid: &BTreeSet<DeviceId>) -> BTreeSet<Node> {
 /// shared. Costs come from the exact `transfer_time` computation the
 /// decorated hops carry, so pure totals and decorated totals are
 /// bit-identical floats.
-struct MachineCosts<'a> {
-    machine: &'a SimMachine,
-    size: f64,
+pub(crate) struct MachineCosts<'a> {
+    pub(crate) machine: &'a SimMachine,
+    pub(crate) size: f64,
 }
 
 impl proto::CostView for MachineCosts<'_> {
@@ -189,7 +189,7 @@ pub fn model_topo(
 
 /// Rebuilds the pure skeleton of a decorated plan, for delegating commit
 /// classification to the protocol.
-fn pure_plan(plan: &TransferPlan) -> proto::Plan {
+pub(crate) fn pure_plan(plan: &TransferPlan) -> proto::Plan {
     proto::Plan {
         hops: plan
             .hops
@@ -206,7 +206,7 @@ fn pure_plan(plan: &TransferPlan) -> proto::Plan {
 
 /// Decorates one pure hop with the physical links and modeled duration of
 /// the route it crosses. Free bookkeeping hops stay free.
-fn decorate_hop(machine: &SimMachine, size: f64, hop: &proto::Hop) -> TransferHop {
+pub(crate) fn decorate_hop(machine: &SimMachine, size: f64, hop: &proto::Hop) -> TransferHop {
     let from = device_of(hop.from);
     let to = device_of(hop.to);
     if !hop.moves_bytes {

@@ -27,10 +27,72 @@ use crate::task::TaskId;
 use simhw::energy::energy;
 use simhw::events::EventQueue;
 use simhw::machine::{DeviceId, SimMachine};
-use simhw::resource::Timeline;
+use simhw::resource::{BucketedTimeline, Timeline};
 use simhw::time::{Duration, SimTime};
 use simhw::trace::{SpanKind, Trace};
 use std::collections::BTreeMap;
+
+/// A ready-pool entry ordered for dispatch: higher priority first, then
+/// submission order (StarPU-style). `BinaryHeap` is a max-heap, so `Ord`
+/// treats the *smaller* task id as greater.
+#[derive(PartialEq, Eq)]
+struct ReadyKey {
+    priority: i32,
+    id: usize,
+}
+
+impl Ord for ReadyKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for ReadyKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Per-(codelet, device) dispatch table precomputed before the event loop:
+/// the variant speedup when the device can run the codelet, `None` when it
+/// cannot. Replaces the per-dispatch `variant_for` string matching (and
+/// its software-platform `Vec` allocations) with an indexed load.
+fn variant_table(graph: &TaskGraph, machine: &SimMachine) -> Vec<Vec<Option<f64>>> {
+    graph
+        .codelets
+        .iter()
+        .map(|codelet| {
+            machine
+                .devices
+                .iter()
+                .map(|d| {
+                    let sw: Vec<&str> = d.software_platforms.iter().map(String::as_str).collect();
+                    codelet.variant_for(&d.arch, &sw).map(|v| v.speedup)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Per-execution-group device eligibility, precomputed for every distinct
+/// group name the graph mentions.
+fn group_table<'g>(graph: &'g TaskGraph, machine: &SimMachine) -> BTreeMap<&'g str, Vec<bool>> {
+    let mut table: BTreeMap<&str, Vec<bool>> = BTreeMap::new();
+    for task in &graph.tasks {
+        if let Some(g) = task.execution_group.as_deref() {
+            table.entry(g).or_insert_with(|| {
+                machine
+                    .devices
+                    .iter()
+                    .map(|d| d.groups.iter().any(|dg| dg == g))
+                    .collect()
+            });
+        }
+    }
+    table
+}
 
 /// Simulates the graph with online (event-driven) scheduling.
 ///
@@ -56,16 +118,42 @@ pub fn simulate_dynamic(
 
     let pipeline = options.pipeline;
     let routing = pipeline.routing();
-    let mut link_timelines: Vec<Timeline> = vec![Timeline::new(); machine.links.len()];
+    let mut link_timelines: Vec<BucketedTimeline> =
+        vec![BucketedTimeline::default(); machine.links.len()];
     let mut link_use: Vec<LinkUse> = vec![LinkUse::default(); machine.links.len()];
     let mut link_trace = Trace::new();
     let mut handle_ready: BTreeMap<HandleId, SimTime> = BTreeMap::new();
 
-    // Readiness bookkeeping.
+    // Dispatch tables: variant speedups and group eligibility resolved
+    // once, so the hot loop never touches strings.
+    let variants = variant_table(graph, machine);
+    let groups = group_table(graph, machine);
+    let eligible = |task_idx: usize, dev: usize| -> bool {
+        let task = &graph.tasks[task_idx];
+        variants[task.codelet][dev].is_some()
+            && task
+                .execution_group
+                .as_deref()
+                .is_none_or(|g| groups[g][dev])
+    };
+
+    // Readiness bookkeeping: a max-heap keyed (priority desc, submission
+    // order asc) replaces the re-sorted ready `Vec` — pushing a ready task
+    // and popping the dispatch candidate are both O(log n), where the old
+    // sort-plus-`remove(i)` scan was quadratic in the pool size.
     let mut pending_deps: Vec<usize> = (0..n)
         .map(|t| graph.dependencies(TaskId(t)).len())
         .collect();
-    let mut ready: Vec<TaskId> = graph.sources();
+    let mut ready: std::collections::BinaryHeap<ReadyKey> = graph
+        .sources()
+        .into_iter()
+        .map(|t| ReadyKey {
+            priority: graph.tasks[t.0].priority,
+            id: t.0,
+        })
+        .collect();
+    let mut skipped: Vec<ReadyKey> = Vec::new();
+    let mut candidates: Vec<DeviceId> = Vec::with_capacity(machine.len());
     let mut completed = 0usize;
 
     /// Completion events carry the finished task.
@@ -75,20 +163,11 @@ pub fn simulate_dynamic(
     // Pre-validate: every task must have at least one eligible device
     // (otherwise the run can never finish).
     for t in 0..n {
-        let task = &graph.tasks[t];
-        let codelet = &graph.codelets[task.codelet];
-        let any = machine.devices.iter().any(|d| {
-            let sw: Vec<&str> = d.software_platforms.iter().map(String::as_str).collect();
-            codelet.variant_for(&d.arch, &sw).is_some()
-                && match &task.execution_group {
-                    None => true,
-                    Some(g) => d.groups.iter().any(|dg| dg == g),
-                }
-        });
-        if !any {
+        if !(0..machine.len()).any(|d| eligible(t, d)) {
+            let task = &graph.tasks[t];
             return Err(RtError::NoEligibleDevice {
                 task: TaskId(t),
-                codelet: codelet.name.clone(),
+                codelet: graph.codelets[task.codelet].name.clone(),
                 execution_group: task.execution_group.clone(),
             });
         }
@@ -96,54 +175,47 @@ pub fn simulate_dynamic(
 
     // Dispatch loop: bind ready tasks to *idle* devices at the current
     // time (late binding — the defining property of online scheduling),
-    // then advance to the next completion event. The ready pool is kept
-    // sorted by (priority desc, submission order) so high-priority tasks
-    // dispatch first, StarPU-style.
-    let prio_order = |ready: &mut Vec<TaskId>| {
-        ready.sort_by_key(|t| (-graph.tasks[t.0].priority, t.0));
-    };
+    // then advance to the next completion event. Tasks pop in (priority
+    // desc, submission order) order; a task with no idle compatible device
+    // is parked in `skipped` until the next event. Dispatching only makes
+    // devices busier, so a popped-and-skipped task can never become
+    // dispatchable within the same round — the old restart-the-scan loop
+    // and this single pass produce identical dispatch sequences, and the
+    // round ends early the moment no device is idle at all.
     loop {
         let now = events.now();
-        prio_order(&mut ready);
-        let mut i = 0;
-        'scan: while i < ready.len() {
-            let tid = ready[i];
+        let mut idle = (0..machine.len())
+            .filter(|&d| timelines[d].free_at() <= now)
+            .count();
+        while idle > 0 {
+            let Some(key) = ready.pop() else { break };
+            let tid = TaskId(key.id);
             let task = &graph.tasks[tid.0];
             let codelet = &graph.codelets[task.codelet];
             // Idle, variant-compatible, group-compatible devices only.
-            let candidates: Vec<DeviceId> = machine
-                .devices
-                .iter()
-                .filter(|d| timelines[d.id.0].free_at() <= now)
-                .filter(|d| {
-                    let sw: Vec<&str> = d.software_platforms.iter().map(String::as_str).collect();
-                    codelet.variant_for(&d.arch, &sw).is_some()
-                })
-                .filter(|d| match &task.execution_group {
-                    None => true,
-                    Some(g) => d.groups.iter().any(|dg| dg == g),
-                })
-                .map(|d| d.id)
-                .collect();
+            candidates.clear();
+            candidates.extend(
+                (0..machine.len())
+                    .filter(|&d| timelines[d].free_at() <= now && eligible(tid.0, d))
+                    .map(DeviceId),
+            );
             if candidates.is_empty() {
-                // No idle compatible device right now; try the next ready
-                // task, revisit this one at the next completion event.
-                i += 1;
-                continue 'scan;
+                // No idle compatible device right now; revisit this task
+                // at the next completion event.
+                skipped.push(key);
+                continue;
             }
 
             let free_at = |d: DeviceId| timelines[d.0].free_at();
+            let speedup_of =
+                |d: DeviceId| variants[task.codelet][d.0].expect("candidate implies variant");
             let est_finish = |d: DeviceId| {
                 let dev = &machine.devices[d.0];
-                let sw: Vec<&str> = dev.software_platforms.iter().map(String::as_str).collect();
-                let variant = codelet
-                    .variant_for(&dev.arch, &sw)
-                    .expect("candidate implies variant");
                 let mut transfer = Duration::ZERO;
                 for a in &task.accesses {
                     transfer = transfer + data.probe_acquire(machine, a.handle, d, a.mode);
                 }
-                let compute = Duration::new(task.flops / (dev.flops_dp * variant.speedup));
+                let compute = Duration::new(task.flops / (dev.flops_dp * speedup_of(d)));
                 let (_, end) = timelines[d.0].probe(now, transfer + compute);
                 end
             };
@@ -156,11 +228,7 @@ pub fn simulate_dynamic(
             };
             let est_compute = |d: DeviceId| {
                 let dev = &machine.devices[d.0];
-                let sw: Vec<&str> = dev.software_platforms.iter().map(String::as_str).collect();
-                let variant = codelet
-                    .variant_for(&dev.arch, &sw)
-                    .expect("candidate implies variant");
-                Duration::new(task.flops / (dev.flops_dp * variant.speedup))
+                Duration::new(task.flops / (dev.flops_dp * speedup_of(d)))
             };
             let ctx = ScheduleContext {
                 machine,
@@ -177,11 +245,8 @@ pub fn simulate_dynamic(
 
             // Charge the placement.
             let dev = &machine.devices[chosen.0];
-            let sw: Vec<&str> = dev.software_platforms.iter().map(String::as_str).collect();
-            let variant = codelet
-                .variant_for(&dev.arch, &sw)
-                .expect("candidate implies variant");
-            let compute = Duration::new(task.flops / (dev.flops_dp * variant.speedup));
+            let speedup = variants[task.codelet][chosen.0].expect("candidate implies variant");
+            let compute = Duration::new(task.flops / (dev.flops_dp * speedup));
             let end = if pipeline.is_active() {
                 let mut arrival = SimTime::ZERO;
                 for a in &task.accesses {
@@ -249,10 +314,14 @@ pub fn simulate_dynamic(
             }
             assignments.push((tid, chosen));
             events.schedule(end, Completion(tid));
-            ready.remove(i);
-            // Restart the scan: device availability changed.
-            i = 0;
+            if timelines[chosen.0].free_at() > now {
+                // The dispatch occupied a device; once none are idle the
+                // rest of the pool cannot dispatch until the next event.
+                idle -= 1;
+            }
         }
+        // Parked tasks return to the pool for the next round.
+        ready.extend(skipped.drain(..));
 
         // Advance to the next completion.
         match events.pop() {
@@ -262,7 +331,10 @@ pub fn simulate_dynamic(
                 for &dep in graph.dependents(done) {
                     pending_deps[dep.0] -= 1;
                     if pending_deps[dep.0] == 0 {
-                        ready.push(dep);
+                        ready.push(ReadyKey {
+                            priority: graph.tasks[dep.0].priority,
+                            id: dep.0,
+                        });
                     }
                 }
             }

@@ -36,6 +36,18 @@ impl TaskGraph {
         Self::default()
     }
 
+    /// An empty graph pre-sized for `tasks` submissions: the task,
+    /// dependency and dependent vectors are allocated once up front, so
+    /// million-task submission loops never re-grow them.
+    pub fn with_capacity(tasks: usize) -> Self {
+        TaskGraph {
+            tasks: Vec::with_capacity(tasks),
+            dependencies: Vec::with_capacity(tasks),
+            dependents: Vec::with_capacity(tasks),
+            ..Self::default()
+        }
+    }
+
     /// Registers a codelet, returning its index for task submission.
     pub fn add_codelet(&mut self, codelet: Codelet) -> usize {
         self.codelets.push(codelet);

@@ -41,6 +41,7 @@ pub mod dyn_engine;
 pub mod graph;
 pub mod perfmodel;
 pub mod scheduler;
+pub mod sharded_data;
 pub mod sim_engine;
 pub mod task;
 pub mod thread_engine;
@@ -56,6 +57,7 @@ pub mod prelude {
         by_name, DmdaScheduler, EagerScheduler, EnergyAwareScheduler, HeftScheduler,
         RandomScheduler, RoundRobinScheduler, ScheduleContext, Scheduler,
     };
+    pub use crate::sharded_data::ShardedDataRegistry;
     pub use crate::sim_engine::{simulate, RtError, SimOptions, SimReport, TransferPipeline};
     pub use crate::task::{Codelet, DataAccess, Task, TaskId, Variant};
     pub use crate::thread_engine::{

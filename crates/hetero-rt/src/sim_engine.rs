@@ -22,7 +22,7 @@ use crate::scheduler::{ScheduleContext, Scheduler};
 use crate::task::TaskId;
 use simhw::energy::{energy, EnergyReport};
 use simhw::machine::{DeviceId, SimMachine};
-use simhw::resource::Timeline;
+use simhw::resource::{BucketedTimeline, Timeline};
 use simhw::time::{Duration, SimTime};
 use simhw::trace::{SpanKind, Trace};
 use std::collections::BTreeMap;
@@ -214,9 +214,11 @@ pub fn simulate(
 
     let pipeline = options.pipeline;
     let routing = pipeline.routing();
-    // One FIFO timeline per physical link (pipeline mode), plus a separate
-    // trace whose "device" ids index machine.links.
-    let mut link_timelines: Vec<Timeline> = vec![Timeline::new(); machine.links.len()];
+    // One bucketed FIFO timeline per physical link (pipeline mode) — the
+    // calendar-queue bucketing keeps a bounded occupancy profile per link —
+    // plus a separate trace whose "device" ids index machine.links.
+    let mut link_timelines: Vec<BucketedTimeline> =
+        vec![BucketedTimeline::default(); machine.links.len()];
     let mut link_use: Vec<LinkUse> = vec![LinkUse::default(); machine.links.len()];
     let mut link_trace = Trace::new();
     // When each handle's current value came into existence (its last
@@ -479,7 +481,7 @@ pub(crate) fn run_plan_on_links(
     plan: &crate::data::TransferPlan,
     floor: SimTime,
     contention: bool,
-    link_timelines: &mut [Timeline],
+    link_timelines: &mut [BucketedTimeline],
     link_use: &mut [LinkUse],
     link_trace: &mut Trace,
     label: &str,

@@ -40,7 +40,7 @@ use crate::graph::TaskGraph;
 use crate::task::Task;
 use crossbeam::channel;
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
-use hetero_trace::telemetry::{self, AtomicHistogram, Counter, LocalHistogram};
+use hetero_trace::telemetry::{self, AtomicHistogram, Counter, Gauge, LocalHistogram};
 use hetero_trace::{
     EventKind, LaneLabel, Provenance, RunTrace, TaskInfo, TimeUnit, TraceClock, TraceMeta,
     TraceSink, WorkerTrace, WorkerTracer,
@@ -242,6 +242,14 @@ pub enum ThreadEngineError {
         /// Resolver message.
         message: String,
     },
+    /// A compiled graph was run on an executor whose placement differs
+    /// from the one it was compiled against.
+    PlacementMismatch {
+        /// Group names the graph was compiled with.
+        compiled: Vec<String>,
+        /// Group names the executing pool defines.
+        executor: Vec<String>,
+    },
 }
 
 impl std::fmt::Display for ThreadEngineError {
@@ -258,6 +266,10 @@ impl std::fmt::Display for ThreadEngineError {
             ThreadEngineError::BadGroupExpr { expr, message } => {
                 write!(f, "cannot resolve group expression {expr:?}: {message}")
             }
+            ThreadEngineError::PlacementMismatch { compiled, executor } => write!(
+                f,
+                "graph compiled for placement {compiled:?} cannot run on a pool with placement {executor:?}"
+            ),
         }
     }
 }
@@ -380,6 +392,20 @@ pub fn from_graph(
 /// A task body, claimable exactly once by whichever worker executes it.
 type WorkSlot = Mutex<Option<Box<dyn FnOnce() + Send>>>;
 
+/// Reusable buffers for [`build_runtime`]'s CSR construction.
+///
+/// Batched submission re-runs the dependency build once per batch; keeping
+/// the edge list and per-task dedup scratch alive across batches means the
+/// submit hot path allocates nothing after the first batch warms the
+/// buffers up.
+#[derive(Debug, Default)]
+pub struct BuildScratch {
+    /// `(dependency, dependent)` edge accumulator.
+    edges: Vec<(usize, usize)>,
+    /// Per-task dependency dedup buffer.
+    scratch: Vec<usize>,
+}
+
 struct ValidatedTasks {
     pending: Vec<AtomicUsize>,
     /// Dependents in CSR form (offsets + flat targets): avoids one small
@@ -390,13 +416,45 @@ struct ValidatedTasks {
     work: Vec<WorkSlot>,
 }
 
-impl ValidatedTasks {
+/// Borrowed view of one run's dependency state — the shape the workers
+/// actually touch. Both the owned [`ValidatedTasks`] (plain `run`) and a
+/// prebuilt [`CompiledGraph`] (batched `run_compiled`) project into this.
+#[derive(Clone, Copy)]
+struct RuntimeView<'a> {
+    pending: &'a [AtomicUsize],
+    dep_offsets: &'a [usize],
+    dep_targets: &'a [usize],
+    work: &'a [WorkSlot],
+}
+
+impl RuntimeView<'_> {
     fn dependents(&self, i: usize) -> &[usize] {
         &self.dep_targets[self.dep_offsets[i]..self.dep_offsets[i + 1]]
     }
 }
 
-fn validate(tasks: Vec<ThreadTask>) -> Result<ValidatedTasks, ThreadEngineError> {
+impl ValidatedTasks {
+    fn view(&self) -> RuntimeView<'_> {
+        RuntimeView {
+            pending: &self.pending,
+            dep_offsets: &self.dep_offsets,
+            dep_targets: &self.dep_targets,
+            work: &self.work,
+        }
+    }
+
+    fn dependents(&self, i: usize) -> &[usize] {
+        &self.dep_targets[self.dep_offsets[i]..self.dep_offsets[i + 1]]
+    }
+}
+
+/// Validates dependency indices and builds the runtime representation:
+/// atomic pending counters plus the dependents CSR. `buf` carries the
+/// reusable scratch allocations (see [`BuildScratch`]).
+fn build_runtime(
+    tasks: Vec<ThreadTask>,
+    buf: &mut BuildScratch,
+) -> Result<ValidatedTasks, ThreadEngineError> {
     let n = tasks.len();
     for (i, t) in tasks.iter().enumerate() {
         for &d in &t.deps {
@@ -406,25 +464,24 @@ fn validate(tasks: Vec<ThreadTask>) -> Result<ValidatedTasks, ThreadEngineError>
         }
     }
     let mut pending = Vec::with_capacity(n);
-    let mut edges: Vec<(usize, usize)> = Vec::new(); // (dependency, dependent)
-    let mut scratch: Vec<usize> = Vec::new();
+    buf.edges.clear();
     for (i, t) in tasks.iter().enumerate() {
-        scratch.clear();
-        scratch.extend_from_slice(&t.deps);
-        scratch.sort_unstable();
-        scratch.dedup();
-        pending.push(AtomicUsize::new(scratch.len()));
-        edges.extend(scratch.iter().map(|&d| (d, i)));
+        buf.scratch.clear();
+        buf.scratch.extend_from_slice(&t.deps);
+        buf.scratch.sort_unstable();
+        buf.scratch.dedup();
+        pending.push(AtomicUsize::new(buf.scratch.len()));
+        buf.edges.extend(buf.scratch.iter().map(|&d| (d, i)));
     }
-    edges.sort_unstable();
+    buf.edges.sort_unstable();
     let mut dep_offsets = vec![0usize; n + 1];
-    for &(d, _) in &edges {
+    for &(d, _) in &buf.edges {
         dep_offsets[d + 1] += 1;
     }
     for i in 0..n {
         dep_offsets[i + 1] += dep_offsets[i];
     }
-    let dep_targets = edges.into_iter().map(|(_, t)| t).collect();
+    let dep_targets = buf.edges.iter().map(|&(_, t)| t).collect();
     let mut labels = Vec::with_capacity(n);
     let mut work = Vec::with_capacity(n);
     for t in tasks {
@@ -438,6 +495,41 @@ fn validate(tasks: Vec<ThreadTask>) -> Result<ValidatedTasks, ThreadEngineError>
         labels,
         work,
     })
+}
+
+/// A dependency graph compiled once for repeated execution.
+///
+/// [`ThreadedExecutor::compile_graph`] prebuilds everything `run` would
+/// derive per call — the dependents CSR, the initial pending counts, the
+/// placement-resolved group of every task — so each
+/// [`ThreadedExecutor::run_compiled`] batch only instantiates fresh atomic
+/// counters and work closures. This is the batched submission path: for a
+/// graph executed many times (or a million-task graph where the build cost
+/// is material), the per-run submit work drops to two `memcpy`-shaped
+/// passes.
+#[derive(Debug, Clone)]
+pub struct CompiledGraph {
+    pending_init: Vec<usize>,
+    dep_offsets: Vec<usize>,
+    dep_targets: Vec<usize>,
+    labels: Vec<String>,
+    task_group: Vec<Option<usize>>,
+    group_names: Vec<String>,
+    /// Task indices with no dependencies, in submission order — the seed
+    /// loop skips the full pending scan.
+    initially_ready: Vec<usize>,
+}
+
+impl CompiledGraph {
+    /// Number of tasks in the compiled graph.
+    pub fn len(&self) -> usize {
+        self.pending_init.len()
+    }
+
+    /// Whether the compiled graph has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.pending_init.is_empty()
+    }
 }
 
 fn empty_report(wall: StdDuration, workers: usize, groups: Vec<String>) -> ExecReport {
@@ -510,6 +602,7 @@ pub struct ThreadedExecutor {
     placement: Option<Placement>,
     sink: TraceSink,
     telemetry: bool,
+    task_stats: bool,
 }
 
 /// Always-on instrument handles for the executor, resolved once per run
@@ -524,6 +617,13 @@ struct ExecutorTelemetry {
     failed_steals: Arc<Counter>,
     parks: Arc<Counter>,
     task_latency: Arc<AtomicHistogram>,
+    /// Peak ready-queue depth any worker observed on its own deque
+    /// (worker-local estimate; steals by siblings are reconciled at the
+    /// next empty pop, so this is a high-water mark, not a live sample).
+    queue_depth: Arc<Gauge>,
+    /// Per-batch submit latency: one observation per `run`/`run_compiled`
+    /// covering validation + runtime construction up to the first seed.
+    submit_latency: Arc<AtomicHistogram>,
 }
 
 impl ExecutorTelemetry {
@@ -537,6 +637,8 @@ impl ExecutorTelemetry {
             failed_steals: t.counter("executor_failed_steals_total"),
             parks: t.counter("executor_parks_total"),
             task_latency: t.histogram("executor_task_latency_ns"),
+            queue_depth: t.gauge("executor_queue_depth_peak"),
+            submit_latency: t.histogram("executor_submit_latency_ns"),
         }
     }
 }
@@ -550,6 +652,7 @@ impl ThreadedExecutor {
             placement: None,
             sink: TraceSink::Null,
             telemetry: true,
+            task_stats: true,
         }
     }
 
@@ -570,6 +673,7 @@ impl ThreadedExecutor {
             placement: (placement.total_workers() > 0).then_some(placement),
             sink: TraceSink::Null,
             telemetry: true,
+            task_stats: true,
         }
     }
 
@@ -594,13 +698,68 @@ impl ThreadedExecutor {
         self
     }
 
+    /// Enables or disables per-task stats collection (default **on**).
+    ///
+    /// With stats off, [`ExecReport::tasks`] comes back empty and workers
+    /// skip the per-task `(index, duration)` record — at a million tasks
+    /// per run, that record (and the label clone it implies at assembly
+    /// time) is the dominant fixed cost, so throughput benchmarks and
+    /// embedders that only need the aggregate counters turn it off.
+    /// Worker-level stats, traces and telemetry are unaffected.
+    pub fn with_task_stats(mut self, enabled: bool) -> Self {
+        self.task_stats = enabled;
+        self
+    }
+
     /// The configured placement, if any.
     pub fn placement(&self) -> Option<&Placement> {
         self.placement.as_ref()
     }
 
+    /// Group names under the configured placement (a single `"all"`
+    /// pseudo-group when there is none).
+    fn group_names(&self) -> Vec<String> {
+        match &self.placement {
+            None => vec!["all".to_string()],
+            Some(p) => p.groups.iter().map(|g| g.name.clone()).collect(),
+        }
+    }
+
+    /// Resolves each task's optional group name against the placement.
+    fn resolve_task_groups<'g>(
+        &self,
+        groups: impl Iterator<Item = Option<&'g str>>,
+    ) -> Result<Vec<Option<usize>>, ThreadEngineError> {
+        match &self.placement {
+            None => Ok(groups.map(|_| None).collect()),
+            Some(p) => groups
+                .enumerate()
+                .map(|(i, g)| match g {
+                    None => Ok(None),
+                    Some(name) => p.group_index(name).map(Some).ok_or_else(|| {
+                        ThreadEngineError::UnknownGroup {
+                            task: i,
+                            group: name.to_string(),
+                        }
+                    }),
+                })
+                .collect(),
+        }
+    }
+
     /// Executes all tasks, returning per-task and per-worker stats.
     pub fn run(&self, tasks: Vec<ThreadTask>) -> Result<ExecReport, ThreadEngineError> {
+        self.run_with_scratch(tasks, &mut BuildScratch::default())
+    }
+
+    /// [`run`](Self::run) with caller-owned build buffers: batched
+    /// submission calls this in a loop so the CSR edge list and the dedup
+    /// scratch are reused across batches instead of reallocated per run.
+    pub fn run_with_scratch(
+        &self,
+        tasks: Vec<ThreadTask>,
+        buf: &mut BuildScratch,
+    ) -> Result<ExecReport, ThreadEngineError> {
         let n = tasks.len();
         // One clock for the whole run: every worker stamps events and
         // measures durations against the same monotonic origin.
@@ -613,32 +772,10 @@ impl ThreadedExecutor {
             },
         );
 
-        let group_names: Vec<String> = match &self.placement {
-            None => vec!["all".to_string()],
-            Some(p) => p.groups.iter().map(|g| g.name.clone()).collect(),
-        };
+        let group_names = self.group_names();
 
         // Resolve every task's group name to a group index up front.
-        let mut task_group: Vec<Option<usize>> = Vec::with_capacity(n);
-        match &self.placement {
-            None => task_group.resize(n, None),
-            Some(p) => {
-                for (i, t) in tasks.iter().enumerate() {
-                    match &t.group {
-                        None => task_group.push(None),
-                        Some(name) => match p.group_index(name) {
-                            Some(g) => task_group.push(Some(g)),
-                            None => {
-                                return Err(ThreadEngineError::UnknownGroup {
-                                    task: i,
-                                    group: name.clone(),
-                                })
-                            }
-                        },
-                    }
-                }
-            }
-        }
+        let task_group = self.resolve_task_groups(tasks.iter().map(|t| t.group.as_deref()))?;
 
         // PDL-labeled trace metadata, built only when events are kept.
         let meta = self.sink.enabled().then(|| TraceMeta {
@@ -656,13 +793,14 @@ impl ThreadedExecutor {
             time_unit: TimeUnit::RealNanos,
         });
 
-        let mut v = validate(tasks)?;
+        let mut v = build_runtime(tasks, buf)?;
         prelude.record(
             &clock,
             EventKind::PhaseEnd {
                 name: "validate".into(),
             },
         );
+        let submit_ns = clock.now();
         if n == 0 {
             return Ok(empty_report(
                 StdDuration::from_nanos(clock.now()),
@@ -671,6 +809,168 @@ impl ThreadedExecutor {
             ));
         }
 
+        let mut out = self.run_inner(clock, prelude, v.view(), &task_group, None, submit_ns);
+
+        // Assemble the per-task stats outside the hot path: workers only
+        // recorded (task index, duration); labels are moved (not cloned)
+        // out of the validated set here.
+        let tasks = out
+            .records
+            .drain(..)
+            .map(|(task, worker, duration)| TaskStats {
+                label: std::mem::take(&mut v.labels[task]),
+                worker,
+                duration,
+            })
+            .collect();
+
+        Ok(self.assemble_report(tasks, out, meta, group_names))
+    }
+
+    /// Compiles a [`TaskGraph`]'s structure for repeated execution with
+    /// [`run_compiled`](Self::run_compiled): the dependents CSR, the
+    /// initial pending counts, the placement-resolved group of every task
+    /// and the initially-ready seed list are all built once here, so each
+    /// subsequent run only instantiates fresh atomic counters and work
+    /// closures.
+    pub fn compile_graph(&self, graph: &TaskGraph) -> Result<CompiledGraph, ThreadEngineError> {
+        let n = graph.tasks.len();
+        let task_group =
+            self.resolve_task_groups(graph.tasks.iter().map(|t| t.execution_group.as_deref()))?;
+        let mut pending_init = Vec::with_capacity(n);
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        let mut scratch: Vec<usize> = Vec::new();
+        for t in &graph.tasks {
+            scratch.clear();
+            scratch.extend(graph.dependencies(t.id).iter().map(|d| d.0));
+            scratch.sort_unstable();
+            scratch.dedup();
+            pending_init.push(scratch.len());
+            edges.extend(scratch.iter().map(|&d| (d, t.id.0)));
+        }
+        edges.sort_unstable();
+        let mut dep_offsets = vec![0usize; n + 1];
+        for &(d, _) in &edges {
+            dep_offsets[d + 1] += 1;
+        }
+        for i in 0..n {
+            dep_offsets[i + 1] += dep_offsets[i];
+        }
+        let dep_targets = edges.into_iter().map(|(_, t)| t).collect();
+        let initially_ready = (0..n).filter(|&i| pending_init[i] == 0).collect();
+        Ok(CompiledGraph {
+            pending_init,
+            dep_offsets,
+            dep_targets,
+            labels: graph.tasks.iter().map(|t| t.label.clone()).collect(),
+            task_group,
+            group_names: self.group_names(),
+            initially_ready,
+        })
+    }
+
+    /// Executes a graph compiled by [`compile_graph`](Self::compile_graph);
+    /// `work` supplies each task's closure by task index.
+    ///
+    /// The executor must define the same placement groups the graph was
+    /// compiled against (group indices are baked in at compile time);
+    /// otherwise [`ThreadEngineError::PlacementMismatch`] is returned.
+    pub fn run_compiled(
+        &self,
+        graph: &CompiledGraph,
+        mut work: impl FnMut(usize) -> Box<dyn FnOnce() + Send>,
+    ) -> Result<ExecReport, ThreadEngineError> {
+        let clock = TraceClock::new();
+        let mut prelude = self.sink.worker_tracer();
+        prelude.record(
+            &clock,
+            EventKind::PhaseStart {
+                name: "validate".into(),
+            },
+        );
+        let group_names = self.group_names();
+        if group_names != graph.group_names {
+            return Err(ThreadEngineError::PlacementMismatch {
+                compiled: graph.group_names.clone(),
+                executor: group_names,
+            });
+        }
+        let n = graph.len();
+        let meta = self.sink.enabled().then(|| TraceMeta {
+            platform: self.placement.as_ref().and_then(|p| p.platform.clone()),
+            lanes: lane_labels(self.workers, self.placement.as_ref()),
+            tasks: graph
+                .labels
+                .iter()
+                .enumerate()
+                .map(|(i, label)| TaskInfo {
+                    label: label.clone(),
+                    category: "task".to_string(),
+                    group: graph.task_group[i].map(|g| group_names[g].clone()),
+                })
+                .collect(),
+            time_unit: TimeUnit::RealNanos,
+        });
+        // Per-run instantiation: two linear passes over prebuilt data.
+        let pending: Vec<AtomicUsize> = graph
+            .pending_init
+            .iter()
+            .map(|&p| AtomicUsize::new(p))
+            .collect();
+        let slots: Vec<WorkSlot> = (0..n).map(|i| Mutex::new(Some(work(i)))).collect();
+        prelude.record(
+            &clock,
+            EventKind::PhaseEnd {
+                name: "validate".into(),
+            },
+        );
+        let submit_ns = clock.now();
+        if n == 0 {
+            return Ok(empty_report(
+                StdDuration::from_nanos(clock.now()),
+                self.workers,
+                group_names,
+            ));
+        }
+        let view = RuntimeView {
+            pending: &pending,
+            dep_offsets: &graph.dep_offsets,
+            dep_targets: &graph.dep_targets,
+            work: &slots,
+        };
+        let mut out = self.run_inner(
+            clock,
+            prelude,
+            view,
+            &graph.task_group,
+            Some(&graph.initially_ready),
+            submit_ns,
+        );
+        let tasks = out
+            .records
+            .drain(..)
+            .map(|(task, worker, duration)| TaskStats {
+                label: graph.labels[task].clone(),
+                worker,
+                duration,
+            })
+            .collect();
+        Ok(self.assemble_report(tasks, out, meta, group_names))
+    }
+
+    /// The execution core shared by [`run`](Self::run) and
+    /// [`run_compiled`](Self::run_compiled): seeds ready tasks, spawns the
+    /// scoped worker pool, joins it and collects raw per-worker output.
+    fn run_inner(
+        &self,
+        clock: TraceClock,
+        mut prelude: WorkerTracer,
+        rt: RuntimeView<'_>,
+        task_group: &[Option<usize>],
+        ready_hint: Option<&[usize]>,
+        submit_ns: u64,
+    ) -> RunOutput {
+        let n = rt.pending.len();
         // Worker → group map: contiguous ranges in group order.
         let worker_group: Vec<usize> = match &self.placement {
             None => vec![0; self.workers],
@@ -697,7 +997,8 @@ impl ThreadedExecutor {
 
         // Seed initially-ready tasks round-robin across their group's
         // workers (or all workers when ungrouped), so there is no single
-        // contended entry queue even at t=0.
+        // contended entry queue even at t=0. A compiled graph supplies the
+        // ready list directly; otherwise scan the pending counters.
         prelude.record(
             &clock,
             EventKind::PhaseStart {
@@ -705,22 +1006,31 @@ impl ThreadedExecutor {
             },
         );
         let mut rr = vec![0usize; group_count + 1];
-        for i in 0..n {
-            if v.pending[i].load(Ordering::Relaxed) != 0 {
-                continue;
-            }
-            prelude.record(&clock, EventKind::TaskReady { task: i as u32 });
-            let targets: &[usize] = match task_group[i] {
-                Some(g) => &group_workers[g],
-                None => {
-                    rr[group_count] = (rr[group_count] + 1) % self.workers;
-                    locals[rr[group_count]].push(i);
-                    continue;
-                }
+        let mut seeded = vec![0usize; self.workers];
+        {
+            let mut seed = |i: usize| {
+                prelude.record(&clock, EventKind::TaskReady { task: i as u32 });
+                let w = match task_group[i] {
+                    Some(g) => {
+                        let targets = &group_workers[g];
+                        let slot = rr[g];
+                        rr[g] = (slot + 1) % targets.len();
+                        targets[slot]
+                    }
+                    None => {
+                        rr[group_count] = (rr[group_count] + 1) % self.workers;
+                        rr[group_count]
+                    }
+                };
+                locals[w].push(i);
+                seeded[w] += 1;
             };
-            let slot = rr[task_group[i].unwrap()];
-            rr[task_group[i].unwrap()] = (slot + 1) % targets.len();
-            locals[targets[slot]].push(i);
+            match ready_hint {
+                Some(ready) => ready.iter().for_each(|&i| seed(i)),
+                None => (0..n)
+                    .filter(|&i| rt.pending[i].load(Ordering::Relaxed) == 0)
+                    .for_each(&mut seed),
+            }
         }
         prelude.record(
             &clock,
@@ -733,9 +1043,13 @@ impl ThreadedExecutor {
         let park = std::sync::Mutex::new(());
         let wake = Condvar::new();
         let tel = self.telemetry.then(ExecutorTelemetry::handles);
+        if let Some(t) = &tel {
+            t.submit_latency.observe(submit_ns);
+        }
 
         let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(self.workers);
-        let mut records: Vec<(usize, usize, StdDuration)> = Vec::with_capacity(n);
+        let mut records: Vec<(usize, usize, StdDuration)> =
+            Vec::with_capacity(if self.task_stats { n } else { 0 });
         let mut worker_traces: Vec<WorkerTrace> = Vec::new();
         prelude.record(
             &clock,
@@ -754,8 +1068,8 @@ impl ThreadedExecutor {
                     injectors: &injectors,
                     group_workers: &group_workers,
                     worker_group: &worker_group,
-                    task_group: &task_group,
-                    v: &v,
+                    task_group,
+                    v: rt,
                     completed: &completed,
                     park: &park,
                     wake: &wake,
@@ -763,6 +1077,8 @@ impl ThreadedExecutor {
                     clock,
                     tracer: self.sink.worker_tracer(),
                     tel: tel.as_ref(),
+                    collect: self.task_stats,
+                    seeded: seeded[me],
                 };
                 handles.push(scope.spawn(move || ctx.run()));
             }
@@ -780,37 +1096,52 @@ impl ThreadedExecutor {
                 name: "execute".into(),
             },
         );
+        RunOutput {
+            records,
+            worker_stats,
+            worker_traces,
+            prelude,
+            wall: StdDuration::from_nanos(clock.now()),
+        }
+    }
 
-        // Assemble the per-task stats outside the hot path: workers only
-        // recorded (task index, duration); labels are moved (not cloned)
-        // out of the validated set here.
-        let tasks = records
-            .into_iter()
-            .map(|(task, worker, duration)| TaskStats {
-                label: std::mem::take(&mut v.labels[task]),
-                worker,
-                duration,
-            })
-            .collect();
-
+    /// Final report assembly shared by both run paths.
+    fn assemble_report(
+        &self,
+        tasks: Vec<TaskStats>,
+        out: RunOutput,
+        meta: Option<TraceMeta>,
+        group_names: Vec<String>,
+    ) -> ExecReport {
         let trace = meta.map(|meta| RunTrace {
             meta,
-            prelude: prelude
+            prelude: out
+                .prelude
                 .finish(self.workers)
                 .map(|wt| wt.events)
                 .unwrap_or_default(),
-            workers: worker_traces,
+            workers: out.worker_traces,
         });
-
-        Ok(ExecReport {
+        ExecReport {
             tasks,
-            wall: StdDuration::from_nanos(clock.now()),
+            wall: out.wall,
             workers: self.workers,
-            worker_stats,
+            worker_stats: out.worker_stats,
             groups: group_names,
             trace,
-        })
+        }
     }
+}
+
+/// Raw output of [`ThreadedExecutor::run_inner`], before label resolution
+/// and trace assembly.
+struct RunOutput {
+    /// `(task, worker, duration)` rows; empty when task stats are off.
+    records: Vec<(usize, usize, StdDuration)>,
+    worker_stats: Vec<WorkerStats>,
+    worker_traces: Vec<WorkerTrace>,
+    prelude: WorkerTracer,
+    wall: StdDuration,
 }
 
 /// Everything one worker thread needs, borrowed from the run invocation.
@@ -823,7 +1154,7 @@ struct WorkerCtx<'a> {
     group_workers: &'a [Vec<usize>],
     worker_group: &'a [usize],
     task_group: &'a [Option<usize>],
-    v: &'a ValidatedTasks,
+    v: RuntimeView<'a>,
     completed: &'a AtomicUsize,
     park: &'a std::sync::Mutex<()>,
     wake: &'a Condvar,
@@ -831,6 +1162,27 @@ struct WorkerCtx<'a> {
     clock: TraceClock,
     tracer: WorkerTracer,
     tel: Option<&'a ExecutorTelemetry>,
+    /// Whether to record per-task `(index, duration)` rows for
+    /// `ExecReport::tasks` (off for large batched runs).
+    collect: bool,
+    /// Tasks seeded into this worker's deque before it started: the
+    /// initial value of the local queue-depth estimate.
+    seeded: usize,
+}
+
+/// Worker-local accumulation that the hot loop writes without touching any
+/// shared atomics; flushed once at join time.
+struct HotState {
+    /// `(task, duration)` rows, only filled when stats collection is on.
+    records: Vec<(usize, StdDuration)>,
+    /// Task latencies pre-aggregated locally when stats collection is off
+    /// (otherwise derived from `records` at flush).
+    latencies: LocalHistogram,
+    /// Estimate of this worker's own deque depth: seeded count, +1 per
+    /// local push, -1 per local pop, reset on steal/inject (the deque was
+    /// observed empty). Never reads the deque, so it costs nothing.
+    depth: usize,
+    depth_peak: usize,
 }
 
 /// Where a claimed task came from, for the steal counters and the trace's
@@ -868,7 +1220,12 @@ impl WorkerCtx<'_> {
             group: self.my_group,
             ..WorkerStats::default()
         };
-        let mut records: Vec<(usize, StdDuration)> = Vec::new();
+        let mut hot = HotState {
+            records: Vec::new(),
+            latencies: LocalHistogram::new(),
+            depth: self.seeded,
+            depth_peak: self.seeded,
+        };
         let mut parks = 0u64;
         let mut tracer = std::mem::replace(&mut self.tracer, WorkerTracer::Null);
         loop {
@@ -878,23 +1235,40 @@ impl WorkerCtx<'_> {
             match self.find_task() {
                 Some((task, source)) => {
                     match source {
-                        Source::Local => {}
+                        Source::Local => hot.depth = hot.depth.saturating_sub(1),
                         Source::Inject { cross } | Source::Steal { cross, .. } => {
+                            // A steal/inject means our own deque was dry.
+                            hot.depth = 0;
                             out.steals += 1;
                             if cross {
                                 out.cross_group_steals += 1;
                             }
                         }
                     }
-                    tracer.record(
-                        &self.clock,
-                        EventKind::TaskDequeued {
-                            task: task as u32,
-                            provenance: source.provenance(),
-                        },
-                    );
-                    out.busy += self.execute(task, &mut records, &mut tracer);
-                    out.executed += 1;
+                    // Continuation chaining: when a completed task readies
+                    // exactly one same-group dependent, run it directly —
+                    // no deque round-trip, no wake.
+                    let mut provenance = source.provenance();
+                    let mut current = task;
+                    loop {
+                        tracer.record(
+                            &self.clock,
+                            EventKind::TaskDequeued {
+                                task: current as u32,
+                                provenance,
+                            },
+                        );
+                        let (dt, next) = self.execute(current, &mut hot, &mut tracer);
+                        out.busy += dt;
+                        out.executed += 1;
+                        match next {
+                            Some(nxt) => {
+                                current = nxt;
+                                provenance = Provenance::Local;
+                            }
+                            None => break,
+                        }
+                    }
                 }
                 None => {
                     out.failed_steals += 1;
@@ -930,14 +1304,19 @@ impl WorkerCtx<'_> {
             t.cross_group_steals.add(out.cross_group_steals as u64);
             t.failed_steals.add(out.failed_steals as u64);
             t.parks.add(parks);
-            let mut latencies = LocalHistogram::new();
-            for &(_, dt) in &records {
-                latencies.observe(dt.as_nanos() as u64);
+            if self.collect {
+                let mut latencies = LocalHistogram::new();
+                for &(_, dt) in &hot.records {
+                    latencies.observe(dt.as_nanos() as u64);
+                }
+                t.task_latency.merge(&latencies);
+            } else {
+                t.task_latency.merge(&hot.latencies);
             }
-            t.task_latency.merge(&latencies);
+            t.queue_depth.raise(hot.depth_peak as u64);
         }
         let trace = tracer.finish(self.me);
-        (out, records, trace)
+        (out, hot.records, trace)
     }
 
     /// Claims one ready task: own deque, then own group's injector and
@@ -989,14 +1368,16 @@ impl WorkerCtx<'_> {
         None
     }
 
-    /// Runs the task, records stats worker-locally, wakes or enqueues
-    /// dependents.
+    /// Runs the task, records stats worker-locally, publishes newly-ready
+    /// dependents. Returns the task's duration and, when one of the ready
+    /// dependents belongs to this worker's group, that dependent as a
+    /// continuation to run directly — skipping the deque entirely.
     fn execute(
         &self,
         i: usize,
-        records: &mut Vec<(usize, StdDuration)>,
+        hot: &mut HotState,
         tracer: &mut WorkerTracer,
-    ) -> StdDuration {
+    ) -> (StdDuration, Option<usize>) {
         let job = self.v.work[i].lock().take().expect("task runs once");
         // Both the stat duration and the trace span come from the run's
         // shared clock, so per-worker busy time and the exported spans are
@@ -1007,7 +1388,15 @@ impl WorkerCtx<'_> {
         let t1 = self.clock.now();
         tracer.record_at(t1, EventKind::TaskEnd { task: i as u32 });
         let dt = TraceClock::between(t0, t1);
-        records.push((i, dt));
+        if self.collect {
+            hot.records.push((i, dt));
+        } else if self.tel.is_some() {
+            hot.latencies.observe(dt.as_nanos() as u64);
+        }
+        // Fused wakeups: the first runnable-here dependent becomes the
+        // continuation, the rest go to the deque in one pass, and at most
+        // one notify covers all cross-group hand-offs.
+        let mut next: Option<usize> = None;
         let mut woke_other_group = false;
         for &dep in self.v.dependents(i) {
             if self.v.pending[dep].fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -1018,14 +1407,20 @@ impl WorkerCtx<'_> {
                         self.injectors[g].push(dep);
                         woke_other_group = true;
                     }
-                    _ => self.local.push(dep),
+                    _ => {
+                        if next.is_none() {
+                            next = Some(dep);
+                        } else {
+                            self.local.push(dep);
+                            hot.depth += 1;
+                            hot.depth_peak = hot.depth_peak.max(hot.depth);
+                        }
+                    }
                 }
             }
         }
         let me_last = self.completed.fetch_add(1, Ordering::AcqRel) + 1 == self.n;
-        if me_last {
-            self.wake.notify_all();
-        } else if woke_other_group {
+        if me_last || woke_other_group {
             // Cross-group hand-offs are latency-sensitive (the target
             // group may be entirely asleep), so they get an eager wake.
             // Same-group surplus is left to the timed steal scans: waking
@@ -1033,7 +1428,7 @@ impl WorkerCtx<'_> {
             // the sleepers re-scan within PARK_TIMEOUT anyway.
             self.wake.notify_all();
         }
-        dt
+        (dt, next)
     }
 }
 
@@ -1112,7 +1507,7 @@ impl SingleQueueExecutor {
                 .collect(),
             time_unit: TimeUnit::RealNanos,
         });
-        let v = validate(tasks)?;
+        let v = build_runtime(tasks, &mut BuildScratch::default())?;
         prelude.record(
             &clock,
             EventKind::PhaseEnd {
@@ -1603,5 +1998,148 @@ mod tests {
         assert_eq!(tasks[1].deps, vec![0]);
         ThreadedExecutor::new(2).run(tasks).unwrap();
         assert_eq!(*log.lock(), vec!["w".to_string(), "r".to_string()]);
+    }
+
+    /// A chain-heavy diamond graph for the compiled-path tests.
+    fn diamond_graph() -> TaskGraph {
+        let mut g = TaskGraph::with_capacity(4);
+        let c = g.add_codelet(
+            crate::task::Codelet::new("k").with_variant(crate::task::Variant::new("x86")),
+        );
+        let h = g.register_data("d", 8.0);
+        let a = g.register_data("a", 8.0);
+        let b = g.register_data("b", 8.0);
+        let acc = |h, mode| crate::task::DataAccess { handle: h, mode };
+        use crate::data::AccessMode::{Read, Write};
+        g.submit(c, "src", 1.0, vec![acc(h, Write)], None);
+        g.submit(c, "l", 1.0, vec![acc(h, Read), acc(a, Write)], None);
+        g.submit(c, "r", 1.0, vec![acc(h, Read), acc(b, Write)], None);
+        g.submit(c, "join", 1.0, vec![acc(a, Read), acc(b, Read)], None);
+        g
+    }
+
+    #[test]
+    fn compiled_graph_reruns_with_fresh_counters() {
+        let g = diamond_graph();
+        let pool = ThreadedExecutor::new(3);
+        let compiled = pool.compile_graph(&g).unwrap();
+        assert_eq!(compiled.len(), 4);
+        // Two runs off the same compiled graph: each must execute all four
+        // tasks in dependency order (src first, join last).
+        for _ in 0..2 {
+            let log = Arc::new(Mutex::new(Vec::new()));
+            let report = pool
+                .run_compiled(&compiled, |i| {
+                    let log = log.clone();
+                    Box::new(move || log.lock().push(i))
+                })
+                .unwrap();
+            let order = log.lock().clone();
+            assert_eq!(order.len(), 4);
+            assert_eq!(order[0], 0);
+            assert_eq!(order[3], 3);
+            assert_eq!(report.tasks.len(), 4);
+            assert!(report.tasks.iter().any(|t| t.label == "join"));
+            let executed: usize = report.worker_stats.iter().map(|w| w.executed).sum();
+            assert_eq!(executed, 4);
+        }
+    }
+
+    #[test]
+    fn compiled_graph_rejects_mismatched_placement() {
+        let g = diamond_graph();
+        let compiled = ThreadedExecutor::with_placement(Placement::new().with_group("cpus", 2))
+            .compile_graph(&g)
+            .unwrap();
+        let err = ThreadedExecutor::with_placement(Placement::new().with_group("gpus", 2))
+            .run_compiled(&compiled, |_| Box::new(|| {}))
+            .unwrap_err();
+        assert!(matches!(err, ThreadEngineError::PlacementMismatch { .. }));
+    }
+
+    #[test]
+    fn task_stats_off_still_counts_everything() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let tasks: Vec<ThreadTask> = (0..40)
+            .map(|i| {
+                let c = counter.clone();
+                let mut t = ThreadTask::new(format!("t{i}"), move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+                if i >= 8 {
+                    t = t.after([i - 8]);
+                }
+                t
+            })
+            .collect();
+        let report = ThreadedExecutor::new(4)
+            .with_task_stats(false)
+            .run(tasks)
+            .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 40);
+        // Per-task rows are skipped, but aggregate accounting is intact.
+        assert!(report.tasks.is_empty());
+        let executed: usize = report.worker_stats.iter().map(|w| w.executed).sum();
+        assert_eq!(executed, 40);
+        assert!(report.wall > StdDuration::ZERO);
+    }
+
+    #[test]
+    fn scratch_reuse_across_batches() {
+        let mut buf = BuildScratch::default();
+        let pool = ThreadedExecutor::new(2);
+        for batch in 0..3 {
+            let counter = Arc::new(AtomicU64::new(0));
+            let tasks: Vec<ThreadTask> = (0..16)
+                .map(|i| {
+                    let c = counter.clone();
+                    let mut t = ThreadTask::new(format!("b{batch}t{i}"), move || {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    });
+                    if i > 0 {
+                        t = t.after([i - 1]);
+                    }
+                    t
+                })
+                .collect();
+            pool.run_with_scratch(tasks, &mut buf).unwrap();
+            assert_eq!(counter.load(Ordering::Relaxed), 16);
+        }
+    }
+
+    #[test]
+    fn compiled_graph_respects_group_affinity() {
+        let mut g = TaskGraph::with_capacity(8);
+        let c = g.add_codelet(
+            crate::task::Codelet::new("k").with_variant(crate::task::Variant::new("x86")),
+        );
+        for i in 0..8 {
+            let group = if i % 2 == 0 { "cpus" } else { "gpus" };
+            g.submit(c, format!("t{i}"), 1.0, vec![], Some(group.into()));
+        }
+        let pool = ThreadedExecutor::with_placement(
+            Placement::new().with_group("cpus", 2).with_group("gpus", 2),
+        );
+        let compiled = pool.compile_graph(&g).unwrap();
+        let report = pool.run_compiled(&compiled, |_| Box::new(|| {})).unwrap();
+        // cpus tasks run on workers 0-1 and gpus tasks on 2-3 — unless a
+        // cross-group steal rebalanced them, which the counters must show.
+        let cross = report.total_cross_group_steals();
+        for t in &report.tasks {
+            let idx: usize = t.label[1..].parse().unwrap();
+            let on_home = if idx.is_multiple_of(2) {
+                t.worker < 2
+            } else {
+                t.worker >= 2
+            };
+            if !on_home {
+                assert!(
+                    cross > 0,
+                    "{} ran on worker {} without any cross-group steal",
+                    t.label,
+                    t.worker
+                );
+            }
+        }
     }
 }

@@ -46,9 +46,9 @@ pub fn dgemm_codelet() -> Codelet {
 /// `execution_group` optionally pins all tasks to a logic group.
 pub fn dgemm_graph(n: usize, tile: usize, execution_group: Option<String>) -> TaskGraph {
     assert!(tile > 0 && tile <= n, "tile must be in 1..=n");
-    let mut g = TaskGraph::new();
-    let codelet = g.add_codelet(dgemm_codelet());
     let tiles = n.div_ceil(tile);
+    let mut g = TaskGraph::with_capacity(tiles * tiles * tiles);
+    let codelet = g.add_codelet(dgemm_codelet());
     let tile_bytes = matrix_bytes(tile.min(n));
 
     let mut a = Vec::with_capacity(tiles * tiles);
@@ -121,7 +121,7 @@ pub fn vecadd_codelet() -> Codelet {
 /// annotation `(A:BLOCK:N, B:BLOCK:N)`: `chunks` independent tasks, each
 /// adding one block of B into the matching block of A.
 pub fn vecadd_graph(n: usize, chunks: usize, execution_group: Option<String>) -> TaskGraph {
-    let mut g = TaskGraph::new();
+    let mut g = TaskGraph::with_capacity(chunks);
     let codelet = g.add_codelet(vecadd_codelet());
     for (idx, (lo, hi)) in block_ranges(n, chunks).into_iter().enumerate() {
         let len = hi - lo;
@@ -144,7 +144,7 @@ pub fn vecadd_graph(n: usize, chunks: usize, execution_group: Option<String>) ->
 /// next buffer). Within one sweep all strips are independent; across sweeps
 /// the halo reads create the classic neighbour dependencies.
 pub fn stencil_graph(n: usize, strips: usize, sweeps: usize) -> TaskGraph {
-    let mut g = TaskGraph::new();
+    let mut g = TaskGraph::with_capacity(strips.max(1) * sweeps);
     let codelet = g.add_codelet(
         Codelet::new("I_jacobi")
             .with_variant(Variant::new("x86"))
@@ -194,7 +194,7 @@ pub fn stencil_graph(n: usize, strips: usize, sweeps: usize) -> TaskGraph {
 /// non-zeros), exercising load balancing in the scheduler ablations.
 pub fn spmv_graph(n: usize, strips: usize) -> TaskGraph {
     let matrix = crate::spmv::CsrMatrix::poisson_1d(n);
-    let mut g = TaskGraph::new();
+    let mut g = TaskGraph::with_capacity(strips.max(1));
     let codelet = g.add_codelet(
         Codelet::new("I_spmv")
             .with_variant(Variant::new("x86"))
@@ -223,7 +223,7 @@ pub fn spmv_graph(n: usize, strips: usize) -> TaskGraph {
 /// Builds a two-phase reduction graph: `chunks` partial sums feeding one
 /// combine task.
 pub fn reduce_graph(n: usize, chunks: usize) -> TaskGraph {
-    let mut g = TaskGraph::new();
+    let mut g = TaskGraph::with_capacity(chunks.max(1) + 1);
     let codelet = g.add_codelet(
         Codelet::new("I_reduce")
             .with_variant(Variant::new("x86"))
@@ -274,7 +274,7 @@ pub fn reduce_graph(n: usize, chunks: usize) -> TaskGraph {
 pub fn fork_join_graph(width: usize, stages: usize, execution_group: Option<String>) -> TaskGraph {
     let width = width.max(1);
     let stages = stages.max(1);
-    let mut g = TaskGraph::new();
+    let mut g = TaskGraph::with_capacity(stages * (width + 1));
     let codelet = g.add_codelet(Codelet::new("I_forkjoin").with_variant(Variant::new("x86")));
     let flops = 1000.0;
 

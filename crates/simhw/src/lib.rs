@@ -36,9 +36,9 @@ pub mod time;
 pub mod trace;
 
 pub use energy::{energy, EnergyReport};
-pub use events::EventQueue;
+pub use events::{EventQueue, HeapEventQueue};
 pub use link::{LinkId, SimLink, TransferPath};
 pub use machine::{DeviceId, LinkParams, SimDevice, SimMachine};
-pub use resource::Timeline;
+pub use resource::{BucketedTimeline, Timeline};
 pub use time::{Duration, SimTime};
 pub use trace::{Span, SpanKind, Trace};
